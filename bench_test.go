@@ -1,0 +1,533 @@
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, plus ablation and micro benchmarks. Each
+// table/figure benchmark regenerates the full artefact per iteration;
+// run with -v (or see cmd/propane and EXPERIMENTS.md) for the rendered
+// rows. The campaign-backed benchmarks use a small injection grid per
+// iteration so `go test -bench=.` completes quickly; the full paper
+// campaign is exercised by BenchmarkPaperScaleCampaign, which is
+// skipped unless -timeout allows (it runs ~52 000 simulations) and is
+// guarded behind the PROPANE_PAPER_BENCH environment variable.
+package propane_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"propane/internal/arrestor"
+	"propane/internal/autobrake"
+	"propane/internal/campaign"
+	"propane/internal/core"
+	"propane/internal/edm"
+	"propane/internal/inject"
+	"propane/internal/model"
+	"propane/internal/physics"
+	"propane/internal/report"
+	"propane/internal/sim"
+	"propane/internal/trace"
+)
+
+// benchCampaign is the small campaign used by campaign-backed
+// benchmarks: 1 test case, 2 instants, 2 bits over all 13 inputs = 52
+// simulation runs per iteration.
+func benchCampaign() campaign.Config {
+	cases, err := physics.Grid(1, 1, 14000, 14000, 60, 60)
+	if err != nil {
+		panic(err)
+	}
+	return campaign.Config{
+		Arrestor:       arrestor.DefaultConfig(),
+		TestCases:      cases,
+		Times:          []sim.Millis{1500, 3500},
+		Bits:           []uint{3, 12},
+		HorizonMs:      6000,
+		DirectWindowMs: 500,
+	}
+}
+
+var (
+	benchOnce sync.Once
+	benchRes  *campaign.Result
+)
+
+// benchResult provides a measured matrix for the pure-analysis
+// benchmarks without re-running the campaign per iteration.
+func benchResult(b *testing.B) *campaign.Result {
+	b.Helper()
+	benchOnce.Do(func() {
+		res, err := campaign.Run(benchCampaign())
+		if err != nil {
+			panic(err)
+		}
+		benchRes = res
+	})
+	return benchRes
+}
+
+// BenchmarkTable1PairPermeabilities regenerates Table 1: a full
+// injection campaign plus the rendered per-pair permeability table.
+func BenchmarkTable1PairPermeabilities(b *testing.B) {
+	var table string
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(benchCampaign())
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = report.Table1(res)
+	}
+	b.StopTimer()
+	b.Log("\n" + table)
+}
+
+// BenchmarkTable2ModuleMeasures regenerates Table 2 from the measured
+// matrix: Eqs. 2-5 for every module.
+func BenchmarkTable2ModuleMeasures(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	var table string
+	for i := 0; i < b.N; i++ {
+		t2, err := report.Table2(res.Matrix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = t2
+	}
+	b.StopTimer()
+	b.Log("\n" + table)
+}
+
+// BenchmarkTable3SignalExposures regenerates Table 3: signal error
+// exposure (Eq. 6) over the backtrack forest.
+func BenchmarkTable3SignalExposures(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	var table string
+	for i := 0; i < b.N; i++ {
+		t3, err := report.Table3(res.Matrix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = t3
+	}
+	b.StopTimer()
+	b.Log("\n" + table)
+}
+
+// BenchmarkTable4PropagationPaths regenerates Table 4: the ranked
+// non-zero propagation paths of the TOC2 backtrack tree.
+func BenchmarkTable4PropagationPaths(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	var table string
+	for i := 0; i < b.N; i++ {
+		t4, err := report.Table4(res.Matrix, arrestor.SigTOC2, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = t4
+	}
+	b.StopTimer()
+	b.Log("\n" + table)
+}
+
+// exampleBenchMatrix builds the Fig. 2 example matrix used by the
+// figure benchmarks of the analytic example.
+func exampleBenchMatrix() *core.Matrix {
+	m := core.NewMatrix(model.PaperExampleSystem())
+	vals := []struct {
+		mod     string
+		in, out int
+		v       float64
+	}{
+		{"A", 1, 1, 0.8},
+		{"B", 1, 1, 0.5}, {"B", 1, 2, 0.6}, {"B", 2, 1, 0.9}, {"B", 2, 2, 0.3},
+		{"C", 1, 1, 0.7}, {"D", 1, 1, 0.4},
+		{"E", 1, 1, 0.9}, {"E", 2, 1, 0.5}, {"E", 3, 1, 0.2},
+	}
+	for _, a := range vals {
+		if err := m.Set(a.mod, a.in, a.out, a.v); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkFig4BacktrackTreeExample regenerates Fig. 4: the backtrack
+// tree of the example system's output, rendered as DOT.
+func BenchmarkFig4BacktrackTreeExample(b *testing.B) {
+	m := exampleBenchMatrix()
+	b.ResetTimer()
+	var dot string
+	for i := 0; i < b.N; i++ {
+		tree, err := core.BacktrackTree(m, "sysout")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dot = report.TreeDOT(tree, "fig4")
+	}
+	b.StopTimer()
+	b.Log("\n" + dot)
+}
+
+// BenchmarkFig5TraceTreeExample regenerates Fig. 5: the trace tree of
+// the example system's input extA.
+func BenchmarkFig5TraceTreeExample(b *testing.B) {
+	m := exampleBenchMatrix()
+	b.ResetTimer()
+	var dot string
+	for i := 0; i < b.N; i++ {
+		tree, err := core.TraceTree(m, "extA")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dot = report.TreeDOT(tree, "fig5")
+	}
+	b.StopTimer()
+	b.Log("\n" + dot)
+}
+
+// BenchmarkFig8TopologyGraph regenerates Fig. 8: the target system's
+// module/signal topology.
+func BenchmarkFig8TopologyGraph(b *testing.B) {
+	var dot string
+	for i := 0; i < b.N; i++ {
+		dot = report.TopologyDOT(arrestor.Topology())
+	}
+	b.StopTimer()
+	b.Log("\n" + dot)
+}
+
+// BenchmarkFig9PermeabilityGraph regenerates Fig. 9: the permeability
+// graph of the target system with measured arc weights.
+func BenchmarkFig9PermeabilityGraph(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	var dot string
+	for i := 0; i < b.N; i++ {
+		g, err := core.NewGraph(res.Matrix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dot = report.PermeabilityGraphDOT(g)
+	}
+	b.StopTimer()
+	b.Log("\n" + dot)
+}
+
+// BenchmarkFig10BacktrackTreeTOC2 regenerates Fig. 10: the 22-path
+// backtrack tree of the system output TOC2.
+func BenchmarkFig10BacktrackTreeTOC2(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	var dot string
+	for i := 0; i < b.N; i++ {
+		tree, err := core.BacktrackTree(res.Matrix, arrestor.SigTOC2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tree.Root.CountLeaves() != 22 {
+			b.Fatalf("TOC2 tree has %d paths, want 22", tree.Root.CountLeaves())
+		}
+		dot = report.TreeDOT(tree, "fig10")
+	}
+	b.StopTimer()
+	b.Log("\n" + dot)
+}
+
+// BenchmarkFig11TraceTreeADC regenerates Fig. 11: the trace tree of
+// system input ADC.
+func BenchmarkFig11TraceTreeADC(b *testing.B) {
+	benchTraceTree(b, arrestor.SigADC)
+}
+
+// BenchmarkFig12TraceTreePACNT regenerates Fig. 12: the trace tree of
+// system input PACNT (the trees for TIC1 and TCNT are isomorphic, as
+// the paper notes).
+func BenchmarkFig12TraceTreePACNT(b *testing.B) {
+	benchTraceTree(b, arrestor.SigPACNT)
+}
+
+func benchTraceTree(b *testing.B, input string) {
+	b.Helper()
+	res := benchResult(b)
+	b.ResetTimer()
+	var dot string
+	for i := 0; i < b.N; i++ {
+		tree, err := core.TraceTree(res.Matrix, input)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dot = report.TreeDOT(tree, "trace-"+input)
+	}
+	b.StopTimer()
+	b.Log("\n" + dot)
+}
+
+// BenchmarkAblationErrorModel regenerates the Section 6 error-model
+// sensitivity study: one campaign under an alternative error model.
+func BenchmarkAblationErrorModel(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Bits = nil
+	cfg.Models = []inject.ErrorModel{
+		inject.StuckAt{Bit: 3, One: true},
+		inject.Offset{Delta: 512},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWorkloadSensitivity regenerates the future-work
+// workload study: one campaign on a shifted workload grid.
+func BenchmarkAblationWorkloadSensitivity(b *testing.B) {
+	cfg := benchCampaign()
+	cases, err := physics.Grid(1, 1, 19000, 19000, 75, 75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.TestCases = cases
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUniformPropagation regenerates the Section 2 check: the
+// per-location propagation fractions.
+func BenchmarkUniformPropagation(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	var table string
+	for i := 0; i < b.N; i++ {
+		table = report.UniformPropagationTable(res)
+	}
+	b.StopTimer()
+	b.Log("\n" + table)
+}
+
+// BenchmarkOB3PlacementEvaluation regenerates the OB3 study: campaign
+// plus EDM coverage evaluation for three placements.
+func BenchmarkOB3PlacementEvaluation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := edm.Evaluate(benchCampaign(), []edm.Placement{
+			{Signal: arrestor.SigInValue, Efficiency: 1.0},
+			{Signal: arrestor.SigSetValue, Efficiency: 0.7},
+			{Signal: arrestor.SigOutValue, Efficiency: 0.7},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationTick measures the raw simulation throughput: one
+// full kernel tick of the arrestment system (glue, physics, six
+// modules).
+func BenchmarkSimulationTick(b *testing.B) {
+	inst, err := arrestor.NewInstance(arrestor.DefaultConfig(), physics.TestCase{MassKg: 14000, VelocityMS: 60}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Kernel().Tick()
+	}
+}
+
+// BenchmarkSingleInjectionRun measures one complete injection run:
+// instance construction, 6 s of simulated time and streaming GRC.
+func BenchmarkSingleInjectionRun(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Bits = []uint{7}
+	cfg.Times = []sim.Millis{2500}
+	cfg.OnlyModule = arrestor.ModVReg
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBacktrackForest measures the pure tree-construction cost on
+// the target topology.
+func BenchmarkBacktrackForest(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BacktrackForest(res.Matrix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignalExposureComputation measures Eq. 6 over the full
+// backtrack forest.
+func BenchmarkSignalExposureComputation(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SignalExposures(res.Matrix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDualNodeCampaign regenerates the distributed (master/slave)
+// extension study: a campaign over the 31-pair two-node topology.
+func BenchmarkDualNodeCampaign(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Dual = true
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Pairs) != 31 {
+			b.Fatalf("dual pairs = %d, want 31", len(res.Pairs))
+		}
+	}
+}
+
+// BenchmarkSensitivityAnalysis measures the hardening-priority
+// computation over the target topology.
+func BenchmarkSensitivityAnalysis(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PathSensitivities(res.Matrix, arrestor.SigTOC2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollapseHierarchy measures the Section 3 hierarchy
+// operation: collapsing the sensor chain into one composite module.
+func BenchmarkCollapseHierarchy(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Collapse(res.Matrix, []string{arrestor.ModVReg, arrestor.ModPresA}, "ACT"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutobrakeCampaign regenerates the second-target study: a
+// campaign over the wheel-slip brake controller (14 pairs).
+func BenchmarkAutobrakeCampaign(b *testing.B) {
+	cases, err := autobrake.Grid(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := campaign.Config{
+		Custom:         autobrake.Target(autobrake.DefaultConfig()),
+		TestCases:      cases,
+		Times:          []sim.Millis{800, 2000},
+		Bits:           []uint{3, 12},
+		HorizonMs:      3500,
+		DirectWindowMs: 300,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Pairs) != 14 {
+			b.Fatalf("autobrake pairs = %d, want 14", len(res.Pairs))
+		}
+	}
+}
+
+// BenchmarkCrossValidation regenerates the prediction-vs-measurement
+// table: compositional end-to-end prediction against the campaign's
+// direct propagation fractions.
+func BenchmarkCrossValidation(b *testing.B) {
+	res := benchResult(b)
+	b.ResetTimer()
+	var table string
+	for i := 0; i < b.N; i++ {
+		t, err := report.ValidationTable(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = t
+	}
+	b.StopTimer()
+	b.Log("\n" + table)
+}
+
+// BenchmarkPaperScaleCampaign runs the paper's full campaign (52 000
+// injection runs). Guarded behind PROPANE_PAPER_BENCH=1 because it
+// takes on the order of a minute of CPU time per iteration.
+func BenchmarkPaperScaleCampaign(b *testing.B) {
+	if os.Getenv("PROPANE_PAPER_BENCH") == "" {
+		b.Skip("set PROPANE_PAPER_BENCH=1 to run the full 52 000-run campaign")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(campaign.PaperConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFaultDuration regenerates the transient-vs-
+// persistent study: one campaign with 200-ms persistent faults.
+func BenchmarkAblationFaultDuration(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Bits = nil
+	cfg.Models = []inject.ErrorModel{inject.Replace{Value: 0xFF00}}
+	cfg.FaultDurationMs = 200
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationComparisonTolerance regenerates the tolerant-GRC
+// study: one campaign with a 512-unit tolerance band on every signal.
+func BenchmarkAblationComparisonTolerance(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Tolerances = trace.Tolerances{}
+	for _, sig := range arrestor.Topology().Signals() {
+		cfg.Tolerances[sig] = 512
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryStudy regenerates the OB5 recovery experiment: one
+// baseline campaign plus one campaign with an idealised ERM on
+// OutValue.
+func BenchmarkRecoveryStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := edm.RecoveryStudy(benchCampaign(), []string{arrestor.SigOutValue})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 1 {
+			b.Fatal("unexpected recovery result count")
+		}
+	}
+}
+
+// BenchmarkEDMOptimize regenerates the [18] combination-selection
+// study.
+func BenchmarkEDMOptimize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := edm.Optimize(benchCampaign(), []edm.Candidate{
+			{Signal: arrestor.SigSetValue, Efficiency: 0.7, Cost: 1},
+			{Signal: arrestor.SigOutValue, Efficiency: 0.7, Cost: 1},
+			{Signal: arrestor.SigInValue, Efficiency: 1.0, Cost: 1},
+		}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command arrestor runs the simulated aircraft-arrestment system
+// standalone for one test case and prints the arrestment trajectory:
+// aircraft velocity and position, pulse count, checkpoint index,
+// pressure set point and applied pressure over time.
+//
+// Usage:
+//
+//	arrestor [-mass KG] [-velocity MS] [-horizon MS] [-every MS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"propane/internal/arrestor"
+	"propane/internal/physics"
+	"propane/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "arrestor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("arrestor", flag.ContinueOnError)
+	mass := fs.Float64("mass", 14000, "aircraft mass in kg (paper range 8000-20000)")
+	velocity := fs.Float64("velocity", 60, "engagement velocity in m/s (paper range 40-80)")
+	horizon := fs.Int64("horizon", 6000, "simulation horizon in ms")
+	every := fs.Int64("every", 250, "print interval in ms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *every <= 0 || *horizon <= 0 {
+		return fmt.Errorf("horizon and print interval must be positive")
+	}
+
+	tc := physics.TestCase{MassKg: *mass, VelocityMS: *velocity}
+	inst, err := arrestor.NewInstance(arrestor.DefaultConfig(), tc, nil)
+	if err != nil {
+		return err
+	}
+
+	signals := make(map[string]*sim.Signal)
+	for _, name := range []string{
+		arrestor.SigPulscnt, arrestor.SigI, arrestor.SigSetValue,
+		arrestor.SigInValue, arrestor.SigOutValue, arrestor.SigTOC2,
+		arrestor.SigSlowSpeed, arrestor.SigStopped,
+	} {
+		s, err := inst.Bus().Lookup(name)
+		if err != nil {
+			return err
+		}
+		signals[name] = s
+	}
+
+	fmt.Printf("arrestment of %v\n", tc)
+	fmt.Printf("%8s %8s %8s %8s %3s %9s %9s %7s %5s %5s\n",
+		"t[ms]", "v[m/s]", "x[m]", "pulscnt", "i", "SetValue", "TOC2", "p[frac]", "slow", "stop")
+	printRow := func(now sim.Millis) {
+		fmt.Printf("%8d %8.2f %8.1f %8d %3d %9d %9d %7.3f %5v %5v\n",
+			now,
+			inst.World().VelocityMS(),
+			inst.World().PositionM(),
+			signals[arrestor.SigPulscnt].Read(),
+			signals[arrestor.SigI].Read(),
+			signals[arrestor.SigSetValue].Read(),
+			signals[arrestor.SigTOC2].Read(),
+			inst.World().PressureFrac(),
+			signals[arrestor.SigSlowSpeed].ReadBool(),
+			signals[arrestor.SigStopped].ReadBool(),
+		)
+	}
+	inst.Kernel().AddPostHook(func(now sim.Millis) {
+		if (int64(now)+1)%*every == 0 {
+			printRow(now + 1)
+		}
+	})
+	inst.Run(sim.Millis(*horizon))
+	fmt.Printf("\nfinal: v=%.2f m/s after %.1f m (hardware pulses: %d)\n",
+		inst.World().VelocityMS(), inst.World().PositionM(), inst.World().PulseCount())
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunTrajectory(t *testing.T) {
+	if err := run([]string{"-mass", "12000", "-velocity", "55", "-horizon", "1000", "-every", "250"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tests := [][]string{
+		{"-every", "0"},
+		{"-horizon", "-5"},
+		{"-mass", "0"},
+		{"-velocity", "-1"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Command permtool applies the error-permeability analysis framework
+// to an arbitrary system, without fault injection: it reads a topology
+// (JSON, as produced by the model package) and a permeability matrix
+// (CSV: module,in,out[,...],value) and prints the module measures,
+// signal exposures, ranked propagation paths, placement advice, and
+// optional Graphviz renderings.
+//
+// Usage:
+//
+//	permtool -topology sys.json -matrix perms.csv [-output SIGNAL] [-dot]
+//	permtool -example [-dot]
+//
+// -example analyses the paper's Fig. 2 five-module system with the
+// documentation's sample permeability values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"propane/internal/core"
+	"propane/internal/model"
+	"propane/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "permtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("permtool", flag.ContinueOnError)
+	topoPath := fs.String("topology", "", "path to the system topology JSON")
+	matrixPath := fs.String("matrix", "", "path to the permeability CSV (module,in,out[,...],value)")
+	output := fs.String("output", "", "system output to analyse (default: every system output)")
+	example := fs.Bool("example", false, "analyse the built-in Fig. 2 example system")
+	dot := fs.Bool("dot", false, "print Graphviz renderings of the graph and trees")
+	fmeca := fs.Bool("fmeca", false, "print the FMECA-complement worksheet")
+	prob := fs.String("prob", "", "per-input error probabilities for the P' profile, e.g. \"extA=0.1,extC=0.02\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m *core.Matrix
+	switch {
+	case *example:
+		m = exampleMatrix()
+	case *topoPath != "" && *matrixPath != "":
+		var err error
+		m, err = loadMatrix(*topoPath, *matrixPath)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need either -example or both -topology and -matrix")
+	}
+
+	sys := m.System()
+	outputs := sys.SystemOutputs()
+	if *output != "" {
+		if !sys.IsSystemOutput(*output) {
+			return fmt.Errorf("%q is not a system output of %s (outputs: %v)", *output, sys.Name(), outputs)
+		}
+		outputs = []string{*output}
+	}
+
+	t2, err := report.Table2(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t2)
+	t3, err := report.Table3(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t3)
+	for _, out := range outputs {
+		t4, err := report.Table4(m, out, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t4)
+	}
+	advice, err := report.AdviceReport(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println(advice)
+
+	if *fmeca {
+		sheet, err := report.FMECATable(m)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sheet)
+	}
+	if *prob != "" {
+		probs, err := parseProbs(*prob)
+		if err != nil {
+			return err
+		}
+		for _, out := range outputs {
+			table, err := report.ProfileTable(m, out, probs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(table)
+		}
+	}
+
+	if *dot {
+		g, err := core.NewGraph(m)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.TopologyDOT(sys))
+		fmt.Println(report.PermeabilityGraphDOT(g))
+		for _, out := range outputs {
+			tree, err := core.BacktrackTree(m, out)
+			if err != nil {
+				return err
+			}
+			fmt.Println(report.TreeDOT(tree, "backtrack-"+out))
+		}
+	}
+	return nil
+}
+
+// parseProbs decodes "sig=0.1,sig2=0.02" into a probability map.
+func parseProbs(spec string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed probability %q (want signal=value)", part)
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("probability %q: %w", part, err)
+		}
+		out[strings.TrimSpace(name)] = p
+	}
+	return out, nil
+}
+
+// loadMatrix reads the topology JSON and the permeability CSV.
+func loadMatrix(topoPath, matrixPath string) (*core.Matrix, error) {
+	topoData, err := os.ReadFile(topoPath)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := model.DecodeSystem(topoData)
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewMatrix(sys)
+
+	csvData, err := os.ReadFile(matrixPath)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	for lineNo, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || (lineNo == 0 && strings.HasPrefix(line, "module,")) {
+			continue // header or blank
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("%s:%d: need at least module,in,out,value", matrixPath, lineNo+1)
+		}
+		in, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: input index: %w", matrixPath, lineNo+1, err)
+		}
+		out, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: output index: %w", matrixPath, lineNo+1, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(fields[len(fields)-1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: value: %w", matrixPath, lineNo+1, err)
+		}
+		if err := m.Set(strings.TrimSpace(fields[0]), in, out, v); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", matrixPath, lineNo+1, err)
+		}
+	}
+	return m, nil
+}
+
+// exampleMatrix builds the Fig. 2 example with the documented sample
+// values.
+func exampleMatrix() *core.Matrix {
+	m := core.NewMatrix(model.PaperExampleSystem())
+	assign := []struct {
+		mod     string
+		in, out int
+		v       float64
+	}{
+		{"A", 1, 1, 0.8},
+		{"B", 1, 1, 0.5}, {"B", 1, 2, 0.6}, {"B", 2, 1, 0.9}, {"B", 2, 2, 0.3},
+		{"C", 1, 1, 0.7},
+		{"D", 1, 1, 0.4},
+		{"E", 1, 1, 0.9}, {"E", 2, 1, 0.5}, {"E", 3, 1, 0.2},
+	}
+	for _, a := range assign {
+		if err := m.Set(a.mod, a.in, a.out, a.v); err != nil {
+			panic("permtool: example matrix invalid: " + err.Error())
+		}
+	}
+	return m
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"propane/internal/model"
+	"propane/internal/report"
+)
+
+func TestRunExample(t *testing.T) {
+	if err := run([]string{"-example"}); err != nil {
+		t.Fatalf("run -example: %v", err)
+	}
+	if err := run([]string{"-example", "-dot"}); err != nil {
+		t.Fatalf("run -example -dot: %v", err)
+	}
+	if err := run([]string{"-example", "-output", "sysout"}); err != nil {
+		t.Fatalf("run -example -output: %v", err)
+	}
+}
+
+func TestRunFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	sys := model.PaperExampleSystem()
+	topoJSON, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoPath := filepath.Join(dir, "sys.json")
+	if err := os.WriteFile(topoPath, topoJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Use the MatrixCSV format produced by the report package.
+	m := exampleMatrix()
+	csvPath := filepath.Join(dir, "perms.csv")
+	if err := os.WriteFile(csvPath, []byte(report.MatrixCSV(m)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topology", topoPath, "-matrix", csvPath}); err != nil {
+		t.Fatalf("run from files: %v", err)
+	}
+	// Minimal module,in,out,value rows also parse.
+	minPath := filepath.Join(dir, "min.csv")
+	if err := os.WriteFile(minPath, []byte("A,1,1,0.5\nB,1,2,0.25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topology", topoPath, "-matrix", minPath}); err != nil {
+		t.Fatalf("run with minimal csv: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	sys := model.PaperExampleSystem()
+	topoJSON, _ := sys.MarshalJSON()
+	topoPath := filepath.Join(dir, "sys.json")
+	if err := os.WriteFile(topoPath, topoJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badCSV := filepath.Join(dir, "bad.csv")
+
+	cases := map[string][]string{
+		"no mode":        {},
+		"missing matrix": {"-topology", topoPath},
+		"bad topo path":  {"-topology", "/no/such.json", "-matrix", badCSV},
+		"bad output":     {"-example", "-output", "nope"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := run(args); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+
+	for name, contents := range map[string]string{
+		"short row": "A,1\n",
+		"bad in":    "A,x,1,0.5\n",
+		"bad out":   "A,1,x,0.5\n",
+		"bad value": "A,1,1,zz\n",
+		"bad pair":  "A,9,9,0.5\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(badCSV, []byte(contents), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := run([]string{"-topology", topoPath, "-matrix", badCSV}); err == nil {
+				t.Error("run accepted malformed csv")
+			}
+		})
+	}
+}
+
+func TestRunFMECAAndProfile(t *testing.T) {
+	if err := run([]string{"-example", "-fmeca", "-prob", "extA=0.1,extC=0.02,extE=0.5"}); err != nil {
+		t.Fatalf("run -fmeca -prob: %v", err)
+	}
+	for _, bad := range []string{"extA", "extA=x", "ghost=0.1", "extA=1.5"} {
+		if err := run([]string{"-example", "-prob", bad}); err == nil {
+			t.Errorf("run with -prob %q succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTinyEndToEnd(t *testing.T) {
+	dotDir := t.TempDir()
+	reportPath := filepath.Join(dotDir, "report.md")
+	err := run([]string{
+		"-scale", "tiny", "-table", "2", "-uniform", "-advice",
+		"-latency", "-sensitivity", "-criticality", "-validate", "-trees",
+		"-dot", dotDir, "-report", reportPath,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if md, err := os.ReadFile(reportPath); err != nil || len(md) == 0 {
+		t.Errorf("markdown report missing: %v", err)
+	}
+	// The figure set and matrix export must exist.
+	for _, name := range []string{
+		"fig08_topology.dot", "fig09_permeability_graph.dot",
+		"fig10_backtrack_TOC2.dot", "fig11_trace_ADC.dot",
+		"fig12_trace_PACNT.dot", "matrix.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dotDir, name)); err != nil {
+			t.Errorf("missing artefact %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunConfigFile(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "exp.json")
+	doc := `{
+		"target": "autobrake",
+		"grid": {"masses": 1, "velocities": 1},
+		"times_ms": [800],
+		"bits": [14],
+		"horizon_ms": 3000,
+		"direct_window_ms": 300
+	}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", cfgPath, "-table", "4"}); err != nil {
+		t.Fatalf("run with config: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-scale", "warp9"},
+		{"-scale", "tiny", "-table", "9"},
+		{"-config", "/no/such/file.json"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestConfigForScale(t *testing.T) {
+	for _, scale := range []string{"tiny", "reduced", "paper"} {
+		cfg, err := configForScale(scale)
+		if err != nil {
+			t.Errorf("configForScale(%s): %v", scale, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scale %s invalid: %v", scale, err)
+		}
+	}
+	if _, err := configForScale("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}

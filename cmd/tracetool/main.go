@@ -1,0 +1,183 @@
+// Command tracetool records and compares PROPANE-style trace files,
+// supporting the offline half of the Golden Run Comparison workflow:
+//
+//	tracetool record -out golden.ptrc [-mass KG] [-velocity MS] [-horizon MS] [-dual]
+//	tracetool info   -in golden.ptrc
+//	tracetool diff   -golden golden.ptrc -run run.ptrc
+//
+// `record` runs the arrestment system without injections and persists
+// every signal trace; `diff` performs a full Golden Run Comparison
+// between two trace files, reporting first/last deviation, deviation
+// count and the transient/permanent classification per signal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"propane/internal/arrestor"
+	"propane/internal/physics"
+	"propane/internal/sim"
+	"propane/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: tracetool record|info|diff [flags]")
+	}
+	switch args[0] {
+	case "record":
+		return record(args[1:])
+	case "info":
+		return info(args[1:])
+	case "diff":
+		return diff(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want record, info or diff)", args[0])
+	}
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	out := fs.String("out", "", "output trace file (required)")
+	mass := fs.Float64("mass", 14000, "aircraft mass in kg")
+	velocity := fs.Float64("velocity", 60, "engagement velocity in m/s")
+	horizon := fs.Int64("horizon", 6000, "simulation horizon in ms")
+	dual := fs.Bool("dual", false, "record the master/slave configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("record: -out is required")
+	}
+	if *horizon <= 0 {
+		return fmt.Errorf("record: horizon must be positive")
+	}
+
+	tc := physics.TestCase{MassKg: *mass, VelocityMS: *velocity}
+	var (
+		inst *arrestor.Instance
+		err  error
+	)
+	if *dual {
+		inst, err = arrestor.NewDualInstance(arrestor.DefaultDualConfig(), tc, nil)
+	} else {
+		inst, err = arrestor.NewInstance(arrestor.DefaultConfig(), tc, nil)
+	}
+	if err != nil {
+		return err
+	}
+	rec, err := trace.NewRecorder(inst.Bus())
+	if err != nil {
+		return err
+	}
+	inst.Kernel().AddPostHook(rec.Hook())
+	inst.Run(sim.Millis(*horizon))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := rec.Trace().WriteTo(f)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d signals × %d samples (%d bytes) to %s\n",
+		len(rec.Trace().Signals()), rec.Trace().Len(), n, *out)
+	return nil
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadTrace(f)
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("info: -in is required")
+	}
+	tr, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d signals × %d samples\n", *in, len(tr.Signals()), tr.Len())
+	for _, sig := range tr.Signals() {
+		samples, err := tr.Samples(sig)
+		if err != nil {
+			return err
+		}
+		lo, hi := samples[0], samples[0]
+		for _, v := range samples {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		last := samples[len(samples)-1]
+		fmt.Printf("  %-14s min=%5d max=%5d final=%5d\n", sig, lo, hi, last)
+	}
+	return nil
+}
+
+func diff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	goldenPath := fs.String("golden", "", "golden trace file (required)")
+	runPath := fs.String("run", "", "run trace file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *goldenPath == "" || *runPath == "" {
+		return fmt.Errorf("diff: -golden and -run are required")
+	}
+	golden, err := loadTrace(*goldenPath)
+	if err != nil {
+		return err
+	}
+	runTr, err := loadTrace(*runPath)
+	if err != nil {
+		return err
+	}
+	diffs, err := trace.Compare(golden, runTr)
+	if err != nil {
+		return err
+	}
+	deviated := 0
+	for _, sig := range golden.Signals() {
+		d := diffs[sig]
+		if !d.Differs() {
+			continue
+		}
+		deviated++
+		fmt.Printf("%-14s first=%5d ms last=%5d ms count=%6d density=%.2f class=%s\n",
+			sig, d.First, d.Last, d.Count, d.Density(), d.Classify(golden.Len()))
+	}
+	if deviated == 0 {
+		fmt.Println("traces are identical")
+	} else {
+		fmt.Printf("%d of %d signals deviated\n", deviated, len(golden.Signals()))
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordInfoDiffRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "golden.ptrc")
+	other := filepath.Join(dir, "other.ptrc")
+
+	if err := run([]string{"record", "-out", golden, "-horizon", "1000"}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := run([]string{"info", "-in", golden}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	// Identical parameters produce an identical trace: diff is clean.
+	if err := run([]string{"record", "-out", other, "-horizon", "1000"}); err != nil {
+		t.Fatalf("record 2: %v", err)
+	}
+	if err := run([]string{"diff", "-golden", golden, "-run", other}); err != nil {
+		t.Fatalf("diff identical: %v", err)
+	}
+	// A different test case deviates but still diffs cleanly.
+	if err := run([]string{"record", "-out", other, "-horizon", "1000", "-mass", "9000"}); err != nil {
+		t.Fatalf("record 3: %v", err)
+	}
+	if err := run([]string{"diff", "-golden", golden, "-run", other}); err != nil {
+		t.Fatalf("diff deviating: %v", err)
+	}
+	// Dual-configuration recording works too.
+	dualPath := filepath.Join(dir, "dual.ptrc")
+	if err := run([]string{"record", "-out", dualPath, "-horizon", "500", "-dual"}); err != nil {
+		t.Fatalf("record dual: %v", err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	tests := [][]string{
+		nil,
+		{"fly"},
+		{"record"}, // missing -out
+		{"record", "-out", "/x", "-horizon", "0"},
+		{"info"}, // missing -in
+		{"info", "-in", "/no/such.ptrc"},
+		{"diff"}, // missing both
+		{"diff", "-golden", "/no/a", "-run", "/no/b"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

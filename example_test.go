@@ -1,0 +1,145 @@
+package propane_test
+
+import (
+	"fmt"
+	"log"
+
+	"propane"
+)
+
+// exampleFilledMatrix builds the documentation matrix used by the
+// Example functions.
+func exampleFilledMatrix() *propane.Matrix {
+	m := propane.NewMatrix(propane.ExampleSystem())
+	for _, set := range []struct {
+		mod, in, out string
+		v            float64
+	}{
+		{"A", "extA", "a1", 0.8},
+		{"B", "a1", "bfb", 0.5}, {"B", "a1", "b2", 0.6},
+		{"B", "bfb", "bfb", 0.9}, {"B", "bfb", "b2", 0.3},
+		{"C", "extC", "c1", 0.7}, {"D", "c1", "d1", 0.4},
+		{"E", "b2", "sysout", 0.9}, {"E", "d1", "sysout", 0.5}, {"E", "extE", "sysout", 0.2},
+	} {
+		if err := m.SetBySignal(set.mod, set.in, set.out, set.v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return m
+}
+
+// ExampleNewSystem shows how to declare a topology and read its
+// inferred boundary.
+func ExampleNewSystem() {
+	sys, err := propane.NewSystem("demo").
+		AddModule("SENSE", []string{"raw"}, []string{"clean"}).
+		AddModule("ACT", []string{"clean"}, []string{"drive"}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inputs: ", sys.SystemInputs())
+	fmt.Println("outputs:", sys.SystemOutputs())
+	fmt.Println("pairs:  ", sys.TotalPairs())
+	// Output:
+	// inputs:  [raw]
+	// outputs: [drive]
+	// pairs:   2
+}
+
+// ExampleBacktrackTree ranks the propagation paths of a system output
+// by weight (Output Error Tracing, paper Section 4.2).
+func ExampleBacktrackTree() {
+	m := exampleFilledMatrix()
+	tree, err := propane.BacktrackTree(m, "sysout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range tree.RankedPaths()[:3] {
+		fmt.Printf("%.3f  %s\n", p.Weight(), p)
+	}
+	// Output:
+	// 0.432  sysout <- b2 <- a1 <- extA
+	// 0.243  sysout <- b2 <- bfb <- bfb (feedback)
+	// 0.200  sysout <- extE
+}
+
+// ExampleTraceTree follows errors on a system input forward (Input
+// Error Tracing).
+func ExampleTraceTree() {
+	m := exampleFilledMatrix()
+	tree, err := propane.TraceTree(m, "extC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range tree.Paths() {
+		fmt.Printf("%.3f  %s\n", p.Weight(), p)
+	}
+	// Output:
+	// 0.140  extC <- c1 <- d1 <- sysout
+}
+
+// ExampleAdvise derives the Section 5 EDM/ERM placement guidance.
+func ExampleAdvise() {
+	m := exampleFilledMatrix()
+	adv, err := propane.Advise(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best EDM module:", adv.EDMModules[0].Module)
+	fmt.Println("best ERM module:", adv.ERMModules[0].Module)
+	fmt.Println("barriers:       ", adv.BarrierModules)
+	// Output:
+	// best EDM module: B
+	// best ERM module: B
+	// barriers:        [A C E]
+}
+
+// ExampleCollapse folds a subsystem into one composite module with
+// derived permeabilities (the Section 3 hierarchy view).
+func ExampleCollapse() {
+	m := exampleFilledMatrix()
+	collapsed, err := propane.Collapse(m, []string{"C", "D"}, "CD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := collapsed.Value("CD", 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P^CD(extC -> d1) = %.2f\n", v)
+	// Output:
+	// P^CD(extC -> d1) = 0.28
+}
+
+// ExampleMatrix_RelativePermeability computes Eq. 2 and Eq. 3 for one
+// module.
+func ExampleMatrix_RelativePermeability() {
+	m := exampleFilledMatrix()
+	rel, err := m.RelativePermeability("B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := m.NonWeightedRelativePermeability("B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P^B = %.3f  P̄^B = %.3f\n", rel, nw)
+	// Output:
+	// P^B = 0.575  P̄^B = 2.300
+}
+
+// ExamplePathSensitivities ranks the pairs whose hardening would
+// shrink the output's exposure fastest.
+func ExamplePathSensitivities() {
+	m := exampleFilledMatrix()
+	sens, err := propane.PathSensitivities(m, "sysout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := sens[0]
+	fmt.Printf("harden %s first (sensitivity %.3f over %d paths)\n",
+		top.Pair, top.Sensitivity, top.PathCount)
+	// Output:
+	// harden P^B_{2,2} first (sensitivity 1.170 over 2 paths)
+}

@@ -1,0 +1,3 @@
+module propane
+
+go 1.22

@@ -1,0 +1,130 @@
+package arrestor
+
+import (
+	"errors"
+	"fmt"
+
+	"propane/internal/physics"
+)
+
+// NumCheckpoints is the number of predefined checkpoints along the
+// runway at which CALC updates the pressure set point (Section 7.1).
+const NumCheckpoints = 6
+
+// NumSlots is the number of 1-ms execution slots of the scheduler
+// ("the system operates in seven 1-ms-slots").
+const NumSlots = 7
+
+// Config holds the software and gear parameters of the target system.
+type Config struct {
+	// Physics configures the environment simulator.
+	Physics physics.Config
+
+	// TCNTTicksPerMs is the free-running timer rate (ticks per
+	// millisecond). 250 gives a 4-µs tick and a 262-ms wrap period.
+	TCNTTicksPerMs uint16
+	// SlowGapTicks is the TCNT−TIC1 pulse gap above which DIST_S
+	// asserts slow_speed.
+	SlowGapTicks uint16
+	// StopPersistMs is how many consecutive milliseconds without a
+	// single tooth-wheel pulse DIST_S requires before latching
+	// stopped. The persistence requirement is what makes the stopped
+	// output non-permeable to transient input errors (paper OB2).
+	StopPersistMs uint16
+
+	// CheckpointPulses are the pulscnt thresholds of the six runway
+	// checkpoints, strictly increasing.
+	CheckpointPulses [NumCheckpoints]uint16
+	// Profile is the base pressure set point per checkpoint segment
+	// (segment 0 is before the first checkpoint) at the reference
+	// speed, in SetValue units (full scale 65535).
+	Profile [NumCheckpoints + 1]uint16
+	// WindowMs is the mscnt window over which CALC estimates the drum
+	// speed from pulscnt deltas.
+	WindowMs uint16
+	// VRefPulses is the pulse count per window at the reference speed;
+	// the profile is scaled by measured/reference.
+	VRefPulses uint16
+	// SlowTarget is the set point used while slow_speed is asserted.
+	SlowTarget uint16
+
+	// MaxSlew is PRES_A's maximum TOC2 change per invocation (valve
+	// protection).
+	MaxSlew uint16
+
+	// SlotPresS, SlotVReg and SlotPresA assign the 7-ms-period modules
+	// to execution slots (0-based, distinct).
+	SlotPresS, SlotVReg, SlotPresA int
+}
+
+// DefaultConfig returns the parameter set used for the paper
+// reproduction: checkpoints at 20/60/110/170/230/290 m with 8
+// pulses/m, a rising pressure profile, 60 m/s reference speed, 2 m/s
+// slow-speed threshold and 200 ms stop persistence.
+func DefaultConfig() Config {
+	return Config{
+		Physics:        physics.DefaultConfig(),
+		TCNTTicksPerMs: 250,
+		SlowGapTicks:   15625, // 62.5 ms: one pulse interval at 2 m/s
+		StopPersistMs:  200,
+		CheckpointPulses: [NumCheckpoints]uint16{
+			160, 480, 880, 1360, 1840, 2320, // metres×8: 20,60,110,170,230,290
+		},
+		Profile: [NumCheckpoints + 1]uint16{
+			9830, 22937, 36044, 45874, 52428, 55705, 58981, // 15..90% of full scale
+		},
+		WindowMs:   128,
+		VRefPulses: 61, // 60 m/s · 8 pulses/m · 0.128 s
+		SlowTarget: 4000,
+		MaxSlew:    2048,
+		SlotPresS:  1,
+		SlotVReg:   3,
+		SlotPresA:  5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Physics.Validate(); err != nil {
+		return err
+	}
+	if c.TCNTTicksPerMs == 0 {
+		return errors.New("arrestor: TCNTTicksPerMs must be positive")
+	}
+	if c.SlowGapTicks == 0 {
+		return errors.New("arrestor: SlowGapTicks must be positive")
+	}
+	if c.StopPersistMs == 0 {
+		return errors.New("arrestor: StopPersistMs must be positive")
+	}
+	for i := 1; i < NumCheckpoints; i++ {
+		if c.CheckpointPulses[i] <= c.CheckpointPulses[i-1] {
+			return fmt.Errorf("arrestor: checkpoint pulses must be strictly increasing (index %d)", i)
+		}
+	}
+	if c.WindowMs == 0 {
+		return errors.New("arrestor: WindowMs must be positive")
+	}
+	if c.VRefPulses == 0 {
+		return errors.New("arrestor: VRefPulses must be positive")
+	}
+	if c.MaxSlew == 0 {
+		return errors.New("arrestor: MaxSlew must be positive")
+	}
+	slots := map[int]string{}
+	for _, s := range []struct {
+		name string
+		slot int
+	}{
+		{ModPresS, c.SlotPresS}, {ModVReg, c.SlotVReg}, {ModPresA, c.SlotPresA},
+	} {
+		if s.slot < 0 || s.slot >= NumSlots {
+			return fmt.Errorf("arrestor: slot %d for %s out of range [0,%d)", s.slot, s.name, NumSlots)
+		}
+		if other, dup := slots[s.slot]; dup {
+			return fmt.Errorf("arrestor: %s and %s share slot %d", other, s.name, s.slot)
+		}
+		slots[s.slot] = s.name
+	}
+	return nil
+}

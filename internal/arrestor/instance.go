@@ -1,0 +1,147 @@
+package arrestor
+
+import (
+	"fmt"
+
+	"propane/internal/physics"
+	"propane/internal/sim"
+)
+
+// Instance is one fully wired simulation of the target system: the
+// signal bus, the slot-based kernel with all six modules scheduled,
+// the hardware glue and the physical world. Each golden run and each
+// injection run uses a fresh Instance, so runs are fully independent
+// and deterministic.
+type Instance struct {
+	cfg    Config
+	kernel *sim.Kernel
+	bus    *sim.Bus
+	world  *physics.World
+}
+
+// NewInstance builds an instance for one test case. onRead, if
+// non-nil, is invoked on every module input read (the injection/
+// logging trap); pass nil for an uninstrumented run.
+func NewInstance(cfg Config, tc physics.TestCase, onRead sim.ReadHook) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	world, err := physics.NewWorld(cfg.Physics, tc)
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := sim.NewKernel(NumSlots)
+	if err != nil {
+		return nil, err
+	}
+	bus := sim.NewBus()
+
+	// Register every signal of the topology.
+	sigs := make(map[string]*sim.Signal)
+	for _, name := range []string{
+		SigMscnt, SigMsSlotNbr, SigPACNT, SigTIC1, SigTCNT,
+		SigPulscnt, SigSlowSpeed, SigStopped, SigI, SigSetValue,
+		SigADC, SigInValue, SigOutValue, SigTOC2,
+	} {
+		sigs[name] = bus.Register(name)
+	}
+
+	// Hardware glue: refreshes input registers before the software.
+	g := &glue{
+		world:      world,
+		pacnt:      sigs[SigPACNT],
+		tic1:       sigs[SigTIC1],
+		tcnt:       sigs[SigTCNT],
+		adc:        sigs[SigADC],
+		toc2:       sigs[SigTOC2],
+		ticksPerMs: cfg.TCNTTicksPerMs,
+	}
+	kernel.AddPreHook(g.preTick)
+
+	// The scheduler reads the current slot from ms_slot_nbr, as the
+	// paper states, so clock errors genuinely disturb the schedule.
+	kernel.UseSlotSignal(sigs[SigMsSlotNbr])
+
+	ck := &clock{
+		moduleBase: moduleBase{name: ModClock, onRead: onRead},
+		slotIn:     sigs[SigMsSlotNbr],
+		mscntOut:   sigs[SigMscnt],
+		slotOut:    sigs[SigMsSlotNbr],
+		slotPeriod: NumSlots,
+	}
+	ds := &distS{
+		moduleBase:    moduleBase{name: ModDistS, onRead: onRead},
+		pacntIn:       sigs[SigPACNT],
+		tic1In:        sigs[SigTIC1],
+		tcntIn:        sigs[SigTCNT],
+		pulscntOut:    sigs[SigPulscnt],
+		slowOut:       sigs[SigSlowSpeed],
+		stoppedOut:    sigs[SigStopped],
+		slowGapTicks:  cfg.SlowGapTicks,
+		stopPersistMs: cfg.StopPersistMs,
+	}
+	ps := &presS{
+		moduleBase: moduleBase{name: ModPresS, onRead: onRead},
+		adcIn:      sigs[SigADC],
+		inValueOut: sigs[SigInValue],
+	}
+	cl := &calc{
+		moduleBase:  moduleBase{name: ModCalc, onRead: onRead},
+		pulscntIn:   sigs[SigPulscnt],
+		mscntIn:     sigs[SigMscnt],
+		slowIn:      sigs[SigSlowSpeed],
+		stoppedIn:   sigs[SigStopped],
+		iIn:         sigs[SigI],
+		iOut:        sigs[SigI],
+		setValueOut: sigs[SigSetValue],
+		checkpoints: cfg.CheckpointPulses,
+		profile:     cfg.Profile,
+		windowMs:    cfg.WindowMs,
+		vRefPulses:  cfg.VRefPulses,
+		slowTarget:  cfg.SlowTarget,
+	}
+	vr := &vReg{
+		moduleBase:  moduleBase{name: ModVReg, onRead: onRead},
+		setValueIn:  sigs[SigSetValue],
+		inValueIn:   sigs[SigInValue],
+		outValueOut: sigs[SigOutValue],
+	}
+	pa := &presA{
+		moduleBase: moduleBase{name: ModPresA, onRead: onRead},
+		outValueIn: sigs[SigOutValue],
+		toc2Out:    sigs[SigTOC2],
+		maxSlew:    cfg.MaxSlew,
+	}
+
+	// Schedule: CLOCK and DIST_S every millisecond; the sampling and
+	// actuation modules in their 7-ms slots; CALC as background task.
+	kernel.AddEveryTick(ck)
+	kernel.AddEveryTick(ds)
+	if err := kernel.AddSlotted(cfg.SlotPresS, ps); err != nil {
+		return nil, fmt.Errorf("arrestor: scheduling PRES_S: %w", err)
+	}
+	if err := kernel.AddSlotted(cfg.SlotVReg, vr); err != nil {
+		return nil, fmt.Errorf("arrestor: scheduling V_REG: %w", err)
+	}
+	if err := kernel.AddSlotted(cfg.SlotPresA, pa); err != nil {
+		return nil, fmt.Errorf("arrestor: scheduling PRES_A: %w", err)
+	}
+	kernel.AddBackground(cl)
+
+	return &Instance{cfg: cfg, kernel: kernel, bus: bus, world: world}, nil
+}
+
+// Kernel returns the instance's kernel (for adding trace hooks and
+// running the simulation).
+func (in *Instance) Kernel() *sim.Kernel { return in.kernel }
+
+// Bus returns the instance's signal bus.
+func (in *Instance) Bus() *sim.Bus { return in.bus }
+
+// World returns the physical world.
+func (in *Instance) World() *physics.World { return in.world }
+
+// Run advances the simulation to the given horizon in milliseconds.
+func (in *Instance) Run(horizon sim.Millis) {
+	in.kernel.Run(horizon, nil)
+}

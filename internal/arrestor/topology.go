@@ -1,0 +1,95 @@
+// Package arrestor implements the paper's target system (Section 7.1):
+// the software of an embedded control system used for arresting
+// aircraft on short runways and aircraft carriers, reconstructed from
+// the module and signal inventory of Fig. 8. Six modules — CLOCK,
+// DIST_S, PRES_S, CALC, V_REG and PRES_A — run on a slot-based,
+// non-preemptive scheduler and communicate over named 16-bit signals.
+// Hardware (pulse accumulator, input capture, free-running timer, A/D
+// converter, output compare) is simulated by glue code, exactly as the
+// paper's desktop port does.
+package arrestor
+
+import "propane/internal/model"
+
+// Module names of the target system.
+const (
+	ModClock = "CLOCK"
+	ModDistS = "DIST_S"
+	ModPresS = "PRES_S"
+	ModCalc  = "CALC"
+	ModVReg  = "V_REG"
+	ModPresA = "PRES_A"
+)
+
+// Signal names of the target system (Fig. 8).
+const (
+	// SigMscnt is the millisecond clock provided by CLOCK.
+	SigMscnt = "mscnt"
+	// SigMsSlotNbr tells the module scheduler the current execution
+	// slot; produced by CLOCK and fed back to it.
+	SigMsSlotNbr = "ms_slot_nbr"
+	// SigPACNT is the hardware pulse accumulator (system input).
+	SigPACNT = "PACNT"
+	// SigTIC1 is the hardware input-capture register latched at the
+	// last tooth-wheel pulse (system input).
+	SigTIC1 = "TIC1"
+	// SigTCNT is the hardware free-running timer counter (system
+	// input).
+	SigTCNT = "TCNT"
+	// SigPulscnt is the total pulse count provided by DIST_S.
+	SigPulscnt = "pulscnt"
+	// SigSlowSpeed is true when the drum velocity is below threshold.
+	SigSlowSpeed = "slow_speed"
+	// SigStopped is true when the drum has stopped.
+	SigStopped = "stopped"
+	// SigI is the current checkpoint index, produced by CALC and fed
+	// back to it.
+	SigI = "i"
+	// SigSetValue is the pressure set point computed by CALC.
+	SigSetValue = "SetValue"
+	// SigADC is the A/D conversion of the applied pressure (system
+	// input).
+	SigADC = "ADC"
+	// SigInValue is the validated applied-pressure value from PRES_S.
+	SigInValue = "InValue"
+	// SigOutValue is the regulator output from V_REG.
+	SigOutValue = "OutValue"
+	// SigTOC2 is the hardware output-compare register driving the
+	// pressure valves (system output).
+	SigTOC2 = "TOC2"
+)
+
+// Topology returns the software system model of Fig. 8: six modules,
+// 25 input/output pairs, system inputs PACNT, TIC1, TCNT and ADC, and
+// system output TOC2. Input and output port numbering follows the
+// paper (e.g. PACNT is input 1 of DIST_S; SetValue is output 2 of
+// CALC; mscnt is input 2 of CALC, so P^CALC_{2,1} is the permeability
+// from mscnt to i).
+func Topology() *model.System {
+	sys, err := model.NewBuilder("arrestor").
+		AddModule(ModClock,
+			[]string{SigMsSlotNbr},
+			[]string{SigMscnt, SigMsSlotNbr}).
+		AddModule(ModDistS,
+			[]string{SigPACNT, SigTIC1, SigTCNT},
+			[]string{SigPulscnt, SigSlowSpeed, SigStopped}).
+		AddModule(ModPresS,
+			[]string{SigADC},
+			[]string{SigInValue}).
+		AddModule(ModCalc,
+			[]string{SigPulscnt, SigMscnt, SigSlowSpeed, SigStopped, SigI},
+			[]string{SigI, SigSetValue}).
+		AddModule(ModVReg,
+			[]string{SigSetValue, SigInValue},
+			[]string{SigOutValue}).
+		AddModule(ModPresA,
+			[]string{SigOutValue},
+			[]string{SigTOC2}).
+		Build()
+	if err != nil {
+		// The topology is a package constant; failure to build it is a
+		// programming error.
+		panic("arrestor: topology invalid: " + err.Error())
+	}
+	return sys
+}

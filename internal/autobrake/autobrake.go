@@ -1,0 +1,265 @@
+// Package autobrake provides a second fault-injection target: an
+// anti-lock wheel-slip brake controller for a passenger car. The
+// paper's introduction motivates exactly this class of system
+// ("consumer-based cost-sensitive systems, such as cars"); analysing
+// it alongside the aircraft-arrestment controller shows the framework
+// is not tied to one target.
+//
+// The software has five modules on the same slot-based kernel:
+//
+//	WSPEED  reads the wheel-speed pulse counter (WSP) and the free
+//	        timer (TCNT2) and provides wheel_speed. Period 1 ms.
+//	VSPEED  reads the vehicle reference pulse counter (VSP) and
+//	        provides veh_speed. Period 1 ms.
+//	SLIP    computes the brake slip (per mille) and the latched
+//	        `locked` flag from the two speeds. Period 1 ms.
+//	CTRL    the slip controller: a two-state apply/release machine
+//	        whose mode is fed back to itself (a module-local feedback
+//	        loop like CALC's checkpoint index), producing brake_cmd.
+//	        Background task.
+//	PMOD    drives the valve PWM register from brake_cmd with a slew
+//	        limit. Period 4 slots.
+//
+// System inputs: WSP, VSP, TCNT2. System output: PWM. 14 input/output
+// pairs in total.
+package autobrake
+
+import (
+	"errors"
+	"fmt"
+
+	"propane/internal/model"
+	"propane/internal/physics"
+)
+
+// Module names.
+const (
+	ModWSpeed = "WSPEED"
+	ModVSpeed = "VSPEED"
+	ModSlip   = "SLIP"
+	ModCtrl   = "CTRL"
+	ModPMod   = "PMOD"
+)
+
+// Signal names.
+const (
+	SigWSP        = "WSP"
+	SigVSP        = "VSP"
+	SigTCNT2      = "TCNT2"
+	SigWheelSpeed = "wheel_speed"
+	SigVehSpeed   = "veh_speed"
+	SigSlip       = "slip"
+	SigLocked     = "locked"
+	SigMode       = "mode"
+	SigBrakeCmd   = "brake_cmd"
+	SigPWM        = "PWM"
+)
+
+// NumSlots is the kernel slot count (4-ms control cycle).
+const NumSlots = 4
+
+// Topology returns the controller's system model: 5 modules, 14
+// input/output pairs.
+func Topology() *model.System {
+	sys, err := model.NewBuilder("autobrake").
+		AddModule(ModWSpeed, []string{SigWSP, SigTCNT2}, []string{SigWheelSpeed}).
+		AddModule(ModVSpeed, []string{SigVSP}, []string{SigVehSpeed}).
+		AddModule(ModSlip, []string{SigWheelSpeed, SigVehSpeed}, []string{SigSlip, SigLocked}).
+		AddModule(ModCtrl, []string{SigSlip, SigLocked, SigMode}, []string{SigMode, SigBrakeCmd}).
+		AddModule(ModPMod, []string{SigBrakeCmd}, []string{SigPWM}).
+		Build()
+	if err != nil {
+		panic("autobrake: topology invalid: " + err.Error())
+	}
+	return sys
+}
+
+// Config holds the vehicle and software parameters.
+type Config struct {
+	// WheelRadiusM, WheelInertia and PulsesPerRev describe the wheel
+	// and its tooth ring.
+	WheelRadiusM float64
+	WheelInertia float64
+	PulsesPerRev float64
+	// MuMax is the peak tyre-road friction coefficient, at slip
+	// SlipOpt; MuSlide is the full-slide value.
+	MuMax, MuSlide, SlipOpt float64
+	// MaxBrakeTorqueNm is the brake torque at full pressure.
+	MaxBrakeTorqueNm float64
+	// ValveTauS is the hydraulic lag.
+	ValveTauS float64
+	// TCNTTicksPerMs is the free-timer rate.
+	TCNTTicksPerMs uint16
+	// SlipApply and SlipRelease are the controller thresholds in per
+	// mille: above SlipRelease the controller releases pressure, below
+	// SlipApply it re-applies.
+	SlipApply, SlipRelease uint16
+	// ApplyStep and ReleaseStep are the brake_cmd ramp rates per
+	// control cycle.
+	ApplyStep, ReleaseStep uint16
+	// LockPersistMs is how long the wheel must report zero speed
+	// before `locked` latches.
+	LockPersistMs uint16
+	// MaxSlew is PMOD's PWM slew limit per invocation.
+	MaxSlew uint16
+	// SlotPMod assigns PMOD's execution slot.
+	SlotPMod int
+}
+
+// DefaultConfig returns parameters for a mid-size car on dry asphalt.
+func DefaultConfig() Config {
+	return Config{
+		WheelRadiusM:     0.31,
+		WheelInertia:     1.2,
+		PulsesPerRev:     48,
+		MuMax:            0.9,
+		MuSlide:          0.6,
+		SlipOpt:          0.15,
+		MaxBrakeTorqueNm: 2600,
+		ValveTauS:        0.030,
+		TCNTTicksPerMs:   250,
+		SlipApply:        80,  // 8.0 % slip
+		SlipRelease:      180, // 18.0 % slip
+		ApplyStep:        1200,
+		ReleaseStep:      2600,
+		LockPersistMs:    120,
+		MaxSlew:          6000,
+		SlotPMod:         2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.WheelRadiusM <= 0 || c.WheelInertia <= 0 || c.PulsesPerRev <= 0:
+		return errors.New("autobrake: wheel parameters must be positive")
+	case c.MuMax <= 0 || c.MuSlide <= 0 || c.MuSlide > c.MuMax || c.SlipOpt <= 0 || c.SlipOpt >= 1:
+		return errors.New("autobrake: friction parameters invalid")
+	case c.MaxBrakeTorqueNm <= 0 || c.ValveTauS <= 0:
+		return errors.New("autobrake: brake parameters must be positive")
+	case c.TCNTTicksPerMs == 0:
+		return errors.New("autobrake: TCNTTicksPerMs must be positive")
+	case c.SlipApply == 0 || c.SlipRelease <= c.SlipApply:
+		return errors.New("autobrake: slip thresholds must satisfy 0 < apply < release")
+	case c.ApplyStep == 0 || c.ReleaseStep == 0:
+		return errors.New("autobrake: ramp steps must be positive")
+	case c.LockPersistMs == 0:
+		return errors.New("autobrake: LockPersistMs must be positive")
+	case c.MaxSlew == 0:
+		return errors.New("autobrake: MaxSlew must be positive")
+	case c.SlotPMod < 0 || c.SlotPMod >= NumSlots:
+		return fmt.Errorf("autobrake: SlotPMod %d out of range [0,%d)", c.SlotPMod, NumSlots)
+	}
+	return nil
+}
+
+// Grid returns a workload grid of panic-stop scenarios: vehicle masses
+// in kilograms and initial speeds in m/s.
+func Grid(nMass, nSpeed int) ([]physics.TestCase, error) {
+	return physics.Grid(nMass, nSpeed, 900, 2100, 18, 38)
+}
+
+// vehicle is the quarter-car plant: one wheel carrying a quarter of
+// the vehicle mass, a hydraulic brake with first-order lag, and a
+// piecewise-linear tyre slip curve.
+type vehicle struct {
+	cfg Config
+
+	massKg  float64
+	speedMS float64 // vehicle longitudinal speed
+	omega   float64 // wheel angular speed, rad/s
+
+	pressure float64 // brake pressure fraction
+	command  float64
+
+	wheelPulseResidual float64
+	wheelPulses        uint64
+	vehPulseResidual   float64
+	vehPulses          uint64
+}
+
+func newVehicle(cfg Config, tc physics.TestCase) (*vehicle, error) {
+	if tc.MassKg <= 0 || tc.VelocityMS <= 0 {
+		return nil, fmt.Errorf("autobrake: invalid test case %v", tc)
+	}
+	return &vehicle{
+		cfg:     cfg,
+		massKg:  tc.MassKg,
+		speedMS: tc.VelocityMS,
+		omega:   tc.VelocityMS / cfg.WheelRadiusM,
+	}, nil
+}
+
+// mu evaluates the tyre-road friction curve at slip s in [0,1].
+func (v *vehicle) mu(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	c := v.cfg
+	if s < c.SlipOpt {
+		return c.MuMax * s / c.SlipOpt
+	}
+	m := c.MuMax - (c.MuMax-c.MuSlide)*(s-c.SlipOpt)/(1-c.SlipOpt)
+	if m < c.MuSlide {
+		m = c.MuSlide
+	}
+	return m
+}
+
+// step advances the plant by dt seconds and returns the wheel and
+// vehicle reference pulses emitted.
+func (v *vehicle) step(dt float64) (wheelPulses, vehPulses int) {
+	c := v.cfg
+	v.pressure += (v.command - v.pressure) * dt / c.ValveTauS
+	if v.pressure < 0 {
+		v.pressure = 0
+	}
+	if v.pressure > 1 {
+		v.pressure = 1
+	}
+
+	if v.speedMS <= 0.3 {
+		v.speedMS = 0
+		v.omega = 0
+		return 0, 0
+	}
+
+	slip := (v.speedMS - v.omega*c.WheelRadiusM) / v.speedMS
+	if slip < 0 {
+		slip = 0
+	}
+	if slip > 1 {
+		slip = 1
+	}
+	const g = 9.81
+	quarterMass := v.massKg / 4
+	normal := quarterMass * g
+	tyreForce := v.mu(slip) * normal
+
+	// Vehicle: decelerated by the tyre force (quarter-car scaling).
+	v.speedMS -= tyreForce / quarterMass * dt
+	if v.speedMS < 0 {
+		v.speedMS = 0
+	}
+
+	// Wheel: tyre force spins it up, brake torque spins it down.
+	brakeTorque := v.pressure * c.MaxBrakeTorqueNm
+	v.omega += (tyreForce*c.WheelRadiusM - brakeTorque) / c.WheelInertia * dt
+	if v.omega < 0 {
+		v.omega = 0
+	}
+
+	// Pulses.
+	wheelRate := v.omega / (2 * 3.141592653589793) * c.PulsesPerRev
+	v.wheelPulseResidual += wheelRate * dt
+	wheelPulses = int(v.wheelPulseResidual)
+	v.wheelPulseResidual -= float64(wheelPulses)
+	v.wheelPulses += uint64(wheelPulses)
+
+	vehRate := v.speedMS / c.WheelRadiusM / (2 * 3.141592653589793) * c.PulsesPerRev
+	v.vehPulseResidual += vehRate * dt
+	vehPulses = int(v.vehPulseResidual)
+	v.vehPulseResidual -= float64(vehPulses)
+	v.vehPulses += uint64(vehPulses)
+	return wheelPulses, vehPulses
+}

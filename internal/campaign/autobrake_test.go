@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"testing"
+
+	"propane/internal/autobrake"
+	"propane/internal/core"
+	"propane/internal/sim"
+)
+
+func autobrakeConfig(t *testing.T) Config {
+	t.Helper()
+	cases, err := autobrake.Grid(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Custom:         autobrake.Target(autobrake.DefaultConfig()),
+		TestCases:      cases,
+		Times:          []sim.Millis{800, 2000},
+		Bits:           []uint{2, 9, 14},
+		HorizonMs:      3500,
+		DirectWindowMs: 300,
+	}
+}
+
+// TestCustomTargetCampaign runs the full pipeline against the second
+// target system: the campaign engine, the permeability estimation and
+// the core analyses are all target-agnostic.
+func TestCustomTargetCampaign(t *testing.T) {
+	cfg := autobrakeConfig(t)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 9 input ports × 3 bits × 2 times × 2 cases.
+	if got, want := res.Runs, 9*3*2*2; got != want {
+		t.Errorf("Runs = %d, want %d", got, want)
+	}
+	if len(res.Pairs) != 14 {
+		t.Errorf("pairs = %d, want 14", len(res.Pairs))
+	}
+	if res.Unfired != 0 {
+		t.Errorf("Unfired = %d, want 0", res.Unfired)
+	}
+
+	// The `locked` output mirrors the arrestment system's `stopped`:
+	// its persistence requirement makes it non-permeable to single
+	// transients.
+	for _, ps := range res.Pairs {
+		if ps.OutputSignal == autobrake.SigLocked && ps.Estimate != 0 {
+			t.Errorf("%v = %v, want 0 (persistence-latched output)", ps.Pair, ps.Estimate)
+		}
+	}
+	// The valve driver is highly permeable, like PRES_A.
+	pwm, err := res.PairBySignal(autobrake.ModPMod, autobrake.SigBrakeCmd, autobrake.SigPWM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pwm.Estimate < 0.5 {
+		t.Errorf("brake_cmd->PWM = %v, want high", pwm.Estimate)
+	}
+	// The slip computation propagates wheel-speed errors.
+	slip, err := res.PairBySignal(autobrake.ModSlip, autobrake.SigWheelSpeed, autobrake.SigSlip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slip.Estimate == 0 {
+		t.Error("wheel_speed->slip never propagated")
+	}
+
+	// The core analyses run unchanged on the custom topology.
+	tree, err := core.BacktrackTree(res.Matrix, autobrake.SigPWM)
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	if tree.Root.CountLeaves() == 0 {
+		t.Error("empty backtrack tree")
+	}
+	adv, err := core.Advise(res.Matrix)
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if len(adv.ERMModules) != 5 {
+		t.Errorf("ERM candidates = %d, want 5", len(adv.ERMModules))
+	}
+}
+
+func TestCustomTargetValidation(t *testing.T) {
+	cfg := autobrakeConfig(t)
+	cfg.Custom = &Target{Name: "broken"}
+	if err := cfg.Validate(); err == nil {
+		t.Error("custom target without constructors accepted")
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run with broken custom target succeeded")
+	}
+}

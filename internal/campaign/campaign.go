@@ -1,0 +1,652 @@
+// Package campaign orchestrates the fault-injection experiments of the
+// paper's Sections 6 and 7: for every test case a Golden Run is
+// recorded; then, for every (module, input signal, injection time,
+// error) combination, an injection run executes with a one-shot trap
+// armed, its signal traces are compared against the Golden Run on the
+// fly, and the per-pair error counts yield the permeability estimates
+// P^M_{i,k} = n_err / n_inj.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"propane/internal/arrestor"
+	"propane/internal/core"
+	"propane/internal/inject"
+	"propane/internal/model"
+	"propane/internal/physics"
+	"propane/internal/sim"
+	"propane/internal/stats"
+	"propane/internal/target"
+	"propane/internal/trace"
+)
+
+// Config parameterises one campaign.
+type Config struct {
+	// Arrestor configures the target system and its environment.
+	Arrestor arrestor.Config
+	// Dual selects the master/slave two-node configuration of the real
+	// deployment (Section 7.1) instead of the paper's single-node
+	// setup: 11 modules, 31 pairs, two system outputs. The slave slots
+	// are the arrestor package defaults and the second brake circuit
+	// is added automatically.
+	Dual bool
+	// Custom, when non-nil, replaces the built-in arrestment targets
+	// entirely (Dual and Arrestor are then ignored).
+	Custom *Target
+	// TestCases is the workload grid (the paper uses physics.PaperGrid).
+	TestCases []physics.TestCase
+	// Times are the injection instants.
+	Times []sim.Millis
+	// Bits are the bit positions flipped (the paper's error model).
+	// Ignored when Models is non-empty.
+	Bits []uint
+	// Models, when non-empty, replaces the bit-flip model with an
+	// arbitrary error-model list (used by the error-model ablation).
+	Models []inject.ErrorModel
+	// HorizonMs is the length of every run and of the Golden Run
+	// Comparison window.
+	HorizonMs sim.Millis
+	// DirectWindowMs implements the paper's Section 7.3 rule "we only
+	// took into account the direct errors on the outputs": an output
+	// deviation counts toward n_err only if its first difference
+	// appears within this many milliseconds of the trap firing.
+	// Deviations appearing later stem from errors that left through
+	// another output (or the environment) and came back. 0 disables
+	// the window and counts every deviation.
+	DirectWindowMs sim.Millis
+	// Workers bounds the number of concurrent injection runs;
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// OnlyModule, when non-empty, restricts injections to the inputs
+	// of one module (useful for focused studies).
+	OnlyModule string
+	// Tolerances loosens the Golden Run Comparison per signal: a
+	// deviation within the band counts as equal. The zero value is the
+	// paper's exact comparison, which its Section 7.3 argues is valid
+	// only because everything runs in simulated time; the tolerance
+	// ablation probes what a real test rig's comparison would measure.
+	Tolerances trace.Tolerances
+	// FaultDurationMs switches from the paper's transient one-shot
+	// errors (the zero value) to persistent faults: the error model is
+	// re-applied on every matching read for this many milliseconds
+	// after the injection instant. Pair with idempotent models
+	// (stuck-at, replace) — a repeated bit-flip toggles.
+	FaultDurationMs sim.Millis
+	// Observer, when non-nil, receives the per-run detail of every
+	// injection run. It is called serially from the aggregation loop,
+	// so it needs no synchronisation of its own. The EDM placement
+	// evaluation (internal/edm) is built on it.
+	Observer func(RunRecord)
+	// Progress, when non-nil, is called serially from the aggregation
+	// loop after every completed injection run with the number done
+	// and the total planned.
+	Progress func(done, total int)
+	// Instrument, when non-nil, is invoked for every injection run
+	// after the instance is built and before it executes, so runtime
+	// monitors (executable assertions) and runtime mechanisms
+	// (recovery hooks) can be attached; caseIdx identifies the
+	// workload point so per-case reference data (golden traces) can be
+	// selected. It runs on worker goroutines; the value it returns is
+	// handed back — unsynchronised state must live there — via
+	// RunRecord.Attachment on the serial Observer path.
+	Instrument func(inst Instance, caseIdx int) (any, error)
+}
+
+// Instance, RunnableInstance and Target re-export the target
+// abstraction (see internal/target); *arrestor.Instance satisfies
+// RunnableInstance, and internal/autobrake provides a second target.
+type (
+	Instance         = target.Instance
+	RunnableInstance = target.RunnableInstance
+	Target           = target.Target
+)
+
+// RunRecord is the per-run detail passed to Config.Observer.
+type RunRecord struct {
+	Injection inject.Injection
+	CaseIndex int
+	Fired     bool
+	FiredAt   sim.Millis
+	// Diffs holds the Golden Run Comparison result for every signal.
+	Diffs map[string]trace.Diff
+	// SystemFailure is true when any system output deviated; FailureAt
+	// is the earliest first-difference over the system outputs (-1
+	// when none deviated).
+	SystemFailure bool
+	FailureAt     sim.Millis
+	// Attachment is whatever Config.Instrument returned for this run.
+	Attachment any
+}
+
+// PaperConfig returns the paper's full campaign: 25 test cases, 16
+// bits, 10 instants from 0.5 s to 5.0 s — 16·10·25 = 4000 injections
+// per input signal, 52 000 runs in total over the 13 input ports.
+func PaperConfig() Config {
+	return Config{
+		Arrestor:       arrestor.DefaultConfig(),
+		TestCases:      physics.PaperGrid(),
+		Times:          inject.PaperTimes(),
+		Bits:           inject.AllBits(),
+		HorizonMs:      6000,
+		DirectWindowMs: 500,
+	}
+}
+
+// ReducedConfig returns a scaled-down campaign (4 bits × 3 instants ×
+// 4 test cases = 48 injections per input signal) that preserves the
+// qualitative structure of the results while running in seconds. It
+// is used by the test suite and the examples.
+func ReducedConfig() Config {
+	cases, err := physics.Grid(2, 2, 8000, 20000, 40, 80)
+	if err != nil {
+		panic("campaign: reduced grid invalid: " + err.Error())
+	}
+	return Config{
+		Arrestor:       arrestor.DefaultConfig(),
+		TestCases:      cases,
+		Times:          []sim.Millis{1000, 2500, 4000},
+		Bits:           []uint{0, 5, 10, 15},
+		HorizonMs:      6000,
+		DirectWindowMs: 500,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Custom != nil {
+		if c.Custom.Topology == nil || c.Custom.New == nil {
+			return errors.New("campaign: custom target needs Topology and New")
+		}
+	} else if err := c.Arrestor.Validate(); err != nil {
+		return err
+	}
+	if len(c.TestCases) == 0 {
+		return errors.New("campaign: no test cases")
+	}
+	if len(c.Times) == 0 {
+		return errors.New("campaign: no injection times")
+	}
+	if len(c.Bits) == 0 && len(c.Models) == 0 {
+		return errors.New("campaign: no bits and no error models")
+	}
+	if c.HorizonMs <= 0 {
+		return errors.New("campaign: horizon must be positive")
+	}
+	for _, at := range c.Times {
+		if at < 0 || at >= c.HorizonMs {
+			return fmt.Errorf("campaign: injection time %d outside [0,%d)", at, c.HorizonMs)
+		}
+	}
+	if c.Workers < 0 {
+		return errors.New("campaign: negative worker count")
+	}
+	if c.DirectWindowMs < 0 {
+		return errors.New("campaign: negative direct window")
+	}
+	if c.FaultDurationMs < 0 {
+		return errors.New("campaign: negative fault duration")
+	}
+	return nil
+}
+
+// PairStats holds the raw counts and the estimate for one
+// input/output pair (one cell of the paper's Table 1).
+type PairStats struct {
+	Pair         core.Pair
+	InputSignal  string
+	OutputSignal string
+	// Injections is n_inj: runs in which the trap fired on this input.
+	Injections int
+	// Errors is n_err: runs in which this output's trace deviated from
+	// the Golden Run.
+	Errors int
+	// Estimate is n_err / n_inj (0 when nothing fired).
+	Estimate float64
+	// CI is the 95% Wilson interval of the estimate.
+	CI stats.Interval
+	// MeanLatencyMs is the mean propagation latency over the counted
+	// error runs: the delay from the trap firing to the first
+	// deviation of this output. Zero when no errors were counted.
+	MeanLatencyMs float64
+	// Transients and Permanents classify the counted error runs by
+	// whether the output re-converged to the Golden Run within the
+	// window (transient) or was still deviating at its end
+	// (permanent). Transients + Permanents == Errors.
+	Transients, Permanents int
+
+	latencySum int64
+	latencies  []float64
+}
+
+// LatencyPercentile returns the p-quantile (0..1) of the propagation
+// latencies over the counted error runs; ok is false when no errors
+// were counted.
+func (ps *PairStats) LatencyPercentile(p float64) (float64, bool) {
+	v, err := stats.Percentile(ps.latencies, p)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// LocationPropagation summarises, for one injection location (module
+// input), how often injected errors propagated all the way to a system
+// output — the quantity behind the uniform-propagation hypothesis of
+// [12] that the paper's Section 2 disputes. Under that hypothesis the
+// fraction would be close to 0 or 1 at every location.
+type LocationPropagation struct {
+	Module     string
+	Signal     string
+	Injections int
+	Propagated int
+	Fraction   float64
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	// Topology is the analysed system.
+	Topology *model.System
+	// Matrix holds the estimated permeability values (Table 1), ready
+	// for the core analyses (Tables 2–4, trees, placement).
+	Matrix *core.Matrix
+	// Pairs holds raw statistics per input/output pair, in topology
+	// order.
+	Pairs []PairStats
+	// Locations holds the per-location system-output propagation
+	// fractions, in topology order.
+	Locations []LocationPropagation
+	// Runs is the number of injection runs executed; Unfired counts
+	// runs whose trap never fired (the module never read the input
+	// after the arm time).
+	Runs, Unfired int
+}
+
+// runOutcome is one injection run's contribution to the aggregates.
+type runOutcome struct {
+	injection   inject.Injection
+	caseIdx     int
+	fired       bool
+	firedAt     sim.Millis
+	outputFirst map[string]sim.Millis // first diff per output signal, -1 if none
+	systemDiff  bool
+	failureAt   sim.Millis
+	diffs       map[string]trace.Diff // full detail for the observer
+	attachment  any                   // Instrument's per-run state
+}
+
+// Run executes the campaign and aggregates the permeability matrix.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := cfg.topology()
+
+	goldens, err := goldenRuns(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var plan []inject.Injection
+	if len(cfg.Models) > 0 {
+		plan = inject.ModelPlan(sys, cfg.Times, cfg.Models)
+	} else {
+		plan = inject.BitFlipPlan(sys, cfg.Times, cfg.Bits)
+	}
+	if cfg.OnlyModule != "" {
+		var filtered []inject.Injection
+		for _, inj := range plan {
+			if inj.Module == cfg.OnlyModule {
+				filtered = append(filtered, inj)
+			}
+		}
+		plan = filtered
+		if len(plan) == 0 {
+			return nil, fmt.Errorf("campaign: module %q has no injectable inputs", cfg.OnlyModule)
+		}
+	}
+
+	type job struct {
+		inj     inject.Injection
+		caseIdx int
+	}
+	jobs := make(chan job)
+	outcomes := make(chan runOutcome)
+
+	// First error wins; done stops the feeder so workers can drain.
+	done := make(chan struct{})
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			close(done)
+		})
+	}
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out, err := injectionRun(cfg, sys, goldens[j.caseIdx], j.caseIdx, j.inj)
+				if err != nil {
+					fail(err)
+					continue // keep draining jobs so the feeder never blocks
+				}
+				outcomes <- out
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, inj := range plan {
+			for ci := range cfg.TestCases {
+				select {
+				case jobs <- job{inj: inj, caseIdx: ci}:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	totalRuns := len(plan) * len(cfg.TestCases)
+	res := newResult(sys, cfg.DirectWindowMs, int(cfg.HorizonMs))
+	for out := range outcomes {
+		res.absorb(sys, out)
+		if cfg.Progress != nil {
+			cfg.Progress(res.Runs, totalRuns)
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(RunRecord{
+				Injection:     out.injection,
+				CaseIndex:     out.caseIdx,
+				Fired:         out.fired,
+				FiredAt:       out.firedAt,
+				Diffs:         out.diffs,
+				SystemFailure: out.systemDiff,
+				FailureAt:     out.failureAt,
+				Attachment:    out.attachment,
+			})
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.finalise(sys)
+	return res.Result, nil
+}
+
+// topology returns the system model of the selected target.
+func (c Config) topology() *model.System {
+	switch {
+	case c.Custom != nil:
+		return c.Custom.Topology()
+	case c.Dual:
+		return arrestor.DualTopology()
+	default:
+		return arrestor.Topology()
+	}
+}
+
+// NewInstance builds a fresh target instance of the selected
+// configuration — the same constructor the campaign uses internally,
+// exposed so callers (e.g. internal/edm's assertion study) can run
+// matching golden simulations.
+func (c Config) NewInstance(tc physics.TestCase, hook sim.ReadHook) (RunnableInstance, error) {
+	switch {
+	case c.Custom != nil:
+		return c.Custom.New(tc, hook)
+	case c.Dual:
+		return arrestor.NewDualInstance(arrestor.DualFrom(c.Arrestor), tc, hook)
+	default:
+		return arrestor.NewInstance(c.Arrestor, tc, hook)
+	}
+}
+
+// goldenRuns records one Golden Run per test case, in parallel (each
+// run is fully independent and deterministic, so the resulting traces
+// are identical to a serial recording).
+func goldenRuns(cfg Config) ([]*trace.Trace, error) {
+	goldens := make([]*trace.Trace, len(cfg.TestCases))
+	errs := make([]error, len(cfg.TestCases))
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, tc := range cfg.TestCases {
+		wg.Add(1)
+		go func(i int, tc physics.TestCase) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			inst, err := cfg.NewInstance(tc, nil)
+			if err != nil {
+				errs[i] = fmt.Errorf("campaign: golden run %d: %w", i, err)
+				return
+			}
+			rec, err := trace.NewRecorder(inst.Bus())
+			if err != nil {
+				errs[i] = fmt.Errorf("campaign: golden run %d: %w", i, err)
+				return
+			}
+			inst.Kernel().AddPostHook(rec.Hook())
+			inst.Run(cfg.HorizonMs)
+			goldens[i] = rec.Trace()
+		}(i, tc)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return goldens, nil
+}
+
+// injectionRun executes one injection run against one test case and
+// returns its outcome.
+func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection) (runOutcome, error) {
+	// armedTrap unifies the transient (paper) and persistent traps.
+	type armedTrap interface {
+		Hook() sim.ReadHook
+		Fired() (sim.Millis, bool)
+	}
+	var trap armedTrap
+	if cfg.FaultDurationMs > 0 {
+		trap = inject.NewPersistentTrap(inj, cfg.FaultDurationMs)
+	} else {
+		trap = inject.NewTrap(inj)
+	}
+	inst, err := cfg.NewInstance(cfg.TestCases[caseIdx], trap.Hook())
+	if err != nil {
+		return runOutcome{}, fmt.Errorf("campaign: injection %v case %d: %w", inj, caseIdx, err)
+	}
+	cmp, err := trace.NewStreamComparator(golden, inst.Bus())
+	if err != nil {
+		return runOutcome{}, fmt.Errorf("campaign: injection %v case %d: %w", inj, caseIdx, err)
+	}
+	cmp.SetTolerances(cfg.Tolerances)
+	inst.Kernel().AddPostHook(cmp.Hook())
+	var attachment any
+	if cfg.Instrument != nil {
+		attachment, err = cfg.Instrument(inst, caseIdx)
+		if err != nil {
+			return runOutcome{}, fmt.Errorf("campaign: instrumenting %v case %d: %w", inj, caseIdx, err)
+		}
+	}
+	inst.Run(cfg.HorizonMs)
+
+	firedAt, fired := trap.Fired()
+	out := runOutcome{
+		injection:   inj,
+		caseIdx:     caseIdx,
+		fired:       fired,
+		firedAt:     firedAt,
+		outputFirst: make(map[string]sim.Millis),
+		diffs:       cmp.Diffs(),
+		attachment:  attachment,
+	}
+	diffs := out.diffs
+	mod, err := sys.Module(inj.Module)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	for _, o := range mod.Outputs {
+		out.outputFirst[o.Signal] = diffs[o.Signal].First
+	}
+	out.failureAt = -1
+	for _, so := range sys.SystemOutputs() {
+		if d := diffs[so]; d.Differs() {
+			out.systemDiff = true
+			if out.failureAt < 0 || d.First < out.failureAt {
+				out.failureAt = d.First
+			}
+		}
+	}
+	return out, nil
+}
+
+// aggregator accumulates outcomes into the final Result.
+type aggregator struct {
+	*Result
+	pairIdx      map[core.Pair]int
+	locIdx       map[[2]string]int
+	directWindow sim.Millis
+	horizonLen   int
+}
+
+func newResult(sys *model.System, directWindow sim.Millis, horizonLen int) *aggregator {
+	agg := &aggregator{
+		Result:       &Result{Topology: sys, Matrix: core.NewMatrix(sys)},
+		pairIdx:      make(map[core.Pair]int),
+		locIdx:       make(map[[2]string]int),
+		directWindow: directWindow,
+		horizonLen:   horizonLen,
+	}
+	for _, mod := range sys.Modules() {
+		for _, in := range mod.Inputs {
+			key := [2]string{mod.Name, in.Signal}
+			agg.locIdx[key] = len(agg.Locations)
+			agg.Locations = append(agg.Locations, LocationPropagation{
+				Module: mod.Name, Signal: in.Signal,
+			})
+			for _, o := range mod.Outputs {
+				p := core.Pair{Module: mod.Name, In: in.Index, Out: o.Index}
+				agg.pairIdx[p] = len(agg.Pairs)
+				agg.Pairs = append(agg.Pairs, PairStats{
+					Pair:         p,
+					InputSignal:  in.Signal,
+					OutputSignal: o.Signal,
+				})
+			}
+		}
+	}
+	return agg
+}
+
+func (agg *aggregator) absorb(sys *model.System, out runOutcome) {
+	agg.Runs++
+	if !out.fired {
+		agg.Unfired++
+		return
+	}
+	mod, err := sys.Module(out.injection.Module)
+	if err != nil {
+		return
+	}
+	inIdx := mod.InputIndex(out.injection.Signal)
+	loc := &agg.Locations[agg.locIdx[[2]string{out.injection.Module, out.injection.Signal}]]
+	loc.Injections++
+	if out.systemDiff {
+		loc.Propagated++
+	}
+	for _, o := range mod.Outputs {
+		p := core.Pair{Module: mod.Name, In: inIdx, Out: o.Index}
+		ps := &agg.Pairs[agg.pairIdx[p]]
+		ps.Injections++
+		first, ok := out.outputFirst[o.Signal]
+		if !ok || first < 0 {
+			continue
+		}
+		if agg.directWindow == 0 || first <= out.firedAt+agg.directWindow {
+			ps.Errors++
+			ps.latencySum += int64(first - out.firedAt)
+			ps.latencies = append(ps.latencies, float64(first-out.firedAt))
+			switch out.diffs[o.Signal].Classify(agg.horizonLen) {
+			case trace.ClassPermanent:
+				ps.Permanents++
+			default:
+				ps.Transients++
+			}
+		}
+	}
+}
+
+func (agg *aggregator) finalise(sys *model.System) {
+	for i := range agg.Pairs {
+		ps := &agg.Pairs[i]
+		if ps.Injections > 0 {
+			ps.Estimate = float64(ps.Errors) / float64(ps.Injections)
+			if ci, err := stats.WilsonInterval(ps.Errors, ps.Injections, 1.96); err == nil {
+				ps.CI = ci
+			}
+		}
+		if ps.Errors > 0 {
+			ps.MeanLatencyMs = float64(ps.latencySum) / float64(ps.Errors)
+		}
+		// Setting a measured estimate can only fail on programming
+		// errors (pair enumerated from the topology itself).
+		if err := agg.Matrix.Set(ps.Pair.Module, ps.Pair.In, ps.Pair.Out, ps.Estimate); err != nil {
+			panic("campaign: internal pair bookkeeping broken: " + err.Error())
+		}
+	}
+	for i := range agg.Locations {
+		loc := &agg.Locations[i]
+		if loc.Injections > 0 {
+			loc.Fraction = float64(loc.Propagated) / float64(loc.Injections)
+		}
+	}
+	_ = sys
+}
+
+// NonUniformLocations returns the injection locations whose
+// system-output propagation fraction is strictly between lo and hi —
+// direct counterexamples to uniform propagation ("for location l
+// either all data errors would propagate to the system output or none
+// of them would", Section 2).
+func (r *Result) NonUniformLocations(lo, hi float64) []LocationPropagation {
+	var out []LocationPropagation
+	for _, loc := range r.Locations {
+		if loc.Injections > 0 && loc.Fraction > lo && loc.Fraction < hi {
+			out = append(out, loc)
+		}
+	}
+	return out
+}
+
+// PairBySignal returns the statistics for the pair identified by
+// module and signal names.
+func (r *Result) PairBySignal(module, inSignal, outSignal string) (PairStats, error) {
+	for _, ps := range r.Pairs {
+		if ps.Pair.Module == module && ps.InputSignal == inSignal && ps.OutputSignal == outSignal {
+			return ps, nil
+		}
+	}
+	return PairStats{}, fmt.Errorf("campaign: no pair %s:%s->%s", module, inSignal, outSignal)
+}

@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"sync"
+	"testing"
+
+	"propane/internal/arrestor"
+	"propane/internal/core"
+	"propane/internal/physics"
+	"propane/internal/sim"
+)
+
+func dualConfig() Config {
+	cases, err := physics.Grid(1, 2, 11000, 11000, 50, 70)
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Arrestor:       arrestor.DefaultConfig(),
+		Dual:           true,
+		TestCases:      cases,
+		Times:          []sim.Millis{1500, 3500},
+		Bits:           []uint{2, 14},
+		HorizonMs:      6000,
+		DirectWindowMs: 500,
+	}
+}
+
+var (
+	dualOnce sync.Once
+	dualRes  *Result
+	dualErr  error
+)
+
+func dualRun(t *testing.T) *Result {
+	t.Helper()
+	dualOnce.Do(func() {
+		dualRes, dualErr = Run(dualConfig())
+	})
+	if dualErr != nil {
+		t.Fatalf("dual campaign: %v", dualErr)
+	}
+	return dualRes
+}
+
+func TestDualCampaignCounts(t *testing.T) {
+	res := dualRun(t)
+	// 19 input ports × 2 bits × 2 times × 2 cases.
+	if got, want := res.Runs, 19*2*2*2; got != want {
+		t.Errorf("Runs = %d, want %d", got, want)
+	}
+	if len(res.Pairs) != 31 {
+		t.Errorf("pairs = %d, want 31", len(res.Pairs))
+	}
+	if res.Unfired != 0 {
+		t.Errorf("Unfired = %d, want 0", res.Unfired)
+	}
+}
+
+// TestDualLinkBarrier pins the containment property of the
+// parity-protected link: single bit-flips in the frame never permeate
+// to the slave's set point.
+func TestDualLinkBarrier(t *testing.T) {
+	res := dualRun(t)
+	ps, err := res.PairBySignal(arrestor.ModComRX, arrestor.SigTxFrame, arrestor.SigSetValueB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Estimate != 0 {
+		t.Errorf("TXFRAME->SetValue_B permeability = %v, want 0 (parity barrier)", ps.Estimate)
+	}
+	// The transmitter, in contrast, is highly permeable.
+	tx, err := res.PairBySignal(arrestor.ModComTX, arrestor.SigSetValue, arrestor.SigTxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Estimate < 0.5 {
+		t.Errorf("SetValue->TXFRAME permeability = %v, want high", tx.Estimate)
+	}
+}
+
+// TestDualBacktrackForest: the dual system has two system outputs and
+// therefore two backtrack trees; the slave tree crosses the link.
+func TestDualBacktrackForest(t *testing.T) {
+	res := dualRun(t)
+	forest, err := core.BacktrackForest(res.Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) != 2 {
+		t.Fatalf("forest size = %d, want 2", len(forest))
+	}
+	slave, ok := forest[arrestor.SigTOC2B]
+	if !ok {
+		t.Fatal("no backtrack tree for TOC2_B")
+	}
+	// The slave's tree passes through SetValue_B, TXFRAME and SetValue
+	// back into the master.
+	sawFrame := false
+	slave.Root.Walk(func(n *core.Node) {
+		if n.Signal == arrestor.SigTxFrame {
+			sawFrame = true
+		}
+	})
+	if !sawFrame {
+		t.Error("slave backtrack tree does not cross the link frame")
+	}
+	// The master's tree is the familiar 22-path structure.
+	if got := forest[arrestor.SigTOC2].Root.CountLeaves(); got != 22 {
+		t.Errorf("master tree paths = %d, want 22", got)
+	}
+}
+
+// TestDualModuleMeasures: the slave's exposure stems entirely from the
+// link; with the parity barrier at zero permeability, V_REG_B's
+// measured exposure through SetValue_B is the barrier's zero plus the
+// slave sensor chain.
+func TestDualModuleMeasures(t *testing.T) {
+	res := dualRun(t)
+	measures, err := res.Matrix.AllModuleMeasures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]core.ModuleMeasures{}
+	for _, mm := range measures {
+		byName[mm.Module] = mm
+	}
+	if len(measures) != 11 {
+		t.Fatalf("modules = %d, want 11", len(measures))
+	}
+	// COM_RX is exposed (it receives the frame from COM_TX).
+	if !byName[arrestor.ModComRX].HasExposure {
+		t.Error("COM_RX has no exposure, want some")
+	}
+	// PRES_S_B receives only the system input ADC_B: no exposure (OB1
+	// again, on the slave).
+	if byName[arrestor.ModPresSB].HasExposure {
+		t.Error("PRES_S_B has exposure, want none")
+	}
+}
+
+// TestLatencyAndClassification: counted errors carry latency and a
+// transient/permanent split that adds up.
+func TestLatencyAndClassification(t *testing.T) {
+	res := dualRun(t)
+	for _, ps := range res.Pairs {
+		if ps.Transients+ps.Permanents != ps.Errors {
+			t.Errorf("%v: transients %d + permanents %d != errors %d",
+				ps.Pair, ps.Transients, ps.Permanents, ps.Errors)
+		}
+		if ps.MeanLatencyMs < 0 {
+			t.Errorf("%v: negative latency %v", ps.Pair, ps.MeanLatencyMs)
+		}
+		if ps.Errors > 0 && ps.MeanLatencyMs > 500 {
+			t.Errorf("%v: latency %v exceeds the direct window", ps.Pair, ps.MeanLatencyMs)
+		}
+	}
+	// The CLOCK feedback corrupts permanently (the slot shift never
+	// heals).
+	ps, err := res.PairBySignal(arrestor.ModClock, arrestor.SigMsSlotNbr, arrestor.SigMsSlotNbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Permanents != ps.Errors || ps.Transients != 0 {
+		t.Errorf("slot feedback classification T/P = %d/%d, want all permanent", ps.Transients, ps.Permanents)
+	}
+}

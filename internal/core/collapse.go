@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"propane/internal/model"
+)
+
+// Collapse merges a group of modules into a single composite module,
+// deriving its pair permeabilities from the internal propagation
+// paths. This implements the hierarchy remark of the paper's Section
+// 3: "this system may be seen as a larger component or module in an
+// even larger system" — analysis can proceed at a coarser abstraction
+// level once a subsystem's permeabilities are known.
+//
+// The composite module's inputs are the group's boundary inputs
+// (signals consumed inside the group but driven outside it or
+// externally) and its outputs are the boundary outputs (signals driven
+// inside the group and consumed outside it or exported as system
+// outputs). The permeability of a composite pair (i, o) combines the
+// weights of all internal propagation paths from input i to output o
+// under an independence assumption:
+//
+//	P(i,o) = 1 - Π_paths (1 - weight(path)),
+//
+// with module-local feedback unrolled once, exactly as in the
+// backtrack-tree construction. Paths terminating in feedback
+// break-points carry no boundary source and are excluded.
+func Collapse(m *Matrix, group []string, newName string) (*Matrix, error) {
+	sys := m.System()
+	if len(group) == 0 {
+		return nil, fmt.Errorf("core: empty module group")
+	}
+	inGroup := make(map[string]bool, len(group))
+	for _, name := range group {
+		if _, err := sys.Module(name); err != nil {
+			return nil, err
+		}
+		if inGroup[name] {
+			return nil, fmt.Errorf("core: module %q listed twice in group", name)
+		}
+		inGroup[name] = true
+	}
+	for _, name := range sys.ModuleNames() {
+		if name == newName && !inGroup[name] {
+			return nil, fmt.Errorf("core: composite name %q collides with an existing module", newName)
+		}
+	}
+
+	subMatrix, err := subsystemMatrix(m, inGroup, sys)
+	if err != nil {
+		return nil, err
+	}
+	subSys := subMatrix.System()
+
+	// Composite ports: boundary inputs and outputs, sorted by signal.
+	boundaryIn := subSys.SystemInputs()
+	boundaryOut := subSys.SystemOutputs()
+
+	// Derive composite permeabilities from the subsystem's backtrack
+	// forest.
+	composite := make(map[[2]string]float64)
+	for _, out := range boundaryOut {
+		tree, err := BacktrackTree(subMatrix, out)
+		if err != nil {
+			return nil, err
+		}
+		survive := make(map[string]float64) // input -> Π(1-w)
+		for _, in := range boundaryIn {
+			survive[in] = 1
+		}
+		for _, p := range tree.Paths() {
+			if p.LeafKind != KindTerminal {
+				continue
+			}
+			survive[p.Leaf()] *= 1 - p.Weight()
+		}
+		for _, in := range boundaryIn {
+			composite[[2]string{in, out}] = 1 - survive[in]
+		}
+	}
+
+	// Rebuild the top-level system with the group replaced.
+	b := model.NewBuilder(sys.Name() + "+" + newName)
+	placed := false
+	for _, mod := range sys.Modules() {
+		if inGroup[mod.Name] {
+			if !placed {
+				b.AddModule(newName, boundaryIn, boundaryOut)
+				placed = true
+			}
+			continue
+		}
+		ins := make([]string, 0, len(mod.Inputs))
+		for _, p := range mod.Inputs {
+			ins = append(ins, p.Signal)
+		}
+		outs := make([]string, 0, len(mod.Outputs))
+		for _, p := range mod.Outputs {
+			outs = append(outs, p.Signal)
+		}
+		b.AddModule(mod.Name, ins, outs)
+	}
+	for _, out := range sys.SystemOutputs() {
+		b.DeclareSystemOutput(out)
+	}
+	newSys, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: collapsed system invalid: %w", err)
+	}
+
+	// Transfer permeabilities: untouched modules keep their values,
+	// the composite gets the derived ones.
+	out := NewMatrix(newSys)
+	for _, pv := range m.Pairs() {
+		if inGroup[pv.Pair.Module] {
+			continue
+		}
+		if err := out.Set(pv.Pair.Module, pv.Pair.In, pv.Pair.Out, pv.Value); err != nil {
+			return nil, err
+		}
+	}
+	for key, v := range composite {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		if err := out.SetBySignal(newName, key[0], key[1], v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// subsystemMatrix extracts the group as a standalone system with the
+// original pair permeabilities. Boundary outputs (driven inside,
+// consumed outside or exported) are declared as subsystem outputs.
+func subsystemMatrix(m *Matrix, inGroup map[string]bool, sys *model.System) (*Matrix, error) {
+	groupNames := make([]string, 0, len(inGroup))
+	for _, name := range sys.ModuleNames() {
+		if inGroup[name] {
+			groupNames = append(groupNames, name)
+		}
+	}
+	sort.Strings(groupNames)
+
+	b := model.NewBuilder("subsystem")
+	for _, name := range groupNames {
+		mod, err := sys.Module(name)
+		if err != nil {
+			return nil, err
+		}
+		ins := make([]string, 0, len(mod.Inputs))
+		for _, p := range mod.Inputs {
+			ins = append(ins, p.Signal)
+		}
+		outs := make([]string, 0, len(mod.Outputs))
+		for _, p := range mod.Outputs {
+			outs = append(outs, p.Signal)
+		}
+		b.AddModule(name, ins, outs)
+	}
+	// Boundary outputs: driven by the group, consumed outside it or a
+	// system output of the full system.
+	for _, name := range groupNames {
+		mod, err := sys.Module(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range mod.Outputs {
+			exported := sys.IsSystemOutput(p.Signal)
+			for _, r := range sys.Receivers(p.Signal) {
+				if !inGroup[r.Module] {
+					exported = true
+				}
+			}
+			if exported {
+				b.DeclareSystemOutput(p.Signal)
+			}
+		}
+	}
+	subSys, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: module group does not form a valid subsystem: %w", err)
+	}
+	sub := NewMatrix(subSys)
+	for _, pv := range m.Pairs() {
+		if !inGroup[pv.Pair.Module] {
+			continue
+		}
+		if err := sub.Set(pv.Pair.Module, pv.Pair.In, pv.Pair.Out, pv.Value); err != nil {
+			return nil, err
+		}
+	}
+	return sub, nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"propane/internal/model"
+)
+
+func TestCollapseChain(t *testing.T) {
+	m := exampleMatrix(t)
+	collapsed, err := Collapse(m, []string{"C", "D"}, "CD")
+	if err != nil {
+		t.Fatalf("Collapse: %v", err)
+	}
+	sys := collapsed.System()
+	if got := sys.ModuleNames(); !reflect.DeepEqual(got, []string{"A", "B", "CD", "E"}) {
+		t.Fatalf("modules = %v, want [A B CD E]", got)
+	}
+	cd, err := sys.Module("CD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.NumInputs() != 1 || cd.NumOutputs() != 1 {
+		t.Fatalf("CD ports = %d/%d, want 1/1", cd.NumInputs(), cd.NumOutputs())
+	}
+	// Single chain extC -> c1 -> d1: 1-(1-0.7·0.4) = 0.28.
+	v, err := collapsed.Value("CD", 1, 1)
+	if err != nil || !almostEqual(v, 0.28) {
+		t.Errorf("P^CD = %v, %v; want 0.28", v, err)
+	}
+	// Untouched modules keep their values.
+	b12, err := collapsed.Value("B", 1, 2)
+	if err != nil || !almostEqual(b12, 0.6) {
+		t.Errorf("B(1,2) after collapse = %v, %v; want 0.6", b12, err)
+	}
+	// The collapsed system remains fully analysable.
+	tree, err := BacktrackTree(collapsed, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree on collapsed system: %v", err)
+	}
+	// Paths: b2 branch (3) + CD chain (1) + extE (1) = 5, as before
+	// but with the CD chain shortened by one hop.
+	if got := tree.Root.CountLeaves(); got != 5 {
+		t.Errorf("collapsed tree paths = %d, want 5", got)
+	}
+}
+
+func TestCollapseFeedbackModule(t *testing.T) {
+	m := exampleMatrix(t)
+	collapsed, err := Collapse(m, []string{"B"}, "Bx")
+	if err != nil {
+		t.Fatalf("Collapse: %v", err)
+	}
+	sys := collapsed.System()
+	bx, err := sys.Module("Bx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bfb is internal to the group (driven and consumed by B), so the
+	// composite has one input (a1) and one output (b2).
+	if got := bx.InputIndex("a1"); got != 1 {
+		t.Errorf("Bx input a1 index = %d, want 1", got)
+	}
+	if bx.NumInputs() != 1 || bx.NumOutputs() != 1 {
+		t.Fatalf("Bx ports = %d/%d, want 1/1", bx.NumInputs(), bx.NumOutputs())
+	}
+	// Paths a1->b2: direct 0.6; via one pass of the bfb loop
+	// 0.5·0.3 = 0.15. P = 1-(1-0.6)(1-0.15) = 0.66.
+	v, err := collapsed.Value("Bx", 1, 1)
+	if err != nil || !almostEqual(v, 0.66) {
+		t.Errorf("P^Bx = %v, %v; want 0.66", v, err)
+	}
+}
+
+func TestCollapseWholeProcessingChain(t *testing.T) {
+	// Collapse everything but the entry modules: the remaining system
+	// is A, C -> composite -> (sysout), still valid and analysable.
+	m := exampleMatrix(t)
+	collapsed, err := Collapse(m, []string{"B", "D", "E"}, "CORE")
+	if err != nil {
+		t.Fatalf("Collapse: %v", err)
+	}
+	sys := collapsed.System()
+	coreMod, err := sys.Module("CORE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundary inputs: a1 (from A), c1 (from C), extE (external).
+	if got := coreMod.NumInputs(); got != 3 {
+		t.Errorf("CORE inputs = %d, want 3", got)
+	}
+	if got := coreMod.NumOutputs(); got != 1 {
+		t.Errorf("CORE outputs = %d, want 1", got)
+	}
+	if !sys.IsSystemOutput("sysout") {
+		t.Error("sysout lost system-output status")
+	}
+	// a1 -> sysout combines 0.6·0.9 and 0.5·0.3·0.9:
+	// 1-(1-0.54)(1-0.135) = 0.6021. Boundary inputs are sorted, so a1
+	// is input 1 of the composite.
+	if got := coreMod.InputIndex("a1"); got != 1 {
+		t.Fatalf("a1 index = %d, want 1", got)
+	}
+	v, err := collapsed.Value("CORE", 1, 1)
+	if err != nil || !almostEqual(v, 1-(1-0.54)*(1-0.135)) {
+		t.Errorf("a1->sysout = %v, %v; want 0.6021", v, err)
+	}
+}
+
+func TestCollapseErrors(t *testing.T) {
+	m := exampleMatrix(t)
+	if _, err := Collapse(m, nil, "X"); err == nil {
+		t.Error("Collapse with empty group succeeded")
+	}
+	if _, err := Collapse(m, []string{"NOPE"}, "X"); err == nil {
+		t.Error("Collapse with unknown module succeeded")
+	}
+	if _, err := Collapse(m, []string{"B", "B"}, "X"); err == nil {
+		t.Error("Collapse with duplicate group entry succeeded")
+	}
+	if _, err := Collapse(m, []string{"B"}, "E"); err == nil {
+		t.Error("Collapse with colliding composite name succeeded")
+	}
+}
+
+// TestCollapseEntireSystem: the whole system collapses into a single
+// module whose pair permeabilities are the end-to-end path products —
+// "this system may be seen as a larger component or module in an even
+// larger system" (Section 3).
+func TestCollapseEntireSystem(t *testing.T) {
+	m := exampleMatrix(t)
+	collapsed, err := Collapse(m, []string{"A", "B", "C", "D", "E"}, "ALL")
+	if err != nil {
+		t.Fatalf("Collapse(all): %v", err)
+	}
+	sys := collapsed.System()
+	if got := sys.ModuleNames(); !reflect.DeepEqual(got, []string{"ALL"}) {
+		t.Fatalf("modules = %v, want [ALL]", got)
+	}
+	all, err := sys.Module("ALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumInputs() != 3 || all.NumOutputs() != 1 {
+		t.Fatalf("ALL ports = %d/%d, want 3/1", all.NumInputs(), all.NumOutputs())
+	}
+	// extA -> sysout: paths 0.432 and 0.108 combine to
+	// 1-(1-0.432)(1-0.108) = 0.493...
+	v, err := collapsed.Value("ALL", all.InputIndex("extA"), 1)
+	if err != nil || !almostEqual(v, 1-(1-0.432)*(1-0.108)) {
+		t.Errorf("extA->sysout = %v, %v; want %v", v, err, 1-(1-0.432)*(1-0.108))
+	}
+	// extE -> sysout is the single direct pair.
+	v, err = collapsed.Value("ALL", all.InputIndex("extE"), 1)
+	if err != nil || !almostEqual(v, 0.2) {
+		t.Errorf("extE->sysout = %v, %v; want 0.2", v, err)
+	}
+}
+
+// TestCollapsePreservesDownstreamMeasures: collapsing an upstream
+// subsystem must not change the relative permeability of untouched
+// modules.
+func TestCollapsePreservesDownstreamMeasures(t *testing.T) {
+	m := exampleMatrix(t)
+	before, err := m.RelativePermeability("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	collapsed, err := Collapse(m, []string{"C", "D"}, "CD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := collapsed.RelativePermeability("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(before, after) {
+		t.Errorf("P^E changed from %v to %v across collapse", before, after)
+	}
+}
+
+// TestCollapseIdentityOnPassthrough: collapsing a pass-through module
+// with a single pair preserves its permeability exactly.
+func TestCollapseIdentityOnPassthrough(t *testing.T) {
+	sys, err := model.NewBuilder("chain").
+		AddModule("P", []string{"in"}, []string{"mid"}).
+		AddModule("Q", []string{"mid"}, []string{"out"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatrix(sys)
+	if err := m.Set("P", 1, 1, 0.42); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("Q", 1, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	collapsed, err := Collapse(m, []string{"P"}, "P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := collapsed.Value("P2", 1, 1)
+	if err != nil || !almostEqual(v, 0.42) {
+		t.Errorf("identity collapse = %v, %v; want 0.42", v, err)
+	}
+}

@@ -1,0 +1,26 @@
+// Package core implements the error-propagation analysis framework of
+// Hiller, Jhumka and Suri, "An Approach for Analysing the Propagation
+// of Data Errors in Software" (DSN 2001).
+//
+// The basic measure is error permeability (Eq. 1): for input i and
+// output k of a module M,
+//
+//	P^M_{i,k} = Pr{ error on output k | error on input i },
+//
+// one value per input/output pair, held in a Matrix bound to a
+// model.System. On top of it the package provides:
+//
+//   - relative permeability P^M (Eq. 2) and non-weighted relative
+//     permeability P̄^M (Eq. 3) for ranking modules;
+//   - the permeability Graph whose arcs carry pair permeabilities,
+//     and the error exposure X^M (Eq. 4) and non-weighted error
+//     exposure X̄^M (Eq. 5) computed from a module's incoming arcs;
+//   - backtrack trees (Output Error Tracing, steps A1–A4) and trace
+//     trees (Input Error Tracing, steps B1–B4), with module feedback
+//     loops unrolled exactly once per path;
+//   - propagation-path enumeration with path weights (products of
+//     permeabilities along the path) and ranking;
+//   - signal error exposure X^S (Eq. 6) over the backtrack forest;
+//   - the EDM/ERM placement advisor implementing the Section 5 rules
+//     of thumb.
+package core

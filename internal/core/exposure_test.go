@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"propane/internal/model"
+)
+
+func TestSignalExposures(t *testing.T) {
+	m := exampleMatrix(t)
+	exposures, err := SignalExposures(m)
+	if err != nil {
+		t.Fatalf("SignalExposures: %v", err)
+	}
+	got := make(map[string]SignalExposure, len(exposures))
+	for _, se := range exposures {
+		got[se.Signal] = se
+	}
+	// Hand-computed S_p sums (see exampleMatrix and the backtrack tree
+	// of sysout). Signal bfb generates two nodes; its arcs B(1,1) and
+	// B(2,1) are counted once each (Eq. 6 uniqueness).
+	want := map[string]struct {
+		exposure float64
+		arcs     int
+	}{
+		"sysout": {0.9 + 0.5 + 0.2, 3},
+		"b2":     {0.6 + 0.3, 2},
+		"bfb":    {0.5 + 0.9, 2},
+		"a1":     {0.8, 1},
+		"d1":     {0.4, 1},
+		"c1":     {0.7, 1},
+		"extA":   {0, 0},
+		"extC":   {0, 0},
+		"extE":   {0, 0},
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d signals, want %d: %v", len(got), len(want), exposures)
+	}
+	for sig, w := range want {
+		se, ok := got[sig]
+		if !ok {
+			t.Errorf("missing exposure for %s", sig)
+			continue
+		}
+		if !almostEqual(se.Exposure, w.exposure) {
+			t.Errorf("X^%s = %v, want %v", sig, se.Exposure, w.exposure)
+		}
+		if se.Arcs != w.arcs {
+			t.Errorf("arcs(%s) = %d, want %d", sig, se.Arcs, w.arcs)
+		}
+	}
+	// Result must be sorted by decreasing exposure.
+	for i := 1; i < len(exposures); i++ {
+		if exposures[i-1].Exposure < exposures[i].Exposure {
+			t.Errorf("exposures out of order at %d", i)
+		}
+	}
+}
+
+func TestSignalExposureOf(t *testing.T) {
+	m := exampleMatrix(t)
+	x, err := SignalExposureOf(m, "bfb")
+	if err != nil {
+		t.Fatalf("SignalExposureOf: %v", err)
+	}
+	if !almostEqual(x, 1.4) {
+		t.Errorf("X^bfb = %v, want 1.4", x)
+	}
+	x, err = SignalExposureOf(m, "never-in-tree")
+	if err != nil || x != 0 {
+		t.Errorf("SignalExposureOf(unknown) = %v, %v; want 0, nil", x, err)
+	}
+}
+
+// TestSignalExposureUniqueness builds a diamond topology where one
+// signal is consumed by two modules whose outputs rejoin; the shared
+// upstream arcs must be counted once even though the signal generates
+// multiple backtrack nodes.
+func TestSignalExposureUniqueness(t *testing.T) {
+	sys, err := model.NewBuilder("diamond").
+		AddModule("SRC", []string{"ext"}, []string{"s"}).
+		AddModule("L", []string{"s"}, []string{"ls"}).
+		AddModule("R", []string{"s"}, []string{"rs"}).
+		AddModule("J", []string{"ls", "rs"}, []string{"out"}).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := NewMatrix(sys)
+	for _, set := range []struct {
+		mod     string
+		in, out int
+		v       float64
+	}{
+		{"SRC", 1, 1, 0.5}, {"L", 1, 1, 0.6}, {"R", 1, 1, 0.7},
+		{"J", 1, 1, 0.8}, {"J", 2, 1, 0.9},
+	} {
+		if err := m.Set(set.mod, set.in, set.out, set.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Signal s appears as a node under both the ls and rs branches;
+	// each node has the single arc SRC(1,1)=0.5, counted once.
+	x, err := SignalExposureOf(m, "s")
+	if err != nil {
+		t.Fatalf("SignalExposureOf: %v", err)
+	}
+	if !almostEqual(x, 0.5) {
+		t.Errorf("X^s = %v, want 0.5 (unique-arc counting)", x)
+	}
+}

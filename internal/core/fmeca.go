@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+)
+
+// FMECARow is one row of the failure-mode worksheet derived from the
+// permeability analysis. The paper's introduction positions
+// propagation analysis as a complement to FMECA (Failure Mode Effect
+// and Criticality Analysis); this sheet makes the mapping concrete:
+// the failure mode is "erroneous value on one module output", the
+// effects are the system outputs it can reach, and the criticality
+// combines how exposed the source is with how strongly its errors
+// reach the system boundary.
+type FMECARow struct {
+	// Module and OutputSignal identify the failure mode: an erroneous
+	// value appearing on this output.
+	Module       string
+	OutputSignal string
+	// Effects lists the system outputs reachable from this output,
+	// with the highest single-path propagation weight to each.
+	Effects []FMECAEffect
+	// Severity is the maximum path weight from this output to any
+	// system output: how strongly the failure reaches the system
+	// boundary.
+	Severity float64
+	// Occurrence is the signal error exposure X^S of the output — the
+	// relative likelihood of propagating errors appearing here (zero
+	// for modules fed only by system inputs; their occurrence is
+	// governed by external error rates, paper OB1).
+	Occurrence float64
+	// Criticality is Severity × Occurrence, the analysis-level RPN
+	// used to order the worksheet.
+	Criticality float64
+}
+
+// FMECAEffect is one reachable system output with the strongest
+// propagation path weight toward it.
+type FMECAEffect struct {
+	SystemOutput  string
+	MaxPathWeight float64
+}
+
+// FMECA builds the failure-mode worksheet for every module output,
+// ordered by decreasing criticality (ties by module, then output
+// signal). Severity uses the forward trace trees: for an output o the
+// relevant propagation starts at o's consumers, so the weight of a
+// path from o to a system output is the product of the pair
+// permeabilities after o.
+func FMECA(m *Matrix) ([]FMECARow, error) {
+	sys := m.System()
+	exposures, err := SignalExposures(m)
+	if err != nil {
+		return nil, err
+	}
+	exposure := make(map[string]float64, len(exposures))
+	for _, se := range exposures {
+		exposure[se.Signal] = se.Exposure
+	}
+
+	var rows []FMECARow
+	for _, mod := range sys.Modules() {
+		for _, out := range mod.Outputs {
+			row := FMECARow{
+				Module:       mod.Name,
+				OutputSignal: out.Signal,
+				Occurrence:   exposure[out.Signal],
+			}
+			best := make(map[string]float64)
+			if sys.IsSystemOutput(out.Signal) {
+				// The failure mode IS a system-boundary error.
+				best[out.Signal] = 1
+			}
+			forwardPathWeights(m, out.Signal, best)
+			for so, w := range best {
+				row.Effects = append(row.Effects, FMECAEffect{SystemOutput: so, MaxPathWeight: w})
+				if w > row.Severity {
+					row.Severity = w
+				}
+			}
+			sort.Slice(row.Effects, func(a, b int) bool {
+				return row.Effects[a].SystemOutput < row.Effects[b].SystemOutput
+			})
+			row.Criticality = row.Severity * row.Occurrence
+			rows = append(rows, row)
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].Criticality != rows[b].Criticality {
+			return rows[a].Criticality > rows[b].Criticality
+		}
+		if rows[a].Module != rows[b].Module {
+			return rows[a].Module < rows[b].Module
+		}
+		return rows[a].OutputSignal < rows[b].OutputSignal
+	})
+	return rows, nil
+}
+
+// forwardPathWeights accumulates, per reachable system output, the
+// maximum product of pair permeabilities along forward paths starting
+// at the consumers of the given signal, following the trace-tree
+// feedback rules (each consuming input at most once per path).
+func forwardPathWeights(m *Matrix, signal string, best map[string]float64) {
+	sys := m.System()
+	type frame struct {
+		signal string
+		weight float64
+	}
+	visited := map[[2]string]bool{} // (module, input signal) on the current path
+	var walk func(f frame)
+	walk = func(f frame) {
+		for _, recv := range sys.Receivers(f.signal) {
+			key := [2]string{recv.Module, f.signal}
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			mod, err := sys.Module(recv.Module)
+			if err != nil {
+				delete(visited, key)
+				continue
+			}
+			for _, out := range mod.Outputs {
+				w := f.weight * m.at(Pair{Module: mod.Name, In: recv.Index, Out: out.Index})
+				if w == 0 {
+					continue
+				}
+				if sys.IsSystemOutput(out.Signal) {
+					if w > best[out.Signal] {
+						best[out.Signal] = w
+					}
+					continue
+				}
+				walk(frame{signal: out.Signal, weight: w})
+			}
+			delete(visited, key)
+		}
+	}
+	walk(frame{signal: signal, weight: 1})
+}

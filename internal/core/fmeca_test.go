@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+)
+
+func fmecaRow(t *testing.T, rows []FMECARow, module, output string) FMECARow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Module == module && r.OutputSignal == output {
+			return r
+		}
+	}
+	t.Fatalf("no FMECA row for %s/%s", module, output)
+	return FMECARow{}
+}
+
+func TestFMECASheet(t *testing.T) {
+	m := exampleMatrix(t)
+	rows, err := FMECA(m)
+	if err != nil {
+		t.Fatalf("FMECA: %v", err)
+	}
+	// One row per module output: A 1, B 2, C 1, D 1, E 1.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+
+	// The system output itself: severity 1 (it is the boundary).
+	e := fmecaRow(t, rows, "E", "sysout")
+	if !almostEqual(e.Severity, 1) {
+		t.Errorf("severity of sysout failure = %v, want 1", e.Severity)
+	}
+	if !almostEqual(e.Occurrence, 1.6) {
+		t.Errorf("occurrence of sysout = %v, want X^sysout = 1.6", e.Occurrence)
+	}
+
+	// d1 (output of D): single forward path d1 -> E -> sysout = 0.5.
+	d := fmecaRow(t, rows, "D", "d1")
+	if !almostEqual(d.Severity, 0.5) {
+		t.Errorf("severity of d1 failure = %v, want 0.5", d.Severity)
+	}
+	if len(d.Effects) != 1 || d.Effects[0].SystemOutput != "sysout" {
+		t.Errorf("effects of d1 = %+v", d.Effects)
+	}
+	if !almostEqual(d.Occurrence, 0.4) {
+		t.Errorf("occurrence of d1 = %v, want X^d1 = 0.4", d.Occurrence)
+	}
+	if !almostEqual(d.Criticality, 0.5*0.4) {
+		t.Errorf("criticality of d1 = %v, want 0.2", d.Criticality)
+	}
+
+	// a1 (output of A): strongest forward path a1->b2->sysout =
+	// 0.6·0.9 = 0.54 (the bfb detour is weaker: 0.5·0.3·0.9 = 0.135).
+	a := fmecaRow(t, rows, "A", "a1")
+	if !almostEqual(a.Severity, 0.54) {
+		t.Errorf("severity of a1 failure = %v, want 0.54", a.Severity)
+	}
+
+	// bfb (output 1 of B): forward through one pass of the loop:
+	// bfb -> b2 (0.3) -> sysout (0.9) = 0.27.
+	b := fmecaRow(t, rows, "B", "bfb")
+	if !almostEqual(b.Severity, 0.27) {
+		t.Errorf("severity of bfb failure = %v, want 0.27", b.Severity)
+	}
+
+	// Ordering: criticality non-increasing.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Criticality < rows[i].Criticality {
+			t.Errorf("criticality out of order at %d", i)
+		}
+	}
+	// The boundary output ranks first in this matrix.
+	if rows[0].OutputSignal != "sysout" {
+		t.Errorf("top criticality row = %s/%s, want E/sysout", rows[0].Module, rows[0].OutputSignal)
+	}
+}
+
+func TestFMECAZeroMatrix(t *testing.T) {
+	m := NewMatrix(exampleMatrix(t).System())
+	rows, err := FMECA(m)
+	if err != nil {
+		t.Fatalf("FMECA: %v", err)
+	}
+	for _, r := range rows {
+		if r.OutputSignal == "sysout" {
+			// The boundary output keeps severity 1 by definition.
+			if !almostEqual(r.Severity, 1) {
+				t.Errorf("sysout severity = %v, want 1", r.Severity)
+			}
+			continue
+		}
+		if r.Severity != 0 || r.Criticality != 0 {
+			t.Errorf("zero matrix row %s/%s has severity %v", r.Module, r.OutputSignal, r.Severity)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"propane/internal/model"
+)
+
+// Arc is one weighted arc of the permeability graph (paper Fig. 3).
+// For every connection "output k' of module From drives input i of
+// module To via signal Signal", the graph carries one arc per
+// input/output pair (j, k') of the driving module, weighted with that
+// pair's permeability. There may therefore be more arcs between two
+// nodes than there are signals between the corresponding modules.
+type Arc struct {
+	// From is the driving module, To the receiving module. From == To
+	// for module-local feedback (e.g. signal i of CALC).
+	From, To string
+	// Pair is the input/output pair of the driving module whose
+	// permeability weights this arc.
+	Pair Pair
+	// Weight is the permeability value of Pair.
+	Weight float64
+	// Signal is the signal connecting From's output to To's input.
+	Signal string
+	// ToInput is the 1-based input index of the receiving module.
+	ToInput int
+}
+
+// Graph is the permeability graph of a system: one node per module,
+// arcs as described on Arc. It is the structure on which the error
+// exposure measures (Eqs. 4 and 5) are defined and from which the
+// backtrack and trace trees are derived.
+type Graph struct {
+	matrix   *Matrix
+	arcs     []Arc
+	incoming map[string][]Arc
+	outgoing map[string][]Arc
+}
+
+// NewGraph builds the permeability graph for the matrix's system.
+func NewGraph(m *Matrix) (*Graph, error) {
+	sys := m.System()
+	g := &Graph{
+		matrix:   m,
+		incoming: make(map[string][]Arc),
+		outgoing: make(map[string][]Arc),
+	}
+	for _, mod := range sys.Modules() {
+		for _, in := range mod.Inputs {
+			drv, driven := sys.Driver(in.Signal)
+			if !driven {
+				continue // system input: no incoming arc (OB1)
+			}
+			from, err := sys.Module(drv.Module)
+			if err != nil {
+				return nil, fmt.Errorf("core: building graph: %w", err)
+			}
+			for _, j := range from.Inputs {
+				pair := Pair{Module: from.Name, In: j.Index, Out: drv.Index}
+				arc := Arc{
+					From:    from.Name,
+					To:      mod.Name,
+					Pair:    pair,
+					Weight:  m.at(pair),
+					Signal:  in.Signal,
+					ToInput: in.Index,
+				}
+				g.arcs = append(g.arcs, arc)
+				g.incoming[mod.Name] = append(g.incoming[mod.Name], arc)
+				g.outgoing[from.Name] = append(g.outgoing[from.Name], arc)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Matrix returns the permeability matrix the graph was built from.
+func (g *Graph) Matrix() *Matrix { return g.matrix }
+
+// Arcs returns all arcs, ordered by receiving module (system order),
+// then receiving input index, then driving pair.
+func (g *Graph) Arcs() []Arc {
+	out := make([]Arc, len(g.arcs))
+	copy(out, g.arcs)
+	order := make(map[string]int)
+	for i, name := range g.matrix.System().ModuleNames() {
+		order[name] = i
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if order[x.To] != order[y.To] {
+			return order[x.To] < order[y.To]
+		}
+		if x.ToInput != y.ToInput {
+			return x.ToInput < y.ToInput
+		}
+		if x.Pair.In != y.Pair.In {
+			return x.Pair.In < y.Pair.In
+		}
+		return x.Pair.Out < y.Pair.Out
+	})
+	return out
+}
+
+// Incoming returns the arcs entering the named module.
+func (g *Graph) Incoming(module string) []Arc {
+	arcs := g.incoming[module]
+	out := make([]Arc, len(arcs))
+	copy(out, arcs)
+	return out
+}
+
+// Outgoing returns the arcs leaving the named module.
+func (g *Graph) Outgoing(module string) []Arc {
+	arcs := g.outgoing[module]
+	out := make([]Arc, len(arcs))
+	copy(out, arcs)
+	return out
+}
+
+// Exposure computes the error exposure X^M (Eq. 4, the mean weight of
+// the module's incoming arcs) and the non-weighted error exposure X̄^M
+// (Eq. 5, their sum). ok is false when the module has no incoming
+// arcs, i.e. it only receives system input signals; the paper's OB1
+// notes such modules have no exposure values and their exposure is
+// instead governed by the external error-occurrence probabilities.
+func (g *Graph) Exposure(module string) (exposure, nonWeighted float64, ok bool) {
+	arcs := g.incoming[module]
+	if len(arcs) == 0 {
+		return 0, 0, false
+	}
+	sum := 0.0
+	for _, a := range arcs {
+		sum += a.Weight
+	}
+	return sum / float64(len(arcs)), sum, true
+}
+
+// moduleOutputDriver resolves the driving endpoint for a signal and
+// reports whether it exists (false for system inputs).
+func moduleOutputDriver(sys *model.System, signal string) (model.Endpoint, bool) {
+	return sys.Driver(signal)
+}

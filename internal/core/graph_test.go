@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"propane/internal/model"
+)
+
+func TestGraphArcs(t *testing.T) {
+	m := exampleMatrix(t)
+	g, err := NewGraph(m)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	arcs := g.Arcs()
+	// Expected arcs: A->B via a1 (1 pair), B->B via bfb (2 pairs),
+	// C->D via c1 (1), B->E via b2 (2), D->E via d1 (1). Total 7.
+	if len(arcs) != 7 {
+		t.Fatalf("len(Arcs()) = %d, want 7", len(arcs))
+	}
+	type key struct {
+		from, to string
+		pair     Pair
+	}
+	want := map[key]float64{
+		{"A", "B", Pair{"A", 1, 1}}: 0.8,
+		{"B", "B", Pair{"B", 1, 1}}: 0.5,
+		{"B", "B", Pair{"B", 2, 1}}: 0.9,
+		{"C", "D", Pair{"C", 1, 1}}: 0.7,
+		{"B", "E", Pair{"B", 1, 2}}: 0.6,
+		{"B", "E", Pair{"B", 2, 2}}: 0.3,
+		{"D", "E", Pair{"D", 1, 1}}: 0.4,
+	}
+	for _, a := range arcs {
+		k := key{a.From, a.To, a.Pair}
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("unexpected arc %+v", a)
+			continue
+		}
+		if !almostEqual(a.Weight, w) {
+			t.Errorf("arc %+v weight = %v, want %v", k, a.Weight, w)
+		}
+		delete(want, k)
+	}
+	for k := range want {
+		t.Errorf("missing arc %+v", k)
+	}
+}
+
+func TestGraphIncomingOutgoing(t *testing.T) {
+	m := exampleMatrix(t)
+	g, err := NewGraph(m)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	if got := len(g.Incoming("B")); got != 3 {
+		t.Errorf("len(Incoming(B)) = %d, want 3", got)
+	}
+	if got := len(g.Incoming("A")); got != 0 {
+		t.Errorf("len(Incoming(A)) = %d, want 0", got)
+	}
+	// Outgoing from B: 2 feedback arcs into B plus 2 arcs into E.
+	if got := len(g.Outgoing("B")); got != 4 {
+		t.Errorf("len(Outgoing(B)) = %d, want 4", got)
+	}
+	if got := len(g.Outgoing("E")); got != 0 {
+		t.Errorf("len(Outgoing(E)) = %d, want 0", got)
+	}
+}
+
+func TestGraphExposure(t *testing.T) {
+	m := exampleMatrix(t)
+	g, err := NewGraph(m)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	tests := []struct {
+		module string
+		wantX  float64
+		wantXb float64
+		wantOK bool
+	}{
+		{"A", 0, 0, false},
+		{"C", 0, 0, false},
+		{"B", 2.2 / 3, 2.2, true},
+		{"D", 0.7, 0.7, true},
+		{"E", 1.3 / 3, 1.3, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.module, func(t *testing.T) {
+			x, xb, ok := g.Exposure(tt.module)
+			if ok != tt.wantOK {
+				t.Fatalf("Exposure(%s) ok = %v, want %v", tt.module, ok, tt.wantOK)
+			}
+			if !ok {
+				return
+			}
+			if !almostEqual(x, tt.wantX) {
+				t.Errorf("X^%s = %v, want %v", tt.module, x, tt.wantX)
+			}
+			if !almostEqual(xb, tt.wantXb) {
+				t.Errorf("X̄^%s = %v, want %v", tt.module, xb, tt.wantXb)
+			}
+		})
+	}
+}
+
+func TestGraphMutationIsolation(t *testing.T) {
+	m := exampleMatrix(t)
+	g, err := NewGraph(m)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	in := g.Incoming("B")
+	in[0].Weight = 123
+	if g.Incoming("B")[0].Weight == 123 {
+		t.Error("mutating Incoming() result affected the graph")
+	}
+	arcs := g.Arcs()
+	arcs[0].Weight = 456
+	if g.Arcs()[0].Weight == 456 {
+		t.Error("mutating Arcs() result affected the graph")
+	}
+}
+
+// TestExposureZeroWeightArcsStillCount checks that N in Eq. 4 counts
+// arcs, not non-zero arcs: zero-weight arcs dilute the mean exposure.
+func TestExposureZeroWeightArcsStillCount(t *testing.T) {
+	m := NewMatrix(model.PaperExampleSystem())
+	// Only one of the three arcs into E carries weight.
+	if err := m.Set("B", 1, 2, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(m)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	x, xb, ok := g.Exposure("E")
+	if !ok {
+		t.Fatal("Exposure(E) not ok")
+	}
+	if !almostEqual(xb, 0.9) {
+		t.Errorf("X̄^E = %v, want 0.9", xb)
+	}
+	if !almostEqual(x, 0.3) {
+		t.Errorf("X^E = %v, want 0.3 (mean over 3 arcs)", x)
+	}
+}

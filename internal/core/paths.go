@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Step is one hop of a propagation path: the arc from a tree node to
+// one of its children, weighted with a pair permeability.
+type Step struct {
+	// Signal is the signal the path reaches with this step.
+	Signal string
+	// Pair is the input/output pair whose permeability the step uses.
+	Pair Pair
+	// Weight is that pair's permeability value.
+	Weight float64
+}
+
+// Path is one root-to-leaf propagation path of a backtrack or trace
+// tree. For a backtrack tree the path runs from a system output back
+// to a system input (or feedback break-point); for a trace tree it
+// runs from a system input forward to a system output.
+type Path struct {
+	// Root is the signal at the tree root.
+	Root string
+	// Steps are the hops from the root to the leaf, in order.
+	Steps []Step
+	// LeafKind is the kind of the terminating node (KindTerminal or
+	// KindFeedback).
+	LeafKind NodeKind
+}
+
+// Leaf returns the signal at the end of the path.
+func (p Path) Leaf() string {
+	if len(p.Steps) == 0 {
+		return p.Root
+	}
+	return p.Steps[len(p.Steps)-1].Signal
+}
+
+// Weight returns the total path weight: the product of the error
+// permeability values along the path (Section 4.2). For a backtrack
+// path this is the conditional probability that, given an error on the
+// root output originating at the leaf input, it propagated along
+// exactly this route.
+func (p Path) Weight() float64 {
+	w := 1.0
+	for _, s := range p.Steps {
+		w *= s.Weight
+	}
+	return w
+}
+
+// AdjustedWeight scales the path weight with the probability of an
+// error appearing on the path's source signal, giving P' of Section
+// 4.2: the probability of an error appearing on the system input and
+// propagating along this path to the system output.
+func (p Path) AdjustedWeight(sourceErrProb float64) float64 {
+	return sourceErrProb * p.Weight()
+}
+
+// String renders the path as "root <- s1 <- s2" (backtrack direction
+// is implied by the caller's tree; the rendering is root-first).
+func (p Path) String() string {
+	var b strings.Builder
+	b.WriteString(p.Root)
+	for _, s := range p.Steps {
+		b.WriteString(" <- ")
+		b.WriteString(s.Signal)
+	}
+	if p.LeafKind == KindFeedback {
+		b.WriteString(" (feedback)")
+	}
+	return b.String()
+}
+
+// pairNotation renders the sequence of permeability pairs along the
+// path, e.g. "P^A_{1,1}·P^B_{1,2}·P^E_{1,1}".
+func (p Path) pairNotation() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = s.Pair.String()
+	}
+	return strings.Join(parts, "·")
+}
+
+// PairNotation renders the sequence of permeability pairs along the
+// path in the paper's product notation.
+func (p Path) PairNotation() string { return p.pairNotation() }
+
+// Paths enumerates every root-to-leaf path of the tree in stable
+// (depth-first, port-index) order.
+func (t *Tree) Paths() []Path {
+	var out []Path
+	var steps []Step
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Kind != KindRoot {
+			steps = append(steps, Step{Signal: n.Signal, Pair: n.Pair, Weight: n.Weight})
+		}
+		if n.IsLeaf() {
+			p := Path{Root: t.Root.Signal, Steps: make([]Step, len(steps)), LeafKind: n.Kind}
+			copy(p.Steps, steps)
+			out = append(out, p)
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		if n.Kind != KindRoot {
+			steps = steps[:len(steps)-1]
+		}
+	}
+	rec(t.Root)
+	return out
+}
+
+// RankedPaths returns the tree's paths ordered by decreasing weight
+// (ties broken by path length, shorter first, then by rendering for
+// stability). This is the paper's Table-4 ordering.
+func (t *Tree) RankedPaths() []Path {
+	paths := t.Paths()
+	sort.SliceStable(paths, func(a, b int) bool {
+		wa, wb := paths[a].Weight(), paths[b].Weight()
+		if wa != wb {
+			return wa > wb
+		}
+		if len(paths[a].Steps) != len(paths[b].Steps) {
+			return len(paths[a].Steps) < len(paths[b].Steps)
+		}
+		return paths[a].String() < paths[b].String()
+	})
+	return paths
+}
+
+// NonZeroPaths returns the ranked paths with weight strictly greater
+// than zero: "the paths along which errors might propagate".
+func (t *Tree) NonZeroPaths() []Path {
+	var out []Path
+	for _, p := range t.RankedPaths() {
+		if p.Weight() > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SignalsOnEveryPath returns the signals (excluding the root) that
+// appear on every one of the given paths — candidates for ERM
+// placement per observation OB5: eliminating errors there protects the
+// root output entirely.
+func SignalsOnEveryPath(paths []Path) []string {
+	if len(paths) == 0 {
+		return nil
+	}
+	counts := make(map[string]int)
+	for _, p := range paths {
+		seen := make(map[string]bool)
+		for _, s := range p.Steps {
+			if !seen[s.Signal] {
+				seen[s.Signal] = true
+				counts[s.Signal]++
+			}
+		}
+	}
+	var out []string
+	for sig, c := range counts {
+		if c == len(paths) {
+			out = append(out, sig)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FormatPathTable renders paths one per line with rank, weight and
+// pair notation; a compact textual stand-in for the paper's Table 4.
+func FormatPathTable(paths []Path) string {
+	var b strings.Builder
+	for i, p := range paths {
+		fmt.Fprintf(&b, "%2d  w=%.6f  %s  [%s]\n", i+1, p.Weight(), p.String(), p.pairNotation())
+	}
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"propane/internal/model"
+)
+
+func TestBacktrackPathsAndWeights(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	paths := tree.Paths()
+	if len(paths) != 5 {
+		t.Fatalf("len(paths) = %d, want 5", len(paths))
+	}
+	// Hand-computed path weights (see exampleMatrix values).
+	wantWeights := map[string]float64{
+		"sysout <- b2 <- a1 <- extA":            0.9 * 0.6 * 0.8,
+		"sysout <- b2 <- bfb <- a1 <- extA":     0.9 * 0.3 * 0.5 * 0.8,
+		"sysout <- b2 <- bfb <- bfb (feedback)": 0.9 * 0.3 * 0.9,
+		"sysout <- d1 <- c1 <- extC":            0.5 * 0.4 * 0.7,
+		"sysout <- extE":                        0.2,
+	}
+	for _, p := range paths {
+		want, ok := wantWeights[p.String()]
+		if !ok {
+			t.Errorf("unexpected path %q", p.String())
+			continue
+		}
+		if !almostEqual(p.Weight(), want) {
+			t.Errorf("path %q weight = %v, want %v", p.String(), p.Weight(), want)
+		}
+		delete(wantWeights, p.String())
+	}
+	for s := range wantWeights {
+		t.Errorf("missing path %q", s)
+	}
+}
+
+func TestRankedPathsOrder(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	ranked := tree.RankedPaths()
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Weight() < ranked[i].Weight() {
+			t.Errorf("ranked paths out of order at %d: %v < %v", i, ranked[i-1].Weight(), ranked[i].Weight())
+		}
+	}
+	if got, want := ranked[0].String(), "sysout <- b2 <- a1 <- extA"; got != want {
+		t.Errorf("highest-weight path = %q, want %q", got, want)
+	}
+}
+
+func TestNonZeroPaths(t *testing.T) {
+	m := exampleMatrix(t)
+	// Zero out the C->D link: the extC path weight becomes zero.
+	if err := m.Set("C", 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	nz := tree.NonZeroPaths()
+	if len(nz) != 4 {
+		t.Fatalf("non-zero paths = %d, want 4", len(nz))
+	}
+	for _, p := range nz {
+		if p.Weight() <= 0 {
+			t.Errorf("path %q in NonZeroPaths with weight %v", p.String(), p.Weight())
+		}
+		if strings.Contains(p.String(), "extC") {
+			t.Errorf("zero-weight path %q still present", p.String())
+		}
+	}
+}
+
+func TestPathAccessors(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	var p Path
+	for _, cand := range tree.Paths() {
+		if cand.String() == "sysout <- b2 <- a1 <- extA" {
+			p = cand
+			break
+		}
+	}
+	if p.Root != "sysout" {
+		t.Fatalf("did not find expected path; root = %q", p.Root)
+	}
+	if got, want := p.Leaf(), "extA"; got != want {
+		t.Errorf("Leaf() = %q, want %q", got, want)
+	}
+	if got, want := p.PairNotation(), "P^E_{1,1}·P^B_{1,2}·P^A_{1,1}"; got != want {
+		t.Errorf("PairNotation() = %q, want %q", got, want)
+	}
+	// Adjusted weight: Pr(err on extA) * path weight (Section 4.2 P').
+	if got, want := p.AdjustedWeight(0.5), 0.5*0.9*0.6*0.8; !almostEqual(got, want) {
+		t.Errorf("AdjustedWeight(0.5) = %v, want %v", got, want)
+	}
+	// Empty path edge case.
+	empty := Path{Root: "x"}
+	if empty.Leaf() != "x" {
+		t.Errorf("empty path Leaf() = %q, want x", empty.Leaf())
+	}
+	if !almostEqual(empty.Weight(), 1) {
+		t.Errorf("empty path Weight() = %v, want 1", empty.Weight())
+	}
+}
+
+func TestSignalsOnEveryPath(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	// Over all five sysout paths no single signal is shared.
+	if got := SignalsOnEveryPath(tree.Paths()); len(got) != 0 {
+		t.Errorf("SignalsOnEveryPath(all) = %v, want empty", got)
+	}
+	// Restricting to the b2 branch, b2 is on every path.
+	var b2paths []Path
+	for _, p := range tree.Paths() {
+		if strings.Contains(p.String(), "b2") {
+			b2paths = append(b2paths, p)
+		}
+	}
+	got := SignalsOnEveryPath(b2paths)
+	if !reflect.DeepEqual(got, []string{"b2"}) {
+		t.Errorf("SignalsOnEveryPath(b2 branch) = %v, want [b2]", got)
+	}
+	if got := SignalsOnEveryPath(nil); got != nil {
+		t.Errorf("SignalsOnEveryPath(nil) = %v, want nil", got)
+	}
+}
+
+func TestFormatPathTable(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	out := FormatPathTable(tree.RankedPaths())
+	if !strings.Contains(out, "sysout <- b2 <- a1 <- extA") {
+		t.Errorf("table missing expected path:\n%s", out)
+	}
+	if !strings.Contains(out, "P^E_{1,1}") {
+		t.Errorf("table missing pair notation:\n%s", out)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 5 {
+		t.Errorf("table has %d lines, want 5:\n%s", got, out)
+	}
+}
+
+// TestPathWeightBounds property: with permeabilities in [0,1], every
+// path weight lies in [0,1] and never exceeds the minimum edge weight.
+func TestPathWeightBounds(t *testing.T) {
+	sys := model.PaperExampleSystem()
+	prop := func(raw []float64) bool {
+		m := NewMatrix(sys)
+		i := 0
+		for _, pv := range m.Pairs() {
+			v := 0.5
+			if i < len(raw) {
+				v = math.Abs(raw[i])
+				v -= math.Floor(v)
+			}
+			if err := m.Set(pv.Pair.Module, pv.Pair.In, pv.Pair.Out, v); err != nil {
+				return false
+			}
+			i++
+		}
+		tree, err := BacktrackTree(m, "sysout")
+		if err != nil {
+			return false
+		}
+		for _, p := range tree.Paths() {
+			w := p.Weight()
+			if w < 0 || w > 1 {
+				return false
+			}
+			minEdge := 1.0
+			for _, s := range p.Steps {
+				if s.Weight < minEdge {
+					minEdge = s.Weight
+				}
+			}
+			if w > minEdge+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

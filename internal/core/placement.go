@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RankedModule is a module with the score that ranked it.
+type RankedModule struct {
+	Module string
+	Score  float64
+}
+
+// RankedSignal is a signal with the score that ranked it.
+type RankedSignal struct {
+	Signal string
+	Score  float64
+}
+
+// Advice is the output of the Section 5 placement analysis: ranked
+// candidate locations for error detection mechanisms (EDMs) and error
+// recovery mechanisms (ERMs), plus the structural observations the
+// paper derives in Section 8.
+type Advice struct {
+	// EDMModules ranks modules by non-weighted error exposure X̄^M
+	// (Eq. 5), descending: "the higher the error exposure values of a
+	// module, the higher the probability that it will be subjected to
+	// errors propagating through the system ... it may be more cost
+	// effective to place EDM's in those modules". Modules without
+	// exposure values (only system inputs) are excluded; see
+	// BarrierModules.
+	EDMModules []RankedModule
+	// EDMSignals ranks signals by signal error exposure X^S (Eq. 6),
+	// descending — the finer-granularity view for placing EDMs.
+	EDMSignals []RankedSignal
+	// ERMModules ranks modules by non-weighted relative permeability
+	// P̄^M (Eq. 3), descending: "the higher the error permeability
+	// values of a module, the higher the probability of subsequent
+	// modules being subjected to propagating errors ... it may be more
+	// cost effective to place ERM's in those modules".
+	ERMModules []RankedModule
+	// BarrierModules are modules that receive system input signals;
+	// per OB6, recovery mechanisms there form a barrier to errors
+	// coming in from external data sources.
+	BarrierModules []string
+	// CriticalSignals are the signals appearing on every non-zero
+	// propagation path of every backtrack tree (OB5): eliminating
+	// errors there protects the system outputs entirely (given total
+	// recovery success).
+	CriticalSignals []string
+	// LowExposureSignals are signals whose exposure is zero although
+	// they lie on the topology — locations where even a very efficient
+	// EDM would seldom be exercised (the OB3 cost-effectiveness
+	// warning).
+	LowExposureSignals []string
+}
+
+// Advise runs the full Section 5 analysis on a permeability matrix.
+func Advise(m *Matrix) (*Advice, error) {
+	sys := m.System()
+	g, err := NewGraph(m)
+	if err != nil {
+		return nil, err
+	}
+
+	adv := &Advice{}
+
+	for _, name := range sys.ModuleNames() {
+		if _, xbar, ok := g.Exposure(name); ok {
+			adv.EDMModules = append(adv.EDMModules, RankedModule{Module: name, Score: xbar})
+		}
+		nw, err := m.NonWeightedRelativePermeability(name)
+		if err != nil {
+			return nil, err
+		}
+		adv.ERMModules = append(adv.ERMModules, RankedModule{Module: name, Score: nw})
+	}
+	sortModules(adv.EDMModules)
+	sortModules(adv.ERMModules)
+
+	exposures, err := SignalExposures(m)
+	if err != nil {
+		return nil, err
+	}
+	for _, se := range exposures {
+		if se.Exposure > 0 {
+			adv.EDMSignals = append(adv.EDMSignals, RankedSignal{Signal: se.Signal, Score: se.Exposure})
+		} else if !sys.IsSystemInput(se.Signal) {
+			adv.LowExposureSignals = append(adv.LowExposureSignals, se.Signal)
+		}
+	}
+	sort.Strings(adv.LowExposureSignals)
+
+	// Barrier modules: receive at least one system input signal (OB6).
+	seen := make(map[string]bool)
+	for _, in := range sys.SystemInputs() {
+		for _, r := range sys.Receivers(in) {
+			if !seen[r.Module] {
+				seen[r.Module] = true
+				adv.BarrierModules = append(adv.BarrierModules, r.Module)
+			}
+		}
+	}
+	sort.Strings(adv.BarrierModules)
+
+	// Critical signals: on every non-zero path of every backtrack tree.
+	forest, err := BacktrackForest(m)
+	if err != nil {
+		return nil, err
+	}
+	critical := make(map[string]bool)
+	first := true
+	for _, tree := range forest {
+		paths := tree.NonZeroPaths()
+		if len(paths) == 0 {
+			continue
+		}
+		// Include the tree root itself: the system output is trivially
+		// on all of its own paths but is excluded per OB4 (a hardware
+		// register; errors there come from its driving signal).
+		onAll := SignalsOnEveryPath(paths)
+		if first {
+			for _, s := range onAll {
+				critical[s] = true
+			}
+			first = false
+			continue
+		}
+		next := make(map[string]bool)
+		for _, s := range onAll {
+			if critical[s] {
+				next[s] = true
+			}
+		}
+		critical = next
+	}
+	for s := range critical {
+		// System inputs appear on full-length paths but are external
+		// sources, not placement candidates.
+		if !sys.IsSystemInput(s) {
+			adv.CriticalSignals = append(adv.CriticalSignals, s)
+		}
+	}
+	sort.Strings(adv.CriticalSignals)
+
+	return adv, nil
+}
+
+// sortModules orders by descending score, ties by name.
+func sortModules(ms []RankedModule) {
+	sort.Slice(ms, func(a, b int) bool {
+		if ms[a].Score != ms[b].Score {
+			return ms[a].Score > ms[b].Score
+		}
+		return ms[a].Module < ms[b].Module
+	})
+}
+
+// Summary renders the advice in a compact human-readable form.
+func (a *Advice) Summary() string {
+	s := "EDM module candidates (by non-weighted exposure):\n"
+	for i, m := range a.EDMModules {
+		s += fmt.Sprintf("  %d. %-10s X̄=%.3f\n", i+1, m.Module, m.Score)
+	}
+	s += "EDM signal candidates (by signal exposure):\n"
+	for i, sig := range a.EDMSignals {
+		s += fmt.Sprintf("  %d. %-12s X^S=%.3f\n", i+1, sig.Signal, sig.Score)
+	}
+	s += "ERM module candidates (by non-weighted relative permeability):\n"
+	for i, m := range a.ERMModules {
+		s += fmt.Sprintf("  %d. %-10s P̄=%.3f\n", i+1, m.Module, m.Score)
+	}
+	s += fmt.Sprintf("Barrier modules (receive system inputs): %v\n", a.BarrierModules)
+	s += fmt.Sprintf("Critical signals (on every non-zero path): %v\n", a.CriticalSignals)
+	s += fmt.Sprintf("Low-exposure signals (poor EDM value): %v\n", a.LowExposureSignals)
+	return s
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAdvise(t *testing.T) {
+	m := exampleMatrix(t)
+	adv, err := Advise(m)
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+
+	// EDM module ranking by non-weighted exposure: B(2.2) > E(1.3) > D(0.7).
+	wantEDM := []string{"B", "E", "D"}
+	var gotEDM []string
+	for _, rm := range adv.EDMModules {
+		gotEDM = append(gotEDM, rm.Module)
+	}
+	if !reflect.DeepEqual(gotEDM, wantEDM) {
+		t.Errorf("EDMModules = %v, want %v", gotEDM, wantEDM)
+	}
+
+	// ERM module ranking by non-weighted relative permeability:
+	// B(2.3) > E(1.6) > A(0.8) > C(0.7) > D(0.4).
+	wantERM := []string{"B", "E", "A", "C", "D"}
+	var gotERM []string
+	for _, rm := range adv.ERMModules {
+		gotERM = append(gotERM, rm.Module)
+	}
+	if !reflect.DeepEqual(gotERM, wantERM) {
+		t.Errorf("ERMModules = %v, want %v", gotERM, wantERM)
+	}
+
+	// Barrier modules receive system inputs: A (extA), C (extC), E (extE).
+	if !reflect.DeepEqual(adv.BarrierModules, []string{"A", "C", "E"}) {
+		t.Errorf("BarrierModules = %v, want [A C E]", adv.BarrierModules)
+	}
+
+	// Top EDM signal: sysout (X=1.6), then bfb (1.4).
+	if len(adv.EDMSignals) < 2 {
+		t.Fatalf("EDMSignals too short: %v", adv.EDMSignals)
+	}
+	if adv.EDMSignals[0].Signal != "sysout" || adv.EDMSignals[1].Signal != "bfb" {
+		t.Errorf("top EDM signals = %v, want sysout then bfb", adv.EDMSignals[:2])
+	}
+
+	// No signal lies on every sysout path in this topology.
+	if len(adv.CriticalSignals) != 0 {
+		t.Errorf("CriticalSignals = %v, want empty", adv.CriticalSignals)
+	}
+}
+
+func TestAdviseCriticalAndLowExposure(t *testing.T) {
+	// Chain topology: every path to out passes through mid; and the
+	// dead module's output has zero exposure.
+	m := exampleMatrix(t)
+	// Zero the producers of c1 and d1 (like the paper's PRES_S, whose
+	// zero permeability gives InValue zero exposure), and the direct
+	// extE pair, so only the b2 chain carries non-zero paths.
+	for _, z := range []struct {
+		mod     string
+		in, out int
+	}{{"C", 1, 1}, {"D", 1, 1}, {"E", 3, 1}} {
+		if err := m.Set(z.mod, z.in, z.out, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adv, err := Advise(m)
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	// All remaining non-zero paths run through b2.
+	found := false
+	for _, s := range adv.CriticalSignals {
+		if s == "b2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CriticalSignals = %v, want to contain b2", adv.CriticalSignals)
+	}
+	// d1 and c1 now have zero exposure: flagged as poor EDM locations.
+	wantLow := map[string]bool{"c1": true, "d1": true}
+	for _, s := range adv.LowExposureSignals {
+		delete(wantLow, s)
+	}
+	for s := range wantLow {
+		t.Errorf("LowExposureSignals missing %s (got %v)", s, adv.LowExposureSignals)
+	}
+}
+
+func TestAdviceSummary(t *testing.T) {
+	m := exampleMatrix(t)
+	adv, err := Advise(m)
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	s := adv.Summary()
+	for _, want := range []string{"EDM module candidates", "ERM module candidates", "Barrier modules", "sysout"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary() missing %q:\n%s", want, s)
+		}
+	}
+}

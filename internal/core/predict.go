@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+)
+
+// PredictEndToEnd estimates the probability that an error on a system
+// input reaches a system output by composing pair permeabilities along
+// the trace tree: every root-to-leaf path to that output contributes
+// its weight, and paths are combined under an independence assumption,
+//
+//	P(input ⇝ output) ≈ 1 - Π_paths (1 - weight(path)).
+//
+// This is the compositional prediction the permeability framework
+// makes about end-to-end behaviour; comparing it against the directly
+// measured propagation fraction of a fault-injection campaign
+// (campaign.Result.Locations) cross-validates the framework itself.
+// Feedback break-point leaves do not terminate at the output and are
+// ignored.
+func PredictEndToEnd(m *Matrix, input, output string) (float64, error) {
+	sys := m.System()
+	if !sys.IsSystemInput(input) {
+		return 0, fmt.Errorf("core: %q is not a system input of %s", input, sys.Name())
+	}
+	if !sys.IsSystemOutput(output) {
+		return 0, fmt.Errorf("core: %q is not a system output of %s", output, sys.Name())
+	}
+	tree, err := TraceTree(m, input)
+	if err != nil {
+		return 0, err
+	}
+	survive := 1.0
+	for _, p := range tree.Paths() {
+		if p.LeafKind != KindTerminal || p.Leaf() != output {
+			continue
+		}
+		survive *= 1 - p.Weight()
+	}
+	return 1 - survive, nil
+}
+
+// EndToEndPrediction pairs a system input with its predicted
+// propagation probability to a given output.
+type EndToEndPrediction struct {
+	Input     string
+	Output    string
+	Predicted float64
+}
+
+// PredictAllEndToEnd computes PredictEndToEnd for every system input
+// against one output, in sorted input order.
+func PredictAllEndToEnd(m *Matrix, output string) ([]EndToEndPrediction, error) {
+	var out []EndToEndPrediction
+	for _, in := range m.System().SystemInputs() {
+		p, err := PredictEndToEnd(m, in, output)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EndToEndPrediction{Input: in, Output: output, Predicted: p})
+	}
+	return out, nil
+}

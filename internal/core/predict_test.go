@@ -1,0 +1,97 @@
+package core
+
+import "testing"
+
+func TestPredictEndToEndChain(t *testing.T) {
+	m := exampleMatrix(t)
+	// extC reaches sysout through the single chain C->D->E:
+	// 0.7·0.4·0.5 = 0.14.
+	p, err := PredictEndToEnd(m, "extC", "sysout")
+	if err != nil {
+		t.Fatalf("PredictEndToEnd: %v", err)
+	}
+	if !almostEqual(p, 0.14) {
+		t.Errorf("extC -> sysout = %v, want 0.14", p)
+	}
+	// extE is the direct pair.
+	p, err = PredictEndToEnd(m, "extE", "sysout")
+	if err != nil || !almostEqual(p, 0.2) {
+		t.Errorf("extE -> sysout = %v, %v; want 0.2", p, err)
+	}
+}
+
+func TestPredictEndToEndCombinesPaths(t *testing.T) {
+	m := exampleMatrix(t)
+	// extA reaches sysout via two terminal trace paths:
+	//   extA->a1->b2->sysout          0.8·0.6·0.9 = 0.432
+	//   extA->a1->bfb->b2'->sysout    0.8·0.5·0.3·0.9 = 0.108
+	// combined: 1-(1-0.432)(1-0.108) = 0.493344.
+	p, err := PredictEndToEnd(m, "extA", "sysout")
+	if err != nil {
+		t.Fatalf("PredictEndToEnd: %v", err)
+	}
+	want := 1 - (1-0.432)*(1-0.108)
+	if !almostEqual(p, want) {
+		t.Errorf("extA -> sysout = %v, want %v", p, want)
+	}
+}
+
+func TestPredictEndToEndErrors(t *testing.T) {
+	m := exampleMatrix(t)
+	if _, err := PredictEndToEnd(m, "a1", "sysout"); err == nil {
+		t.Error("prediction from internal signal succeeded")
+	}
+	if _, err := PredictEndToEnd(m, "extA", "b2"); err == nil {
+		t.Error("prediction to internal signal succeeded")
+	}
+}
+
+func TestPredictAllEndToEnd(t *testing.T) {
+	m := exampleMatrix(t)
+	preds, err := PredictAllEndToEnd(m, "sysout")
+	if err != nil {
+		t.Fatalf("PredictAllEndToEnd: %v", err)
+	}
+	if len(preds) != 3 {
+		t.Fatalf("predictions = %d, want 3", len(preds))
+	}
+	byInput := map[string]float64{}
+	for _, p := range preds {
+		byInput[p.Input] = p.Predicted
+		if p.Output != "sysout" {
+			t.Errorf("prediction output = %q", p.Output)
+		}
+	}
+	if !almostEqual(byInput["extC"], 0.14) || !almostEqual(byInput["extE"], 0.2) {
+		t.Errorf("predictions = %v", byInput)
+	}
+}
+
+// TestPredictMatchesCollapse: collapsing the entire system and reading
+// the composite pair must agree with the backtrack-based end-to-end
+// combination when the trace- and backtrack-tree path sets coincide
+// (they do for this topology).
+func TestPredictMatchesCollapse(t *testing.T) {
+	m := exampleMatrix(t)
+	collapsed, err := Collapse(m, []string{"A", "B", "C", "D", "E"}, "ALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := collapsed.System().Module("ALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"extA", "extC", "extE"} {
+		pred, err := PredictEndToEnd(m, in, "sysout")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := collapsed.Value("ALL", all.InputIndex(in), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(pred, v) {
+			t.Errorf("%s: predict=%v collapse=%v", in, pred, v)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"propane/internal/model"
+)
+
+// randomMatrix fills a matrix with deterministic pseudo-random values.
+func randomMatrix(t *testing.T, sys *model.System, seed int64) *Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(sys)
+	for _, pv := range m.Pairs() {
+		if err := m.Set(pv.Pair.Module, pv.Pair.In, pv.Pair.Out, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestRandomSystemsAnalysable: the full analysis pipeline terminates
+// and respects its invariants on a spread of generated topologies.
+func TestRandomSystemsAnalysable(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		sys, err := model.RandomSystem(model.GenOptions{
+			Modules:      3 + int(seed%6),
+			MaxPorts:     1 + int(seed%3),
+			FeedbackProb: float64(seed%4) / 4,
+			Seed:         seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: RandomSystem: %v", seed, err)
+		}
+		m := randomMatrix(t, sys, seed*77)
+
+		// Eq. 2 / Eq. 3 relation for every module.
+		for _, mod := range sys.Modules() {
+			rel, err := m.RelativePermeability(mod.Name)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			nw, err := m.NonWeightedRelativePermeability(mod.Name)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !almostEqual(rel*float64(mod.NumPairs()), nw) {
+				t.Errorf("seed %d module %s: Eq2·m·n != Eq3 (%v vs %v)", seed, mod.Name, rel, nw)
+			}
+		}
+
+		// Backtrack forest: bounded path weights, terminal leaves are
+		// system inputs, feedback leaves only in feedback systems.
+		forest, err := BacktrackForest(m)
+		if err != nil {
+			t.Fatalf("seed %d: BacktrackForest: %v", seed, err)
+		}
+		for out, tree := range forest {
+			for _, p := range tree.Paths() {
+				w := p.Weight()
+				if w < 0 || w > 1 {
+					t.Errorf("seed %d output %s: path weight %v out of [0,1]", seed, out, w)
+				}
+				if p.LeafKind == KindTerminal && !sys.IsSystemInput(p.Leaf()) {
+					t.Errorf("seed %d output %s: terminal leaf %q is not a system input", seed, out, p.Leaf())
+				}
+			}
+		}
+
+		// Trace forest terminates and reaches only system outputs at
+		// terminal leaves.
+		tforest, err := TraceForest(m)
+		if err != nil {
+			t.Fatalf("seed %d: TraceForest: %v", seed, err)
+		}
+		for in, tree := range tforest {
+			for _, p := range tree.Paths() {
+				if p.LeafKind == KindTerminal && !sys.IsSystemOutput(p.Leaf()) {
+					t.Errorf("seed %d input %s: terminal leaf %q is not a system output", seed, in, p.Leaf())
+				}
+			}
+		}
+
+		// End-to-end predictions are probabilities.
+		for _, out := range sys.SystemOutputs() {
+			preds, err := PredictAllEndToEnd(m, out)
+			if err != nil {
+				t.Fatalf("seed %d: PredictAllEndToEnd: %v", seed, err)
+			}
+			for _, p := range preds {
+				if p.Predicted < 0 || p.Predicted > 1 {
+					t.Errorf("seed %d: prediction %v out of [0,1]", seed, p)
+				}
+			}
+		}
+
+		// Placement advice never fails on a valid matrix.
+		if _, err := Advise(m); err != nil {
+			t.Fatalf("seed %d: Advise: %v", seed, err)
+		}
+	}
+}
+
+// TestSignalExposurePartition: every pair contributes to the S_p of at
+// most one signal (the signal its output drives), so the total signal
+// exposure never exceeds the sum of all pair permeabilities, and each
+// signal's exposure never exceeds its driver's non-weighted relative
+// permeability.
+func TestSignalExposurePartition(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		sys, err := model.RandomSystem(model.GenOptions{
+			Modules: 4 + int(seed%5), MaxPorts: 2, FeedbackProb: 0.3, Seed: seed * 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := randomMatrix(t, sys, seed)
+		exposures, err := SignalExposures(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPairs := 0.0
+		for _, pv := range m.Pairs() {
+			totalPairs += pv.Value
+		}
+		totalExp := 0.0
+		for _, se := range exposures {
+			totalExp += se.Exposure
+			drv, driven := sys.Driver(se.Signal)
+			if !driven {
+				if se.Exposure != 0 {
+					t.Errorf("seed %d: system input %s has exposure %v", seed, se.Signal, se.Exposure)
+				}
+				continue
+			}
+			nw, err := m.NonWeightedRelativePermeability(drv.Module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if se.Exposure > nw+1e-9 {
+				t.Errorf("seed %d: X^%s = %v exceeds driver P̄ = %v", seed, se.Signal, se.Exposure, nw)
+			}
+		}
+		if totalExp > totalPairs+1e-9 {
+			t.Errorf("seed %d: ΣX^S = %v exceeds Σ pairs = %v", seed, totalExp, totalPairs)
+		}
+	}
+}
+
+// TestCollapsePropertyDownstreamInvariance: collapsing any proper
+// prefix of modules never changes the measures of the remaining ones.
+func TestCollapsePropertyDownstreamInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		sys, err := model.RandomSystem(model.GenOptions{
+			Modules: 5, MaxPorts: 2, FeedbackProb: 0.25, Seed: seed * 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := randomMatrix(t, sys, seed*7)
+		names := sys.ModuleNames()
+		group := names[:2]
+		collapsed, err := Collapse(m, group, "GRP")
+		if err != nil {
+			// Some random prefixes do not form a valid subsystem
+			// (e.g. no boundary output); that is a legitimate error,
+			// not a property violation.
+			continue
+		}
+		for _, rest := range names[2:] {
+			before, err := m.NonWeightedRelativePermeability(rest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := collapsed.NonWeightedRelativePermeability(rest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(before, after) {
+				t.Errorf("seed %d: P̄^%s changed %v -> %v across collapse", seed, rest, before, after)
+			}
+		}
+		// Composite permeabilities are probabilities.
+		grp, err := collapsed.System().Module("GRP")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range grp.Inputs {
+			for _, out := range grp.Outputs {
+				v, err := collapsed.Value("GRP", in.Index, out.Index)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v < 0 || v > 1 {
+					t.Errorf("seed %d: composite pair value %v out of [0,1]", seed, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSensitivityNonNegative: sensitivities are non-negative sums of
+// products of probabilities on every random topology.
+func TestSensitivityNonNegative(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		sys, err := model.RandomSystem(model.GenOptions{
+			Modules: 4, MaxPorts: 2, FeedbackProb: 0.5, Seed: seed * 101,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := randomMatrix(t, sys, seed*3)
+		for _, out := range sys.SystemOutputs() {
+			sens, err := PathSensitivities(m, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range sens {
+				if s.Sensitivity < 0 {
+					t.Errorf("seed %d: negative sensitivity %+v", seed, s)
+				}
+				if s.PathCount < 0 {
+					t.Errorf("seed %d: negative path count %+v", seed, s)
+				}
+			}
+		}
+	}
+}

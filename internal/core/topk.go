@@ -1,0 +1,104 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// TopPaths returns the k highest-weight root-to-leaf paths of the tree
+// without materialising every path: branches whose weight prefix
+// already falls below the current k-th best weight are pruned. For the
+// small trees of the paper's target this is a convenience; for
+// generated or collapsed systems with wide fan-out it keeps "find the
+// paths with the highest propagation probability" (Section 4.2)
+// tractable.
+//
+// The result is ordered by decreasing weight, with the same
+// tie-breaking as RankedPaths (shorter first, then rendering).
+func (t *Tree) TopPaths(k int) ([]Path, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+
+	h := &pathHeap{}
+	heap.Init(h)
+	bound := func() float64 {
+		if h.Len() < k {
+			return -1 // accept anything until the heap is full
+		}
+		return (*h)[0].weight
+	}
+
+	var steps []Step
+	var rec func(n *Node, weight float64)
+	rec = func(n *Node, weight float64) {
+		if n.Kind != KindRoot {
+			weight *= n.Weight
+			steps = append(steps, Step{Signal: n.Signal, Pair: n.Pair, Weight: n.Weight})
+			defer func() { steps = steps[:len(steps)-1] }()
+		}
+		// Prune: weights only shrink along a path (all factors <= 1),
+		// so a prefix below the current k-th best cannot recover. Ties
+		// must still be explored for deterministic tie-breaking.
+		if weight < bound() {
+			return
+		}
+		if n.IsLeaf() {
+			p := Path{Root: t.Root.Signal, Steps: make([]Step, len(steps)), LeafKind: n.Kind}
+			copy(p.Steps, steps)
+			if h.Len() < k {
+				heap.Push(h, scoredPath{path: p, weight: weight})
+			} else if better(p, weight, (*h)[0].path, (*h)[0].weight) {
+				(*h)[0] = scoredPath{path: p, weight: weight}
+				heap.Fix(h, 0)
+			}
+			return
+		}
+		for _, c := range n.Children {
+			rec(c, weight)
+		}
+	}
+	rec(t.Root, 1)
+
+	out := make([]Path, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(scoredPath).path
+	}
+	return out, nil
+}
+
+// better reports whether path a (weight wa) ranks ahead of path b
+// (weight wb) under the RankedPaths ordering.
+func better(a Path, wa float64, b Path, wb float64) bool {
+	if wa != wb {
+		return wa > wb
+	}
+	if len(a.Steps) != len(b.Steps) {
+		return len(a.Steps) < len(b.Steps)
+	}
+	return a.String() < b.String()
+}
+
+// scoredPath pairs a path with its weight for the bounded heap.
+type scoredPath struct {
+	path   Path
+	weight float64
+}
+
+// pathHeap is a min-heap on the RankedPaths ordering: the root is the
+// currently worst of the kept paths, ready to be displaced.
+type pathHeap []scoredPath
+
+func (h pathHeap) Len() int { return len(h) }
+func (h pathHeap) Less(i, j int) bool {
+	return better(h[j].path, h[j].weight, h[i].path, h[i].weight)
+}
+func (h pathHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x any)   { *h = append(*h, x.(scoredPath)) }
+func (h *pathHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

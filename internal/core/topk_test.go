@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"propane/internal/model"
+)
+
+func TestTopPathsMatchesRankedPrefix(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := tree.RankedPaths()
+	for k := 1; k <= len(ranked)+2; k++ {
+		top, err := tree.TopPaths(k)
+		if err != nil {
+			t.Fatalf("TopPaths(%d): %v", k, err)
+		}
+		want := ranked
+		if k < len(ranked) {
+			want = ranked[:k]
+		}
+		if len(top) != len(want) {
+			t.Fatalf("TopPaths(%d) returned %d paths, want %d", k, len(top), len(want))
+		}
+		for i := range want {
+			if top[i].String() != want[i].String() || !almostEqual(top[i].Weight(), want[i].Weight()) {
+				t.Errorf("TopPaths(%d)[%d] = %s (%v), want %s (%v)",
+					k, i, top[i], top[i].Weight(), want[i], want[i].Weight())
+			}
+		}
+	}
+	if _, err := tree.TopPaths(0); err == nil {
+		t.Error("TopPaths(0) succeeded")
+	}
+}
+
+// TestTopPathsRandomAgreement: on random topologies and matrices, the
+// pruned top-k search agrees with full enumeration.
+func TestTopPathsRandomAgreement(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		sys, err := model.RandomSystem(model.GenOptions{
+			Modules: 4 + int(seed%4), MaxPorts: 2, FeedbackProb: 0.3, Seed: seed * 997,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(sys)
+		for _, pv := range m.Pairs() {
+			if err := m.Set(pv.Pair.Module, pv.Pair.In, pv.Pair.Out, rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, output := range sys.SystemOutputs() {
+			tree, err := BacktrackTree(m, output)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranked := tree.RankedPaths()
+			for _, k := range []int{1, 3, len(ranked)} {
+				if k < 1 {
+					continue
+				}
+				top, err := tree.TopPaths(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantLen := k
+				if wantLen > len(ranked) {
+					wantLen = len(ranked)
+				}
+				var want, got []string
+				for i := 0; i < wantLen; i++ {
+					want = append(want, ranked[i].String())
+					got = append(got, top[i].String())
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("seed %d output %s k=%d:\n got %v\nwant %v", seed, output, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyWrapper(t *testing.T) {
+	m := exampleMatrix(t)
+	wrapped, err := ApplyWrapper(m, "B", 0.5)
+	if err != nil {
+		t.Fatalf("ApplyWrapper: %v", err)
+	}
+	// B's pairs halve; others stay.
+	v, err := wrapped.Value("B", 1, 2)
+	if err != nil || !almostEqual(v, 0.3) {
+		t.Errorf("wrapped B(1,2) = %v, want 0.3", v)
+	}
+	v, err = wrapped.Value("E", 1, 1)
+	if err != nil || !almostEqual(v, 0.9) {
+		t.Errorf("wrapped E(1,1) = %v, want unchanged 0.9", v)
+	}
+	// The original is untouched.
+	v, err = m.Value("B", 1, 2)
+	if err != nil || !almostEqual(v, 0.6) {
+		t.Errorf("original B(1,2) = %v, want 0.6", v)
+	}
+	if _, err := ApplyWrapper(m, "B", 1.5); err == nil {
+		t.Error("factor > 1 accepted")
+	}
+	if _, err := ApplyWrapper(m, "ZZ", 0.5); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func TestEvaluateWrapper(t *testing.T) {
+	m := exampleMatrix(t)
+	effects, err := EvaluateWrapper(m, "B", 0)
+	if err != nil {
+		t.Fatalf("EvaluateWrapper: %v", err)
+	}
+	if len(effects) != 1 {
+		t.Fatalf("effects = %d, want 1", len(effects))
+	}
+	e := effects[0]
+	if e.Output != "sysout" || e.Module != "B" {
+		t.Errorf("effect metadata wrong: %+v", e)
+	}
+	// A perfect wrapper on B removes the three b2-branch paths
+	// (0.432 + 0.243 + 0.108); the extC (0.14) and extE (0.2) paths
+	// survive.
+	if !almostEqual(e.Before, 0.432+0.243+0.108+0.14+0.2) {
+		t.Errorf("before = %v", e.Before)
+	}
+	if !almostEqual(e.After, 0.34) {
+		t.Errorf("after = %v, want 0.34", e.After)
+	}
+	wantReduction := 1 - 0.34/e.Before
+	if !almostEqual(e.Reduction(), wantReduction) {
+		t.Errorf("Reduction() = %v, want %v", e.Reduction(), wantReduction)
+	}
+	// Zero-before edge case.
+	zero := WrapperEffect{Before: 0, After: 0}
+	if zero.Reduction() != 0 {
+		t.Errorf("zero-before reduction = %v", zero.Reduction())
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"propane/internal/model"
+)
+
+// TraceTree constructs the trace tree for a system input signal
+// following steps B1–B4 of Section 4.2: the root represents the system
+// input, leaves represent system outputs (or feedback break-points),
+// and intermediate nodes represent internal signals. Each arc carries
+// the permeability value P^M_{i,k} of the receiving module's pair.
+//
+// When a signal fans out to several module inputs, children are
+// generated for every receiving input, so the tree covers every
+// forward propagation route.
+func TraceTree(m *Matrix, input string) (*Tree, error) {
+	sys := m.System()
+	if !sys.IsSystemInput(input) {
+		return nil, fmt.Errorf("core: %q is not a system input of %s", input, sys.Name())
+	}
+	root := &Node{Signal: input, Kind: KindRoot}
+	visited := map[model.Endpoint]bool{}
+	if err := expandTrace(m, root, visited); err != nil {
+		return nil, err
+	}
+	return &Tree{Root: root, Backtrack: false}, nil
+}
+
+// expandTrace generates the children of node per step B2 (one child
+// per output of each receiving module) and recurses per step B3.
+// visited holds the module inputs already consumed along the path from
+// the root, so each feedback loop is followed exactly once: when an
+// output signal feeds an input already on the path, the child becomes
+// a feedback leaf instead of recursing.
+func expandTrace(m *Matrix, node *Node, visited map[model.Endpoint]bool) error {
+	sys := m.System()
+	for _, recv := range sys.Receivers(node.Signal) {
+		if visited[recv] {
+			// This receiving input is already on the path: the
+			// propagation recursion through the loop stops here. The
+			// node itself was already emitted by the caller; nothing
+			// further is generated for this receiver.
+			continue
+		}
+		visited[recv] = true
+		mod, err := sys.Module(recv.Module)
+		if err != nil {
+			delete(visited, recv)
+			return err
+		}
+		for _, out := range mod.Outputs {
+			pair := Pair{Module: mod.Name, In: recv.Index, Out: out.Index}
+			child := &Node{
+				Signal: out.Signal,
+				Pair:   pair,
+				Weight: m.at(pair),
+			}
+			node.Children = append(node.Children, child)
+
+			switch {
+			case sys.IsSystemOutput(out.Signal):
+				// Step B3: system output signals become leaves.
+				child.Kind = KindTerminal
+			case allReceiversVisited(sys, out.Signal, visited):
+				// Every consumer of this signal is already on the
+				// path: following it further would re-enter a loop a
+				// second time, so it becomes a feedback leaf.
+				child.Kind = KindFeedback
+			default:
+				child.Kind = KindInternal
+				if err := expandTrace(m, child, visited); err != nil {
+					delete(visited, recv)
+					return err
+				}
+			}
+		}
+		delete(visited, recv)
+	}
+	return nil
+}
+
+// allReceiversVisited reports whether every module input consuming the
+// signal is already on the current path.
+func allReceiversVisited(sys *model.System, signal string, visited map[model.Endpoint]bool) bool {
+	receivers := sys.Receivers(signal)
+	if len(receivers) == 0 {
+		return false
+	}
+	for _, r := range receivers {
+		if !visited[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceForest builds one trace tree per system input (step B4), keyed
+// by input signal name.
+func TraceForest(m *Matrix) (map[string]*Tree, error) {
+	forest := make(map[string]*Tree)
+	for _, in := range m.System().SystemInputs() {
+		t, err := TraceTree(m, in)
+		if err != nil {
+			return nil, err
+		}
+		forest[in] = t
+	}
+	return forest, nil
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"propane/internal/model"
+)
+
+func TestBacktrackTreeStructure(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	root := tree.Root
+	if root.Kind != KindRoot || root.Signal != "sysout" {
+		t.Fatalf("root = %s/%v, want sysout/root", root.Signal, root.Kind)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root has %d children, want 3 (b2, d1, extE)", len(root.Children))
+	}
+	// Children follow the input-port order of the driving module E.
+	wantSignals := []string{"b2", "d1", "extE"}
+	for i, c := range root.Children {
+		if c.Signal != wantSignals[i] {
+			t.Errorf("root child %d = %s, want %s", i, c.Signal, wantSignals[i])
+		}
+	}
+	if got, want := root.CountLeaves(), 5; got != want {
+		t.Errorf("CountLeaves() = %d, want %d", got, want)
+	}
+
+	// The b2 branch goes through B, whose local feedback must be
+	// followed exactly once and then terminated with a feedback leaf.
+	b2 := root.Children[0]
+	if b2.Kind != KindInternal {
+		t.Fatalf("b2 kind = %v, want internal", b2.Kind)
+	}
+	if len(b2.Children) != 2 {
+		t.Fatalf("b2 has %d children, want 2 (a1, bfb)", len(b2.Children))
+	}
+	bfb := b2.Children[1]
+	if bfb.Signal != "bfb" || bfb.Kind != KindInternal {
+		t.Fatalf("b2 child 1 = %s/%v, want bfb/internal", bfb.Signal, bfb.Kind)
+	}
+	if len(bfb.Children) != 2 {
+		t.Fatalf("bfb has %d children, want 2", len(bfb.Children))
+	}
+	inner := bfb.Children[1]
+	if inner.Signal != "bfb" || inner.Kind != KindFeedback {
+		t.Errorf("inner bfb = %s/%v, want bfb/feedback (recursion broken)", inner.Signal, inner.Kind)
+	}
+	if !inner.IsLeaf() {
+		t.Error("feedback node is not a leaf")
+	}
+
+	// Terminal leaves are system inputs.
+	extE := root.Children[2]
+	if extE.Kind != KindTerminal {
+		t.Errorf("extE kind = %v, want terminal", extE.Kind)
+	}
+	if !almostEqual(extE.Weight, 0.2) {
+		t.Errorf("extE weight = %v, want 0.2 (E pair 3,1)", extE.Weight)
+	}
+}
+
+func TestBacktrackTreeErrors(t *testing.T) {
+	m := exampleMatrix(t)
+	if _, err := BacktrackTree(m, "extA"); err == nil {
+		t.Error("BacktrackTree(extA) succeeded, want error (not a system output)")
+	}
+	if _, err := BacktrackTree(m, "b2"); err == nil {
+		t.Error("BacktrackTree(b2) succeeded, want error (internal signal)")
+	}
+}
+
+func TestBacktrackForest(t *testing.T) {
+	m := exampleMatrix(t)
+	forest, err := BacktrackForest(m)
+	if err != nil {
+		t.Fatalf("BacktrackForest: %v", err)
+	}
+	if len(forest) != 1 {
+		t.Fatalf("forest size = %d, want 1", len(forest))
+	}
+	if _, ok := forest["sysout"]; !ok {
+		t.Error("forest missing tree for sysout")
+	}
+}
+
+func TestTraceTreeStructure(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := TraceTree(m, "extA")
+	if err != nil {
+		t.Fatalf("TraceTree: %v", err)
+	}
+	root := tree.Root
+	if root.Signal != "extA" || root.Kind != KindRoot {
+		t.Fatalf("root = %s/%v, want extA/root", root.Signal, root.Kind)
+	}
+	// extA feeds only module A, which has one output.
+	if len(root.Children) != 1 {
+		t.Fatalf("root has %d children, want 1 (a1)", len(root.Children))
+	}
+	a1 := root.Children[0]
+	if a1.Signal != "a1" || !almostEqual(a1.Weight, 0.8) {
+		t.Fatalf("a1 node = %s w=%v, want a1 w=0.8", a1.Signal, a1.Weight)
+	}
+	// a1 feeds B input 1: children bfb (pair 1,1) and b2 (pair 1,2).
+	if len(a1.Children) != 2 {
+		t.Fatalf("a1 has %d children, want 2", len(a1.Children))
+	}
+	bfb, b2 := a1.Children[0], a1.Children[1]
+	if bfb.Signal != "bfb" || b2.Signal != "b2" {
+		t.Fatalf("a1 children = %s,%s; want bfb,b2", bfb.Signal, b2.Signal)
+	}
+	// bfb feeds B input 2 (the feedback): followed once, then broken.
+	if bfb.Kind != KindInternal || len(bfb.Children) != 2 {
+		t.Fatalf("bfb kind=%v children=%d, want internal/2", bfb.Kind, len(bfb.Children))
+	}
+	if bfb.Children[0].Signal != "bfb" || bfb.Children[0].Kind != KindFeedback {
+		t.Errorf("inner bfb = %s/%v, want bfb/feedback", bfb.Children[0].Signal, bfb.Children[0].Kind)
+	}
+	// Leaves of the trace tree are system outputs (or feedback).
+	if got, want := root.CountLeaves(), 3; got != want {
+		t.Errorf("CountLeaves() = %d, want %d", got, want)
+	}
+	for _, p := range tree.Paths() {
+		if p.LeafKind == KindTerminal && p.Leaf() != "sysout" {
+			t.Errorf("terminal leaf %q, want sysout", p.Leaf())
+		}
+	}
+}
+
+func TestTraceTreeSimpleChains(t *testing.T) {
+	m := exampleMatrix(t)
+	tests := []struct {
+		input      string
+		wantPaths  int
+		wantWeight float64
+	}{
+		{"extC", 1, 0.7 * 0.4 * 0.5},
+		{"extE", 1, 0.2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.input, func(t *testing.T) {
+			tree, err := TraceTree(m, tt.input)
+			if err != nil {
+				t.Fatalf("TraceTree: %v", err)
+			}
+			paths := tree.Paths()
+			if len(paths) != tt.wantPaths {
+				t.Fatalf("paths = %d, want %d", len(paths), tt.wantPaths)
+			}
+			if !almostEqual(paths[0].Weight(), tt.wantWeight) {
+				t.Errorf("weight = %v, want %v", paths[0].Weight(), tt.wantWeight)
+			}
+		})
+	}
+}
+
+func TestTraceTreeErrors(t *testing.T) {
+	m := exampleMatrix(t)
+	if _, err := TraceTree(m, "sysout"); err == nil {
+		t.Error("TraceTree(sysout) succeeded, want error")
+	}
+	if _, err := TraceTree(m, "bfb"); err == nil {
+		t.Error("TraceTree(bfb) succeeded, want error")
+	}
+}
+
+func TestTraceForest(t *testing.T) {
+	m := exampleMatrix(t)
+	forest, err := TraceForest(m)
+	if err != nil {
+		t.Fatalf("TraceForest: %v", err)
+	}
+	if len(forest) != 3 {
+		t.Fatalf("forest size = %d, want 3", len(forest))
+	}
+	for _, in := range []string{"extA", "extC", "extE"} {
+		if _, ok := forest[in]; !ok {
+			t.Errorf("forest missing tree for %s", in)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	tests := []struct {
+		k    NodeKind
+		want string
+	}{
+		{KindRoot, "root"},
+		{KindInternal, "internal"},
+		{KindTerminal, "terminal"},
+		{KindFeedback, "feedback"},
+		{NodeKind(99), "NodeKind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("NodeKind(%d).String() = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	count := 0
+	tree.Root.Walk(func(*Node) { count++ })
+	if count != tree.Root.CountNodes() {
+		t.Errorf("Walk visited %d nodes, CountNodes = %d", count, tree.Root.CountNodes())
+	}
+}
+
+// TestTreeStructureIndependentOfValues checks the property that tree
+// shape (nodes, leaves, kinds) depends only on topology, not on the
+// permeability values.
+func TestTreeStructureIndependentOfValues(t *testing.T) {
+	sys := model.PaperExampleSystem()
+	base := NewMatrix(sys)
+	baseTree, err := BacktrackTree(base, "sysout")
+	if err != nil {
+		t.Fatalf("BacktrackTree: %v", err)
+	}
+	wantNodes, wantLeaves := baseTree.Root.CountNodes(), baseTree.Root.CountLeaves()
+
+	prop := func(seed uint32) bool {
+		m := NewMatrix(sys)
+		v := float64(seed%1000) / 1000
+		for _, pv := range m.Pairs() {
+			if err := m.Set(pv.Pair.Module, pv.Pair.In, pv.Pair.Out, v); err != nil {
+				return false
+			}
+		}
+		tree, err := BacktrackTree(m, "sysout")
+		if err != nil {
+			return false
+		}
+		return tree.Root.CountNodes() == wantNodes && tree.Root.CountLeaves() == wantLeaves
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package edm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"propane/internal/campaign"
+)
+
+// AssertionResult summarises how one concrete executable assertion
+// behaved over a fault-injection campaign: how often it alarmed on
+// system-failure runs (true positives), how often on benign error runs,
+// whether it ever alarmed on the Golden Runs themselves (false
+// positives — a detector that trips on correct behaviour is unusable),
+// and its mean detection latency relative to the system failure.
+type AssertionResult struct {
+	Detector string
+	Signal   string
+	// GoldenAlarms counts alarms raised during the golden (no
+	// injection) runs: design-time false positives.
+	GoldenAlarms int
+	// SystemFailures is the number of injection runs whose system
+	// output deviated.
+	SystemFailures int
+	// Detected counts system-failure runs where the assertion alarmed
+	// no later than the system output failed.
+	Detected int
+	// LateAlarms counts system-failure runs where the assertion
+	// alarmed only after the output had already failed.
+	LateAlarms int
+	// BenignAlarms counts alarms on runs that deviated somewhere but
+	// never corrupted a system output.
+	BenignAlarms int
+	// MeanLeadMs is the mean lead time (failure time − alarm time)
+	// over detected runs: how much earlier than the failure the
+	// assertion fired.
+	MeanLeadMs float64
+
+	leadSum int64
+}
+
+// Coverage is Detected / SystemFailures.
+func (r AssertionResult) Coverage() float64 {
+	if r.SystemFailures == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.SystemFailures)
+}
+
+// AssertionStudy runs a fault-injection campaign with real executable
+// assertions (edm.Detector implementations) monitoring their signals
+// inside every run — golden and injected — and reports each
+// assertion's measured behaviour. This is the experimental counterpart
+// of the paper's reference [7] (assertion-based EDM efficiency): where
+// Evaluate models an abstract detection probability, AssertionStudy
+// executes the concrete checks.
+//
+// The factory is invoked once per run to produce fresh detector
+// instances (assertions are stateful); it must return the same
+// detectors in the same order every time.
+func AssertionStudy(cfg campaign.Config, factory func() []Detector) ([]AssertionResult, error) {
+	if factory == nil {
+		return nil, errors.New("edm: nil detector factory")
+	}
+	if cfg.Observer != nil {
+		return nil, errors.New("edm: campaign config already has an observer")
+	}
+	probe := factory()
+	if len(probe) == 0 {
+		return nil, errors.New("edm: factory returned no detectors")
+	}
+	results := make([]AssertionResult, len(probe))
+	for i, d := range probe {
+		results[i] = AssertionResult{Detector: d.Name(), Signal: d.Signal()}
+	}
+
+	// Golden-run false positives: run each test case once with the
+	// monitors attached and no injection.
+	for _, tc := range cfg.TestCases {
+		inst, err := cfg.NewInstance(tc, nil)
+		if err != nil {
+			return nil, err
+		}
+		monitors, err := attach(factory(), inst)
+		if err != nil {
+			return nil, err
+		}
+		inst.Run(cfg.HorizonMs)
+		for i, mon := range monitors {
+			if _, alarmed := mon.Alarmed(); alarmed {
+				results[i].GoldenAlarms++
+			}
+		}
+	}
+
+	// Injection runs: the campaign drives the simulations; our
+	// per-run instrumentation hook attaches fresh monitors, and the
+	// observer correlates their alarms with the run outcome via the
+	// attachment handed back on the serial path.
+	cfg.Instrument = func(inst campaign.Instance, _ int) (any, error) {
+		return attach(factory(), inst)
+	}
+	cfg.Observer = func(rec campaign.RunRecord) {
+		monitors, ok := rec.Attachment.([]*Monitor)
+		if !ok || !rec.Fired {
+			return
+		}
+		anyDiff := rec.SystemFailure
+		if !anyDiff {
+			for _, d := range rec.Diffs {
+				if d.Differs() {
+					anyDiff = true
+					break
+				}
+			}
+		}
+		for i, mon := range monitors {
+			at, alarmed := mon.Alarmed()
+			r := &results[i]
+			switch {
+			case rec.SystemFailure:
+				r.SystemFailures++
+				if alarmed && at <= rec.FailureAt {
+					r.Detected++
+					r.leadSum += int64(rec.FailureAt - at)
+				} else if alarmed {
+					r.LateAlarms++
+				}
+			case anyDiff && alarmed:
+				r.BenignAlarms++
+			}
+		}
+	}
+
+	if _, err := campaign.Run(cfg); err != nil {
+		return nil, err
+	}
+	for i := range results {
+		if results[i].Detected > 0 {
+			results[i].MeanLeadMs = float64(results[i].leadSum) / float64(results[i].Detected)
+		}
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Coverage() != results[b].Coverage() {
+			return results[a].Coverage() > results[b].Coverage()
+		}
+		return results[a].Detector < results[b].Detector
+	})
+	return results, nil
+}
+
+// attach wires fresh detectors onto an instance's bus and kernel.
+func attach(dets []Detector, inst campaign.Instance) ([]*Monitor, error) {
+	monitors := make([]*Monitor, len(dets))
+	for i, d := range dets {
+		mon, err := NewMonitor(d, inst.Bus())
+		if err != nil {
+			return nil, fmt.Errorf("edm: attaching %s: %w", d.Name(), err)
+		}
+		inst.Kernel().AddPostHook(mon.Hook())
+		monitors[i] = mon
+	}
+	return monitors, nil
+}

@@ -1,0 +1,186 @@
+// Package edm implements error detection mechanisms (EDMs) and error
+// recovery mechanisms (ERMs) in the sense of the paper's Section 5,
+// plus the placement-evaluation experiment behind observation OB3:
+// a detection mechanism should be judged not only by its detection
+// probability but by how often errors actually pass the location it
+// monitors — "it should be preferred to put a detection mechanism
+// with a slightly lower detection probability at a location where
+// errors very likely pass by during propagation rather than placing a
+// mechanism with a very high detection probability at a location
+// which seldom is exposed to propagating errors."
+package edm
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"propane/internal/sim"
+)
+
+// Detector is an executable assertion monitoring one signal. Feed it
+// every sample of the signal; Check reports an alarm.
+type Detector interface {
+	// Signal names the monitored signal.
+	Signal() string
+	// Name identifies the detector for reports.
+	Name() string
+	// Check consumes one sample and reports whether the assertion
+	// fires on it.
+	Check(v uint16, now sim.Millis) bool
+	// Reset clears internal state for a fresh run.
+	Reset()
+}
+
+// RangeAssertion fires when the signal leaves [Lo, Hi] — the simplest
+// executable assertion (cf. the paper's [11, 16] references).
+type RangeAssertion struct {
+	Sig    string
+	Lo, Hi uint16
+}
+
+var _ Detector = (*RangeAssertion)(nil)
+
+// Signal implements Detector.
+func (r *RangeAssertion) Signal() string { return r.Sig }
+
+// Name implements Detector.
+func (r *RangeAssertion) Name() string {
+	return fmt.Sprintf("range(%s in [%d,%d])", r.Sig, r.Lo, r.Hi)
+}
+
+// Check implements Detector.
+func (r *RangeAssertion) Check(v uint16, _ sim.Millis) bool {
+	return v < r.Lo || v > r.Hi
+}
+
+// Reset implements Detector.
+func (r *RangeAssertion) Reset() {}
+
+// DeltaAssertion fires when the signal moves more than MaxDelta
+// between consecutive samples — a rate-of-change assertion suited to
+// physical quantities like pressure.
+type DeltaAssertion struct {
+	Sig      string
+	MaxDelta uint16
+
+	primed bool
+	prev   uint16
+}
+
+var _ Detector = (*DeltaAssertion)(nil)
+
+// Signal implements Detector.
+func (d *DeltaAssertion) Signal() string { return d.Sig }
+
+// Name implements Detector.
+func (d *DeltaAssertion) Name() string {
+	return fmt.Sprintf("delta(%s <= %d)", d.Sig, d.MaxDelta)
+}
+
+// Check implements Detector.
+func (d *DeltaAssertion) Check(v uint16, _ sim.Millis) bool {
+	if !d.primed {
+		d.primed = true
+		d.prev = v
+		return false
+	}
+	diff := v - d.prev
+	if int16(diff) < 0 {
+		diff = -diff
+	}
+	d.prev = v
+	return diff > d.MaxDelta
+}
+
+// Reset implements Detector.
+func (d *DeltaAssertion) Reset() {
+	d.primed = false
+	d.prev = 0
+}
+
+// MonotonicAssertion fires when the signal decreases — suited to
+// monotone counters such as pulscnt or the checkpoint index i.
+type MonotonicAssertion struct {
+	Sig string
+
+	primed bool
+	prev   uint16
+}
+
+var _ Detector = (*MonotonicAssertion)(nil)
+
+// Signal implements Detector.
+func (m *MonotonicAssertion) Signal() string { return m.Sig }
+
+// Name implements Detector.
+func (m *MonotonicAssertion) Name() string {
+	return fmt.Sprintf("monotonic(%s)", m.Sig)
+}
+
+// Check implements Detector.
+func (m *MonotonicAssertion) Check(v uint16, _ sim.Millis) bool {
+	if !m.primed {
+		m.primed = true
+		m.prev = v
+		return false
+	}
+	decreased := int16(v-m.prev) < 0
+	m.prev = v
+	return decreased
+}
+
+// Reset implements Detector.
+func (m *MonotonicAssertion) Reset() {
+	m.primed = false
+	m.prev = 0
+}
+
+// Monitor attaches a detector to a signal on a bus and samples it
+// every tick via a kernel post-hook, recording the first alarm.
+type Monitor struct {
+	det     Detector
+	sig     *sim.Signal
+	alarmed bool
+	alarmAt sim.Millis
+}
+
+// NewMonitor wires a detector to the named signal of the bus.
+func NewMonitor(det Detector, bus *sim.Bus) (*Monitor, error) {
+	if det == nil {
+		return nil, errors.New("edm: nil detector")
+	}
+	sig, err := bus.Lookup(det.Signal())
+	if err != nil {
+		return nil, fmt.Errorf("edm: monitor: %w", err)
+	}
+	det.Reset()
+	return &Monitor{det: det, sig: sig}, nil
+}
+
+// Hook returns the kernel post-hook performing the sampling.
+func (m *Monitor) Hook() sim.Hook {
+	return func(now sim.Millis) {
+		if m.det.Check(m.sig.Read(), now) && !m.alarmed {
+			m.alarmed = true
+			m.alarmAt = now
+		}
+	}
+}
+
+// Alarmed reports whether the detector fired and when it first did.
+func (m *Monitor) Alarmed() (sim.Millis, bool) {
+	return m.alarmAt, m.alarmed
+}
+
+// Detector returns the wrapped detector.
+func (m *Monitor) Detector() Detector { return m.det }
+
+// coverageHash derives a deterministic pseudo-random value in [0,1)
+// from a run identity, used to model a detector's detection
+// probability without non-determinism.
+func coverageHash(key string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return float64(h.Sum64()%1e6) / 1e6
+}

@@ -1,0 +1,149 @@
+package edm
+
+import (
+	"strings"
+	"testing"
+
+	"propane/internal/sim"
+)
+
+func TestRangeAssertion(t *testing.T) {
+	r := &RangeAssertion{Sig: "SetValue", Lo: 100, Hi: 200}
+	tests := []struct {
+		v    uint16
+		want bool
+	}{
+		{100, false}, {150, false}, {200, false},
+		{99, true}, {201, true}, {0, true}, {65535, true},
+	}
+	for _, tt := range tests {
+		if got := r.Check(tt.v, 0); got != tt.want {
+			t.Errorf("Check(%d) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+	if r.Signal() != "SetValue" {
+		t.Errorf("Signal() = %q", r.Signal())
+	}
+	if !strings.Contains(r.Name(), "range") {
+		t.Errorf("Name() = %q", r.Name())
+	}
+	r.Reset() // no-op, must not panic
+}
+
+func TestDeltaAssertion(t *testing.T) {
+	d := &DeltaAssertion{Sig: "InValue", MaxDelta: 10}
+	if d.Check(1000, 0) {
+		t.Error("first sample alarmed")
+	}
+	if d.Check(1009, 1) {
+		t.Error("small move alarmed")
+	}
+	if !d.Check(1030, 2) {
+		t.Error("jump of 21 not alarmed")
+	}
+	// Downward jumps count too.
+	if !d.Check(1000, 3) {
+		t.Error("downward jump not alarmed")
+	}
+	d.Reset()
+	if d.Check(5000, 4) {
+		t.Error("alarmed right after Reset")
+	}
+}
+
+func TestMonotonicAssertion(t *testing.T) {
+	m := &MonotonicAssertion{Sig: "pulscnt"}
+	if m.Check(5, 0) {
+		t.Error("first sample alarmed")
+	}
+	if m.Check(5, 1) || m.Check(6, 2) {
+		t.Error("non-decreasing samples alarmed")
+	}
+	if !m.Check(4, 3) {
+		t.Error("decrease not alarmed")
+	}
+	// Wrap-around of a counter is treated as an increase.
+	m.Reset()
+	m.Check(0xFFFE, 4)
+	if m.Check(2, 5) {
+		t.Error("16-bit wrap treated as decrease")
+	}
+}
+
+func TestMonitor(t *testing.T) {
+	bus := sim.NewBus()
+	sig := bus.Register("SetValue")
+	mon, err := NewMonitor(&RangeAssertion{Sig: "SetValue", Lo: 0, Hi: 100}, bus)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	hook := mon.Hook()
+	sig.Write(50)
+	hook(0)
+	if _, alarmed := mon.Alarmed(); alarmed {
+		t.Fatal("alarmed on in-range value")
+	}
+	sig.Write(150)
+	hook(1)
+	at, alarmed := mon.Alarmed()
+	if !alarmed || at != 1 {
+		t.Fatalf("Alarmed() = %d,%v; want 1,true", at, alarmed)
+	}
+	// First alarm is latched.
+	sig.Write(200)
+	hook(2)
+	if at, _ := mon.Alarmed(); at != 1 {
+		t.Errorf("alarm time moved to %d, want latched 1", at)
+	}
+	if mon.Detector().Signal() != "SetValue" {
+		t.Error("Detector() accessor broken")
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	bus := sim.NewBus()
+	if _, err := NewMonitor(nil, bus); err == nil {
+		t.Error("NewMonitor(nil) succeeded")
+	}
+	if _, err := NewMonitor(&RangeAssertion{Sig: "absent"}, bus); err == nil {
+		t.Error("NewMonitor on unknown signal succeeded")
+	}
+}
+
+func TestCoverageHashDeterministicAndSpread(t *testing.T) {
+	if coverageHash("a") != coverageHash("a") {
+		t.Error("coverageHash not deterministic")
+	}
+	// Rough uniformity: over many keys, mean should be near 0.5.
+	sum := 0.0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += coverageHash(strings.Repeat("k", i%37) + string(rune(i)))
+	}
+	mean := sum / n
+	if mean < 0.4 || mean > 0.6 {
+		t.Errorf("coverageHash mean = %v, want near 0.5", mean)
+	}
+}
+
+func TestCoverageAccessors(t *testing.T) {
+	c := Coverage{
+		Placement:      Placement{Signal: "SetValue", Efficiency: 0.7},
+		SystemFailures: 10,
+		Exposed:        8,
+		Detected:       6,
+	}
+	if got := c.FailureCoverage(); got != 0.6 {
+		t.Errorf("FailureCoverage() = %v, want 0.6", got)
+	}
+	if got := c.ExposureRate(); got != 0.8 {
+		t.Errorf("ExposureRate() = %v, want 0.8", got)
+	}
+	empty := Coverage{}
+	if empty.FailureCoverage() != 0 || empty.ExposureRate() != 0 {
+		t.Error("zero-failure coverage not 0")
+	}
+	if got := c.Placement.String(); got != "EDM(SetValue, eff=0.70)" {
+		t.Errorf("Placement.String() = %q", got)
+	}
+}

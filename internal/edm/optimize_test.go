@@ -1,0 +1,116 @@
+package edm
+
+import (
+	"strings"
+	"testing"
+
+	"propane/internal/arrestor"
+	"propane/internal/campaign"
+)
+
+func optimizeCandidates() []Candidate {
+	return []Candidate{
+		{Signal: arrestor.SigSetValue, Efficiency: 0.8, Cost: 1},
+		{Signal: arrestor.SigOutValue, Efficiency: 0.8, Cost: 1},
+		{Signal: arrestor.SigInValue, Efficiency: 1.0, Cost: 1},
+		{Signal: arrestor.SigPulscnt, Efficiency: 0.8, Cost: 1},
+	}
+}
+
+func TestOptimizeGreedyCoverage(t *testing.T) {
+	picks, err := Optimize(evalConfig(), optimizeCandidates(), 3)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(picks) == 0 {
+		t.Fatal("no picks")
+	}
+	// Coverage is monotone non-decreasing and gains are positive.
+	prev := 0.0
+	for i, p := range picks {
+		if p.Gain <= 0 {
+			t.Errorf("pick %d has gain %d", i, p.Gain)
+		}
+		if p.CumulativeCoverage < prev {
+			t.Errorf("coverage decreased at pick %d: %v -> %v", i, prev, p.CumulativeCoverage)
+		}
+		prev = p.CumulativeCoverage
+	}
+	if prev <= 0 || prev > 1 {
+		t.Errorf("final coverage %v out of (0,1]", prev)
+	}
+	// The first pick is the single best mechanism: with OutValue on
+	// every propagation path (OB5), it must be chosen ahead of the
+	// low-exposure InValue despite InValue's perfect efficiency.
+	if got := picks[0].Candidate.Signal; got != arrestor.SigOutValue {
+		t.Errorf("first pick = %s, want OutValue (highest exposure)", got)
+	}
+	for _, p := range picks {
+		if p.Candidate.Signal == arrestor.SigInValue && p == picks[0] {
+			t.Error("InValue picked first despite low exposure")
+		}
+	}
+	// Rendering.
+	out := FormatSelections(picks)
+	if !strings.Contains(out, "joint coverage") {
+		t.Errorf("FormatSelections output malformed: %q", out)
+	}
+}
+
+func TestOptimizeRespectsCost(t *testing.T) {
+	// Make the best-coverage signal prohibitively expensive: the
+	// optimiser must then prefer the cheaper alternative first.
+	candidates := []Candidate{
+		{Signal: arrestor.SigOutValue, Efficiency: 0.8, Cost: 100},
+		{Signal: arrestor.SigSetValue, Efficiency: 0.8, Cost: 1},
+	}
+	picks, err := Optimize(evalConfig(), candidates, 2)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(picks) == 0 {
+		t.Fatal("no picks")
+	}
+	if picks[0].Candidate.Signal != arrestor.SigSetValue {
+		t.Errorf("first pick = %s, want the cheap SetValue mechanism", picks[0].Candidate.Signal)
+	}
+}
+
+func TestOptimizeStopsWhenNoGain(t *testing.T) {
+	// A single candidate cannot fill k=4 picks; the optimiser stops.
+	picks, err := Optimize(evalConfig(), []Candidate{
+		{Signal: arrestor.SigOutValue, Efficiency: 0.5, Cost: 1},
+	}, 4)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(picks) != 1 {
+		t.Errorf("picks = %d, want 1 (no further gain available)", len(picks))
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	cfg := evalConfig()
+	if _, err := Optimize(cfg, nil, 1); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, err := Optimize(cfg, optimizeCandidates(), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Optimize(cfg, []Candidate{{Signal: "x", Efficiency: 2, Cost: 1}}, 1); err == nil {
+		t.Error("bad efficiency accepted")
+	}
+	if _, err := Optimize(cfg, []Candidate{{Signal: "x", Efficiency: 0.5, Cost: 0}}, 1); err == nil {
+		t.Error("zero cost accepted")
+	}
+	withObs := evalConfig()
+	withObs.Observer = func(campaign.RunRecord) {}
+	if _, err := Optimize(withObs, optimizeCandidates(), 1); err == nil {
+		t.Error("pre-set observer accepted")
+	}
+	bad := evalConfig()
+	bad.Times = nil
+	if _, err := Optimize(bad, optimizeCandidates(), 1); err == nil {
+		t.Error("invalid campaign accepted")
+	}
+}

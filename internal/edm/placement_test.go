@@ -1,0 +1,111 @@
+package edm
+
+import (
+	"testing"
+
+	"propane/internal/arrestor"
+	"propane/internal/campaign"
+	"propane/internal/physics"
+	"propane/internal/sim"
+)
+
+func evalConfig() campaign.Config {
+	cases, err := physics.Grid(1, 2, 11000, 11000, 50, 70)
+	if err != nil {
+		panic(err)
+	}
+	return campaign.Config{
+		Arrestor:       arrestor.DefaultConfig(),
+		TestCases:      cases,
+		Times:          []sim.Millis{1500, 3500},
+		Bits:           []uint{2, 14},
+		HorizonMs:      6000,
+		DirectWindowMs: 500,
+	}
+}
+
+// TestOB3Tradeoff reproduces the paper's observation OB3: a perfect
+// detector on the low-exposure InValue signal covers far fewer system
+// failures than a clearly less efficient detector on the high-exposure
+// SetValue signal.
+func TestOB3Tradeoff(t *testing.T) {
+	report, err := Evaluate(evalConfig(), []Placement{
+		{Signal: arrestor.SigInValue, Efficiency: 1.0},
+		{Signal: arrestor.SigSetValue, Efficiency: 0.7},
+		{Signal: arrestor.SigOutValue, Efficiency: 0.7},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	bys := map[string]Coverage{}
+	for _, c := range report.Coverages {
+		bys[c.Placement.Signal] = c
+	}
+	inv, setv := bys[arrestor.SigInValue], bys[arrestor.SigSetValue]
+	if setv.SystemFailures == 0 {
+		t.Fatal("campaign produced no system failures; evaluation vacuous")
+	}
+	if setv.FailureCoverage() <= inv.FailureCoverage() {
+		t.Errorf("OB3 violated: weak EDM on SetValue covers %.3f, perfect EDM on InValue covers %.3f",
+			setv.FailureCoverage(), inv.FailureCoverage())
+	}
+	// The bound structure: coverage <= exposure rate, and detections
+	// never exceed exposures.
+	for sig, c := range bys {
+		if c.Detected > c.Exposed {
+			t.Errorf("%s: detected %d > exposed %d", sig, c.Detected, c.Exposed)
+		}
+		if c.FailureCoverage() > c.ExposureRate()+1e-9 {
+			t.Errorf("%s: coverage %.3f exceeds exposure rate %.3f", sig, c.FailureCoverage(), c.ExposureRate())
+		}
+	}
+}
+
+// TestOB5ERMPotential: SetValue and OutValue lie on every propagation
+// path to TOC2, so their recovery potential must be (near) total and
+// top-ranked.
+func TestOB5ERMPotential(t *testing.T) {
+	report, err := Evaluate(evalConfig(), []Placement{
+		{Signal: arrestor.SigSetValue, Efficiency: 1.0},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(report.ERM) == 0 {
+		t.Fatal("no ERM potentials computed")
+	}
+	pot := map[string]float64{}
+	for _, e := range report.ERM {
+		pot[e.Signal] = e.Potential
+	}
+	// TOC2 itself deviates in every system-failure run by definition.
+	if pot[arrestor.SigTOC2] != 1.0 {
+		t.Errorf("TOC2 potential = %v, want 1.0", pot[arrestor.SigTOC2])
+	}
+	if pot[arrestor.SigOutValue] < 0.9 {
+		t.Errorf("OutValue potential = %v, want >= 0.9 (on every path)", pot[arrestor.SigOutValue])
+	}
+	// InValue is seldom on the propagation path (OB3).
+	if pot[arrestor.SigInValue] >= pot[arrestor.SigOutValue] {
+		t.Errorf("InValue potential %v >= OutValue potential %v", pot[arrestor.SigInValue], pot[arrestor.SigOutValue])
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(evalConfig(), nil); err == nil {
+		t.Error("Evaluate with no placements succeeded")
+	}
+	if _, err := Evaluate(evalConfig(), []Placement{{Signal: "x", Efficiency: 1.5}}); err == nil {
+		t.Error("Evaluate with efficiency > 1 succeeded")
+	}
+	cfg := evalConfig()
+	cfg.Observer = func(campaign.RunRecord) {}
+	if _, err := Evaluate(cfg, []Placement{{Signal: arrestor.SigSetValue, Efficiency: 1}}); err == nil {
+		t.Error("Evaluate with pre-set observer succeeded")
+	}
+	bad := evalConfig()
+	bad.TestCases = nil
+	if _, err := Evaluate(bad, []Placement{{Signal: arrestor.SigSetValue, Efficiency: 1}}); err == nil {
+		t.Error("Evaluate with invalid campaign succeeded")
+	}
+}

@@ -1,0 +1,147 @@
+package edm
+
+import (
+	"errors"
+	"fmt"
+
+	"propane/internal/campaign"
+	"propane/internal/sim"
+	"propane/internal/trace"
+)
+
+// RecoveryResult reports the system-level effect of deploying an error
+// recovery mechanism on one signal.
+type RecoveryResult struct {
+	Signal string
+	// BaselineFailures is the number of system-failure runs without
+	// any recovery mechanism.
+	BaselineFailures int
+	// FailuresWithERM is the number of system-failure runs with the
+	// recovery mechanism active on the signal.
+	FailuresWithERM int
+}
+
+// Averted is the number of failures the mechanism prevented.
+func (r RecoveryResult) Averted() int { return r.BaselineFailures - r.FailuresWithERM }
+
+// Reduction is the relative failure reduction, 0..1.
+func (r RecoveryResult) Reduction() float64 {
+	if r.BaselineFailures == 0 {
+		return 0
+	}
+	return float64(r.Averted()) / float64(r.BaselineFailures)
+}
+
+// RecoveryStudy measures, for each candidate signal, how many system
+// failures an error recovery mechanism at that signal would avert:
+// the experimental counterpart of observation OB5 ("if errors can be
+// eliminated here, the system output will not be affected, given total
+// success for the recovery mechanisms").
+//
+// The mechanism modelled is an idealised ERM with one-tick latency: at
+// the end of every tick it compares the monitored signal against the
+// matching Golden Run and restores the golden value on deviation, so
+// downstream modules never consume the corrupted value on subsequent
+// ticks. One full campaign runs per candidate signal plus one
+// baseline.
+func RecoveryStudy(cfg campaign.Config, signals []string) ([]RecoveryResult, error) {
+	if len(signals) == 0 {
+		return nil, errors.New("edm: no signals to study")
+	}
+	if cfg.Observer != nil || cfg.Instrument != nil {
+		return nil, errors.New("edm: campaign config already instrumented")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	baseline, err := countFailures(cfg, "")
+	if err != nil {
+		return nil, err
+	}
+	results := make([]RecoveryResult, 0, len(signals))
+	for _, sig := range signals {
+		failures, err := countFailures(cfg, sig)
+		if err != nil {
+			return nil, fmt.Errorf("edm: recovery study on %s: %w", sig, err)
+		}
+		results = append(results, RecoveryResult{
+			Signal:           sig,
+			BaselineFailures: baseline,
+			FailuresWithERM:  failures,
+		})
+	}
+	return results, nil
+}
+
+// countFailures runs one campaign, optionally with the idealised ERM
+// active on recoverSignal, and returns the number of system-failure
+// runs.
+func countFailures(cfg campaign.Config, recoverSignal string) (int, error) {
+	run := cfg
+	failures := 0
+	run.Observer = func(rec campaign.RunRecord) {
+		if rec.Fired && rec.SystemFailure {
+			failures++
+		}
+	}
+	if recoverSignal != "" {
+		goldens, err := goldenSamples(cfg, recoverSignal)
+		if err != nil {
+			return 0, err
+		}
+		run.Instrument = func(inst campaign.Instance, caseIdx int) (any, error) {
+			sig, err := inst.Bus().Lookup(recoverSignal)
+			if err != nil {
+				return nil, err
+			}
+			golden := goldens[caseIdx]
+			tick := 0
+			inst.Kernel().AddPostHook(func(sim.Millis) {
+				if tick < len(golden) && sig.Read() != golden[tick] {
+					sig.Write(golden[tick])
+				}
+				tick++
+			})
+			return nil, nil
+		}
+	}
+	if _, err := campaign.Run(run); err != nil {
+		return 0, err
+	}
+	return failures, nil
+}
+
+// goldenSamples records the golden series of one signal for every test
+// case of the campaign.
+func goldenSamples(cfg campaign.Config, signal string) ([][]uint16, error) {
+	out := make([][]uint16, len(cfg.TestCases))
+	for i, tc := range cfg.TestCases {
+		inst, err := cfg.NewInstance(tc, nil)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := trace.NewRecorder(inst.Bus())
+		if err != nil {
+			return nil, err
+		}
+		inst.Kernel().AddPostHook(rec.Hook())
+		inst.Run(cfg.HorizonMs)
+		samples, err := rec.Trace().Samples(signal)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = samples
+	}
+	return out, nil
+}
+
+// FormatRecovery renders recovery-study results one signal per line.
+func FormatRecovery(results []RecoveryResult) string {
+	out := ""
+	for _, r := range results {
+		out += fmt.Sprintf("ERM(%s): failures %d -> %d  (averted %d, -%.1f%%)\n",
+			r.Signal, r.BaselineFailures, r.FailuresWithERM, r.Averted(), 100*r.Reduction())
+	}
+	return out
+}

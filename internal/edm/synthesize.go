@@ -1,0 +1,146 @@
+package edm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"propane/internal/campaign"
+	"propane/internal/trace"
+)
+
+// SynthesisOptions tunes the assertion synthesiser.
+type SynthesisOptions struct {
+	// RangeMarginFrac widens the observed [min, max] envelope of each
+	// signal by this fraction of its span on each side (default 0.1).
+	RangeMarginFrac float64
+	// DeltaMarginFactor multiplies the observed maximum per-sample
+	// change (default 1.5).
+	DeltaMarginFactor float64
+	// Signals restricts synthesis to the listed signals; empty means
+	// every signal of the topology.
+	Signals []string
+}
+
+// SynthesizeDetectors derives executable assertions from the Golden
+// Runs of a campaign's workload grid: for every signal it observes the
+// value envelope and the maximum per-sample rate of change across all
+// test cases, then emits a RangeAssertion and a DeltaAssertion widened
+// by the configured margins. By construction the synthesised
+// assertions never alarm on any golden run of the same workload —
+// detection capability is bought entirely from behaviour outside the
+// observed envelope. (Deriving assertions from observed signal
+// behaviour is the approach the PROPANE authors develop in their
+// follow-on work on executable assertions.)
+func SynthesizeDetectors(cfg campaign.Config, opts SynthesisOptions) ([]Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.RangeMarginFrac == 0 {
+		opts.RangeMarginFrac = 0.1
+	}
+	if opts.RangeMarginFrac < 0 {
+		return nil, errors.New("edm: negative range margin")
+	}
+	if opts.DeltaMarginFactor == 0 {
+		opts.DeltaMarginFactor = 1.5
+	}
+	if opts.DeltaMarginFactor < 1 {
+		return nil, errors.New("edm: delta margin factor must be >= 1")
+	}
+
+	type envelope struct {
+		lo, hi   uint16
+		maxDelta uint16
+		seen     bool
+	}
+	env := map[string]*envelope{}
+
+	for _, tc := range cfg.TestCases {
+		inst, err := cfg.NewInstance(tc, nil)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := trace.NewRecorder(inst.Bus())
+		if err != nil {
+			return nil, err
+		}
+		inst.Kernel().AddPostHook(rec.Hook())
+		inst.Run(cfg.HorizonMs)
+		tr := rec.Trace()
+		for _, sig := range tr.Signals() {
+			samples, err := tr.Samples(sig)
+			if err != nil {
+				return nil, err
+			}
+			e, ok := env[sig]
+			if !ok {
+				e = &envelope{lo: ^uint16(0)}
+				env[sig] = e
+			}
+			for i, v := range samples {
+				e.seen = true
+				if v < e.lo {
+					e.lo = v
+				}
+				if v > e.hi {
+					e.hi = v
+				}
+				if i > 0 {
+					d := v - samples[i-1]
+					if int16(d) < 0 {
+						d = -d
+					}
+					if d > e.maxDelta {
+						e.maxDelta = d
+					}
+				}
+			}
+		}
+	}
+
+	wanted := map[string]bool{}
+	for _, s := range opts.Signals {
+		wanted[s] = true
+	}
+	var names []string
+	for sig, e := range env {
+		if !e.seen {
+			continue
+		}
+		if len(wanted) > 0 && !wanted[sig] {
+			continue
+		}
+		names = append(names, sig)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("edm: no signals to synthesise assertions for")
+	}
+	sort.Strings(names)
+
+	var dets []Detector
+	for _, sig := range names {
+		e := env[sig]
+		span := uint32(e.hi - e.lo)
+		margin := uint16(float64(span) * opts.RangeMarginFrac)
+		lo, hi := e.lo, e.hi
+		if uint32(lo) >= uint32(margin) {
+			lo -= margin
+		} else {
+			lo = 0
+		}
+		if uint32(hi)+uint32(margin) <= 0xFFFF {
+			hi += margin
+		} else {
+			hi = 0xFFFF
+		}
+		dets = append(dets, &RangeAssertion{Sig: sig, Lo: lo, Hi: hi})
+
+		maxDelta := uint16(float64(e.maxDelta) * opts.DeltaMarginFactor)
+		if maxDelta < e.maxDelta { // overflow clamp
+			maxDelta = 0xFFFF
+		}
+		dets = append(dets, &DeltaAssertion{Sig: sig, MaxDelta: maxDelta})
+	}
+	return dets, nil
+}

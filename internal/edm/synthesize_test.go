@@ -1,0 +1,85 @@
+package edm
+
+import (
+	"testing"
+
+	"propane/internal/arrestor"
+)
+
+func TestSynthesizeDetectors(t *testing.T) {
+	cfg := evalConfig()
+	dets, err := SynthesizeDetectors(cfg, SynthesisOptions{
+		Signals: []string{arrestor.SigSetValue, arrestor.SigPulscnt, arrestor.SigI},
+	})
+	if err != nil {
+		t.Fatalf("SynthesizeDetectors: %v", err)
+	}
+	// Two assertions (range + delta) per requested signal.
+	if len(dets) != 6 {
+		t.Fatalf("detectors = %d, want 6", len(dets))
+	}
+	seen := map[string]int{}
+	for _, d := range dets {
+		seen[d.Signal()]++
+	}
+	for _, sig := range []string{arrestor.SigSetValue, arrestor.SigPulscnt, arrestor.SigI} {
+		if seen[sig] != 2 {
+			t.Errorf("signal %s has %d detectors, want 2", sig, seen[sig])
+		}
+	}
+}
+
+// TestSynthesizedAssertionsAreGoldenClean is the synthesiser's core
+// guarantee: the derived assertions never alarm on the golden runs of
+// the same workload, yet still detect injected corruption.
+func TestSynthesizedAssertionsAreGoldenClean(t *testing.T) {
+	cfg := evalConfig()
+	dets, err := SynthesizeDetectors(cfg, SynthesisOptions{
+		Signals: []string{arrestor.SigSetValue, arrestor.SigPulscnt, arrestor.SigI, arrestor.SigOutValue},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := AssertionStudy(cfg, func() []Detector {
+		fresh, err := SynthesizeDetectors(cfg, SynthesisOptions{
+			Signals: []string{arrestor.SigSetValue, arrestor.SigPulscnt, arrestor.SigI, arrestor.SigOutValue},
+		})
+		if err != nil {
+			panic(err)
+		}
+		return fresh
+	})
+	if err != nil {
+		t.Fatalf("AssertionStudy: %v", err)
+	}
+	if len(results) != len(dets) {
+		t.Fatalf("results = %d, want %d", len(results), len(dets))
+	}
+	detected := 0
+	for _, r := range results {
+		if r.GoldenAlarms != 0 {
+			t.Errorf("synthesised %s alarmed %d times on golden runs", r.Detector, r.GoldenAlarms)
+		}
+		detected += r.Detected
+	}
+	if detected == 0 {
+		t.Error("no synthesised assertion detected any system failure")
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := evalConfig()
+	bad.TestCases = nil
+	if _, err := SynthesizeDetectors(bad, SynthesisOptions{}); err == nil {
+		t.Error("invalid campaign accepted")
+	}
+	if _, err := SynthesizeDetectors(evalConfig(), SynthesisOptions{RangeMarginFrac: -1}); err == nil {
+		t.Error("negative margin accepted")
+	}
+	if _, err := SynthesizeDetectors(evalConfig(), SynthesisOptions{DeltaMarginFactor: 0.5}); err == nil {
+		t.Error("shrinking delta factor accepted")
+	}
+	if _, err := SynthesizeDetectors(evalConfig(), SynthesisOptions{Signals: []string{"ghost"}}); err == nil {
+		t.Error("unknown-only signal list accepted")
+	}
+}

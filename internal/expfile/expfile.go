@@ -1,0 +1,179 @@
+// Package expfile parses experiment-description files — PROPANE is
+// driven by experiment descriptions, and this package provides the
+// equivalent for our campaign engine: a JSON document describing the
+// target, the workload grid, the injection instants and the error
+// models, decoded into a ready-to-run campaign.Config.
+//
+// Example:
+//
+//	{
+//	  "target": "arrestor",
+//	  "grid": {"masses": 5, "velocities": 5},
+//	  "times_ms": [500, 1000, 1500],
+//	  "bits": [0, 5, 10, 15],
+//	  "horizon_ms": 6000,
+//	  "direct_window_ms": 500
+//	}
+//
+// Targets: "arrestor" (the paper's single-node system),
+// "arrestor-dual" (the master/slave configuration) and "autobrake"
+// (the wheel-slip controller). Error models: either "bits" (bit-flip
+// positions) or "models" entries of the form "bitflip:N",
+// "stuckat0:N", "stuckat1:N", "replace:V" and "offset:D".
+package expfile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"propane/internal/arrestor"
+	"propane/internal/autobrake"
+	"propane/internal/campaign"
+	"propane/internal/inject"
+	"propane/internal/physics"
+	"propane/internal/sim"
+	"propane/internal/trace"
+)
+
+// document is the on-disk schema.
+type document struct {
+	Target string `json:"target"`
+	Grid   *struct {
+		Masses     int      `json:"masses"`
+		Velocities int      `json:"velocities"`
+		MassLo     *float64 `json:"mass_lo,omitempty"`
+		MassHi     *float64 `json:"mass_hi,omitempty"`
+		VelLo      *float64 `json:"vel_lo,omitempty"`
+		VelHi      *float64 `json:"vel_hi,omitempty"`
+	} `json:"grid,omitempty"`
+	Cases []struct {
+		MassKg     float64 `json:"mass_kg"`
+		VelocityMS float64 `json:"velocity_ms"`
+	} `json:"cases,omitempty"`
+	TimesMs        []int64           `json:"times_ms"`
+	Bits           []uint            `json:"bits,omitempty"`
+	Models         []string          `json:"models,omitempty"`
+	HorizonMs      int64             `json:"horizon_ms"`
+	DirectWindowMs int64             `json:"direct_window_ms"`
+	Workers        int               `json:"workers,omitempty"`
+	OnlyModule     string            `json:"only_module,omitempty"`
+	FaultDuration  int64             `json:"fault_duration_ms,omitempty"`
+	Tolerances     map[string]uint16 `json:"tolerances,omitempty"`
+}
+
+// Parse decodes an experiment description into a campaign
+// configuration; the result is validated.
+func Parse(data []byte) (campaign.Config, error) {
+	var doc document
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return campaign.Config{}, fmt.Errorf("expfile: %w", err)
+	}
+
+	cfg := campaign.Config{
+		Arrestor:        arrestor.DefaultConfig(),
+		HorizonMs:       sim.Millis(doc.HorizonMs),
+		DirectWindowMs:  sim.Millis(doc.DirectWindowMs),
+		Workers:         doc.Workers,
+		OnlyModule:      doc.OnlyModule,
+		FaultDurationMs: sim.Millis(doc.FaultDuration),
+	}
+	if len(doc.Tolerances) > 0 {
+		cfg.Tolerances = trace.Tolerances(doc.Tolerances)
+	}
+
+	defaultGrid := func() (lo, hi, vlo, vhi float64) { return 8000, 20000, 40, 80 }
+	switch doc.Target {
+	case "", "arrestor":
+	case "arrestor-dual":
+		cfg.Dual = true
+	case "autobrake":
+		cfg.Custom = autobrake.Target(autobrake.DefaultConfig())
+		defaultGrid = func() (lo, hi, vlo, vhi float64) { return 900, 2100, 18, 38 }
+	default:
+		return campaign.Config{}, fmt.Errorf("expfile: unknown target %q", doc.Target)
+	}
+
+	switch {
+	case len(doc.Cases) > 0:
+		for _, c := range doc.Cases {
+			cfg.TestCases = append(cfg.TestCases, physics.TestCase{MassKg: c.MassKg, VelocityMS: c.VelocityMS})
+		}
+	case doc.Grid != nil:
+		lo, hi, vlo, vhi := defaultGrid()
+		if doc.Grid.MassLo != nil {
+			lo = *doc.Grid.MassLo
+		}
+		if doc.Grid.MassHi != nil {
+			hi = *doc.Grid.MassHi
+		}
+		if doc.Grid.VelLo != nil {
+			vlo = *doc.Grid.VelLo
+		}
+		if doc.Grid.VelHi != nil {
+			vhi = *doc.Grid.VelHi
+		}
+		cases, err := physics.Grid(doc.Grid.Masses, doc.Grid.Velocities, lo, hi, vlo, vhi)
+		if err != nil {
+			return campaign.Config{}, fmt.Errorf("expfile: %w", err)
+		}
+		cfg.TestCases = cases
+	default:
+		return campaign.Config{}, errors.New("expfile: need either grid or cases")
+	}
+
+	for _, t := range doc.TimesMs {
+		cfg.Times = append(cfg.Times, sim.Millis(t))
+	}
+	cfg.Bits = doc.Bits
+	for _, spec := range doc.Models {
+		m, err := parseModel(spec)
+		if err != nil {
+			return campaign.Config{}, err
+		}
+		cfg.Models = append(cfg.Models, m)
+	}
+
+	if err := cfg.Validate(); err != nil {
+		return campaign.Config{}, err
+	}
+	return cfg, nil
+}
+
+// parseModel decodes "bitflip:N", "stuckat0:N", "stuckat1:N",
+// "replace:V" and "offset:D" specifications.
+func parseModel(spec string) (inject.ErrorModel, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("expfile: malformed model %q (want kind:arg)", spec)
+	}
+	n, err := strconv.ParseInt(arg, 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("expfile: model %q: %w", spec, err)
+	}
+	switch kind {
+	case "bitflip":
+		if n < 0 || n > 15 {
+			return nil, fmt.Errorf("expfile: model %q: bit out of range", spec)
+		}
+		return inject.BitFlip{Bit: uint(n)}, nil
+	case "stuckat0", "stuckat1":
+		if n < 0 || n > 15 {
+			return nil, fmt.Errorf("expfile: model %q: bit out of range", spec)
+		}
+		return inject.StuckAt{Bit: uint(n), One: kind == "stuckat1"}, nil
+	case "replace":
+		if n < 0 || n > 65535 {
+			return nil, fmt.Errorf("expfile: model %q: value out of range", spec)
+		}
+		return inject.Replace{Value: uint16(n)}, nil
+	case "offset":
+		return inject.Offset{Delta: int32(n)}, nil
+	default:
+		return nil, fmt.Errorf("expfile: unknown model kind %q", kind)
+	}
+}

@@ -1,0 +1,163 @@
+package expfile
+
+import (
+	"testing"
+
+	"propane/internal/inject"
+)
+
+func TestParseGridArrestor(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"target": "arrestor",
+		"grid": {"masses": 2, "velocities": 3},
+		"times_ms": [500, 1500],
+		"bits": [0, 15],
+		"horizon_ms": 6000,
+		"direct_window_ms": 500,
+		"workers": 2
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(cfg.TestCases) != 6 {
+		t.Errorf("cases = %d, want 6", len(cfg.TestCases))
+	}
+	if cfg.TestCases[0].MassKg != 8000 || cfg.TestCases[0].VelocityMS != 40 {
+		t.Errorf("default grid bounds wrong: %v", cfg.TestCases[0])
+	}
+	if len(cfg.Times) != 2 || cfg.Times[1] != 1500 {
+		t.Errorf("times = %v", cfg.Times)
+	}
+	if cfg.Dual || cfg.Custom != nil {
+		t.Error("plain arrestor config got dual/custom target")
+	}
+	if cfg.Workers != 2 || cfg.HorizonMs != 6000 || cfg.DirectWindowMs != 500 {
+		t.Errorf("scalars wrong: %+v", cfg)
+	}
+}
+
+func TestParseExplicitCasesAndDual(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"target": "arrestor-dual",
+		"cases": [{"mass_kg": 9000, "velocity_ms": 55}],
+		"times_ms": [1000],
+		"bits": [3],
+		"horizon_ms": 4000,
+		"direct_window_ms": 300
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !cfg.Dual {
+		t.Error("dual target not selected")
+	}
+	if len(cfg.TestCases) != 1 || cfg.TestCases[0].MassKg != 9000 {
+		t.Errorf("cases = %v", cfg.TestCases)
+	}
+}
+
+func TestParseAutobrakeWithModels(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"target": "autobrake",
+		"grid": {"masses": 1, "velocities": 2},
+		"times_ms": [800],
+		"models": ["bitflip:3", "stuckat1:7", "stuckat0:2", "replace:65535", "offset:-12"],
+		"horizon_ms": 3500,
+		"direct_window_ms": 300
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.Custom == nil || cfg.Custom.Name != "autobrake" {
+		t.Error("autobrake target not selected")
+	}
+	// Autobrake grid defaults (900-2100 kg, 18-38 m/s).
+	if cfg.TestCases[0].MassKg != 900 || cfg.TestCases[0].VelocityMS != 18 {
+		t.Errorf("autobrake grid defaults wrong: %v", cfg.TestCases[0])
+	}
+	if len(cfg.Models) != 5 {
+		t.Fatalf("models = %d, want 5", len(cfg.Models))
+	}
+	if _, ok := cfg.Models[0].(inject.BitFlip); !ok {
+		t.Errorf("model 0 = %T, want BitFlip", cfg.Models[0])
+	}
+	if sa, ok := cfg.Models[1].(inject.StuckAt); !ok || !sa.One || sa.Bit != 7 {
+		t.Errorf("model 1 = %#v, want stuckat1:7", cfg.Models[1])
+	}
+	if off, ok := cfg.Models[4].(inject.Offset); !ok || off.Delta != -12 {
+		t.Errorf("model 4 = %#v, want offset:-12", cfg.Models[4])
+	}
+}
+
+func TestParseGridOverrides(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"grid": {"masses": 2, "velocities": 2, "mass_lo": 10000, "mass_hi": 12000, "vel_lo": 50, "vel_hi": 70},
+		"times_ms": [1000],
+		"bits": [1],
+		"horizon_ms": 6000,
+		"direct_window_ms": 500
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.TestCases[0].MassKg != 10000 || cfg.TestCases[len(cfg.TestCases)-1].VelocityMS != 70 {
+		t.Errorf("grid overrides ignored: %v", cfg.TestCases)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"invalid json", `{`},
+		{"unknown field", `{"bogus": 1, "grid": {"masses":1,"velocities":1}, "times_ms":[1], "bits":[0], "horizon_ms": 100, "direct_window_ms": 10}`},
+		{"unknown target", `{"target":"toaster","grid":{"masses":1,"velocities":1},"times_ms":[1],"bits":[0],"horizon_ms":100,"direct_window_ms":10}`},
+		{"no workload", `{"times_ms":[1],"bits":[0],"horizon_ms":100,"direct_window_ms":10}`},
+		{"no errors", `{"grid":{"masses":1,"velocities":1},"times_ms":[1],"horizon_ms":100,"direct_window_ms":10}`},
+		{"bad grid", `{"grid":{"masses":0,"velocities":1},"times_ms":[1],"bits":[0],"horizon_ms":100,"direct_window_ms":10}`},
+		{"time beyond horizon", `{"grid":{"masses":1,"velocities":1},"times_ms":[200],"bits":[0],"horizon_ms":100,"direct_window_ms":10}`},
+		{"malformed model", `{"grid":{"masses":1,"velocities":1},"times_ms":[1],"models":["bitflip"],"horizon_ms":100,"direct_window_ms":10}`},
+		{"bad model arg", `{"grid":{"masses":1,"velocities":1},"times_ms":[1],"models":["bitflip:xx"],"horizon_ms":100,"direct_window_ms":10}`},
+		{"bit out of range", `{"grid":{"masses":1,"velocities":1},"times_ms":[1],"models":["bitflip:16"],"horizon_ms":100,"direct_window_ms":10}`},
+		{"stuck bit range", `{"grid":{"masses":1,"velocities":1},"times_ms":[1],"models":["stuckat1:16"],"horizon_ms":100,"direct_window_ms":10}`},
+		{"replace range", `{"grid":{"masses":1,"velocities":1},"times_ms":[1],"models":["replace:70000"],"horizon_ms":100,"direct_window_ms":10}`},
+		{"unknown model kind", `{"grid":{"masses":1,"velocities":1},"times_ms":[1],"models":["zap:1"],"horizon_ms":100,"direct_window_ms":10}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tt.doc)); err == nil {
+				t.Error("Parse accepted invalid document")
+			}
+		})
+	}
+}
+
+func TestParseFaultDurationAndTolerances(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"grid": {"masses": 1, "velocities": 1},
+		"times_ms": [1000],
+		"models": ["replace:65280"],
+		"horizon_ms": 6000,
+		"direct_window_ms": 500,
+		"fault_duration_ms": 200,
+		"tolerances": {"SetValue": 64, "OutValue": 128}
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.FaultDurationMs != 200 {
+		t.Errorf("FaultDurationMs = %d, want 200", cfg.FaultDurationMs)
+	}
+	if cfg.Tolerances["SetValue"] != 64 || cfg.Tolerances["OutValue"] != 128 {
+		t.Errorf("Tolerances = %v", cfg.Tolerances)
+	}
+	if _, err := Parse([]byte(`{
+		"grid": {"masses": 1, "velocities": 1},
+		"times_ms": [1000], "bits": [0],
+		"horizon_ms": 6000, "direct_window_ms": 500,
+		"fault_duration_ms": -1
+	}`)); err == nil {
+		t.Error("negative fault duration accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builder constructs and validates a System. The zero value is not
+// usable; create one with NewBuilder.
+type Builder struct {
+	name    string
+	modules []*Module
+	declOut []string
+	errs    []error
+}
+
+// NewBuilder returns a Builder for a system with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// AddModule adds a module with the given input and output signal
+// names; port indices are assigned 1..m and 1..n in argument order.
+// Errors (duplicate module names, duplicate signals on one side of a
+// module) are accumulated and reported by Build.
+func (b *Builder) AddModule(name string, inputs, outputs []string) *Builder {
+	if strings.TrimSpace(name) == "" {
+		b.errs = append(b.errs, errors.New("model: module name must not be empty"))
+		return b
+	}
+	for _, m := range b.modules {
+		if m.Name == name {
+			b.errs = append(b.errs, fmt.Errorf("model: duplicate module %q", name))
+			return b
+		}
+	}
+	mod := &Module{Name: name}
+	seenIn := make(map[string]bool, len(inputs))
+	for i, sig := range inputs {
+		if sig == "" {
+			b.errs = append(b.errs, fmt.Errorf("model: module %s input %d has empty signal name", name, i+1))
+			continue
+		}
+		if seenIn[sig] {
+			b.errs = append(b.errs, fmt.Errorf("model: module %s lists input signal %q twice", name, sig))
+			continue
+		}
+		seenIn[sig] = true
+		mod.Inputs = append(mod.Inputs, Port{Index: len(mod.Inputs) + 1, Signal: sig})
+	}
+	seenOut := make(map[string]bool, len(outputs))
+	for k, sig := range outputs {
+		if sig == "" {
+			b.errs = append(b.errs, fmt.Errorf("model: module %s output %d has empty signal name", name, k+1))
+			continue
+		}
+		if seenOut[sig] {
+			b.errs = append(b.errs, fmt.Errorf("model: module %s lists output signal %q twice", name, sig))
+			continue
+		}
+		seenOut[sig] = true
+		mod.Outputs = append(mod.Outputs, Port{Index: len(mod.Outputs) + 1, Signal: sig})
+	}
+	b.modules = append(b.modules, mod)
+	return b
+}
+
+// DeclareSystemOutput marks a signal as a system output even if some
+// module consumes it (a tap on an internal signal). Signals driven by
+// a module and consumed by no module are inferred as system outputs
+// automatically and need no declaration.
+func (b *Builder) DeclareSystemOutput(signal string) *Builder {
+	b.declOut = append(b.declOut, signal)
+	return b
+}
+
+// Build validates the topology and returns the immutable System.
+// Validation enforces:
+//   - at least one module;
+//   - every signal has at most one driving output;
+//   - every declared system output exists and is driven by a module;
+//   - the system has at least one system input and one system output.
+func (b *Builder) Build() (*System, error) {
+	errs := make([]error, len(b.errs))
+	copy(errs, b.errs)
+	if len(b.modules) == 0 {
+		errs = append(errs, fmt.Errorf("model: system %s has no modules", b.name))
+	}
+
+	drivers := make(map[string]Endpoint)
+	receivers := make(map[string][]Endpoint)
+	for _, m := range b.modules {
+		for _, out := range m.Outputs {
+			if prev, dup := drivers[out.Signal]; dup {
+				errs = append(errs, fmt.Errorf(
+					"model: signal %q driven by both %s output %d and %s output %d",
+					out.Signal, prev.Module, prev.Index, m.Name, out.Index))
+				continue
+			}
+			drivers[out.Signal] = Endpoint{Module: m.Name, Index: out.Index}
+		}
+	}
+	for _, m := range b.modules {
+		for _, in := range m.Inputs {
+			receivers[in.Signal] = append(receivers[in.Signal], Endpoint{Module: m.Name, Index: in.Index})
+		}
+	}
+
+	var inputs []string
+	for sig := range receivers {
+		if _, driven := drivers[sig]; !driven {
+			inputs = append(inputs, sig)
+		}
+	}
+	sort.Strings(inputs)
+
+	outSet := make(map[string]bool)
+	for sig := range drivers {
+		if len(receivers[sig]) == 0 {
+			outSet[sig] = true
+		}
+	}
+	for _, sig := range b.declOut {
+		if _, driven := drivers[sig]; !driven {
+			errs = append(errs, fmt.Errorf("model: declared system output %q is not driven by any module", sig))
+			continue
+		}
+		outSet[sig] = true
+	}
+	outputs := make([]string, 0, len(outSet))
+	for sig := range outSet {
+		outputs = append(outputs, sig)
+	}
+	sort.Strings(outputs)
+
+	if len(errs) == 0 {
+		if len(inputs) == 0 {
+			errs = append(errs, fmt.Errorf("model: system %s has no system inputs", b.name))
+		}
+		if len(outputs) == 0 {
+			errs = append(errs, fmt.Errorf("model: system %s has no system outputs", b.name))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	byName := make(map[string]*Module, len(b.modules))
+	mods := make([]*Module, len(b.modules))
+	for i, m := range b.modules {
+		cp := &Module{Name: m.Name}
+		cp.Inputs = append(cp.Inputs, m.Inputs...)
+		cp.Outputs = append(cp.Outputs, m.Outputs...)
+		mods[i] = cp
+		byName[m.Name] = cp
+	}
+	return &System{
+		name:      b.name,
+		modules:   mods,
+		byName:    byName,
+		drivers:   drivers,
+		receivers: receivers,
+		inputs:    inputs,
+		outputs:   outputs,
+	}, nil
+}

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// GenOptions configures RandomSystem.
+type GenOptions struct {
+	// Modules is the number of modules to generate (>= 1).
+	Modules int
+	// MaxPorts bounds the number of inputs and outputs per module
+	// (>= 1).
+	MaxPorts int
+	// FeedbackProb is the probability that a module receives one of
+	// its own outputs as an additional input (a local feedback loop,
+	// like CLOCK's ms_slot_nbr or CALC's i).
+	FeedbackProb float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// RandomSystem generates a valid random topology for property-based
+// testing of the analysis algorithms: modules are arranged in a
+// processing order, every input is either a fresh external signal, an
+// output of an earlier module, or (with FeedbackProb) a local
+// feedback; the final module's outputs are left unconsumed so the
+// system always has at least one system input and one system output.
+func RandomSystem(opt GenOptions) (*System, error) {
+	if opt.Modules < 1 {
+		return nil, errors.New("model: Modules must be >= 1")
+	}
+	if opt.MaxPorts < 1 {
+		return nil, errors.New("model: MaxPorts must be >= 1")
+	}
+	if opt.FeedbackProb < 0 || opt.FeedbackProb > 1 {
+		return nil, errors.New("model: FeedbackProb must be in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	b := NewBuilder(fmt.Sprintf("random-%d", opt.Seed))
+	var upstream []string // outputs of already-generated modules
+	extCount, sigCount := 0, 0
+
+	for m := 0; m < opt.Modules; m++ {
+		name := fmt.Sprintf("M%02d", m)
+
+		nOut := 1 + rng.Intn(opt.MaxPorts)
+		outputs := make([]string, 0, nOut)
+		for k := 0; k < nOut; k++ {
+			outputs = append(outputs, fmt.Sprintf("s%03d", sigCount))
+			sigCount++
+		}
+
+		nIn := 1 + rng.Intn(opt.MaxPorts)
+		inputs := make([]string, 0, nIn+1)
+		used := make(map[string]bool)
+		for i := 0; i < nIn; i++ {
+			// Prefer wiring to an upstream output; fall back to a
+			// fresh external input (always for the first module).
+			if len(upstream) > 0 && rng.Float64() < 0.7 {
+				cand := upstream[rng.Intn(len(upstream))]
+				if !used[cand] {
+					used[cand] = true
+					inputs = append(inputs, cand)
+					continue
+				}
+			}
+			ext := fmt.Sprintf("ext%02d", extCount)
+			extCount++
+			inputs = append(inputs, ext)
+		}
+		// Local feedback consumes only a second-or-later output, so
+		// every module's first output stays available downstream and
+		// the final module always exports at least one system output.
+		if len(outputs) > 1 && rng.Float64() < opt.FeedbackProb {
+			fb := outputs[1+rng.Intn(len(outputs)-1)]
+			if !used[fb] {
+				inputs = append(inputs, fb)
+			}
+		}
+
+		b.AddModule(name, inputs, outputs)
+
+		// Only earlier outputs that are still unconsumed may be used
+		// downstream (one driver, any number of receivers is fine —
+		// but keeping each signal single-consumer here simplifies the
+		// generator; multi-receiver topologies are covered by the
+		// hand-written fixtures).
+		remaining := upstream[:0]
+		for _, s := range upstream {
+			if !used[s] {
+				remaining = append(remaining, s)
+			}
+		}
+		upstream = append(remaining, outputs...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,59 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// systemJSON is the on-disk schema for a System topology. Ports are
+// serialised as ordered signal-name lists; indices are implicit.
+type systemJSON struct {
+	Name          string       `json:"name"`
+	Modules       []moduleJSON `json:"modules"`
+	SystemOutputs []string     `json:"system_outputs,omitempty"`
+}
+
+type moduleJSON struct {
+	Name    string   `json:"name"`
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+}
+
+// MarshalJSON encodes the system topology. Only declared-or-inferred
+// system outputs that are also consumed internally need to be listed
+// explicitly; for simplicity every system output is recorded.
+func (s *System) MarshalJSON() ([]byte, error) {
+	js := systemJSON{Name: s.name, SystemOutputs: s.SystemOutputs()}
+	for _, m := range s.modules {
+		mj := moduleJSON{Name: m.Name}
+		for _, p := range m.Inputs {
+			mj.Inputs = append(mj.Inputs, p.Signal)
+		}
+		for _, p := range m.Outputs {
+			mj.Outputs = append(mj.Outputs, p.Signal)
+		}
+		js.Modules = append(js.Modules, mj)
+	}
+	return json.Marshal(js)
+}
+
+// DecodeSystem parses a JSON topology produced by MarshalJSON (or
+// written by hand) and validates it with the standard Builder rules.
+func DecodeSystem(data []byte) (*System, error) {
+	var js systemJSON
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("model: decoding system: %w", err)
+	}
+	b := NewBuilder(js.Name)
+	for _, mj := range js.Modules {
+		b.AddModule(mj.Name, mj.Inputs, mj.Outputs)
+	}
+	for _, out := range js.SystemOutputs {
+		b.DeclareSystemOutput(out)
+	}
+	sys, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("model: decoding system %q: %w", js.Name, err)
+	}
+	return sys, nil
+}

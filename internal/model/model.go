@@ -1,0 +1,231 @@
+// Package model implements the software system model of Hiller, Jhumka
+// and Suri (DSN 2001), Section 3: modular software viewed as black-box
+// modules with numbered input and output ports, inter-linked by named
+// signals, much like hardware components on a circuit board.
+//
+// A signal is driven by at most one module output; signals with no
+// driver are system inputs (they originate externally, e.g. from a
+// hardware register), and signals consumed by no module input are
+// system outputs (their destination is external, e.g. a hardware
+// register written by the software).
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Port is one numbered input or output of a module. Indices are
+// 1-based, following the paper's numbering convention (e.g. PACNT is
+// input #1 of DIST_S, SetValue is output #2 of CALC).
+type Port struct {
+	// Index is the 1-based port number within its direction.
+	Index int
+	// Signal is the name of the signal carried by this port.
+	Signal string
+}
+
+// Module is a generalised black-box with multiple inputs and outputs
+// (paper Fig. 1). At the lowest level it may be a procedure or a
+// function, but also a basic block or code fragment.
+type Module struct {
+	// Name uniquely identifies the module within its system.
+	Name string
+	// Inputs are the input ports in index order (1..m).
+	Inputs []Port
+	// Outputs are the output ports in index order (1..n).
+	Outputs []Port
+}
+
+// NumInputs returns m, the number of input signals of the module.
+func (m *Module) NumInputs() int { return len(m.Inputs) }
+
+// NumOutputs returns n, the number of output signals of the module.
+func (m *Module) NumOutputs() int { return len(m.Outputs) }
+
+// NumPairs returns m*n, the number of input/output pairs, which is
+// also the number of error permeability values the module carries and
+// the upper bound of its non-weighted relative permeability (Eq. 3).
+func (m *Module) NumPairs() int { return len(m.Inputs) * len(m.Outputs) }
+
+// InputIndex returns the 1-based index of the input port carrying the
+// named signal, or 0 if the module has no such input.
+func (m *Module) InputIndex(signal string) int {
+	for _, p := range m.Inputs {
+		if p.Signal == signal {
+			return p.Index
+		}
+	}
+	return 0
+}
+
+// OutputIndex returns the 1-based index of the output port carrying
+// the named signal, or 0 if the module has no such output.
+func (m *Module) OutputIndex(signal string) int {
+	for _, p := range m.Outputs {
+		if p.Signal == signal {
+			return p.Index
+		}
+	}
+	return 0
+}
+
+// InputSignal returns the signal name on input port i (1-based).
+func (m *Module) InputSignal(i int) (string, error) {
+	if i < 1 || i > len(m.Inputs) {
+		return "", fmt.Errorf("model: module %s has no input %d (has %d)", m.Name, i, len(m.Inputs))
+	}
+	return m.Inputs[i-1].Signal, nil
+}
+
+// OutputSignal returns the signal name on output port k (1-based).
+func (m *Module) OutputSignal(k int) (string, error) {
+	if k < 1 || k > len(m.Outputs) {
+		return "", fmt.Errorf("model: module %s has no output %d (has %d)", m.Name, k, len(m.Outputs))
+	}
+	return m.Outputs[k-1].Signal, nil
+}
+
+// Endpoint identifies one port of one module, e.g. "input 2 of CALC".
+type Endpoint struct {
+	Module string
+	Index  int // 1-based port index
+}
+
+// System is a set of inter-linked modules delivering a function
+// (paper Fig. 2). Construct one with a Builder; a System returned by
+// Builder.Build is immutable and fully validated.
+type System struct {
+	name    string
+	modules []*Module
+
+	byName    map[string]*Module
+	drivers   map[string]Endpoint   // signal -> unique driving output
+	receivers map[string][]Endpoint // signal -> consuming inputs, in module order
+	inputs    []string              // system input signals, sorted
+	outputs   []string              // system output signals, sorted
+}
+
+// Name returns the system's name.
+func (s *System) Name() string { return s.name }
+
+// Modules returns the modules in the order they were added. The
+// returned slice is a copy; callers may not mutate system topology.
+func (s *System) Modules() []*Module {
+	out := make([]*Module, len(s.modules))
+	copy(out, s.modules)
+	return out
+}
+
+// ModuleNames returns the module names in insertion order.
+func (s *System) ModuleNames() []string {
+	names := make([]string, len(s.modules))
+	for i, m := range s.modules {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Module returns the named module, or an error if it does not exist.
+func (s *System) Module(name string) (*Module, error) {
+	m, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("model: system %s has no module %q", s.name, name)
+	}
+	return m, nil
+}
+
+// Driver returns the module output that drives the named signal. ok is
+// false when the signal is a system input (driven externally).
+func (s *System) Driver(signal string) (Endpoint, bool) {
+	e, ok := s.drivers[signal]
+	return e, ok
+}
+
+// Receivers returns the module inputs consuming the named signal, in
+// module insertion order. The result is empty for system outputs.
+func (s *System) Receivers(signal string) []Endpoint {
+	rs := s.receivers[signal]
+	out := make([]Endpoint, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// SystemInputs returns the signals that enter the system from external
+// sources (no module drives them), sorted by name.
+func (s *System) SystemInputs() []string {
+	out := make([]string, len(s.inputs))
+	copy(out, s.inputs)
+	return out
+}
+
+// SystemOutputs returns the signals produced by the system for
+// external consumption (no module input consumes them), sorted by
+// name.
+func (s *System) SystemOutputs() []string {
+	out := make([]string, len(s.outputs))
+	copy(out, s.outputs)
+	return out
+}
+
+// IsSystemInput reports whether the signal enters the system from an
+// external source.
+func (s *System) IsSystemInput(signal string) bool {
+	_, driven := s.drivers[signal]
+	_, known := s.receivers[signal]
+	return !driven && known
+}
+
+// IsSystemOutput reports whether the signal leaves the system (is
+// driven by a module but consumed by none, or explicitly declared).
+func (s *System) IsSystemOutput(signal string) bool {
+	for _, o := range s.outputs {
+		if o == signal {
+			return true
+		}
+	}
+	return false
+}
+
+// Signals returns every signal name known to the system, sorted.
+func (s *System) Signals() []string {
+	set := make(map[string]struct{})
+	for sig := range s.drivers {
+		set[sig] = struct{}{}
+	}
+	for sig := range s.receivers {
+		set[sig] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for sig := range set {
+		out = append(out, sig)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasLocalFeedback reports whether the named module drives one of its
+// own inputs (paper Section 4.2: "an output of a module is connected
+// to an input of the same module").
+func (s *System) HasLocalFeedback(module string) bool {
+	m, ok := s.byName[module]
+	if !ok {
+		return false
+	}
+	for _, in := range m.Inputs {
+		if d, driven := s.drivers[in.Signal]; driven && d.Module == module {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalPairs returns the total number of input/output pairs across all
+// modules (25 for the paper's target system).
+func (s *System) TotalPairs() int {
+	total := 0
+	for _, m := range s.modules {
+		total += m.NumPairs()
+	}
+	return total
+}

@@ -1,0 +1,333 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func buildExample(t *testing.T) *System {
+	t.Helper()
+	return PaperExampleSystem()
+}
+
+func TestPaperExampleSystemTopology(t *testing.T) {
+	sys := buildExample(t)
+
+	if got, want := sys.Name(), "fig2-example"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+	if got, want := sys.ModuleNames(), []string{"A", "B", "C", "D", "E"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ModuleNames() = %v, want %v", got, want)
+	}
+	if got, want := sys.SystemInputs(), []string{"extA", "extC", "extE"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SystemInputs() = %v, want %v", got, want)
+	}
+	if got, want := sys.SystemOutputs(), []string{"sysout"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SystemOutputs() = %v, want %v", got, want)
+	}
+	if got, want := sys.TotalPairs(), 10; got != want {
+		t.Errorf("TotalPairs() = %d, want %d", got, want)
+	}
+}
+
+func TestDriverAndReceivers(t *testing.T) {
+	sys := buildExample(t)
+
+	tests := []struct {
+		signal     string
+		wantDriver Endpoint
+		wantDriven bool
+	}{
+		{"a1", Endpoint{Module: "A", Index: 1}, true},
+		{"bfb", Endpoint{Module: "B", Index: 1}, true},
+		{"b2", Endpoint{Module: "B", Index: 2}, true},
+		{"c1", Endpoint{Module: "C", Index: 1}, true},
+		{"d1", Endpoint{Module: "D", Index: 1}, true},
+		{"sysout", Endpoint{Module: "E", Index: 1}, true},
+		{"extA", Endpoint{}, false},
+		{"nonexistent", Endpoint{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.signal, func(t *testing.T) {
+			d, ok := sys.Driver(tt.signal)
+			if ok != tt.wantDriven {
+				t.Fatalf("Driver(%q) ok = %v, want %v", tt.signal, ok, tt.wantDriven)
+			}
+			if ok && d != tt.wantDriver {
+				t.Errorf("Driver(%q) = %+v, want %+v", tt.signal, d, tt.wantDriver)
+			}
+		})
+	}
+
+	recv := sys.Receivers("a1")
+	want := []Endpoint{{Module: "B", Index: 1}}
+	if !reflect.DeepEqual(recv, want) {
+		t.Errorf("Receivers(a1) = %v, want %v", recv, want)
+	}
+	if got := sys.Receivers("sysout"); len(got) != 0 {
+		t.Errorf("Receivers(sysout) = %v, want empty", got)
+	}
+}
+
+func TestSystemInputOutputClassification(t *testing.T) {
+	sys := buildExample(t)
+
+	for _, in := range []string{"extA", "extC", "extE"} {
+		if !sys.IsSystemInput(in) {
+			t.Errorf("IsSystemInput(%q) = false, want true", in)
+		}
+		if sys.IsSystemOutput(in) {
+			t.Errorf("IsSystemOutput(%q) = true, want false", in)
+		}
+	}
+	if !sys.IsSystemOutput("sysout") {
+		t.Error("IsSystemOutput(sysout) = false, want true")
+	}
+	for _, internal := range []string{"a1", "bfb", "b2", "c1", "d1"} {
+		if sys.IsSystemInput(internal) || sys.IsSystemOutput(internal) {
+			t.Errorf("signal %q misclassified as system input/output", internal)
+		}
+	}
+}
+
+func TestHasLocalFeedback(t *testing.T) {
+	sys := buildExample(t)
+	tests := []struct {
+		module string
+		want   bool
+	}{
+		{"A", false}, {"B", true}, {"C", false}, {"D", false}, {"E", false},
+		{"no-such-module", false},
+	}
+	for _, tt := range tests {
+		if got := sys.HasLocalFeedback(tt.module); got != tt.want {
+			t.Errorf("HasLocalFeedback(%q) = %v, want %v", tt.module, got, tt.want)
+		}
+	}
+}
+
+func TestModulePortLookups(t *testing.T) {
+	sys := buildExample(t)
+	b, err := sys.Module("B")
+	if err != nil {
+		t.Fatalf("Module(B): %v", err)
+	}
+	if got, want := b.NumInputs(), 2; got != want {
+		t.Errorf("NumInputs = %d, want %d", got, want)
+	}
+	if got, want := b.NumOutputs(), 2; got != want {
+		t.Errorf("NumOutputs = %d, want %d", got, want)
+	}
+	if got, want := b.NumPairs(), 4; got != want {
+		t.Errorf("NumPairs = %d, want %d", got, want)
+	}
+	if got, want := b.InputIndex("bfb"), 2; got != want {
+		t.Errorf("InputIndex(bfb) = %d, want %d", got, want)
+	}
+	if got := b.InputIndex("no-such-signal"); got != 0 {
+		t.Errorf("InputIndex(no-such-signal) = %d, want 0", got)
+	}
+	if got, want := b.OutputIndex("b2"), 2; got != want {
+		t.Errorf("OutputIndex(b2) = %d, want %d", got, want)
+	}
+	sig, err := b.InputSignal(1)
+	if err != nil || sig != "a1" {
+		t.Errorf("InputSignal(1) = %q, %v; want a1, nil", sig, err)
+	}
+	if _, err := b.InputSignal(3); err == nil {
+		t.Error("InputSignal(3) succeeded, want error")
+	}
+	if _, err := b.OutputSignal(0); err == nil {
+		t.Error("OutputSignal(0) succeeded, want error")
+	}
+	if _, err := sys.Module("Z"); err == nil {
+		t.Error("Module(Z) succeeded, want error")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*System, error)
+	}{
+		{
+			name: "no modules",
+			build: func() (*System, error) {
+				return NewBuilder("empty").Build()
+			},
+		},
+		{
+			name: "duplicate module name",
+			build: func() (*System, error) {
+				return NewBuilder("dup").
+					AddModule("M", []string{"x"}, []string{"y"}).
+					AddModule("M", []string{"y"}, []string{"z"}).
+					Build()
+			},
+		},
+		{
+			name: "two drivers for one signal",
+			build: func() (*System, error) {
+				return NewBuilder("multidriver").
+					AddModule("M1", []string{"x"}, []string{"s"}).
+					AddModule("M2", []string{"x"}, []string{"s"}).
+					Build()
+			},
+		},
+		{
+			name: "duplicate input signal on one module",
+			build: func() (*System, error) {
+				return NewBuilder("dupin").
+					AddModule("M", []string{"x", "x"}, []string{"y"}).
+					Build()
+			},
+		},
+		{
+			name: "duplicate output signal on one module",
+			build: func() (*System, error) {
+				return NewBuilder("dupout").
+					AddModule("M", []string{"x"}, []string{"y", "y"}).
+					Build()
+			},
+		},
+		{
+			name: "empty module name",
+			build: func() (*System, error) {
+				return NewBuilder("noname").
+					AddModule("  ", []string{"x"}, []string{"y"}).
+					Build()
+			},
+		},
+		{
+			name: "empty signal name",
+			build: func() (*System, error) {
+				return NewBuilder("nosig").
+					AddModule("M", []string{""}, []string{"y"}).
+					Build()
+			},
+		},
+		{
+			name: "declared output not driven",
+			build: func() (*System, error) {
+				return NewBuilder("badout").
+					AddModule("M", []string{"x"}, []string{"y"}).
+					DeclareSystemOutput("nope").
+					Build()
+			},
+		},
+		{
+			name: "no system inputs",
+			build: func() (*System, error) {
+				return NewBuilder("closed").
+					AddModule("M", []string{"loop"}, []string{"loop", "out"}).
+					Build()
+			},
+		},
+		{
+			name: "no system outputs",
+			build: func() (*System, error) {
+				return NewBuilder("sink").
+					AddModule("M", []string{"x", "y"}, []string{"y"}).
+					Build()
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.build(); err == nil {
+				t.Error("Build() succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestDeclareSystemOutputTap(t *testing.T) {
+	// An internal signal consumed by a module can still be declared as
+	// a system output (a tap).
+	sys, err := NewBuilder("tap").
+		AddModule("P", []string{"in"}, []string{"mid"}).
+		AddModule("Q", []string{"mid"}, []string{"out"}).
+		DeclareSystemOutput("mid").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got, want := sys.SystemOutputs(), []string{"mid", "out"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SystemOutputs() = %v, want %v", got, want)
+	}
+	if !sys.IsSystemOutput("mid") {
+		t.Error("IsSystemOutput(mid) = false, want true")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sys := buildExample(t)
+	data, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	got, err := DecodeSystem(data)
+	if err != nil {
+		t.Fatalf("DecodeSystem: %v", err)
+	}
+	if !reflect.DeepEqual(got.ModuleNames(), sys.ModuleNames()) {
+		t.Errorf("round-trip module names = %v, want %v", got.ModuleNames(), sys.ModuleNames())
+	}
+	if !reflect.DeepEqual(got.SystemInputs(), sys.SystemInputs()) {
+		t.Errorf("round-trip inputs = %v, want %v", got.SystemInputs(), sys.SystemInputs())
+	}
+	if !reflect.DeepEqual(got.SystemOutputs(), sys.SystemOutputs()) {
+		t.Errorf("round-trip outputs = %v, want %v", got.SystemOutputs(), sys.SystemOutputs())
+	}
+	if got.TotalPairs() != sys.TotalPairs() {
+		t.Errorf("round-trip pairs = %d, want %d", got.TotalPairs(), sys.TotalPairs())
+	}
+	for _, sig := range sys.Signals() {
+		gd, gok := got.Driver(sig)
+		wd, wok := sys.Driver(sig)
+		if gok != wok || gd != wd {
+			t.Errorf("round-trip Driver(%q) = %+v/%v, want %+v/%v", sig, gd, gok, wd, wok)
+		}
+	}
+}
+
+func TestDecodeSystemErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"invalid json", `{`},
+		{"invalid topology", `{"name":"x","modules":[{"name":"M","inputs":["a"],"outputs":["a"]}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeSystem([]byte(tt.data)); err == nil {
+				t.Error("DecodeSystem succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestModulesReturnsCopy(t *testing.T) {
+	sys := buildExample(t)
+	mods := sys.Modules()
+	mods[0] = nil
+	if sys.Modules()[0] == nil {
+		t.Error("mutating Modules() result affected the system")
+	}
+	recv := sys.Receivers("a1")
+	if len(recv) > 0 {
+		recv[0] = Endpoint{Module: "hacked", Index: 99}
+		if sys.Receivers("a1")[0].Module == "hacked" {
+			t.Error("mutating Receivers() result affected the system")
+		}
+	}
+}
+
+func TestSignals(t *testing.T) {
+	sys := buildExample(t)
+	want := []string{"a1", "b2", "bfb", "c1", "d1", "extA", "extC", "extE", "sysout"}
+	if got := sys.Signals(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Signals() = %v, want %v", got, want)
+	}
+}

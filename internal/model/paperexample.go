@@ -1,0 +1,33 @@
+package model
+
+// PaperExampleSystem builds the five-module example system of the
+// paper's Fig. 2 (modules A through E). The concrete wiring follows
+// the propagation-path example of Section 4.2: module A feeds module
+// B, module B has a local feedback loop (its output 1 drives its own
+// input 2) and drives module E through its output 2, and modules C and
+// D form a second chain into E. External input enters at A, C and E;
+// the single system output is produced by E.
+//
+// Signal map:
+//
+//	extA -> A -> a1 -> B(in 1)
+//	B out 1 = bfb -> B(in 2)   (local feedback)
+//	B out 2 = b2  -> E(in 1)
+//	extC -> C -> c1 -> D -> d1 -> E(in 2)
+//	extE -> E(in 3)
+//	E out 1 = sysout           (system output)
+func PaperExampleSystem() *System {
+	sys, err := NewBuilder("fig2-example").
+		AddModule("A", []string{"extA"}, []string{"a1"}).
+		AddModule("B", []string{"a1", "bfb"}, []string{"bfb", "b2"}).
+		AddModule("C", []string{"extC"}, []string{"c1"}).
+		AddModule("D", []string{"c1"}, []string{"d1"}).
+		AddModule("E", []string{"b2", "d1", "extE"}, []string{"sysout"}).
+		Build()
+	if err != nil {
+		// The topology above is a compile-time constant of this
+		// package; failure to build it is a programming error.
+		panic("model: paper example system is invalid: " + err.Error())
+	}
+	return sys
+}

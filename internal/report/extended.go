@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+
+	"propane/internal/campaign"
+	"propane/internal/core"
+)
+
+// LatencyTable renders the propagation latency and error
+// classification of every pair that produced errors: mean delay from
+// trap firing to the first output deviation, and the
+// transient/permanent split over the comparison window.
+func LatencyTable(res *campaign.Result) string {
+	t := &textTable{header: []string{"Pair", "Input", "Output", "errors", "mean", "p50", "p95", "transient", "permanent"}}
+	for i := range res.Pairs {
+		ps := &res.Pairs[i]
+		if ps.Errors == 0 {
+			continue
+		}
+		p50, _ := ps.LatencyPercentile(0.5)
+		p95, _ := ps.LatencyPercentile(0.95)
+		t.add(
+			ps.Pair.String(),
+			ps.InputSignal,
+			ps.OutputSignal,
+			fmt.Sprintf("%d", ps.Errors),
+			fmt.Sprintf("%.1f ms", ps.MeanLatencyMs),
+			fmt.Sprintf("%.0f ms", p50),
+			fmt.Sprintf("%.0f ms", p95),
+			fmt.Sprintf("%d", ps.Transients),
+			fmt.Sprintf("%d", ps.Permanents),
+		)
+	}
+	return "Propagation latency and error classification per pair\n" + t.String()
+}
+
+// SensitivityTable renders the pair sensitivities of a system output:
+// which permeability value, if reduced, would shrink the output's
+// exposure fastest (the hardening priority list).
+func SensitivityTable(m *core.Matrix, output string) (string, error) {
+	sens, err := core.PathSensitivities(m, output)
+	if err != nil {
+		return "", err
+	}
+	t := &textTable{header: []string{"Pair", "Input", "Output", "sensitivity", "paths"}}
+	for _, s := range sens {
+		t.add(
+			s.Pair.String(),
+			s.InputSignal,
+			s.OutputSignal,
+			fmt.Sprintf("%.4f", s.Sensitivity),
+			fmt.Sprintf("%d", s.PathCount),
+		)
+	}
+	return fmt.Sprintf("Hardening priorities for system output %s (d(Σ path weights)/dP per pair)\n", output) + t.String(), nil
+}
+
+// CriticalityTable renders the system inputs ranked by the total path
+// weight they contribute toward the output: which external data source
+// threatens the output most.
+func CriticalityTable(m *core.Matrix, output string) (string, error) {
+	ranked, err := core.InputCriticality(m, output)
+	if err != nil {
+		return "", err
+	}
+	t := &textTable{header: []string{"System input", "total path weight"}}
+	for _, r := range ranked {
+		t.add(r.Signal, fmt.Sprintf("%.4f", r.Score))
+	}
+	return fmt.Sprintf("Input criticality for system output %s\n", output) + t.String(), nil
+}
+
+// FMECATable renders the failure-mode worksheet derived from the
+// permeability analysis (the FMECA complement of the paper's
+// introduction), ordered by decreasing criticality.
+func FMECATable(m *core.Matrix) (string, error) {
+	rows, err := core.FMECA(m)
+	if err != nil {
+		return "", err
+	}
+	t := &textTable{header: []string{"Module", "Failure mode (output)", "severity", "occurrence", "criticality", "reaches"}}
+	for _, r := range rows {
+		reaches := ""
+		for i, e := range r.Effects {
+			if i > 0 {
+				reaches += " "
+			}
+			reaches += fmt.Sprintf("%s(%.2f)", e.SystemOutput, e.MaxPathWeight)
+		}
+		t.add(r.Module, r.OutputSignal,
+			fmt.Sprintf("%.3f", r.Severity),
+			fmt.Sprintf("%.3f", r.Occurrence),
+			fmt.Sprintf("%.3f", r.Criticality),
+			reaches)
+	}
+	return "FMECA complement: failure modes ordered by analysis criticality\n" + t.String(), nil
+}
+
+// ProfileTable renders the adjusted path probabilities P' of Section
+// 4.2 for given per-input error-occurrence probabilities.
+func ProfileTable(m *core.Matrix, output string, prob map[string]float64) (string, error) {
+	total, paths, err := core.OutputErrorProfile(m, output, prob)
+	if err != nil {
+		return "", err
+	}
+	t := &textTable{header: []string{"#", "P'", "Pr(source)", "path weight", "path"}}
+	for i, wp := range paths {
+		t.add(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.5f", wp.Adjusted),
+			fmt.Sprintf("%.3f", wp.SourceProb),
+			fmt.Sprintf("%.4f", wp.Path.Weight()),
+			wp.Path.String(),
+		)
+	}
+	title := fmt.Sprintf("Adjusted propagation probabilities P' for %s (index Σ = %.5f)\n", output, total)
+	return title + t.String(), nil
+}

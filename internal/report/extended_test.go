@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"propane/internal/arrestor"
+)
+
+func TestLatencyTable(t *testing.T) {
+	out := LatencyTable(campaignResult(t))
+	for _, want := range []string{"mean", "p50", "p95", "transient", "permanent", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LatencyTable missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-error pairs are omitted: the pairs into stopped (OB2, all
+	// zero) never show up.
+	for _, pair := range []string{"P^DIST_S_{1,3}", "P^DIST_S_{2,3}", "P^DIST_S_{3,3}"} {
+		if strings.Contains(out, pair) {
+			t.Errorf("zero-error pair %s listed:\n%s", pair, out)
+		}
+	}
+}
+
+func TestSensitivityTable(t *testing.T) {
+	m := campaignResult(t).Matrix
+	out, err := SensitivityTable(m, arrestor.SigTOC2)
+	if err != nil {
+		t.Fatalf("SensitivityTable: %v", err)
+	}
+	for _, want := range []string{"Hardening priorities", "P^PRES_A_{1,1}", "sensitivity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SensitivityTable missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := SensitivityTable(m, "bogus"); err == nil {
+		t.Error("SensitivityTable(bogus) succeeded")
+	}
+}
+
+func TestCriticalityTable(t *testing.T) {
+	m := campaignResult(t).Matrix
+	out, err := CriticalityTable(m, arrestor.SigTOC2)
+	if err != nil {
+		t.Fatalf("CriticalityTable: %v", err)
+	}
+	for _, want := range []string{"Input criticality", arrestor.SigPACNT, arrestor.SigADC} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CriticalityTable missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := CriticalityTable(m, "bogus"); err == nil {
+		t.Error("CriticalityTable(bogus) succeeded")
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	m := campaignResult(t).Matrix
+	prob := map[string]float64{
+		arrestor.SigPACNT: 0.01,
+		arrestor.SigTIC1:  0.01,
+		arrestor.SigTCNT:  0.01,
+		arrestor.SigADC:   0.05,
+	}
+	out, err := ProfileTable(m, arrestor.SigTOC2, prob)
+	if err != nil {
+		t.Fatalf("ProfileTable: %v", err)
+	}
+	for _, want := range []string{"Adjusted propagation probabilities", "Pr(source)", "index Σ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ProfileTable missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ProfileTable(m, arrestor.SigTOC2, map[string]float64{"nope": 0.5}); err == nil {
+		t.Error("ProfileTable with unknown input succeeded")
+	}
+}
+
+func TestFMECATable(t *testing.T) {
+	m := campaignResult(t).Matrix
+	out, err := FMECATable(m)
+	if err != nil {
+		t.Fatalf("FMECATable: %v", err)
+	}
+	for _, want := range []string{"FMECA complement", "criticality", "TOC2", "SetValue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FMECATable missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"propane/internal/campaign"
+	"propane/internal/core"
+)
+
+// MarkdownOptions selects the sections of the full Markdown report.
+type MarkdownOptions struct {
+	// Title heads the document; empty selects a default.
+	Title string
+	// Latency, Sensitivity, Criticality, Validation and Uniform toggle
+	// the corresponding sections (the four paper tables, trees and
+	// placement advice are always included).
+	Latency, Sensitivity, Criticality, Validation, Uniform bool
+}
+
+// Markdown assembles the complete experiment report as a single
+// Markdown document: campaign summary, Tables 1-4, backtrack trees,
+// placement advice and the optional analysis sections, each rendered
+// inside code fences so the monospaced tables survive any renderer.
+func Markdown(res *campaign.Result, opts MarkdownOptions) (string, error) {
+	var b strings.Builder
+	title := opts.Title
+	if title == "" {
+		title = "Error-propagation analysis report"
+	}
+	fmt.Fprintf(&b, "# %s\n\n", title)
+
+	sys := res.Topology
+	fmt.Fprintf(&b, "System **%s**: %d modules, %d input/output pairs, inputs %v, outputs %v.\n\n",
+		sys.Name(), len(sys.ModuleNames()), sys.TotalPairs(), sys.SystemInputs(), sys.SystemOutputs())
+	fmt.Fprintf(&b, "Campaign: %d injection runs (%d traps never fired).\n\n", res.Runs, res.Unfired)
+
+	section := func(heading, body string) {
+		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n", heading, body)
+	}
+
+	section("Table 1 — error permeability per pair", Table1(res))
+	t2, err := Table2(res.Matrix)
+	if err != nil {
+		return "", err
+	}
+	section("Table 2 — module measures", t2)
+	t3, err := Table3(res.Matrix)
+	if err != nil {
+		return "", err
+	}
+	section("Table 3 — signal error exposure", t3)
+	for _, out := range sys.SystemOutputs() {
+		t4, err := Table4(res.Matrix, out, true)
+		if err != nil {
+			return "", err
+		}
+		section(fmt.Sprintf("Table 4 — propagation paths to %s", out), t4)
+		tree, err := core.BacktrackTree(res.Matrix, out)
+		if err != nil {
+			return "", err
+		}
+		section(fmt.Sprintf("Backtrack tree of %s", out), TreeText(tree))
+	}
+	advice, err := AdviceReport(res.Matrix)
+	if err != nil {
+		return "", err
+	}
+	section("EDM/ERM placement advice", advice)
+	fmeca, err := FMECATable(res.Matrix)
+	if err != nil {
+		return "", err
+	}
+	section("FMECA complement", fmeca)
+
+	if opts.Latency {
+		section("Propagation latency and classification", LatencyTable(res))
+	}
+	if opts.Sensitivity {
+		for _, out := range sys.SystemOutputs() {
+			s, err := SensitivityTable(res.Matrix, out)
+			if err != nil {
+				return "", err
+			}
+			section(fmt.Sprintf("Hardening priorities for %s", out), s)
+		}
+	}
+	if opts.Criticality {
+		for _, out := range sys.SystemOutputs() {
+			s, err := CriticalityTable(res.Matrix, out)
+			if err != nil {
+				return "", err
+			}
+			section(fmt.Sprintf("Input criticality for %s", out), s)
+		}
+	}
+	if opts.Validation {
+		s, err := ValidationTable(res)
+		if err != nil {
+			return "", err
+		}
+		section("Cross-validation (prediction vs measurement)", s)
+	}
+	if opts.Uniform {
+		section("Uniform-propagation check", UniformPropagationTable(res))
+	}
+	return b.String(), nil
+}

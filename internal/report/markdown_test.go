@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownFullReport(t *testing.T) {
+	res := campaignResult(t)
+	md, err := Markdown(res, MarkdownOptions{
+		Title: "Test Report", Latency: true, Sensitivity: true,
+		Criticality: true, Validation: true, Uniform: true,
+	})
+	if err != nil {
+		t.Fatalf("Markdown: %v", err)
+	}
+	for _, want := range []string{
+		"# Test Report",
+		"## Table 1 — error permeability per pair",
+		"## Table 2 — module measures",
+		"## Table 3 — signal error exposure",
+		"## Table 4 — propagation paths to TOC2",
+		"## Backtrack tree of TOC2",
+		"## EDM/ERM placement advice",
+		"## FMECA complement",
+		"## Propagation latency and classification",
+		"## Hardening priorities for TOC2",
+		"## Input criticality for TOC2",
+		"## Cross-validation (prediction vs measurement)",
+		"## Uniform-propagation check",
+		"```",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q", want)
+		}
+	}
+	// Code fences are balanced.
+	if fences := strings.Count(md, "```"); fences%2 != 0 {
+		t.Errorf("unbalanced code fences: %d", fences)
+	}
+}
+
+func TestMarkdownMinimal(t *testing.T) {
+	res := campaignResult(t)
+	md, err := Markdown(res, MarkdownOptions{})
+	if err != nil {
+		t.Fatalf("Markdown: %v", err)
+	}
+	if !strings.Contains(md, "# Error-propagation analysis report") {
+		t.Error("default title missing")
+	}
+	for _, absent := range []string{"Hardening priorities", "Uniform-propagation", "Cross-validation"} {
+		if strings.Contains(md, absent) {
+			t.Errorf("optional section %q present in minimal report", absent)
+		}
+	}
+}

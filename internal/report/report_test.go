@@ -1,0 +1,222 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"propane/internal/arrestor"
+	"propane/internal/campaign"
+	"propane/internal/core"
+	"propane/internal/model"
+	"propane/internal/physics"
+	"propane/internal/sim"
+)
+
+// exampleMatrix mirrors the core-package test fixture on the Fig. 2
+// example system.
+func exampleMatrix(t *testing.T) *core.Matrix {
+	t.Helper()
+	m := core.NewMatrix(model.PaperExampleSystem())
+	assign := []struct {
+		mod     string
+		in, out int
+		v       float64
+	}{
+		{"A", 1, 1, 0.8},
+		{"B", 1, 1, 0.5}, {"B", 1, 2, 0.6}, {"B", 2, 1, 0.9}, {"B", 2, 2, 0.3},
+		{"C", 1, 1, 0.7},
+		{"D", 1, 1, 0.4},
+		{"E", 1, 1, 0.9}, {"E", 2, 1, 0.5}, {"E", 3, 1, 0.2},
+	}
+	for _, a := range assign {
+		if err := m.Set(a.mod, a.in, a.out, a.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+var (
+	resOnce sync.Once
+	res     *campaign.Result
+	resErr  error
+)
+
+func campaignResult(t *testing.T) *campaign.Result {
+	t.Helper()
+	resOnce.Do(func() {
+		cases, err := physics.Grid(1, 1, 11000, 11000, 60, 60)
+		if err != nil {
+			resErr = err
+			return
+		}
+		res, resErr = campaign.Run(campaign.Config{
+			Arrestor:       arrestor.DefaultConfig(),
+			TestCases:      cases,
+			Times:          []sim.Millis{2000},
+			Bits:           []uint{3, 12},
+			HorizonMs:      6000,
+			DirectWindowMs: 500,
+		})
+	})
+	if resErr != nil {
+		t.Fatalf("campaign: %v", resErr)
+	}
+	return res
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1(campaignResult(t))
+	for _, want := range []string{
+		"Table 1", "P^CLOCK_{1,2}", "ms_slot_nbr", "P^V_REG_{2,1}", "n_inj", "95% CI",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	// One row per pair plus header material.
+	if got := strings.Count(out, "P^"); got < 25 {
+		t.Errorf("Table1 has %d pair mentions, want >= 25", got)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out, err := Table2(campaignResult(t).Matrix)
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	for _, want := range []string{"Table 2", "CLOCK", "DIST_S", "PRES_S", "CALC", "V_REG", "PRES_A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+	// OB1: DIST_S and PRES_S have no exposure values.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "DIST_S") || strings.HasPrefix(line, "PRES_S") {
+			if !strings.Contains(line, "-") {
+				t.Errorf("expected '-' exposure in line %q", line)
+			}
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out, err := Table3(campaignResult(t).Matrix)
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	for _, want := range []string{"Table 3", "SetValue", "OutValue", "InValue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	m := campaignResult(t).Matrix
+	full, err := Table4(m, arrestor.SigTOC2, false)
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	if !strings.Contains(full, "22 of 22 shown") {
+		t.Errorf("Table4 full listing missing path count:\n%s", full)
+	}
+	nz, err := Table4(m, arrestor.SigTOC2, true)
+	if err != nil {
+		t.Fatalf("Table4 nonzero: %v", err)
+	}
+	if !strings.Contains(nz, "of 22 shown") {
+		t.Errorf("Table4 non-zero listing missing total:\n%s", nz)
+	}
+	if _, err := Table4(m, "not-an-output", false); err == nil {
+		t.Error("Table4 on non-output succeeded")
+	}
+}
+
+func TestUniformPropagationTable(t *testing.T) {
+	out := UniformPropagationTable(campaignResult(t))
+	if !strings.Contains(out, "fraction") || !strings.Contains(out, arrestor.ModVReg) {
+		t.Errorf("uniform propagation table malformed:\n%s", out)
+	}
+}
+
+func TestAdviceReport(t *testing.T) {
+	out, err := AdviceReport(campaignResult(t).Matrix)
+	if err != nil {
+		t.Fatalf("AdviceReport: %v", err)
+	}
+	if !strings.Contains(out, "EDM module candidates") {
+		t.Errorf("advice report malformed:\n%s", out)
+	}
+}
+
+func TestTopologyDOT(t *testing.T) {
+	dot := TopologyDOT(model.PaperExampleSystem())
+	for _, want := range []string{
+		"digraph", `"A" -> "B" [label="a1"]`, `"B" -> "B" [label="bfb"]`,
+		`"in:extA"`, `"E" -> "out:sysout"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("TopologyDOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestPermeabilityGraphDOT(t *testing.T) {
+	g, err := core.NewGraph(exampleMatrix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := PermeabilityGraphDOT(g)
+	for _, want := range []string{"P^A_{1,1}=0.800", `"B" -> "E"`, `"B" -> "B"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("PermeabilityGraphDOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Zero arcs are dashed, not omitted.
+	m := core.NewMatrix(model.PaperExampleSystem())
+	g2, err := core.NewGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(PermeabilityGraphDOT(g2), "style=dashed") {
+		t.Error("zero-weight arcs not dashed")
+	}
+}
+
+func TestTreeDOT(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := core.BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := TreeDOT(tree, "fig4")
+	for _, want := range []string{"sysout (root)", "extA (leaf)", "bfb (feedback)", "color=red"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("TreeDOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	m := exampleMatrix(t)
+	csv := MatrixCSV(m)
+	if !strings.HasPrefix(csv, "module,in,out,") {
+		t.Errorf("MatrixCSV header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if got := strings.Count(csv, "\n"); got != 11 { // header + 10 pairs
+		t.Errorf("MatrixCSV has %d lines, want 11", got)
+	}
+	exp, err := ExposureCSV(m)
+	if err != nil || !strings.Contains(exp, "sysout,1.600000,3") {
+		t.Errorf("ExposureCSV = %q, %v", exp, err)
+	}
+	paths, err := PathsCSV(m, "sysout")
+	if err != nil || !strings.Contains(paths, "extA") {
+		t.Errorf("PathsCSV = %q, %v", paths, err)
+	}
+	if _, err := PathsCSV(m, "bogus"); err == nil {
+		t.Error("PathsCSV(bogus) succeeded")
+	}
+}

@@ -1,0 +1,169 @@
+// Package report renders the analysis artefacts of the paper: the
+// permeability table (Table 1), the module-measure table (Table 2),
+// the signal-exposure table (Table 3), the ranked propagation-path
+// table (Table 4), and Graphviz DOT renderings of the topology, the
+// permeability graph (Fig. 9) and the backtrack/trace trees (Figs.
+// 4, 5, 10–12).
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"propane/internal/campaign"
+	"propane/internal/core"
+)
+
+// textTable renders rows of cells with aligned columns.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *textTable) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *textTable) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len([]rune(c)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Table1 renders the estimated error permeability of every
+// input/output pair, with raw counts and 95% confidence intervals —
+// the paper's Table 1.
+func Table1(res *campaign.Result) string {
+	t := &textTable{header: []string{"Pair", "Input", "Output", "n_inj", "n_err", "P", "95% CI"}}
+	for _, ps := range res.Pairs {
+		t.add(
+			ps.Pair.String(),
+			ps.InputSignal,
+			ps.OutputSignal,
+			fmt.Sprintf("%d", ps.Injections),
+			fmt.Sprintf("%d", ps.Errors),
+			fmt.Sprintf("%.3f", ps.Estimate),
+			fmt.Sprintf("[%.3f,%.3f]", ps.CI.Low, ps.CI.High),
+		)
+	}
+	return "Table 1: estimated error permeability values of the input/output pairs\n" + t.String()
+}
+
+// Table2 renders the relative permeability, non-weighted relative
+// permeability, error exposure and non-weighted error exposure of
+// every module — the paper's Table 2. Modules without exposure (only
+// system inputs) show "-" (paper OB1).
+func Table2(m *core.Matrix) (string, error) {
+	measures, err := m.AllModuleMeasures()
+	if err != nil {
+		return "", err
+	}
+	t := &textTable{header: []string{"Module", "P^M", "P̄^M", "X^M", "X̄^M"}}
+	for _, mm := range measures {
+		x, xb := "-", "-"
+		if mm.HasExposure {
+			x = fmt.Sprintf("%.3f", mm.Exposure)
+			xb = fmt.Sprintf("%.3f", mm.NonWeightedExposure)
+		}
+		t.add(mm.Module, fmt.Sprintf("%.3f", mm.Relative), fmt.Sprintf("%.3f", mm.NonWeighted), x, xb)
+	}
+	return "Table 2: estimated relative permeability and error exposure of the modules\n" + t.String(), nil
+}
+
+// Table3 renders the signal error exposure of every signal — the
+// paper's Table 3 — sorted by decreasing exposure.
+func Table3(m *core.Matrix) (string, error) {
+	exposures, err := core.SignalExposures(m)
+	if err != nil {
+		return "", err
+	}
+	t := &textTable{header: []string{"Signal", "X^S", "arcs"}}
+	for _, se := range exposures {
+		t.add(se.Signal, fmt.Sprintf("%.3f", se.Exposure), fmt.Sprintf("%d", se.Arcs))
+	}
+	return "Table 3: estimated signal error exposures\n" + t.String(), nil
+}
+
+// Table4 renders the propagation paths of the backtrack tree of the
+// given system output, ranked by weight — the paper's Table 4. When
+// nonZeroOnly is set, only paths along which errors might propagate
+// are listed (the paper lists the 13 of 22 with weight > 0).
+func Table4(m *core.Matrix, output string, nonZeroOnly bool) (string, error) {
+	tree, err := core.BacktrackTree(m, output)
+	if err != nil {
+		return "", err
+	}
+	paths := tree.RankedPaths()
+	total := len(paths)
+	if nonZeroOnly {
+		paths = tree.NonZeroPaths()
+	}
+	t := &textTable{header: []string{"#", "Weight", "Path", "Pairs"}}
+	for i, p := range paths {
+		t.add(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.4f", p.Weight()),
+			p.String(),
+			p.PairNotation(),
+		)
+	}
+	title := fmt.Sprintf("Table 4: propagation paths for system output %s (%d of %d shown)\n",
+		output, len(paths), total)
+	return title + t.String(), nil
+}
+
+// UniformPropagationTable renders the per-location system-output
+// propagation fractions (the check against the uniform-propagation
+// hypothesis of the paper's Section 2).
+func UniformPropagationTable(res *campaign.Result) string {
+	t := &textTable{header: []string{"Module", "Input", "n", "propagated", "fraction"}}
+	for _, loc := range res.Locations {
+		t.add(loc.Module, loc.Signal,
+			fmt.Sprintf("%d", loc.Injections),
+			fmt.Sprintf("%d", loc.Propagated),
+			fmt.Sprintf("%.3f", loc.Fraction))
+	}
+	return "Uniform-propagation check: fraction of injections reaching the system output\n" + t.String()
+}
+
+// AdviceReport renders the Section 5 placement advice.
+func AdviceReport(m *core.Matrix) (string, error) {
+	adv, err := core.Advise(m)
+	if err != nil {
+		return "", err
+	}
+	return "EDM/ERM placement advice (Section 5 rules)\n" + adv.Summary(), nil
+}

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"propane/internal/core"
+)
+
+// TreeText renders a backtrack or trace tree as an indented ASCII
+// tree, one node per line with the arc's pair and weight — the
+// terminal-friendly counterpart of TreeDOT for Figs. 4, 5 and 10–12.
+//
+//	TOC2 (root)
+//	└─ OutValue  P^PRES_A_{1,1}=0.997
+//	   ├─ SetValue  P^V_REG_{1,1}=1.000
+//	   │  ├─ pulscnt  P^CALC_{1,2}=0.424
+//	   ...
+func TreeText(t *core.Tree) string {
+	var b strings.Builder
+	kind := "backtrack"
+	if !t.Backtrack {
+		kind = "trace"
+	}
+	fmt.Fprintf(&b, "%s (%s tree root)\n", t.Root.Signal, kind)
+	renderChildren(&b, t.Root, "")
+	return b.String()
+}
+
+func renderChildren(b *strings.Builder, n *core.Node, prefix string) {
+	for i, c := range n.Children {
+		last := i == len(n.Children)-1
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		suffix := ""
+		switch c.Kind {
+		case core.KindTerminal:
+			suffix = "  [leaf]"
+		case core.KindFeedback:
+			suffix = "  [feedback]"
+		}
+		fmt.Fprintf(b, "%s%s%s  %s=%.3f%s\n", prefix, branch, c.Signal, c.Pair.String(), c.Weight, suffix)
+		renderChildren(b, c, prefix+cont)
+	}
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"propane/internal/core"
+)
+
+func TestTreeText(t *testing.T) {
+	m := exampleMatrix(t)
+	tree, err := core.BacktrackTree(m, "sysout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := TreeText(tree)
+	for _, want := range []string{
+		"sysout (backtrack tree root)",
+		"├─ b2  P^E_{1,1}=0.900",
+		"└─ extE  P^E_{3,1}=0.200  [leaf]",
+		"[feedback]",
+		"│",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TreeText missing %q:\n%s", want, out)
+		}
+	}
+	// One line per node.
+	tree2, err := core.TraceTree(m, "extA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := TreeText(tree2)
+	if !strings.Contains(txt, "trace tree root") {
+		t.Errorf("trace tree header missing:\n%s", txt)
+	}
+	gotLines := len(strings.Split(strings.TrimSpace(txt), "\n"))
+	if gotLines != tree2.Root.CountNodes() {
+		t.Errorf("TreeText has %d lines, want %d (one per node)", gotLines, tree2.Root.CountNodes())
+	}
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"propane/internal/arrestor"
+)
+
+func TestCrossValidate(t *testing.T) {
+	res := campaignResult(t)
+	rows, err := CrossValidate(res)
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	// One row per (system input, system output): 4 × 1.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	seen := map[string]ValidationRow{}
+	for _, r := range rows {
+		seen[r.Input] = r
+		if r.Output != arrestor.SigTOC2 {
+			t.Errorf("row output = %q, want TOC2", r.Output)
+		}
+		if r.Predicted < 0 || r.Predicted > 1 || r.Measured < 0 || r.Measured > 1 {
+			t.Errorf("row %s out of range: %+v", r.Input, r)
+		}
+		if diff := r.Predicted - r.Measured; diff != r.Delta {
+			t.Errorf("row %s delta inconsistent: %+v", r.Input, r)
+		}
+	}
+	for _, in := range []string{arrestor.SigPACNT, arrestor.SigTIC1, arrestor.SigTCNT, arrestor.SigADC} {
+		if _, ok := seen[in]; !ok {
+			t.Errorf("missing row for input %s", in)
+		}
+	}
+	// The compositional prediction must agree with the direct
+	// measurement in gross terms: PACNT clearly propagates in both
+	// views, and the prediction is never wildly off (the independence
+	// assumption bounds the gap well below 1).
+	pacnt := seen[arrestor.SigPACNT]
+	if pacnt.Predicted == 0 || pacnt.Measured == 0 {
+		t.Errorf("PACNT row vacuous: %+v", pacnt)
+	}
+	if d := pacnt.Delta; d < -0.9 || d > 0.9 {
+		t.Errorf("PACNT prediction wildly off: %+v", pacnt)
+	}
+}
+
+func TestValidationTable(t *testing.T) {
+	out, err := ValidationTable(campaignResult(t))
+	if err != nil {
+		t.Fatalf("ValidationTable: %v", err)
+	}
+	for _, want := range []string{"Cross-validation", "predicted", "measured", arrestor.SigPACNT} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ValidationTable missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package sim
+
+// ReadHook observes (and may corrupt) a module's read of an input
+// signal. The fault-injection traps of internal/inject implement this:
+// PROPANE-style high-level software traps that fire when the
+// instrumented read is reached during execution (paper Section 7.3).
+// The hook runs before the module reads the signal value, so a flip
+// applied here is seen by the module on this very read and persists in
+// the signal variable until the producer overwrites it.
+type ReadHook func(module, signal string, sig *Signal, now Millis)

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// Task is a schedulable unit of software: one of the target system's
+// modules. Step is called with the current simulated time.
+type Task interface {
+	Name() string
+	Step(now Millis)
+}
+
+// TaskFunc adapts a function to the Task interface.
+type TaskFunc struct {
+	TaskName string
+	Fn       func(now Millis)
+}
+
+// Name implements Task.
+func (t TaskFunc) Name() string { return t.TaskName }
+
+// Step implements Task.
+func (t TaskFunc) Step(now Millis) { t.Fn(now) }
+
+// Hook is an environment or instrumentation callback run by the kernel
+// around each tick (physics updates before the software, trace
+// sampling after it).
+type Hook func(now Millis)
+
+// Kernel is the slot-based, non-preemptive scheduler of the target
+// system (Section 7.1): time advances in 1-ms ticks; the system
+// operates in a fixed number of 1-ms slots; in each slot the
+// every-tick tasks and the tasks registered for that slot are invoked;
+// the background task (CALC in the paper) runs when the other modules
+// are dormant, i.e. at the end of every tick.
+type Kernel struct {
+	numSlots   int
+	slotSignal *Signal // current slot read from this signal (ms_slot_nbr)
+
+	pre        []Hook
+	everyTick  []Task
+	slotted    [][]Task
+	background []Task
+	post       []Hook
+
+	now Millis
+}
+
+// NewKernel creates a kernel with the given number of execution slots
+// (7 in the paper's target system).
+func NewKernel(numSlots int) (*Kernel, error) {
+	if numSlots < 1 {
+		return nil, fmt.Errorf("sim: numSlots must be >= 1, got %d", numSlots)
+	}
+	return &Kernel{
+		numSlots: numSlots,
+		slotted:  make([][]Task, numSlots),
+	}, nil
+}
+
+// UseSlotSignal makes the kernel read the current execution slot from
+// the given signal (the paper's ms_slot_nbr, produced by CLOCK) rather
+// than deriving it from the tick counter. Values are taken modulo the
+// slot count, so a corrupted slot signal shifts the schedule rather
+// than crashing it — matching the behaviour of the real slot table.
+func (k *Kernel) UseSlotSignal(s *Signal) { k.slotSignal = s }
+
+// AddPreHook registers an environment hook run at the start of every
+// tick, before any software task (hardware register refresh, physics).
+func (k *Kernel) AddPreHook(h Hook) { k.pre = append(k.pre, h) }
+
+// AddPostHook registers a hook run at the end of every tick (trace
+// sampling, injection traps).
+func (k *Kernel) AddPostHook(h Hook) { k.post = append(k.post, h) }
+
+// AddEveryTick schedules a task to run on every tick, before slotted
+// tasks (the paper's CLOCK and DIST_S have period 1 ms).
+func (k *Kernel) AddEveryTick(t Task) { k.everyTick = append(k.everyTick, t) }
+
+// AddSlotted schedules a task in the given slot (0-based); it then
+// runs once per full slot cycle (period 7 ms in the target system).
+func (k *Kernel) AddSlotted(slot int, t Task) error {
+	if slot < 0 || slot >= k.numSlots {
+		return fmt.Errorf("sim: slot %d out of range [0,%d)", slot, k.numSlots)
+	}
+	k.slotted[slot] = append(k.slotted[slot], t)
+	return nil
+}
+
+// AddBackground schedules a task to run at the end of every tick, when
+// the slotted modules are dormant (the paper's CALC).
+func (k *Kernel) AddBackground(t Task) { k.background = append(k.background, t) }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Millis { return k.now }
+
+// Tick advances simulated time by one millisecond, running pre-hooks,
+// every-tick tasks, the current slot's tasks, background tasks and
+// post-hooks, in that order.
+func (k *Kernel) Tick() {
+	now := k.now
+	for _, h := range k.pre {
+		h(now)
+	}
+	for _, t := range k.everyTick {
+		t.Step(now)
+	}
+	slot := int(now) % k.numSlots
+	if k.slotSignal != nil {
+		slot = int(k.slotSignal.Read()) % k.numSlots
+	}
+	for _, t := range k.slotted[slot] {
+		t.Step(now)
+	}
+	for _, t := range k.background {
+		t.Step(now)
+	}
+	for _, h := range k.post {
+		h(now)
+	}
+	k.now++
+}
+
+// Run executes ticks until the given simulated time (exclusive) is
+// reached or the stop predicate returns true after a tick. It returns
+// the time at which it stopped.
+func (k *Kernel) Run(until Millis, stop func() bool) Millis {
+	for k.now < until {
+		k.Tick()
+		if stop != nil && stop() {
+			break
+		}
+	}
+	return k.now
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignalReadWrite(t *testing.T) {
+	b := NewBus()
+	s := b.Register("pulscnt")
+	if s.Name() != "pulscnt" {
+		t.Errorf("Name() = %q, want pulscnt", s.Name())
+	}
+	if s.Read() != 0 {
+		t.Errorf("fresh signal = %d, want 0", s.Read())
+	}
+	s.Write(0xBEEF)
+	if s.Read() != 0xBEEF {
+		t.Errorf("Read() = %#x, want 0xBEEF", s.Read())
+	}
+}
+
+func TestSignalBool(t *testing.T) {
+	b := NewBus()
+	s := b.Register("stopped")
+	s.WriteBool(true)
+	if s.Read() != 1 || !s.ReadBool() {
+		t.Errorf("WriteBool(true): value=%d bool=%v", s.Read(), s.ReadBool())
+	}
+	s.WriteBool(false)
+	if s.Read() != 0 || s.ReadBool() {
+		t.Errorf("WriteBool(false): value=%d bool=%v", s.Read(), s.ReadBool())
+	}
+	// Non-canonical non-zero values still read as true (C semantics) —
+	// this is what makes bit-flips in boolean signals interesting.
+	s.Write(0x8000)
+	if !s.ReadBool() {
+		t.Error("ReadBool() of 0x8000 = false, want true")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	b := NewBus()
+	s := b.Register("x")
+	if err := s.FlipBit(0); err != nil {
+		t.Fatalf("FlipBit(0): %v", err)
+	}
+	if s.Read() != 1 {
+		t.Errorf("after flip bit 0: %d, want 1", s.Read())
+	}
+	if err := s.FlipBit(15); err != nil {
+		t.Fatalf("FlipBit(15): %v", err)
+	}
+	if s.Read() != 0x8001 {
+		t.Errorf("after flip bit 15: %#x, want 0x8001", s.Read())
+	}
+	if err := s.FlipBit(16); err == nil {
+		t.Error("FlipBit(16) succeeded, want error")
+	}
+	if err := b.FlipBit("x", 0); err != nil {
+		t.Fatalf("Bus.FlipBit: %v", err)
+	}
+	if s.Read() != 0x8000 {
+		t.Errorf("after bus flip bit 0: %#x, want 0x8000", s.Read())
+	}
+	if err := b.FlipBit("nope", 0); err == nil {
+		t.Error("Bus.FlipBit(nope) succeeded, want error")
+	}
+}
+
+// TestFlipBitInvolution is the property that flipping the same bit
+// twice restores the value, for any value and any valid bit.
+func TestFlipBitInvolution(t *testing.T) {
+	prop := func(v uint16, bit uint8) bool {
+		b := NewBus()
+		s := b.Register("p")
+		s.Write(v)
+		bt := uint(bit % 16)
+		if err := s.FlipBit(bt); err != nil {
+			return false
+		}
+		if s.Read() == v {
+			return false // one flip must change the value
+		}
+		if err := s.FlipBit(bt); err != nil {
+			return false
+		}
+		return s.Read() == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusRegisterIdempotent(t *testing.T) {
+	b := NewBus()
+	s1 := b.Register("sig")
+	s2 := b.Register("sig")
+	if s1 != s2 {
+		t.Error("Register returned different handles for same name")
+	}
+	if got := b.Names(); !reflect.DeepEqual(got, []string{"sig"}) {
+		t.Errorf("Names() = %v, want [sig]", got)
+	}
+}
+
+func TestBusLookupAndSnapshot(t *testing.T) {
+	b := NewBus()
+	b.Register("a").Write(1)
+	b.Register("b").Write(2)
+	if _, err := b.Lookup("a"); err != nil {
+		t.Errorf("Lookup(a): %v", err)
+	}
+	if _, err := b.Lookup("z"); err == nil {
+		t.Error("Lookup(z) succeeded, want error")
+	}
+	snap := b.Snapshot()
+	want := map[string]uint16{"a": 1, "b": 2}
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("Snapshot() = %v, want %v", snap, want)
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	if _, err := NewKernel(0); err == nil {
+		t.Error("NewKernel(0) succeeded, want error")
+	}
+	k, err := NewKernel(7)
+	if err != nil {
+		t.Fatalf("NewKernel(7): %v", err)
+	}
+	if err := k.AddSlotted(7, TaskFunc{TaskName: "x", Fn: func(Millis) {}}); err == nil {
+		t.Error("AddSlotted(7) succeeded, want error")
+	}
+	if err := k.AddSlotted(-1, TaskFunc{TaskName: "x", Fn: func(Millis) {}}); err == nil {
+		t.Error("AddSlotted(-1) succeeded, want error")
+	}
+}
+
+func TestKernelSchedulingOrder(t *testing.T) {
+	k, err := NewKernel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []string
+	rec := func(name string) TaskFunc {
+		return TaskFunc{TaskName: name, Fn: func(Millis) { log = append(log, name) }}
+	}
+	k.AddPreHook(func(Millis) { log = append(log, "pre") })
+	k.AddEveryTick(rec("every"))
+	if err := k.AddSlotted(0, rec("slot0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddSlotted(1, rec("slot1")); err != nil {
+		t.Fatal(err)
+	}
+	k.AddBackground(rec("bg"))
+	k.AddPostHook(func(Millis) { log = append(log, "post") })
+
+	k.Tick() // t=0: slot 0
+	k.Tick() // t=1: slot 1
+	want := []string{
+		"pre", "every", "slot0", "bg", "post",
+		"pre", "every", "slot1", "bg", "post",
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("execution order = %v, want %v", log, want)
+	}
+	if k.Now() != 2 {
+		t.Errorf("Now() = %d, want 2", k.Now())
+	}
+}
+
+func TestKernelSlotSignal(t *testing.T) {
+	k, err := NewKernel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewBus()
+	slotSig := bus.Register("ms_slot_nbr")
+	k.UseSlotSignal(slotSig)
+
+	var ran []int
+	for s := 0; s < 7; s++ {
+		s := s
+		if err := k.AddSlotted(s, TaskFunc{TaskName: "t", Fn: func(Millis) { ran = append(ran, s) }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force slot 3 regardless of tick count; values wrap modulo 7.
+	slotSig.Write(3)
+	k.Tick()
+	slotSig.Write(10) // 10 % 7 = 3
+	k.Tick()
+	if !reflect.DeepEqual(ran, []int{3, 3}) {
+		t.Errorf("slots run = %v, want [3 3]", ran)
+	}
+}
+
+func TestKernelRunWithStop(t *testing.T) {
+	k, err := NewKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	k.AddEveryTick(TaskFunc{TaskName: "c", Fn: func(Millis) { count++ }})
+	end := k.Run(100, func() bool { return count >= 10 })
+	if count != 10 || end != 10 {
+		t.Errorf("Run stopped at count=%d t=%d, want 10/10", count, end)
+	}
+	// Without a stop predicate, runs to the deadline.
+	end = k.Run(20, nil)
+	if end != 20 || count != 20 {
+		t.Errorf("Run to deadline: t=%d count=%d, want 20/20", end, count)
+	}
+}

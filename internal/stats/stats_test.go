@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		got, err := Mean(tt.xs)
+		if err != nil || got != tt.want {
+			t.Errorf("Mean(%v) = %v, %v; want %v", tt.xs, got, err, tt.want)
+		}
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("Mean(nil) succeeded")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	one, err := StdDev([]float64{42})
+	if err != nil || one != 0 {
+		t.Errorf("StdDev(single) = %v, %v; want 0", one, err)
+	}
+	if _, err := StdDev(nil); err == nil {
+		t.Error("StdDev(nil) succeeded")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	iv, err := WilsonInterval(8, 10, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known Wilson 95% interval for 8/10: approx [0.490, 0.943].
+	if math.Abs(iv.Low-0.490) > 0.01 || math.Abs(iv.High-0.943) > 0.01 {
+		t.Errorf("Wilson(8/10) = %+v, want ~[0.490, 0.943]", iv)
+	}
+	// Degenerate proportions stay in [0,1] and are non-trivial.
+	zero, err := WilsonInterval(0, 20, 1.96)
+	if err != nil || zero.Low != 0 || zero.High <= 0 || zero.High > 0.2 {
+		t.Errorf("Wilson(0/20) = %+v, %v", zero, err)
+	}
+	full, err := WilsonInterval(20, 20, 1.96)
+	if err != nil || full.High < 0.999 || full.Low >= 1 || full.Low < 0.8 {
+		t.Errorf("Wilson(20/20) = %+v, %v", full, err)
+	}
+	if _, err := WilsonInterval(1, 0, 1.96); err == nil {
+		t.Error("WilsonInterval with zero trials succeeded")
+	}
+	if _, err := WilsonInterval(5, 4, 1.96); err == nil {
+		t.Error("WilsonInterval with successes > trials succeeded")
+	}
+	if _, err := WilsonInterval(-1, 4, 1.96); err == nil {
+		t.Error("WilsonInterval with negative successes succeeded")
+	}
+}
+
+// TestWilsonCoversPointEstimate: the interval always contains p̂.
+func TestWilsonCoversPointEstimate(t *testing.T) {
+	prop := func(s, n uint8) bool {
+		trials := int(n%50) + 1
+		successes := int(s) % (trials + 1)
+		iv, err := WilsonInterval(successes, trials, 1.96)
+		if err != nil {
+			return false
+		}
+		p := float64(successes) / float64(trials)
+		return iv.Low <= p+1e-12 && p <= iv.High+1e-12 && iv.Low >= 0 && iv.High <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	ranks := RankOf(map[string]float64{"a": 3, "b": 1, "c": 3, "d": 0.5})
+	want := map[string]int{"a": 1, "c": 1, "b": 3, "d": 4}
+	for k, w := range want {
+		if ranks[k] != w {
+			t.Errorf("rank[%s] = %d, want %d", k, ranks[k], w)
+		}
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 2, "z": 3}
+	same := map[string]float64{"x": 10, "y": 20, "z": 30}
+	rev := map[string]float64{"x": 3, "y": 2, "z": 1}
+	tau, err := KendallTau(a, same)
+	if err != nil || tau != 1 {
+		t.Errorf("tau(same order) = %v, %v; want 1", tau, err)
+	}
+	tau, err = KendallTau(a, rev)
+	if err != nil || tau != -1 {
+		t.Errorf("tau(reversed) = %v, %v; want -1", tau, err)
+	}
+	if _, err := KendallTau(a, map[string]float64{"x": 1}); err == nil {
+		t.Error("KendallTau with size mismatch succeeded")
+	}
+	if _, err := KendallTau(a, map[string]float64{"x": 1, "y": 2, "w": 3}); err == nil {
+		t.Error("KendallTau with key mismatch succeeded")
+	}
+	if _, err := KendallTau(map[string]float64{"x": 1}, map[string]float64{"x": 2}); err == nil {
+		t.Error("KendallTau with one key succeeded")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v, %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("MinMax(nil) succeeded")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.4, 2}, {0.5, 3}, {0.9, 5}, {1, 5},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil || got != tt.want {
+			t.Errorf("Percentile(%v) = %v, %v; want %v", tt.p, got, err, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 0.5); err == nil {
+		t.Error("Percentile(nil) succeeded")
+	}
+	if _, err := Percentile(xs, 1.5); err == nil {
+		t.Error("Percentile(1.5) succeeded")
+	}
+	// The input is not mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted its input in place")
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import "fmt"
+
+// ErrorClass categorises how a signal deviation evolved over the
+// comparison window — the standard fault-injection taxonomy used when
+// interpreting Golden Run Comparisons.
+type ErrorClass int
+
+const (
+	// ClassNone means the signal never deviated.
+	ClassNone ErrorClass = iota + 1
+	// ClassTransient means the signal deviated and re-converged to the
+	// Golden Run before the end of the window (the error washed out).
+	ClassTransient
+	// ClassPermanent means the signal was still deviating at the final
+	// sample of the window.
+	ClassPermanent
+)
+
+// String returns the class name.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassPermanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("ErrorClass(%d)", int(c))
+	}
+}
+
+// Classify categorises the deviation given the length of the compared
+// window (in samples).
+func (d Diff) Classify(windowLen int) ErrorClass {
+	switch {
+	case d.Count == 0:
+		return ClassNone
+	case int(d.Last) >= windowLen-1:
+		return ClassPermanent
+	default:
+		return ClassTransient
+	}
+}
+
+// DurationMs returns the span from first to last deviating sample,
+// inclusive. Zero when the signal never deviated.
+func (d Diff) DurationMs() int {
+	if d.Count == 0 {
+		return 0
+	}
+	return int(d.Last-d.First) + 1
+}
+
+// Density is the fraction of samples within the deviation span that
+// actually deviated: 1.0 means a solid deviation, lower values mean
+// the signal flickered against the Golden Run.
+func (d Diff) Density() float64 {
+	span := d.DurationMs()
+	if span == 0 {
+		return 0
+	}
+	return float64(d.Count) / float64(span)
+}

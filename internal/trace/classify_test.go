@@ -1,0 +1,60 @@
+package trace
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	const window = 100
+	tests := []struct {
+		name string
+		diff Diff
+		want ErrorClass
+	}{
+		{"no deviation", Diff{First: -1, Last: -1, Count: 0}, ClassNone},
+		{"recovered", Diff{First: 10, Last: 50, Count: 41}, ClassTransient},
+		{"single blip", Diff{First: 10, Last: 10, Count: 1}, ClassTransient},
+		{"still deviating at end", Diff{First: 10, Last: 99, Count: 90}, ClassPermanent},
+		{"deviates only at end", Diff{First: 99, Last: 99, Count: 1}, ClassPermanent},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.diff.Classify(window); got != tt.want {
+				t.Errorf("Classify() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestErrorClassString(t *testing.T) {
+	tests := []struct {
+		c    ErrorClass
+		want string
+	}{
+		{ClassNone, "none"},
+		{ClassTransient, "transient"},
+		{ClassPermanent, "permanent"},
+		{ErrorClass(42), "ErrorClass(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestDurationAndDensity(t *testing.T) {
+	d := Diff{First: 10, Last: 19, Count: 5}
+	if got := d.DurationMs(); got != 10 {
+		t.Errorf("DurationMs() = %d, want 10", got)
+	}
+	if got := d.Density(); got != 0.5 {
+		t.Errorf("Density() = %v, want 0.5", got)
+	}
+	none := Diff{First: -1, Last: -1}
+	if none.DurationMs() != 0 || none.Density() != 0 {
+		t.Error("no-deviation duration/density not zero")
+	}
+	solid := Diff{First: 3, Last: 3, Count: 1}
+	if solid.Density() != 1 {
+		t.Errorf("single-sample density = %v, want 1", solid.Density())
+	}
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := NewTrace([]string{"pulscnt", "SetValue", "TOC2"})
+	for i := 0; i < 100; i++ {
+		tr.Append(map[string]uint16{
+			"pulscnt":  uint16(i),
+			"SetValue": uint16(i * 3),
+			"TOC2":     uint16(65535 - i),
+		})
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got.Signals(), tr.Signals()) {
+		t.Errorf("signals = %v, want %v", got.Signals(), tr.Signals())
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), tr.Len())
+	}
+	for _, sig := range tr.Signals() {
+		a, _ := tr.Samples(sig)
+		b, _ := got.Samples(sig)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("samples of %s differ", sig)
+		}
+	}
+	// A decoded golden run is directly comparable.
+	diffs, err := Compare(tr, got)
+	if err != nil {
+		t.Fatalf("Compare after round-trip: %v", err)
+	}
+	for sig, d := range diffs {
+		if d.Differs() {
+			t.Errorf("round-trip introduced deviation in %s: %+v", sig, d)
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	tr := NewTrace(nil)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if got.Len() != 0 || len(got.Signals()) != 0 {
+		t.Errorf("empty round-trip: %d signals, %d samples", len(got.Signals()), got.Len())
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("PT")},
+		{"wrong magic", []byte("NOPExxxxxxxxxxxxxxx")},
+		{"truncated header", []byte("PTRC\x01")},
+		{"bad version", append([]byte("PTRC"), 0x63, 0x00, 0, 0, 0, 0, 0, 0, 0, 0)},
+		{"huge dimensions", append([]byte("PTRC"), 0x01, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadTrace(bytes.NewReader(tt.data)); err == nil {
+				t.Error("ReadTrace accepted garbage")
+			}
+		})
+	}
+}
+
+func TestCodecRejectsTruncatedBody(t *testing.T) {
+	tr := NewTrace([]string{"a", "b"})
+	tr.Append(map[string]uint16{"a": 1, "b": 2})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) - 1, len(data) / 2, 15} {
+		if _, err := ReadTrace(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("ReadTrace accepted trace truncated at %d bytes", cut)
+		}
+	}
+}
+
+// TestCodecRoundTripProperty: arbitrary sample sets survive the codec.
+func TestCodecRoundTripProperty(t *testing.T) {
+	prop := func(a, b []uint16) bool {
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		tr := NewTrace([]string{"s1", "s2"})
+		for i := range a {
+			tr.Append(map[string]uint16{"s1": a[i], "s2": b[i]})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		ga, _ := got.Samples("s1")
+		gb, _ := got.Samples("s2")
+		wa, _ := tr.Samples("s1")
+		wb, _ := tr.Samples("s2")
+		return reflect.DeepEqual(ga, wa) && reflect.DeepEqual(gb, wb)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

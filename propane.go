@@ -1,0 +1,156 @@
+// Package propane is a Go implementation of the error-propagation
+// analysis framework of Hiller, Jhumka and Suri, "An Approach for
+// Analysing the Propagation of Data Errors in Software" (DSN 2001),
+// named after the authors' PROPANE tool (Propagation ANalysis
+// Environment).
+//
+// The package is a facade over the implementation packages:
+//
+//   - the software system model (modules, ports, signals);
+//   - error permeability (Eq. 1) and the derived measures: relative
+//     permeability (Eq. 2), non-weighted relative permeability
+//     (Eq. 3), error exposure (Eqs. 4–5) and signal error exposure
+//     (Eq. 6);
+//   - permeability graphs, backtrack trees (Output Error Tracing) and
+//     trace trees (Input Error Tracing), and ranked propagation paths;
+//   - the EDM/ERM placement advisor of the paper's Section 5;
+//   - a SWIFI fault-injection campaign engine with Golden Run
+//     Comparison, and the paper's target system (an aircraft
+//     arrestment controller) as a fully simulated case study.
+//
+// Quick start:
+//
+//	sys := propane.ExampleSystem()            // Fig. 2 of the paper
+//	m := propane.NewMatrix(sys)
+//	_ = m.SetBySignal("B", "a1", "b2", 0.6)   // assign permeabilities
+//	tree, _ := propane.BacktrackTree(m, "sysout")
+//	for _, p := range tree.RankedPaths() {
+//	    fmt.Println(p, p.Weight())
+//	}
+//
+// or run the full fault-injection reproduction:
+//
+//	res, _ := propane.RunCampaign(propane.ReducedCampaign())
+//	fmt.Println(propane.Table1(res))
+package propane
+
+import (
+	"propane/internal/campaign"
+	"propane/internal/core"
+	"propane/internal/expfile"
+	"propane/internal/model"
+	"propane/internal/report"
+)
+
+// Re-exported core types. The aliases give importers nameable handles
+// to the framework types without reaching into internal packages.
+type (
+	// System is an immutable, validated software system topology.
+	System = model.System
+	// Builder constructs a System.
+	Builder = model.Builder
+	// Matrix holds one error permeability value per input/output pair.
+	Matrix = core.Matrix
+	// Pair identifies one input/output pair of one module.
+	Pair = core.Pair
+	// Graph is the permeability graph.
+	Graph = core.Graph
+	// Tree is a backtrack or trace tree.
+	Tree = core.Tree
+	// Path is one root-to-leaf propagation path.
+	Path = core.Path
+	// Advice is the EDM/ERM placement recommendation.
+	Advice = core.Advice
+	// CampaignConfig parameterises a fault-injection campaign.
+	CampaignConfig = campaign.Config
+	// CampaignResult is the outcome of a campaign.
+	CampaignResult = campaign.Result
+)
+
+// NewSystem returns a Builder for a system with the given name.
+func NewSystem(name string) *Builder { return model.NewBuilder(name) }
+
+// ExampleSystem returns the paper's Fig. 2 five-module example.
+func ExampleSystem() *System { return model.PaperExampleSystem() }
+
+// NewMatrix returns a zero-filled permeability matrix for a system.
+func NewMatrix(sys *System) *Matrix { return core.NewMatrix(sys) }
+
+// NewGraph builds the permeability graph for a matrix.
+func NewGraph(m *Matrix) (*Graph, error) { return core.NewGraph(m) }
+
+// BacktrackTree builds the backtrack tree of a system output (Output
+// Error Tracing, Section 4.2 steps A1–A4).
+func BacktrackTree(m *Matrix, output string) (*Tree, error) {
+	return core.BacktrackTree(m, output)
+}
+
+// TraceTree builds the trace tree of a system input (Input Error
+// Tracing, Section 4.2 steps B1–B4).
+func TraceTree(m *Matrix, input string) (*Tree, error) {
+	return core.TraceTree(m, input)
+}
+
+// Advise runs the Section 5 EDM/ERM placement analysis.
+func Advise(m *Matrix) (*Advice, error) { return core.Advise(m) }
+
+// PathSensitivities ranks every pair by how strongly the output's
+// aggregate path weight reacts to its permeability — the hardening
+// priority list.
+func PathSensitivities(m *Matrix, output string) ([]core.PairSensitivity, error) {
+	return core.PathSensitivities(m, output)
+}
+
+// OutputErrorProfile computes the adjusted path probabilities P' of
+// Section 4.2 under the given per-input error-occurrence
+// probabilities, and their sum as a comparative exposure index.
+func OutputErrorProfile(m *Matrix, output string, prob map[string]float64) (float64, []core.WeightedPath, error) {
+	return core.OutputErrorProfile(m, output, prob)
+}
+
+// InputCriticality ranks the system inputs by total path weight toward
+// the output.
+func InputCriticality(m *Matrix, output string) ([]core.RankedSignal, error) {
+	return core.InputCriticality(m, output)
+}
+
+// Collapse merges a group of modules into one composite module with
+// derived permeabilities (the Section 3 hierarchy view).
+func Collapse(m *Matrix, group []string, newName string) (*Matrix, error) {
+	return core.Collapse(m, group, newName)
+}
+
+// PaperCampaign returns the paper's full campaign configuration
+// (4000 injections per input signal; 52 000 runs).
+func PaperCampaign() CampaignConfig { return campaign.PaperConfig() }
+
+// ReducedCampaign returns a scaled-down campaign that runs in seconds
+// and preserves the qualitative structure of the results.
+func ReducedCampaign() CampaignConfig { return campaign.ReducedConfig() }
+
+// RunCampaign executes a fault-injection campaign against the
+// configured target system and estimates its permeability matrix.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return campaign.Run(cfg)
+}
+
+// ParseExperiment decodes a JSON experiment-description file (the
+// PROPANE-style campaign driver format) into a campaign configuration.
+func ParseExperiment(data []byte) (CampaignConfig, error) {
+	return expfile.Parse(data)
+}
+
+// Table1 renders the per-pair permeability estimates (paper Table 1).
+func Table1(res *CampaignResult) string { return report.Table1(res) }
+
+// Table2 renders the module measures (paper Table 2).
+func Table2(m *Matrix) (string, error) { return report.Table2(m) }
+
+// Table3 renders the signal error exposures (paper Table 3).
+func Table3(m *Matrix) (string, error) { return report.Table3(m) }
+
+// Table4 renders the ranked propagation paths of a system output
+// (paper Table 4).
+func Table4(m *Matrix, output string, nonZeroOnly bool) (string, error) {
+	return report.Table4(m, output, nonZeroOnly)
+}
