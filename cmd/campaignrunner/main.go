@@ -1,0 +1,113 @@
+// Command campaignrunner orchestrates journaled, resumable SWIFI
+// campaigns from the named-instance registry (internal/runner).
+//
+// Usage:
+//
+//	campaignrunner -list
+//	campaignrunner -instance paper -tier quick -dir artifacts/paper-quick
+//	campaignrunner -instance paper -dir D -resume
+//	campaignrunner -instance paper -dir D -shard 0 -shards 4
+//	campaignrunner -instance paper -dir D -assemble
+//
+// Every run writes an artifact set under -dir: config.json (the
+// digestable config snapshot), journal.jsonl (one line per completed
+// injection run), metrics.json, failures.md and — for unsharded or
+// assembled runs — report.md. A run killed mid-campaign is resumed
+// with -resume; completed jobs replay from the journal and only the
+// remainder executes, converging to the bit-identical permeability
+// matrix. For sharded execution, start one process per shard with
+// the same -dir and -shards, then merge with -assemble.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"propane/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaignrunner", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the registered campaign instances and exit")
+	instance := fs.String("instance", "", "campaign instance to run (see -list)")
+	tier := fs.String("tier", "quick", "campaign intensity: quick or full")
+	dir := fs.String("dir", "", "artifact directory (journal, metrics, report)")
+	resume := fs.Bool("resume", false, "resume a killed campaign from its journal")
+	shard := fs.Int("shard", 0, "this process's shard index, in [0,shards)")
+	shards := fs.Int("shards", 0, "split the injection space over this many shards (0 = unsharded)")
+	assemble := fs.Bool("assemble", false, "merge the shard journals under -dir into the final report")
+	workers := fs.Int("workers", 0, "concurrent injection runs (0 = GOMAXPROCS)")
+	progress := fs.Duration("progress", 10*time.Second, "progress-line interval (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(out, "registered campaign instances (tiers: quick, full):")
+		for _, def := range runner.Instances() {
+			fmt.Fprintf(out, "  %-14s %s\n", def.Name, def.Description)
+		}
+		return nil
+	}
+	if *instance == "" {
+		return fmt.Errorf("no -instance given (use -list to see the registry)")
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
+	opts := runner.Options{
+		Dir:         *dir,
+		Shard:       *shard,
+		Shards:      *shards,
+		Resume:      *resume,
+		Workers:     *workers,
+		LogInterval: *progress,
+		Logf:        logf,
+	}
+
+	var rr *runner.RunResult
+	var err error
+	if *assemble {
+		def, lerr := runner.Lookup(*instance)
+		if lerr != nil {
+			return lerr
+		}
+		cfg, cerr := def.Config(runner.Tier(*tier))
+		if cerr != nil {
+			return cerr
+		}
+		opts.Name = *instance
+		opts.Tier = runner.Tier(*tier)
+		rr, err = runner.Assemble(cfg, opts)
+	} else {
+		rr, err = runner.RunInstance(*instance, runner.Tier(*tier), opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	m := rr.Metrics
+	fmt.Fprintf(out, "campaign %s/%s: %d runs (%d replayed, %d executed), %d traps unfired\n",
+		m.Instance, m.Tier, m.ReplayedRuns+m.ExecutedRuns, m.ReplayedRuns, m.ExecutedRuns, m.Unfired)
+	fmt.Fprintf(out, "%d system failures in %d equivalence classes\n", m.SystemFailures, m.UniqueFailures)
+	if m.ExecutedRuns > 0 {
+		fmt.Fprintf(out, "%.0f runs/s over %d workers (%.0f%% utilisation)\n",
+			m.RunsPerSecond, m.Workers, 100*m.WorkerUtilization)
+	}
+	if m.Shards > 1 {
+		fmt.Fprintf(out, "shard %d/%d journaled under %s; run -assemble when all shards finish\n",
+			m.Shard+1, m.Shards, rr.Dir)
+	} else {
+		fmt.Fprintf(out, "artifacts in %s\n", rr.Dir)
+	}
+	return nil
+}

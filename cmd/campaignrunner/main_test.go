@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"paper", "reduced", "dual", "autobrake", "error-models", "tolerance"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list misses instance %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunReducedQuick(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-instance", "reduced", "-dir", dir, "-progress", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"config.json", "journal.jsonl", "metrics.json", "failures.md", "report.md"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+	if !strings.Contains(out.String(), "campaign reduced/quick") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+	// Re-running without -resume must refuse; with -resume it is a
+	// no-op replay.
+	if err := run([]string{"-instance", "reduced", "-dir", dir}, &out); err == nil {
+		t.Error("re-run without -resume accepted an existing journal")
+	}
+	out.Reset()
+	if err := run([]string{"-instance", "reduced", "-dir", dir, "-resume", "-progress", "0"}, &out); err != nil {
+		t.Fatalf("resume of a complete campaign: %v", err)
+	}
+	if !strings.Contains(out.String(), "0 executed") {
+		t.Errorf("complete campaign re-executed runs:\n%s", out.String())
+	}
+}
+
+func TestRunShardsAndAssemble(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	for s := 0; s < 2; s++ {
+		args := []string{"-instance", "reduced", "-dir", dir,
+			"-shard", strconv.Itoa(s), "-shards", "2", "-progress", "0"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	if !strings.Contains(out.String(), "-assemble") {
+		t.Errorf("sharded run did not point at -assemble:\n%s", out.String())
+	}
+	if err := run([]string{"-instance", "reduced", "-dir", dir, "-assemble"}, &out); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "report.md")); err != nil {
+		t.Errorf("assemble did not write report.md: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	tests := [][]string{
+		{}, // no instance
+		{"-instance", "warpdrive", "-dir", t.TempDir()},
+		{"-instance", "reduced"}, // no dir
+		{"-instance", "reduced", "-tier", "nightly", "-dir", t.TempDir()},
+		{"-instance", "reduced", "-dir", t.TempDir(), "-assemble"}, // no journals
+	}
+	for _, args := range tests {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted invalid arguments", args)
+		}
+	}
+}

@@ -5,11 +5,13 @@
 // Usage:
 //
 //	propane [-scale tiny|reduced|paper] [-workers N] [-table all|1|2|3|4]
-//	        [-uniform] [-advice] [-dot DIR]
+//	        [-uniform] [-advice] [-dot DIR] [-artifacts DIR [-resume]]
 //
 // -scale selects the campaign size (tiny runs in well under a second,
 // paper executes the full 52 000-run campaign). -dot writes Graphviz
-// renderings of Figs. 8–12 into DIR.
+// renderings of Figs. 8–12 into DIR. -artifacts routes the campaign
+// through the journaled runner (internal/runner), so a long campaign
+// killed mid-flight resumes with -resume instead of starting over.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"propane/internal/arrestor"
 	"propane/internal/campaign"
@@ -24,6 +27,7 @@ import (
 	"propane/internal/expfile"
 	"propane/internal/physics"
 	"propane/internal/report"
+	"propane/internal/runner"
 	"propane/internal/sim"
 )
 
@@ -50,6 +54,8 @@ func run(args []string) error {
 	reportPath := fs.String("report", "", "write the complete Markdown report to this file")
 	configPath := fs.String("config", "", "experiment description file (JSON); overrides -scale and -dual")
 	dotDir := fs.String("dot", "", "write Graphviz figures (Figs. 8-12) into this directory")
+	artifacts := fs.String("artifacts", "", "journal the campaign into this artifact directory (resumable)")
+	resume := fs.Bool("resume", false, "resume a killed campaign from the -artifacts journal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,9 +93,31 @@ func run(args []string) error {
 			fmt.Printf("  %d%% (%d/%d runs)\n", decile*10, done, total)
 		}
 	}
-	res, err := campaign.Run(cfg)
-	if err != nil {
-		return err
+	var res *campaign.Result
+	if *artifacts != "" {
+		name := "propane-" + *scale
+		if *configPath != "" {
+			name = "propane-config"
+		}
+		rr, err := runner.Run(cfg, runner.Options{
+			Name: name, Dir: *artifacts, Resume: *resume,
+			LogInterval: 10 * time.Second,
+			Logf:        func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		res = rr.Result
+		fmt.Printf("artifacts journaled in %s\n", rr.Dir)
+	} else {
+		if *resume {
+			return fmt.Errorf("-resume needs -artifacts (there is no journal to resume from)")
+		}
+		var err error
+		res, err = campaign.Run(cfg)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%d injection runs completed (%d traps never fired)\n\n", res.Runs, res.Unfired)
 

@@ -63,6 +63,30 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunWithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-scale", "tiny", "-table", "1", "-artifacts", dir}); err != nil {
+		t.Fatalf("run with -artifacts: %v", err)
+	}
+	for _, name := range []string{"config.json", "journal.jsonl", "metrics.json", "failures.md", "report.md"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+	// The journal makes the campaign resumable; a second run without
+	// -resume must refuse, with -resume it replays.
+	if err := run([]string{"-scale", "tiny", "-table", "1", "-artifacts", dir}); err == nil {
+		t.Error("re-run without -resume accepted an existing journal")
+	}
+	if err := run([]string{"-scale", "tiny", "-table", "1", "-artifacts", dir, "-resume"}); err != nil {
+		t.Errorf("resume of complete campaign: %v", err)
+	}
+	// -resume without -artifacts has no journal to resume from.
+	if err := run([]string{"-scale", "tiny", "-resume"}); err == nil {
+		t.Error("-resume without -artifacts accepted")
+	}
+}
+
 func TestConfigForScale(t *testing.T) {
 	for _, scale := range []string{"tiny", "reduced", "paper"} {
 		cfg, err := configForScale(scale)

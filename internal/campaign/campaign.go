@@ -94,6 +94,22 @@ type Config struct {
 	// handed back — unsynchronised state must live there — via
 	// RunRecord.Attachment on the serial Observer path.
 	Instrument func(inst Instance, caseIdx int) (any, error)
+	// Skip, when non-nil, is consulted for every planned (injection,
+	// test case) job before it is dispatched; returning true excludes
+	// the job from execution. The orchestration layer
+	// (internal/runner) uses it for deterministic sharding of the
+	// injection space and for resuming a journaled campaign without
+	// re-executing completed runs. Skipped jobs contribute nothing to
+	// the aggregates — pair them with Replay to keep results whole.
+	Skip func(inj inject.Injection, caseIdx int) bool
+	// Replay seeds the aggregates with previously recorded runs —
+	// typically journal entries from an interrupted campaign — before
+	// any new injection run executes. Replayed records are not passed
+	// to Observer or Progress again; aggregation is order-independent,
+	// so a replayed-then-resumed campaign converges to the same Result
+	// as an uninterrupted one. A record's Diffs only needs to carry
+	// the deviating signals: a missing entry counts as "no deviation".
+	Replay []RunRecord
 }
 
 // Instance, RunnableInstance and Target re-export the target
@@ -155,40 +171,58 @@ func ReducedConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// ErrInvalidConfig is wrapped by every error Validate returns, so
+// orchestration layers (internal/runner) can distinguish
+// configuration mistakes from execution failures with errors.Is.
+var ErrInvalidConfig = errors.New("campaign: invalid configuration")
+
+// configError preserves the specific validation message while
+// matching ErrInvalidConfig (and, for wrapped target errors, the
+// underlying cause) under errors.Is/As.
+type configError struct{ err error }
+
+func (e *configError) Error() string   { return e.err.Error() }
+func (e *configError) Unwrap() []error { return []error{e.err, ErrInvalidConfig} }
+
+func invalidf(format string, args ...any) error {
+	return &configError{err: fmt.Errorf(format, args...)}
+}
+
+// Validate reports configuration errors. Every returned error wraps
+// ErrInvalidConfig.
 func (c Config) Validate() error {
 	if c.Custom != nil {
 		if c.Custom.Topology == nil || c.Custom.New == nil {
-			return errors.New("campaign: custom target needs Topology and New")
+			return invalidf("campaign: custom target needs Topology and New")
 		}
 	} else if err := c.Arrestor.Validate(); err != nil {
-		return err
+		return &configError{err: err}
 	}
 	if len(c.TestCases) == 0 {
-		return errors.New("campaign: no test cases")
+		return invalidf("campaign: no test cases")
 	}
 	if len(c.Times) == 0 {
-		return errors.New("campaign: no injection times")
+		return invalidf("campaign: no injection times")
 	}
 	if len(c.Bits) == 0 && len(c.Models) == 0 {
-		return errors.New("campaign: no bits and no error models")
+		return invalidf("campaign: no bits and no error models")
 	}
 	if c.HorizonMs <= 0 {
-		return errors.New("campaign: horizon must be positive")
+		return invalidf("campaign: horizon must be positive")
 	}
 	for _, at := range c.Times {
 		if at < 0 || at >= c.HorizonMs {
-			return fmt.Errorf("campaign: injection time %d outside [0,%d)", at, c.HorizonMs)
+			return invalidf("campaign: injection time %d outside [0,%d)", at, c.HorizonMs)
 		}
 	}
 	if c.Workers < 0 {
-		return errors.New("campaign: negative worker count")
+		return invalidf("campaign: negative worker count")
 	}
 	if c.DirectWindowMs < 0 {
-		return errors.New("campaign: negative direct window")
+		return invalidf("campaign: negative direct window")
 	}
 	if c.FaultDurationMs < 0 {
-		return errors.New("campaign: negative fault duration")
+		return invalidf("campaign: negative fault duration")
 	}
 	return nil
 }
@@ -278,6 +312,35 @@ type runOutcome struct {
 	attachment  any                   // Instrument's per-run state
 }
 
+// Plan returns the campaign's deterministic injection plan — the
+// exact enumeration Run executes, in the same order. The executed job
+// list is the cross product plan × TestCases, ordered plan-index
+// major, case-index minor; deterministic sharding and journal resume
+// (internal/runner) rely on this enumeration being stable across
+// processes for a given Config.
+func (c Config) Plan() ([]inject.Injection, error) {
+	sys := c.topology()
+	var plan []inject.Injection
+	if len(c.Models) > 0 {
+		plan = inject.ModelPlan(sys, c.Times, c.Models)
+	} else {
+		plan = inject.BitFlipPlan(sys, c.Times, c.Bits)
+	}
+	if c.OnlyModule != "" {
+		var filtered []inject.Injection
+		for _, inj := range plan {
+			if inj.Module == c.OnlyModule {
+				filtered = append(filtered, inj)
+			}
+		}
+		plan = filtered
+		if len(plan) == 0 {
+			return nil, fmt.Errorf("campaign: module %q has no injectable inputs", c.OnlyModule)
+		}
+	}
+	return plan, nil
+}
+
 // Run executes the campaign and aggregates the permeability matrix.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -290,23 +353,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	var plan []inject.Injection
-	if len(cfg.Models) > 0 {
-		plan = inject.ModelPlan(sys, cfg.Times, cfg.Models)
-	} else {
-		plan = inject.BitFlipPlan(sys, cfg.Times, cfg.Bits)
-	}
-	if cfg.OnlyModule != "" {
-		var filtered []inject.Injection
-		for _, inj := range plan {
-			if inj.Module == cfg.OnlyModule {
-				filtered = append(filtered, inj)
-			}
-		}
-		plan = filtered
-		if len(plan) == 0 {
-			return nil, fmt.Errorf("campaign: module %q has no injectable inputs", cfg.OnlyModule)
-		}
+	plan, err := cfg.Plan()
+	if err != nil {
+		return nil, err
 	}
 
 	type job struct {
@@ -350,6 +399,9 @@ func Run(cfg Config) (*Result, error) {
 		defer close(jobs)
 		for _, inj := range plan {
 			for ci := range cfg.TestCases {
+				if cfg.Skip != nil && cfg.Skip(inj, ci) {
+					continue
+				}
 				select {
 				case jobs <- job{inj: inj, caseIdx: ci}:
 				case <-done:
@@ -365,6 +417,12 @@ func Run(cfg Config) (*Result, error) {
 
 	totalRuns := len(plan) * len(cfg.TestCases)
 	res := newResult(sys, cfg.DirectWindowMs, int(cfg.HorizonMs))
+	for _, rec := range cfg.Replay {
+		if err := res.absorbRecord(sys, rec); err != nil {
+			fail(err)
+			break
+		}
+	}
 	for out := range outcomes {
 		res.absorb(sys, out)
 		if cfg.Progress != nil {
@@ -389,6 +447,10 @@ func Run(cfg Config) (*Result, error) {
 	res.finalise(sys)
 	return res.Result, nil
 }
+
+// System returns the module/signal topology of the selected target —
+// the model injections are planned over and results are keyed by.
+func (c Config) System() *model.System { return c.topology() }
 
 // topology returns the system model of the selected target.
 func (c Config) topology() *model.System {
@@ -558,6 +620,39 @@ func newResult(sys *model.System, directWindow sim.Millis, horizonLen int) *aggr
 		}
 	}
 	return agg
+}
+
+// absorbRecord folds a previously recorded run (Config.Replay, e.g.
+// replayed from a journal) into the aggregates, reconstructing the
+// per-output first deviations from the record's diffs. A record's
+// Diffs may carry only the deviating signals: a missing or
+// non-deviating entry counts as "no deviation", exactly as in a live
+// run.
+func (agg *aggregator) absorbRecord(sys *model.System, rec RunRecord) error {
+	out := runOutcome{
+		injection:   rec.Injection,
+		caseIdx:     rec.CaseIndex,
+		fired:       rec.Fired,
+		firedAt:     rec.FiredAt,
+		outputFirst: make(map[string]sim.Millis),
+		systemDiff:  rec.SystemFailure,
+		failureAt:   rec.FailureAt,
+		diffs:       rec.Diffs,
+		attachment:  rec.Attachment,
+	}
+	if rec.Fired {
+		mod, err := sys.Module(rec.Injection.Module)
+		if err != nil {
+			return fmt.Errorf("campaign: replaying %v: %w", rec.Injection, err)
+		}
+		for _, o := range mod.Outputs {
+			if d, ok := rec.Diffs[o.Signal]; ok && d.Differs() {
+				out.outputFirst[o.Signal] = d.First
+			}
+		}
+	}
+	agg.absorb(sys, out)
+	return nil
 }
 
 func (agg *aggregator) absorb(sys *model.System, out runOutcome) {

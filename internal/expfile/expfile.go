@@ -26,7 +26,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strconv"
 	"strings"
 
 	"propane/internal/arrestor"
@@ -145,35 +144,12 @@ func Parse(data []byte) (campaign.Config, error) {
 }
 
 // parseModel decodes "bitflip:N", "stuckat0:N", "stuckat1:N",
-// "replace:V" and "offset:D" specifications.
+// "replace:V" and "offset:D" specifications — the shared syntax of
+// inject.ParseSpec, which campaign journals reuse.
 func parseModel(spec string) (inject.ErrorModel, error) {
-	kind, arg, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("expfile: malformed model %q (want kind:arg)", spec)
-	}
-	n, err := strconv.ParseInt(arg, 10, 32)
+	m, err := inject.ParseSpec(spec)
 	if err != nil {
-		return nil, fmt.Errorf("expfile: model %q: %w", spec, err)
+		return nil, fmt.Errorf("expfile: %w", err)
 	}
-	switch kind {
-	case "bitflip":
-		if n < 0 || n > 15 {
-			return nil, fmt.Errorf("expfile: model %q: bit out of range", spec)
-		}
-		return inject.BitFlip{Bit: uint(n)}, nil
-	case "stuckat0", "stuckat1":
-		if n < 0 || n > 15 {
-			return nil, fmt.Errorf("expfile: model %q: bit out of range", spec)
-		}
-		return inject.StuckAt{Bit: uint(n), One: kind == "stuckat1"}, nil
-	case "replace":
-		if n < 0 || n > 65535 {
-			return nil, fmt.Errorf("expfile: model %q: value out of range", spec)
-		}
-		return inject.Replace{Value: uint16(n)}, nil
-	case "offset":
-		return inject.Offset{Delta: int32(n)}, nil
-	default:
-		return nil, fmt.Errorf("expfile: unknown model kind %q", kind)
-	}
+	return m, nil
 }

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FailureCase is one deduplicated propagation-failure equivalence
+// class distilled from a campaign journal by the orchestration layer
+// (internal/runner): deviating runs are fingerprinted by injection
+// location, the set of module outputs the error escaped through, and
+// a bucketed propagation latency, so repeated identical propagations
+// don't bury novel ones in the artifact listing.
+type FailureCase struct {
+	// Fingerprint is the canonical class key.
+	Fingerprint string
+	// Module and Signal locate the injection.
+	Module, Signal string
+	// Outputs are the deviating outputs of the injected module,
+	// sorted.
+	Outputs []string
+	// LatencyBucketMs is the lower bound of the system-failure
+	// latency bucket; -1 when the deviation never reached a system
+	// output (contained).
+	LatencyBucketMs int64
+	// Count is how many runs fell into the class.
+	Count int
+	// Example describes the first run observed in the class (its
+	// injection and workload case).
+	Example string
+}
+
+// FailureTable renders the failure catalog, most frequent class
+// first, as an aligned text table — the triage view of a campaign's
+// journal.
+func FailureTable(cases []FailureCase) string {
+	sorted := make([]FailureCase, len(cases))
+	copy(sorted, cases)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count > sorted[j].Count
+		}
+		return sorted[i].Fingerprint < sorted[j].Fingerprint
+	})
+
+	t := &textTable{header: []string{"count", "location", "escaped via", "latency", "example"}}
+	total := 0
+	for _, c := range sorted {
+		total += c.Count
+		latency := "contained"
+		if c.LatencyBucketMs >= 0 {
+			latency = fmt.Sprintf("%d ms+", c.LatencyBucketMs)
+		}
+		t.add(
+			fmt.Sprintf("%d", c.Count),
+			fmt.Sprintf("%s@%s", c.Signal, c.Module),
+			strings.Join(c.Outputs, ","),
+			latency,
+			c.Example,
+		)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deviating runs: %d in %d equivalence classes\n\n", total, len(sorted))
+	b.WriteString(t.String())
+	return b.String()
+}

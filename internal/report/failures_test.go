@@ -1,0 +1,33 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailureTable(t *testing.T) {
+	cases := []FailureCase{
+		{Fingerprint: "b", Module: "CALC", Signal: "pulscnt", Outputs: []string{"SetValue"},
+			LatencyBucketMs: 200, Count: 3, Example: "bitflip:7@2500ms case 0"},
+		{Fingerprint: "a", Module: "V_REG", Signal: "mspeed", Outputs: []string{"OutValue", "SetValue"},
+			LatencyBucketMs: -1, Count: 7, Example: "bitflip:2@1500ms case 1"},
+	}
+	out := FailureTable(cases)
+	if !strings.Contains(out, "Deviating runs: 10 in 2 equivalence classes") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	// Most frequent class first.
+	if i, j := strings.Index(out, "mspeed@V_REG"), strings.Index(out, "pulscnt@CALC"); i < 0 || j < 0 || i > j {
+		t.Errorf("classes not sorted by count:\n%s", out)
+	}
+	if !strings.Contains(out, "contained") || !strings.Contains(out, "200 ms+") {
+		t.Errorf("latency column wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "OutValue,SetValue") {
+		t.Errorf("escape set missing:\n%s", out)
+	}
+
+	if empty := FailureTable(nil); !strings.Contains(empty, "0 in 0 equivalence classes") {
+		t.Errorf("empty catalog renders wrong:\n%s", empty)
+	}
+}

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"propane/internal/campaign"
+	"propane/internal/model"
+	"propane/internal/report"
+	"propane/internal/sim"
+)
+
+// Failure dedupe: a large campaign produces thousands of deviating
+// runs, but most repeat the same propagation over and over. Runs are
+// fingerprinted by (injected module, input signal, set of deviating
+// module outputs, bucketed system-failure latency); the first run of
+// each class is kept as the exemplar and the rest only increment a
+// counter, so novel propagations stay visible in the artifact
+// listing.
+
+// latencyBucketMs quantises propagation latencies: two runs whose
+// system failures appear within the same 100 ms window after the trap
+// fired are considered the same failure mode.
+const latencyBucketMs = 100
+
+// deduper accumulates failure equivalence classes. It is driven from
+// the campaign's serial observer path, so it needs no locking.
+type deduper struct {
+	sys     *model.System
+	classes map[string]*report.FailureCase
+}
+
+func newDeduper(sys *model.System) *deduper {
+	return &deduper{sys: sys, classes: make(map[string]*report.FailureCase)}
+}
+
+// add folds one run into the catalog and reports whether it opened a
+// new equivalence class. Non-deviating runs are ignored.
+func (d *deduper) add(rec campaign.RunRecord) (novel bool) {
+	if !rec.Fired {
+		return false
+	}
+	mod, err := d.sys.Module(rec.Injection.Module)
+	if err != nil {
+		return false
+	}
+	var outputs []string
+	for _, o := range mod.Outputs {
+		if diff, ok := rec.Diffs[o.Signal]; ok && diff.Differs() {
+			outputs = append(outputs, o.Signal)
+		}
+	}
+	if len(outputs) == 0 && !rec.SystemFailure {
+		return false // the error never escaped the module
+	}
+	sort.Strings(outputs)
+
+	bucket := sim.Millis(-1)
+	if rec.SystemFailure {
+		bucket = (rec.FailureAt - rec.FiredAt) / latencyBucketMs * latencyBucketMs
+	}
+	fp := fmt.Sprintf("%s/%s->{%s}@%d",
+		rec.Injection.Module, rec.Injection.Signal, strings.Join(outputs, ","), bucket)
+
+	if c, ok := d.classes[fp]; ok {
+		c.Count++
+		return false
+	}
+	d.classes[fp] = &report.FailureCase{
+		Fingerprint:     fp,
+		Module:          rec.Injection.Module,
+		Signal:          rec.Injection.Signal,
+		Outputs:         outputs,
+		LatencyBucketMs: int64(bucket),
+		Count:           1,
+		Example:         fmt.Sprintf("%v case %d", rec.Injection, rec.CaseIndex),
+	}
+	return true
+}
+
+// unique returns the number of equivalence classes seen so far.
+func (d *deduper) unique() int { return len(d.classes) }
+
+// failures snapshots the catalog.
+func (d *deduper) failures() []report.FailureCase {
+	out := make([]report.FailureCase, 0, len(d.classes))
+	for _, c := range d.classes {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}

@@ -1,0 +1,180 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"propane/internal/report"
+)
+
+// fingerprintResult reduces a RunResult to the strings the acceptance
+// criterion cares about: the permeability matrix (bit-identical CSV)
+// and the raw run counts.
+func fingerprintResult(t *testing.T, rr *RunResult) (matrix string, runs, unfired int) {
+	t.Helper()
+	return report.MatrixCSV(rr.Result.Matrix), rr.Result.Runs, rr.Result.Unfired
+}
+
+// TestKillAndResume is the subsystem's core guarantee: a campaign
+// killed mid-journal resumes from the checkpoint and converges to the
+// bit-identical permeability matrix of an uninterrupted run. The kill
+// is simulated by truncating the journal at several byte offsets —
+// including mid-record (a torn line) and mid-header — exactly what a
+// SIGKILL during an append leaves behind.
+func TestKillAndResume(t *testing.T) {
+	baseDir := t.TempDir()
+	base, err := RunInstance("reduced", TierQuick, Options{Dir: baseDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix, wantRuns, wantUnfired := fingerprintResult(t, base)
+
+	pristine, err := os.ReadFile(filepath.Join(baseDir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pristine) < 200 {
+		t.Fatalf("journal implausibly small: %d bytes", len(pristine))
+	}
+
+	offsets := []int{
+		10,                     // mid-header: everything re-runs
+		len(pristine) * 1 / 10, // early kill
+		len(pristine) * 3 / 5,  // late kill
+		len(pristine) - 7,      // torn final record
+		len(pristine),          // clean completion, resume is a no-op
+	}
+	for _, off := range offsets {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), pristine[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rr, err := RunInstance("reduced", TierQuick, Options{Dir: dir, Resume: true})
+		if err != nil {
+			t.Fatalf("resume after truncation at %d: %v", off, err)
+		}
+		matrix, runs, unfired := fingerprintResult(t, rr)
+		if runs != wantRuns || unfired != wantUnfired {
+			t.Errorf("truncation at %d: runs/unfired %d/%d, want %d/%d", off, runs, unfired, wantRuns, wantUnfired)
+		}
+		if matrix != wantMatrix {
+			t.Errorf("truncation at %d: resumed matrix differs from uninterrupted run", off)
+		}
+		if rr.Metrics.ReplayedRuns+rr.Metrics.ExecutedRuns != wantRuns {
+			t.Errorf("truncation at %d: replayed %d + executed %d != %d",
+				off, rr.Metrics.ReplayedRuns, rr.Metrics.ExecutedRuns, wantRuns)
+		}
+		if off > len(pristine)/2 && rr.Metrics.ReplayedRuns == 0 {
+			t.Errorf("truncation at %d: nothing replayed — journal ignored", off)
+		}
+		// The resumed artifact directory must be complete.
+		for _, name := range []string{"config.json", "journal.jsonl", "metrics.json", "failures.md", "report.md"} {
+			if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+				t.Errorf("truncation at %d: missing artifact %s", off, name)
+			}
+		}
+		// And the healed journal must now replay in full.
+		_, recs, _, err := loadJournal(filepath.Join(dir, "journal.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != wantRuns {
+			t.Errorf("truncation at %d: healed journal has %d records, want %d", off, len(recs), wantRuns)
+		}
+	}
+}
+
+// TestShardedRunAssembles splits the injection space over three
+// shards, runs each independently, and checks Assemble merges their
+// journals into the bit-identical unsharded result.
+func TestShardedRunAssembles(t *testing.T) {
+	baseDir := t.TempDir()
+	base, err := RunInstance("reduced", TierQuick, Options{Dir: baseDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix, wantRuns, wantUnfired := fingerprintResult(t, base)
+
+	def, err := Lookup("reduced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := def.Config(TierQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const shards = 3
+	shardRuns := 0
+	for s := 0; s < shards; s++ {
+		rr, err := RunInstance("reduced", TierQuick, Options{Dir: dir, Shard: s, Shards: shards})
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		shardRuns += rr.Metrics.ExecutedRuns
+		if rr.Metrics.PlannedRuns >= wantRuns {
+			t.Errorf("shard %d planned %d runs, expected a strict share of %d", s, rr.Metrics.PlannedRuns, wantRuns)
+		}
+		// Shards must not claim the final report.
+		if _, err := os.Stat(filepath.Join(dir, "report.md")); err == nil {
+			t.Errorf("shard %d wrote report.md", s)
+		}
+	}
+	if shardRuns != wantRuns {
+		t.Fatalf("shards executed %d runs, want %d", shardRuns, wantRuns)
+	}
+
+	// Assembling with one shard missing must fail loudly.
+	partial := filepath.Join(dir, "journal-3of3.jsonl")
+	hidden := partial + ".hidden"
+	if err := os.Rename(partial, hidden); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assemble(cfg, Options{Name: "reduced", Tier: TierQuick, Dir: dir}); err == nil {
+		t.Error("Assemble accepted an incomplete shard set")
+	}
+	if err := os.Rename(hidden, partial); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := Assemble(cfg, Options{Name: "reduced", Tier: TierQuick, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, runs, unfired := fingerprintResult(t, rr)
+	if runs != wantRuns || unfired != wantUnfired {
+		t.Errorf("assembled runs/unfired %d/%d, want %d/%d", runs, unfired, wantRuns, wantUnfired)
+	}
+	if matrix != wantMatrix {
+		t.Error("assembled matrix differs from unsharded run")
+	}
+	if rr.Metrics.ExecutedRuns != 0 || rr.Metrics.ReplayedRuns != wantRuns {
+		t.Errorf("Assemble executed %d / replayed %d, want 0/%d", rr.Metrics.ExecutedRuns, rr.Metrics.ReplayedRuns, wantRuns)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "report.md")); err != nil {
+		t.Error("Assemble did not write report.md")
+	}
+
+	// A killed shard resumes independently: truncate shard 2's
+	// journal, resume it, re-assemble, same matrix.
+	shard2 := filepath.Join(dir, "journal-2of3.jsonl")
+	data, err := os.ReadFile(shard2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard2, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunInstance("reduced", TierQuick, Options{Dir: dir, Shard: 1, Shards: shards, Resume: true}); err != nil {
+		t.Fatalf("resuming killed shard: %v", err)
+	}
+	rr, err = Assemble(cfg, Options{Name: "reduced", Tier: TierQuick, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix, _, _ := fingerprintResult(t, rr); matrix != wantMatrix {
+		t.Error("re-assembled matrix differs after shard resume")
+	}
+}

@@ -1,0 +1,462 @@
+// Package runner is the production orchestration layer around the
+// campaign engine (internal/campaign). Where campaign.Run executes
+// one monolithic in-memory campaign, the runner provides the
+// machinery a large SWIFI campaign needs to survive contact with real
+// infrastructure:
+//
+//   - named instances: a registry of campaign configurations (the
+//     paper grid, the dual-node deployment, the autobrake target, the
+//     error-model and tolerance ablations) selectable by name and
+//     tier (quick/full);
+//   - journaled execution: every injection run's outcome is appended
+//     to a JSONL journal under a per-run artifact directory (config
+//     snapshot, golden-run digests, journal, metrics, final report),
+//     so a killed campaign resumes from its checkpoint and converges
+//     to the bit-identical permeability matrix;
+//   - deterministic sharding: the injection space splits over N
+//     shards by job index, each journaling independently, with
+//     Assemble merging shard journals into the final result;
+//   - observability: runs/sec, ETA, per-module n_err/n_inj counters
+//     and worker utilisation as periodic log lines and an exportable
+//     metrics.json;
+//   - failure dedupe: deviating runs are fingerprinted so repeated
+//     identical propagations don't bury novel ones.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"propane/internal/campaign"
+	"propane/internal/inject"
+	"propane/internal/report"
+)
+
+// defaultWorkers mirrors the campaign engine's zero-Workers choice.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Options parameterises one orchestrated campaign run.
+type Options struct {
+	// Name labels the campaign in artifacts and logs (an instance
+	// name from the registry, or any label for ad-hoc configs).
+	Name string
+	// Tier records which intensity tier the config came from.
+	Tier Tier
+	// Dir is the artifact directory. It is created if missing; it
+	// must not contain a different campaign's artifacts.
+	Dir string
+	// Shard/Shards select this process's slice of the injection
+	// space: only jobs with index ≡ Shard (mod Shards) execute.
+	// Zero Shards means unsharded.
+	Shard, Shards int
+	// Resume loads the journal and skips already-completed jobs
+	// instead of refusing to touch a non-empty journal.
+	Resume bool
+	// Workers overrides campaign.Config.Workers when positive.
+	Workers int
+	// LogInterval throttles progress lines (0 disables them).
+	LogInterval time.Duration
+	// Logf receives progress and lifecycle lines (nil discards).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) normalise() error {
+	if o.Name == "" {
+		o.Name = "custom"
+	}
+	if o.Tier == "" {
+		o.Tier = "custom"
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+		o.Shard = 0
+	}
+	if o.Shard < 0 || o.Shard >= o.Shards {
+		return fmt.Errorf("runner: shard %d outside [0,%d)", o.Shard, o.Shards)
+	}
+	if o.Dir == "" {
+		return errors.New("runner: no artifact directory")
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// RunResult is the outcome of an orchestrated run.
+type RunResult struct {
+	// Result is the aggregated campaign result. For a sharded run it
+	// covers only this shard's jobs (plus replayed ones); Assemble
+	// merges shards into the complete result.
+	Result *campaign.Result
+	// Metrics is the final observability snapshot.
+	Metrics Metrics
+	// Failures is the deduplicated failure catalog.
+	Failures []report.FailureCase
+	// Dir is the artifact directory.
+	Dir string
+}
+
+// jobKey identifies one (injection, test case) job independently of
+// process lifetime; inject.Injection.String() is unique within a
+// plan.
+type jobKey struct {
+	inj     string
+	caseIdx int
+}
+
+// jobIndexer maps jobs to their position in the campaign's
+// deterministic enumeration (plan-index major, case-index minor).
+type jobIndexer struct {
+	idx   map[jobKey]int
+	cases int
+}
+
+func newJobIndexer(plan []inject.Injection, cases int) *jobIndexer {
+	ji := &jobIndexer{idx: make(map[jobKey]int, len(plan)*cases), cases: cases}
+	for pi, inj := range plan {
+		s := inj.String()
+		for ci := 0; ci < cases; ci++ {
+			ji.idx[jobKey{s, ci}] = pi*cases + ci
+		}
+	}
+	return ji
+}
+
+func (ji *jobIndexer) index(inj inject.Injection, caseIdx int) (int, bool) {
+	i, ok := ji.idx[jobKey{inj.String(), caseIdx}]
+	return i, ok
+}
+
+// RunInstance resolves a named instance from the registry and runs
+// it.
+func RunInstance(name string, tier Tier, opts Options) (*RunResult, error) {
+	def, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := def.Config(tier)
+	if err != nil {
+		return nil, fmt.Errorf("runner: building %s/%s: %w", name, tier, err)
+	}
+	opts.Name = name
+	opts.Tier = tier
+	return Run(cfg, opts)
+}
+
+// Run executes one campaign (or one shard of it) with journaling,
+// progress tracking and failure dedupe, writing the artifact set
+// under opts.Dir. A run interrupted by a kill is resumed by calling
+// Run again with opts.Resume: completed jobs replay from the journal
+// and only the remainder executes, converging to the bit-identical
+// result of an uninterrupted run.
+func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers > 0 {
+		cfg.Workers = opts.Workers
+	}
+
+	plan, err := cfg.Plan()
+	if err != nil {
+		return nil, err
+	}
+	sys := cfg.System()
+	ji := newJobIndexer(plan, len(cfg.TestCases))
+
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: creating artifact dir: %w", err)
+	}
+	l := layout{dir: opts.Dir}
+
+	digests, err := goldenDigests(cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := newSnapshot(opts.Name, opts.Tier, cfg, len(plan), digests)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeSnapshot(l.configPath(), snap, opts.Resume); err != nil {
+		return nil, err
+	}
+
+	journalPath := l.journalPath(opts.Shard, opts.Shards)
+
+	// Restore completed jobs from the journal.
+	done := make(map[int]bool)
+	var replay []campaign.RunRecord
+	if opts.Resume {
+		hdr, recs, _, err := loadJournal(journalPath)
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Type != "" && hdr.ConfigDigest != snap.Digest {
+			return nil, fmt.Errorf("runner: journal %s belongs to config %s, not %s — refusing to mix campaigns",
+				journalPath, hdr.ConfigDigest, snap.Digest)
+		}
+		for _, r := range recs {
+			rec, err := r.RunRecord()
+			if err != nil {
+				return nil, err
+			}
+			job, ok := ji.index(rec.Injection, rec.CaseIndex)
+			if !ok {
+				return nil, fmt.Errorf("runner: journal %s contains foreign job %v case %d",
+					journalPath, rec.Injection, rec.CaseIndex)
+			}
+			if done[job] {
+				continue // duplicate append from a racy predecessor
+			}
+			done[job] = true
+			replay = append(replay, rec)
+		}
+	} else if st, err := os.Stat(journalPath); err == nil && st.Size() > 0 {
+		return nil, fmt.Errorf("runner: %s already exists — pass Resume to continue it or use a fresh artifact directory", journalPath)
+	}
+
+	jw, err := openJournal(journalPath, header{
+		Type: "header", Version: journalVersion,
+		Instance: opts.Name, Tier: string(opts.Tier),
+		Shard: opts.Shard, Shards: opts.Shards,
+		ConfigDigest: snap.Digest,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer jw.Close()
+
+	// This shard's share of the job space.
+	planned := 0
+	for job := 0; job < snap.TotalRuns; job++ {
+		if job%opts.Shards == opts.Shard {
+			planned++
+		}
+	}
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = defaultWorkers()
+	}
+	trk := newTracker(Metrics{
+		Instance: opts.Name, Tier: string(opts.Tier),
+		Shard: opts.Shard, Shards: opts.Shards,
+		Workers:     workers,
+		TotalRuns:   snap.TotalRuns,
+		PlannedRuns: planned,
+	}, opts.LogInterval, opts.Logf)
+	ddp := newDeduper(sys)
+	for _, rec := range replay {
+		trk.absorb(rec, 0, true)
+		ddp.add(rec)
+	}
+	if len(replay) > 0 {
+		opts.Logf("%s/%s shard %d/%d: resumed %d/%d runs from %s",
+			opts.Name, opts.Tier, opts.Shard+1, opts.Shards, len(replay), planned, journalPath)
+	}
+
+	cfg.Replay = replay
+	cfg.Skip = func(inj inject.Injection, caseIdx int) bool {
+		job, ok := ji.index(inj, caseIdx)
+		if !ok {
+			return true
+		}
+		return job%opts.Shards != opts.Shard || done[job]
+	}
+
+	// Wrap Instrument to stamp each run's start time (for worker
+	// utilisation), preserving any caller instrumentation.
+	userInstrument := cfg.Instrument
+	cfg.Instrument = func(inst campaign.Instance, caseIdx int) (any, error) {
+		att := &timedAttachment{start: time.Now()}
+		if userInstrument != nil {
+			user, err := userInstrument(inst, caseIdx)
+			if err != nil {
+				return nil, err
+			}
+			att.user = user
+		}
+		return att, nil
+	}
+
+	// The serial observer path: journal, dedupe, metrics, then any
+	// caller observer (with its own attachment restored).
+	var observeErr error
+	userObserver := cfg.Observer
+	cfg.Observer = func(rec campaign.RunRecord) {
+		var dur time.Duration
+		if att, ok := rec.Attachment.(*timedAttachment); ok {
+			dur = time.Since(att.start)
+			rec.Attachment = att.user
+		}
+		if observeErr == nil {
+			job, ok := ji.index(rec.Injection, rec.CaseIndex)
+			if !ok {
+				observeErr = fmt.Errorf("runner: observed unplanned job %v case %d", rec.Injection, rec.CaseIndex)
+			} else if jrec, err := newRecord(job, rec); err != nil {
+				observeErr = err
+			} else if err := jw.Append(jrec); err != nil {
+				observeErr = err
+			}
+		}
+		trk.absorb(rec, dur, false)
+		ddp.add(rec)
+		trk.maybeLog(ddp.unique())
+		if userObserver != nil {
+			userObserver(rec)
+		}
+	}
+
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if observeErr != nil {
+		return nil, observeErr
+	}
+	if err := jw.Close(); err != nil {
+		return nil, err
+	}
+
+	return finalise(res, l, trk, ddp, opts)
+}
+
+// finalise writes the closing artifacts (metrics.json, failures.md
+// and — for unsharded or assembled runs — report.md) and packages the
+// RunResult.
+func finalise(res *campaign.Result, l layout, trk *tracker, ddp *deduper, opts Options) (*RunResult, error) {
+	trk.m.UniqueFailures = ddp.unique()
+	metrics := trk.snapshot(time.Now())
+	if err := writeMetrics(l.metricsPath(), metrics); err != nil {
+		return nil, err
+	}
+	failures := ddp.failures()
+	if err := writeFileAtomic(l.failuresPath(), []byte(report.FailureTable(failures))); err != nil {
+		return nil, err
+	}
+	if opts.Shards == 1 {
+		md, err := report.Markdown(res, report.MarkdownOptions{
+			Title:   fmt.Sprintf("Campaign %s/%s", opts.Name, opts.Tier),
+			Latency: true, Uniform: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := writeFileAtomic(l.reportPath(), []byte(md)); err != nil {
+			return nil, err
+		}
+	} else {
+		opts.Logf("%s/%s: shard %d/%d journaled; run Assemble over %s for the final report",
+			opts.Name, opts.Tier, opts.Shard+1, opts.Shards, opts.Dir)
+	}
+	return &RunResult{Result: res, Metrics: metrics, Failures: failures, Dir: opts.Dir}, nil
+}
+
+// Assemble merges every shard journal under opts.Dir into the
+// complete campaign result: all records replay into the aggregates,
+// nothing re-executes, and the final report renders from the
+// journals alone. It fails if any job of the injection space is
+// missing, so a partial shard set cannot masquerade as a finished
+// campaign.
+func Assemble(cfg campaign.Config, opts Options) (*RunResult, error) {
+	opts.Shards = 1 // the assembled view is unsharded
+	opts.Shard = 0
+	if err := opts.normalise(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	plan, err := cfg.Plan()
+	if err != nil {
+		return nil, err
+	}
+	sys := cfg.System()
+	ji := newJobIndexer(plan, len(cfg.TestCases))
+	l := layout{dir: opts.Dir}
+
+	paths, err := l.journalPaths()
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("runner: no journals under %s", opts.Dir)
+	}
+
+	digests, err := goldenDigests(cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := newSnapshot(opts.Name, opts.Tier, cfg, len(plan), digests)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeSnapshot(l.configPath(), snap, true); err != nil {
+		return nil, err
+	}
+
+	done := make(map[int]bool)
+	var replay []campaign.RunRecord
+	for _, path := range paths {
+		hdr, recs, _, err := loadJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Type != "" && hdr.ConfigDigest != snap.Digest {
+			return nil, fmt.Errorf("runner: journal %s belongs to config %s, not %s",
+				path, hdr.ConfigDigest, snap.Digest)
+		}
+		for _, r := range recs {
+			rec, err := r.RunRecord()
+			if err != nil {
+				return nil, err
+			}
+			job, ok := ji.index(rec.Injection, rec.CaseIndex)
+			if !ok {
+				return nil, fmt.Errorf("runner: journal %s contains foreign job %v case %d", path, rec.Injection, rec.CaseIndex)
+			}
+			if done[job] {
+				continue
+			}
+			done[job] = true
+			replay = append(replay, rec)
+		}
+	}
+	if len(done) != snap.TotalRuns {
+		return nil, fmt.Errorf("runner: journals cover %d of %d runs — %d missing; run the remaining shards (or resume the killed ones) first",
+			len(done), snap.TotalRuns, snap.TotalRuns-len(done))
+	}
+
+	trk := newTracker(Metrics{
+		Instance: opts.Name, Tier: string(opts.Tier),
+		Shards: 1, TotalRuns: snap.TotalRuns, PlannedRuns: snap.TotalRuns,
+	}, 0, nil)
+	ddp := newDeduper(sys)
+	for _, rec := range replay {
+		trk.absorb(rec, 0, true)
+		ddp.add(rec)
+	}
+
+	cfg.Replay = replay
+	cfg.Skip = func(inject.Injection, int) bool { return true }
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return finalise(res, l, trk, ddp, opts)
+}
+
+// timedAttachment threads the run start time through the campaign's
+// attachment channel alongside any caller attachment.
+type timedAttachment struct {
+	start time.Time
+	user  any
+}

@@ -1,0 +1,46 @@
+// Package target defines the abstraction between the campaign engine
+// and the simulated systems it injects faults into. A target packages
+// a static module/signal topology (the paper's software decomposition,
+// Section 3) together with a constructor for fresh, fully wired
+// simulation instances; the campaign engine builds one instance per
+// golden run and per injection run, so runs stay independent and
+// deterministic. internal/arrestor (the paper's aircraft-arrestment
+// system) and internal/autobrake (the wheel-slip controller) both
+// provide targets.
+package target
+
+import (
+	"propane/internal/model"
+	"propane/internal/physics"
+	"propane/internal/sim"
+)
+
+// Instance is the wired-up view of one target simulation that
+// instrumentation attaches to: trace recorders and comparators read
+// the bus, monitors and recovery hooks register with the kernel.
+type Instance interface {
+	// Bus returns the signal bus carrying every topology signal.
+	Bus() *sim.Bus
+	// Kernel returns the scheduling kernel driving the modules.
+	Kernel() *sim.Kernel
+}
+
+// RunnableInstance is an Instance that can be driven to a horizon.
+type RunnableInstance interface {
+	Instance
+	// Run advances the simulation to the horizon in milliseconds.
+	Run(horizon sim.Millis)
+}
+
+// Target is a named target system: its topology and an instance
+// constructor. Both fields must be non-nil.
+type Target struct {
+	// Name identifies the target (e.g. "autobrake").
+	Name string
+	// Topology returns the target's module/signal decomposition.
+	Topology func() *model.System
+	// New builds a fresh instance for one test case. hook, if
+	// non-nil, is invoked on every instrumented module input read —
+	// the injection/logging trap; pass nil for uninstrumented runs.
+	New func(tc physics.TestCase, hook sim.ReadHook) (RunnableInstance, error)
+}
