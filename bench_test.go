@@ -19,6 +19,7 @@ import (
 	"propane/internal/campaign"
 	"propane/internal/core"
 	"propane/internal/edm"
+	"propane/internal/hostile"
 	"propane/internal/inject"
 	"propane/internal/model"
 	"propane/internal/physics"
@@ -528,6 +529,60 @@ func BenchmarkEDMOptimize(b *testing.B) {
 		}, 2)
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostileCampaign measures the supervised execution layer
+// against the adversarial target: 40 runs per iteration of which 4
+// crash (target panic → recover → classify) and 4 trip the watchdog
+// (budget exhaustion → hang). This is the cost of supervising targets
+// that do not politely return.
+func BenchmarkHostileCampaign(b *testing.B) {
+	cases, err := physics.Grid(1, 2, 12000, 12000, 50, 70)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := campaign.Config{
+		Custom:    hostile.Target(),
+		TestCases: cases,
+		Times:     []sim.Millis{50, 150},
+		Bits:      []uint{3, 15},
+		HorizonMs: 300,
+		Budget:    hostile.RunBudget(300),
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Crashes == 0 || res.Hangs == 0 {
+			b.Fatalf("hostile campaign saw %d crashes / %d hangs, want both non-zero", res.Crashes, res.Hangs)
+		}
+	}
+}
+
+// BenchmarkSupervisedInjectionRun guards the supervision overhead on
+// the happy path: the exact workload of BenchmarkSingleInjectionRun
+// but with the watchdog armed and the quarantine policy installed.
+// The budget accounting is one int64 increment per task step and the
+// crash guard is a recover on an unexercised path, so the delta
+// against the unsupervised baseline should be noise.
+func BenchmarkSupervisedInjectionRun(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Bits = []uint{7}
+	cfg.Times = []sim.Millis{2500}
+	cfg.OnlyModule = arrestor.ModVReg
+	cfg.Budget = sim.Budget{Steps: int64(cfg.HorizonMs)*64 + 1024}
+	cfg.OnJobError = campaign.QuarantinePolicy(3, nil)
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Crashes+res.Hangs+len(res.Quarantined) != 0 {
+			b.Fatalf("benign campaign tripped supervision: %d crashes, %d hangs, %d quarantined",
+				res.Crashes, res.Hangs, len(res.Quarantined))
 		}
 	}
 }

@@ -17,6 +17,14 @@
 // remainder executes, converging to the bit-identical permeability
 // matrix. For sharded execution, start one process per shard with
 // the same -dir and -shards, then merge with -assemble.
+//
+// Runs execute supervised: -run-budget bounds each run's
+// deterministic work units (an exceeded budget classifies the run as
+// a hang), target panics are classified as crashes, transient
+// journal/artifact I/O failures retry with backoff (-max-retries),
+// and a job that repeatedly crashes its worker is quarantined after
+// -quarantine-after consecutive failures instead of wedging the
+// campaign.
 package main
 
 import (
@@ -48,6 +56,9 @@ func run(args []string, out io.Writer) error {
 	assemble := fs.Bool("assemble", false, "merge the shard journals under -dir into the final report")
 	workers := fs.Int("workers", 0, "concurrent injection runs (0 = GOMAXPROCS)")
 	progress := fs.Duration("progress", 10*time.Second, "progress-line interval (0 disables)")
+	runBudget := fs.Int64("run-budget", 0, "per-run step budget: terminate and classify a run as hung after this many work units (0 = instance default)")
+	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures (0 = default 3, negative disables)")
+	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,13 +76,16 @@ func run(args []string, out io.Writer) error {
 
 	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
 	opts := runner.Options{
-		Dir:         *dir,
-		Shard:       *shard,
-		Shards:      *shards,
-		Resume:      *resume,
-		Workers:     *workers,
-		LogInterval: *progress,
-		Logf:        logf,
+		Dir:             *dir,
+		Shard:           *shard,
+		Shards:          *shards,
+		Resume:          *resume,
+		Workers:         *workers,
+		LogInterval:     *progress,
+		Logf:            logf,
+		RunBudgetSteps:  *runBudget,
+		MaxRetries:      *maxRetries,
+		QuarantineAfter: *quarantineAfter,
 	}
 
 	var rr *runner.RunResult
@@ -99,6 +113,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "campaign %s/%s: %d runs (%d replayed, %d executed), %d traps unfired\n",
 		m.Instance, m.Tier, m.ReplayedRuns+m.ExecutedRuns, m.ReplayedRuns, m.ExecutedRuns, m.Unfired)
 	fmt.Fprintf(out, "%d system failures in %d equivalence classes\n", m.SystemFailures, m.UniqueFailures)
+	if m.Crashes+m.Hangs+m.Quarantined > 0 {
+		fmt.Fprintf(out, "supervised failure modes: %d crashes, %d hangs, %d quarantined jobs (excluded from all estimates)\n",
+			m.Crashes, m.Hangs, m.Quarantined)
+	}
 	if m.ExecutedRuns > 0 {
 		fmt.Fprintf(out, "%.0f runs/s over %d workers (%.0f%% utilisation)\n",
 			m.RunsPerSecond, m.Workers, 100*m.WorkerUtilization)

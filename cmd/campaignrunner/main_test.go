@@ -84,3 +84,28 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunHostileQuickReportsSupervisedModes(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	args := []string{"-instance", "hostile", "-dir", dir, "-progress", "0",
+		"-run-budget", "0", "-max-retries", "3", "-quarantine-after", "3"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "supervised failure modes:") {
+		t.Errorf("summary misses the supervised failure modes:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "0 crashes, 0 hangs") {
+		t.Errorf("hostile campaign reported no crashes/hangs:\n%s", out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "failures.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"crash", "hang"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("failures.md misses %q", want)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	propane [-scale tiny|reduced|paper] [-workers N] [-table all|1|2|3|4]
 //	        [-uniform] [-advice] [-dot DIR] [-artifacts DIR [-resume]]
+//	        [-run-budget N] [-max-retries N] [-quarantine-after N]
 //
 // -scale selects the campaign size (tiny runs in well under a second,
 // paper executes the full 52 000-run campaign). -dot writes Graphviz
@@ -56,6 +57,9 @@ func run(args []string) error {
 	dotDir := fs.String("dot", "", "write Graphviz figures (Figs. 8-12) into this directory")
 	artifacts := fs.String("artifacts", "", "journal the campaign into this artifact directory (resumable)")
 	resume := fs.Bool("resume", false, "resume a killed campaign from the -artifacts journal")
+	runBudget := fs.Int64("run-budget", 0, "per-run step budget: terminate and classify a run as hung after this many work units (0 = unlimited)")
+	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures with -artifacts (0 = default 3, negative disables)")
+	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,8 +105,11 @@ func run(args []string) error {
 		}
 		rr, err := runner.Run(cfg, runner.Options{
 			Name: name, Dir: *artifacts, Resume: *resume,
-			LogInterval: 10 * time.Second,
-			Logf:        func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+			LogInterval:     10 * time.Second,
+			Logf:            func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+			RunBudgetSteps:  *runBudget,
+			MaxRetries:      *maxRetries,
+			QuarantineAfter: *quarantineAfter,
 		})
 		if err != nil {
 			return err
@@ -113,13 +120,32 @@ func run(args []string) error {
 		if *resume {
 			return fmt.Errorf("-resume needs -artifacts (there is no journal to resume from)")
 		}
+		// The direct path gets the same supervision as the journaled
+		// one: watchdog budget plus retry/quarantine of worker faults.
+		if *runBudget > 0 {
+			cfg.Budget.Steps = *runBudget
+		}
+		if cfg.OnJobError == nil && *quarantineAfter >= 0 {
+			after := *quarantineAfter
+			if after == 0 {
+				after = 3
+			}
+			cfg.OnJobError = campaign.QuarantinePolicy(after, func(format string, a ...any) {
+				fmt.Printf(format+"\n", a...)
+			})
+		}
 		var err error
 		res, err = campaign.Run(cfg)
 		if err != nil {
 			return err
 		}
 	}
-	fmt.Printf("%d injection runs completed (%d traps never fired)\n\n", res.Runs, res.Unfired)
+	fmt.Printf("%d injection runs completed (%d traps never fired)\n", res.Runs, res.Unfired)
+	if res.Crashes+res.Hangs+len(res.Quarantined) > 0 {
+		fmt.Printf("supervised failure modes: %d crashes, %d hangs, %d quarantined jobs (excluded from all estimates)\n",
+			res.Crashes, res.Hangs, len(res.Quarantined))
+	}
+	fmt.Println()
 
 	if err := printTables(res, *table); err != nil {
 		return err

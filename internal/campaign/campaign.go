@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"propane/internal/arrestor"
@@ -110,7 +111,90 @@ type Config struct {
 	// as an uninterrupted one. A record's Diffs only needs to carry
 	// the deviating signals: a missing entry counts as "no deviation".
 	Replay []RunRecord
+	// Budget is the per-run watchdog applied to every simulation
+	// kernel (golden and injection runs alike): a run exceeding its
+	// step or wall budget terminates deterministically and is
+	// classified OutcomeHang instead of stalling the campaign. The
+	// zero value disables supervision — required for targets whose
+	// injected errors can cause non-termination.
+	Budget sim.Budget
+	// OnJobError, when non-nil, decides what happens when an injection
+	// job fails with an infrastructure error — instance construction,
+	// instrumentation, or a panic outside the supervised target
+	// execution (a worker crash). attempt counts the job's consecutive
+	// failed executions, starting at 1. Returning RetryJob re-executes
+	// the job; QuarantineJob settles it as OutcomeQuarantined (poison
+	// job: reported, journaled via Observer, excluded from n_inj) and
+	// moves on; AbortOnError — and a nil OnJobError — fails the whole
+	// campaign, the pre-supervision behaviour. Target panics raised
+	// during the run itself never reach this hook; they are classified
+	// OutcomeCrash.
+	OnJobError func(inj inject.Injection, caseIdx, attempt int, err error) JobErrorAction
+
+	// defect records a construction-time failure of a preset
+	// constructor (e.g. ReducedConfig); Validate surfaces it joined to
+	// ErrInvalidConfig instead of the constructor panicking.
+	defect error
 }
+
+// JobErrorAction is OnJobError's verdict on a failed injection job.
+type JobErrorAction int
+
+const (
+	// AbortOnError fails the campaign with the job's error (the zero
+	// value, matching the unsupervised default).
+	AbortOnError JobErrorAction = iota
+	// RetryJob re-executes the failed job immediately.
+	RetryJob
+	// QuarantineJob gives up on the job, records it as
+	// OutcomeQuarantined and continues the campaign without it.
+	QuarantineJob
+)
+
+// QuarantinePolicy returns an OnJobError that retries a failing job
+// until it has failed after consecutive times, then quarantines it —
+// the supervisor policy of internal/runner, exposed for direct
+// campaign users. logf (nil to discard) receives one line per retry
+// and quarantine decision.
+func QuarantinePolicy(after int, logf func(format string, args ...any)) func(inject.Injection, int, int, error) JobErrorAction {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return func(inj inject.Injection, caseIdx, attempt int, err error) JobErrorAction {
+		if attempt < after {
+			logf("campaign: retrying %v case %d after failure %d/%d: %v", inj, caseIdx, attempt, after, err)
+			return RetryJob
+		}
+		logf("campaign: quarantining %v case %d after %d consecutive failures: %v", inj, caseIdx, attempt, err)
+		return QuarantineJob
+	}
+}
+
+// Outcome classifies one injection run — the paper's PROPANE tool
+// records the same taxonomy (Section 4): an injected error may leave
+// the target's data flow undisturbed (ok), deviate it (deviation),
+// crash the target (crash) or drive it into non-termination (hang).
+// Quarantined marks a poison job the supervisor gave up executing.
+type Outcome string
+
+const (
+	// OutcomeOK: the run completed and no monitored signal deviated
+	// from the Golden Run.
+	OutcomeOK Outcome = "ok"
+	// OutcomeDeviation: the run completed and at least one monitored
+	// signal deviated.
+	OutcomeDeviation Outcome = "deviation"
+	// OutcomeCrash: target code panicked during the run; the panic
+	// value is preserved in RunRecord.Detail.
+	OutcomeCrash Outcome = "crash"
+	// OutcomeHang: the run exceeded its Config.Budget and was
+	// terminated by the watchdog.
+	OutcomeHang Outcome = "hang"
+	// OutcomeQuarantined: the job repeatedly crashed the worker and
+	// was abandoned under the OnJobError policy; RunRecord.Detail
+	// holds the last error and RunRecord.Attempts the failure count.
+	OutcomeQuarantined Outcome = "quarantined"
+)
 
 // Instance, RunnableInstance and Target re-export the target
 // abstraction (see internal/target); *arrestor.Instance satisfies
@@ -136,6 +220,15 @@ type RunRecord struct {
 	FailureAt     sim.Millis
 	// Attachment is whatever Config.Instrument returned for this run.
 	Attachment any
+	// Outcome classifies the run. The zero value ("") appears only on
+	// records replayed from pre-supervision journals and is treated as
+	// ok-or-deviation, derived from Diffs.
+	Outcome Outcome
+	// Detail carries the crash panic value or the quarantine reason.
+	Detail string
+	// Attempts is the consecutive-failure count behind a quarantined
+	// record (0 otherwise).
+	Attempts int
 }
 
 // PaperConfig returns the paper's full campaign: 25 test cases, 16
@@ -159,7 +252,9 @@ func PaperConfig() Config {
 func ReducedConfig() Config {
 	cases, err := physics.Grid(2, 2, 8000, 20000, 40, 80)
 	if err != nil {
-		panic("campaign: reduced grid invalid: " + err.Error())
+		// A library must not panic on a bad preset: defer the failure
+		// to Validate, where it surfaces joined to ErrInvalidConfig.
+		return Config{defect: fmt.Errorf("campaign: reduced grid invalid: %w", err)}
 	}
 	return Config{
 		Arrestor:       arrestor.DefaultConfig(),
@@ -191,6 +286,9 @@ func invalidf(format string, args ...any) error {
 // Validate reports configuration errors. Every returned error wraps
 // ErrInvalidConfig.
 func (c Config) Validate() error {
+	if c.defect != nil {
+		return &configError{err: c.defect}
+	}
 	if c.Custom != nil {
 		if c.Custom.Topology == nil || c.Custom.New == nil {
 			return invalidf("campaign: custom target needs Topology and New")
@@ -224,6 +322,9 @@ func (c Config) Validate() error {
 	if c.FaultDurationMs < 0 {
 		return invalidf("campaign: negative fault duration")
 	}
+	if c.Budget.Steps < 0 || c.Budget.Wall < 0 {
+		return invalidf("campaign: negative run budget")
+	}
 	return nil
 }
 
@@ -251,6 +352,12 @@ type PairStats struct {
 	// window (transient) or was still deviating at its end
 	// (permanent). Transients + Permanents == Errors.
 	Transients, Permanents int
+	// Crashes and Hangs count runs injecting at this pair's input that
+	// crashed or hung the target instead of completing. They are NOT
+	// part of the Injections denominator: a crashed or hung run tells
+	// us nothing about whether the error would have permeated, so
+	// counting it would silently dilute the estimate.
+	Crashes, Hangs int
 
 	latencySum int64
 	latencies  []float64
@@ -278,6 +385,10 @@ type LocationPropagation struct {
 	Injections int
 	Propagated int
 	Fraction   float64
+	// Crashes, Hangs and Quarantined count the supervised failure
+	// modes of runs injecting at this location, excluded from the
+	// Injections denominator.
+	Crashes, Hangs, Quarantined int
 }
 
 // Result is the outcome of a campaign.
@@ -293,10 +404,30 @@ type Result struct {
 	// Locations holds the per-location system-output propagation
 	// fractions, in topology order.
 	Locations []LocationPropagation
-	// Runs is the number of injection runs executed; Unfired counts
-	// runs whose trap never fired (the module never read the input
-	// after the arm time).
+	// Runs is the number of settled injection jobs (completed runs
+	// plus quarantined ones); Unfired counts completed runs whose trap
+	// never fired (the module never read the input after the arm
+	// time).
 	Runs, Unfired int
+	// Crashes and Hangs count runs terminated by a target panic or by
+	// the watchdog; Quarantined lists the poison jobs the supervisor
+	// abandoned. All three are excluded from every permeability
+	// denominator, so a partial campaign stays honest about what it
+	// measured.
+	Crashes, Hangs int
+	Quarantined    []QuarantinedJob
+}
+
+// QuarantinedJob describes one poison job: an injection job abandoned
+// after repeatedly crashing its worker.
+type QuarantinedJob struct {
+	Injection inject.Injection
+	CaseIndex int
+	// Attempts is how many consecutive executions failed before the
+	// job was quarantined.
+	Attempts int
+	// Reason is the last failure's error text.
+	Reason string
 }
 
 // runOutcome is one injection run's contribution to the aggregates.
@@ -310,6 +441,9 @@ type runOutcome struct {
 	failureAt   sim.Millis
 	diffs       map[string]trace.Diff // full detail for the observer
 	attachment  any                   // Instrument's per-run state
+	outcome     Outcome
+	detail      string // panic value (crash) or last error (quarantined)
+	attempts    int    // consecutive failures behind a quarantine
 }
 
 // Plan returns the campaign's deterministic injection plan — the
@@ -386,7 +520,7 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out, err := injectionRun(cfg, sys, goldens[j.caseIdx], j.caseIdx, j.inj)
+				out, err := superviseJob(cfg, sys, goldens[j.caseIdx], j.caseIdx, j.inj)
 				if err != nil {
 					fail(err)
 					continue // keep draining jobs so the feeder never blocks
@@ -438,13 +572,18 @@ func Run(cfg Config) (*Result, error) {
 				SystemFailure: out.systemDiff,
 				FailureAt:     out.failureAt,
 				Attachment:    out.attachment,
+				Outcome:       out.outcome,
+				Detail:        out.detail,
+				Attempts:      out.attempts,
 			})
 		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	res.finalise(sys)
+	if err := res.finalise(sys); err != nil {
+		return nil, err
+	}
 	return res.Result, nil
 }
 
@@ -508,7 +647,17 @@ func goldenRuns(cfg Config) ([]*trace.Trace, error) {
 				return
 			}
 			inst.Kernel().AddPostHook(rec.Hook())
-			inst.Run(cfg.HorizonMs)
+			inst.Kernel().SetBudget(cfg.Budget)
+			// A golden run is uninjected: a crash or hang here is a
+			// broken target or an undersized budget, not a result.
+			if crashed, pv := runGuarded(inst, cfg.HorizonMs); crashed {
+				errs[i] = fmt.Errorf("campaign: golden run %d crashed: %v", i, pv)
+				return
+			}
+			if inst.Kernel().Exhausted() {
+				errs[i] = fmt.Errorf("campaign: golden run %d exceeded the run budget (%d steps used) — raise Config.Budget or fix the target", i, inst.Kernel().BudgetUsed())
+				return
+			}
 			goldens[i] = rec.Trace()
 		}(i, tc)
 	}
@@ -519,6 +668,67 @@ func goldenRuns(cfg Config) ([]*trace.Trace, error) {
 		}
 	}
 	return goldens, nil
+}
+
+// superviseJob drives one injection job to a settled outcome under
+// the fault-isolation policy: worker panics become errors, errors
+// consult Config.OnJobError, and a quarantined job yields an
+// OutcomeQuarantined record instead of failing the campaign.
+func superviseJob(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection) (runOutcome, error) {
+	attempt := 0
+	for {
+		out, err := supervisedRun(cfg, sys, golden, caseIdx, inj)
+		if err == nil {
+			return out, nil
+		}
+		attempt++
+		action := AbortOnError
+		if cfg.OnJobError != nil {
+			action = cfg.OnJobError(inj, caseIdx, attempt, err)
+		}
+		switch action {
+		case RetryJob:
+			continue
+		case QuarantineJob:
+			return runOutcome{
+				injection: inj,
+				caseIdx:   caseIdx,
+				outcome:   OutcomeQuarantined,
+				detail:    err.Error(),
+				attempts:  attempt,
+				failureAt: -1,
+			}, nil
+		default:
+			return runOutcome{}, err
+		}
+	}
+}
+
+// supervisedRun executes one injection run with worker-level fault
+// isolation: a panic outside the guarded target execution (instance
+// construction, instrumentation, comparison setup) is converted into
+// an error so the retry/quarantine policy can handle it.
+func supervisedRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection) (out runOutcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: worker panic on %v case %d: %v", inj, caseIdx, r)
+		}
+	}()
+	return injectionRun(cfg, sys, golden, caseIdx, inj)
+}
+
+// runGuarded drives the instance to the horizon, converting a panic
+// raised by target code into a crash classification. Budget
+// exhaustion is recovered inside the kernel itself and reported via
+// Kernel.Exhausted, so the two failure modes stay distinguishable.
+func runGuarded(inst RunnableInstance, horizon sim.Millis) (crashed bool, panicVal any) {
+	defer func() {
+		if r := recover(); r != nil {
+			crashed, panicVal = true, r
+		}
+	}()
+	inst.Run(horizon)
+	return false, nil
 }
 
 // injectionRun executes one injection run against one test case and
@@ -552,7 +762,8 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 			return runOutcome{}, fmt.Errorf("campaign: instrumenting %v case %d: %w", inj, caseIdx, err)
 		}
 	}
-	inst.Run(cfg.HorizonMs)
+	inst.Kernel().SetBudget(cfg.Budget)
+	crashed, panicVal := runGuarded(inst, cfg.HorizonMs)
 
 	firedAt, fired := trap.Fired()
 	out := runOutcome{
@@ -561,8 +772,18 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 		fired:       fired,
 		firedAt:     firedAt,
 		outputFirst: make(map[string]sim.Millis),
-		diffs:       cmp.Diffs(),
+		diffs:       cmp.Diffs(), // partial up to the crash/hang point — still recorded
 		attachment:  attachment,
+	}
+	out.failureAt = -1
+	switch {
+	case inst.Kernel().Exhausted():
+		out.outcome = OutcomeHang
+		return out, nil
+	case crashed:
+		out.outcome = OutcomeCrash
+		out.detail = fmt.Sprintf("%v", panicVal)
+		return out, nil
 	}
 	diffs := out.diffs
 	mod, err := sys.Module(inj.Module)
@@ -572,7 +793,13 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 	for _, o := range mod.Outputs {
 		out.outputFirst[o.Signal] = diffs[o.Signal].First
 	}
-	out.failureAt = -1
+	out.outcome = OutcomeOK
+	for _, d := range diffs {
+		if d.Differs() {
+			out.outcome = OutcomeDeviation
+			break
+		}
+	}
 	for _, so := range sys.SystemOutputs() {
 		if d := diffs[so]; d.Differs() {
 			out.systemDiff = true
@@ -639,8 +866,23 @@ func (agg *aggregator) absorbRecord(sys *model.System, rec RunRecord) error {
 		failureAt:   rec.FailureAt,
 		diffs:       rec.Diffs,
 		attachment:  rec.Attachment,
+		outcome:     rec.Outcome,
+		detail:      rec.Detail,
+		attempts:    rec.Attempts,
 	}
-	if rec.Fired {
+	// Pre-supervision journals carry no outcome field: every record
+	// in them is a completed run, so derive ok/deviation from the
+	// recorded diffs.
+	if out.outcome == "" {
+		out.outcome = OutcomeOK
+		for _, d := range rec.Diffs {
+			if d.Differs() {
+				out.outcome = OutcomeDeviation
+				break
+			}
+		}
+	}
+	if rec.Fired && out.outcome != OutcomeQuarantined {
 		mod, err := sys.Module(rec.Injection.Module)
 		if err != nil {
 			return fmt.Errorf("campaign: replaying %v: %w", rec.Injection, err)
@@ -657,6 +899,52 @@ func (agg *aggregator) absorbRecord(sys *model.System, rec RunRecord) error {
 
 func (agg *aggregator) absorb(sys *model.System, out runOutcome) {
 	agg.Runs++
+	switch out.outcome {
+	case OutcomeQuarantined:
+		agg.Quarantined = append(agg.Quarantined, QuarantinedJob{
+			Injection: out.injection,
+			CaseIndex: out.caseIdx,
+			Attempts:  out.attempts,
+			Reason:    out.detail,
+		})
+		if li, ok := agg.locIdx[[2]string{out.injection.Module, out.injection.Signal}]; ok {
+			agg.Locations[li].Quarantined++
+		}
+		return
+	case OutcomeCrash, OutcomeHang:
+		// The injection location is known even when the trap state is
+		// unreliable (the run died); attribute the failure mode there
+		// and keep it out of every n_inj denominator.
+		if out.outcome == OutcomeCrash {
+			agg.Crashes++
+		} else {
+			agg.Hangs++
+		}
+		mod, err := sys.Module(out.injection.Module)
+		if err != nil {
+			return
+		}
+		li, ok := agg.locIdx[[2]string{out.injection.Module, out.injection.Signal}]
+		if !ok {
+			return
+		}
+		if out.outcome == OutcomeCrash {
+			agg.Locations[li].Crashes++
+		} else {
+			agg.Locations[li].Hangs++
+		}
+		inIdx := mod.InputIndex(out.injection.Signal)
+		for _, o := range mod.Outputs {
+			p := core.Pair{Module: mod.Name, In: inIdx, Out: o.Index}
+			ps := &agg.Pairs[agg.pairIdx[p]]
+			if out.outcome == OutcomeCrash {
+				ps.Crashes++
+			} else {
+				ps.Hangs++
+			}
+		}
+		return
+	}
 	if !out.fired {
 		agg.Unfired++
 		return
@@ -693,7 +981,7 @@ func (agg *aggregator) absorb(sys *model.System, out runOutcome) {
 	}
 }
 
-func (agg *aggregator) finalise(sys *model.System) {
+func (agg *aggregator) finalise(sys *model.System) error {
 	for i := range agg.Pairs {
 		ps := &agg.Pairs[i]
 		if ps.Injections > 0 {
@@ -706,9 +994,10 @@ func (agg *aggregator) finalise(sys *model.System) {
 			ps.MeanLatencyMs = float64(ps.latencySum) / float64(ps.Errors)
 		}
 		// Setting a measured estimate can only fail on programming
-		// errors (pair enumerated from the topology itself).
+		// errors (pair enumerated from the topology itself); surface
+		// them as errors rather than panicking out of the library.
 		if err := agg.Matrix.Set(ps.Pair.Module, ps.Pair.In, ps.Pair.Out, ps.Estimate); err != nil {
-			panic("campaign: internal pair bookkeeping broken: " + err.Error())
+			return &configError{err: fmt.Errorf("campaign: internal pair bookkeeping broken: %w", err)}
 		}
 	}
 	for i := range agg.Locations {
@@ -717,7 +1006,17 @@ func (agg *aggregator) finalise(sys *model.System) {
 			loc.Fraction = float64(loc.Propagated) / float64(loc.Injections)
 		}
 	}
+	// The quarantine list accretes in worker-completion order; sort it
+	// so resumed and uninterrupted campaigns render identically.
+	sort.Slice(agg.Quarantined, func(i, j int) bool {
+		qi, qj := agg.Quarantined[i], agg.Quarantined[j]
+		if si, sj := qi.Injection.String(), qj.Injection.String(); si != sj {
+			return si < sj
+		}
+		return qi.CaseIndex < qj.CaseIndex
+	})
 	_ = sys
+	return nil
 }
 
 // NonUniformLocations returns the injection locations whose

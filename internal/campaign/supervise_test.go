@@ -1,0 +1,221 @@
+package campaign
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"propane/internal/hostile"
+	"propane/internal/inject"
+	"propane/internal/physics"
+	"propane/internal/sim"
+)
+
+// hostileConfig is a small campaign over the adversarial target: bit
+// 15 on MINE's input crashes the run, bit 15 on TARPIT's input hangs
+// it, and everything else behaves like an ordinary data error.
+func hostileConfig(t *testing.T) Config {
+	t.Helper()
+	cases, err := physics.Grid(1, 2, 12000, 12000, 50, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Custom:    hostile.Target(),
+		TestCases: cases,
+		Times:     []sim.Millis{50, 150},
+		Bits:      []uint{3, 15},
+		HorizonMs: 300,
+		Budget:    hostile.RunBudget(300),
+	}
+}
+
+func TestHostileCampaignCompletesUnattended(t *testing.T) {
+	res, err := Run(hostileConfig(t))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 5 input ports × 2 bits × 2 times × 2 cases.
+	if got, want := res.Runs, 5*2*2*2; got != want {
+		t.Errorf("Runs = %d, want %d", got, want)
+	}
+	// Bit-15 flips on MINE/hs_val crash; 2 times × 2 cases.
+	if res.Crashes != 4 {
+		t.Errorf("Crashes = %d, want 4", res.Crashes)
+	}
+	// Bit-15 flips on TARPIT/hs_tick hang; 2 times × 2 cases.
+	if res.Hangs != 4 {
+		t.Errorf("Hangs = %d, want 4", res.Hangs)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Errorf("Quarantined = %v, want none", res.Quarantined)
+	}
+
+	locs := make(map[string]LocationPropagation, len(res.Locations))
+	for _, loc := range res.Locations {
+		locs[loc.Module+"/"+loc.Signal] = loc
+	}
+	if loc := locs[hostile.ModMine+"/"+hostile.SigVal]; loc.Crashes != 4 || loc.Injections != 4 {
+		t.Errorf("MINE/hs_val: crashes=%d injections=%d, want 4/4 (crashes out of the denominator)", loc.Crashes, loc.Injections)
+	}
+	if loc := locs[hostile.ModTarpit+"/"+hostile.SigTick]; loc.Hangs != 4 || loc.Injections != 4 {
+		t.Errorf("TARPIT/hs_tick: hangs=%d injections=%d, want 4/4 (hangs out of the denominator)", loc.Hangs, loc.Injections)
+	}
+
+	for _, ps := range res.Pairs {
+		if ps.InputSignal == hostile.SigVal && ps.OutputSignal == hostile.SigOut {
+			if ps.Crashes != 4 {
+				t.Errorf("pair %s->%s: Crashes = %d, want 4", ps.InputSignal, ps.OutputSignal, ps.Crashes)
+			}
+			if ps.Injections != 4 {
+				t.Errorf("pair %s->%s: n_inj = %d, want 4 (crashed runs must not inflate it)", ps.InputSignal, ps.OutputSignal, ps.Injections)
+			}
+		}
+		if ps.InputSignal == hostile.SigTick && ps.OutputSignal == hostile.SigOut {
+			if ps.Hangs != 4 {
+				t.Errorf("pair %s->%s: Hangs = %d, want 4", ps.InputSignal, ps.OutputSignal, ps.Hangs)
+			}
+		}
+	}
+}
+
+func TestHostileOutcomesObserved(t *testing.T) {
+	cfg := hostileConfig(t)
+	var mu sync.Mutex
+	byOutcome := map[Outcome]int{}
+	cfg.Observer = func(rec RunRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		byOutcome[rec.Outcome]++
+		if rec.Outcome == OutcomeCrash && !strings.Contains(rec.Detail, "mine tripped") {
+			t.Errorf("crash record detail = %q, want the panic value", rec.Detail)
+		}
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if byOutcome[OutcomeCrash] != 4 || byOutcome[OutcomeHang] != 4 {
+		t.Errorf("observed outcomes %v, want 4 crashes and 4 hangs", byOutcome)
+	}
+	if byOutcome[OutcomeOK]+byOutcome[OutcomeDeviation] != 32 {
+		t.Errorf("observed outcomes %v, want 32 completed benign runs", byOutcome)
+	}
+	if byOutcome[""] != 0 {
+		t.Errorf("observed %d records without an outcome", byOutcome[""])
+	}
+}
+
+// poisonInstrument panics on every run of the second test case —
+// a worker fault outside the guarded target execution, the situation
+// the retry/quarantine policy exists for.
+func poisonInstrument(inst Instance, caseIdx int) (any, error) {
+	if caseIdx == 1 {
+		panic("instrument corrupted state")
+	}
+	return nil, nil
+}
+
+func TestQuarantineRetriesExactlyNThenExcludes(t *testing.T) {
+	cfg := hostileConfig(t)
+	cfg.Times = []sim.Millis{50}
+	cfg.Bits = []uint{3}
+	cfg.Workers = 1
+	cfg.Instrument = poisonInstrument
+
+	const after = 3
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	policy := QuarantinePolicy(after, nil)
+	cfg.OnJobError = func(inj inject.Injection, caseIdx, attempt int, err error) JobErrorAction {
+		mu.Lock()
+		attempts[inj.String()] = attempt
+		mu.Unlock()
+		return policy(inj, caseIdx, attempt, err)
+	}
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 5 ports × 1 bit × 1 time × 2 cases; the poisoned case's 5 jobs
+	// are quarantined but still settled.
+	if got, want := res.Runs, 10; got != want {
+		t.Errorf("Runs = %d, want %d", got, want)
+	}
+	if len(res.Quarantined) != 5 {
+		t.Fatalf("Quarantined = %d jobs, want 5", len(res.Quarantined))
+	}
+	for _, q := range res.Quarantined {
+		if q.CaseIndex != 1 {
+			t.Errorf("quarantined case %d, want 1", q.CaseIndex)
+		}
+		if q.Attempts != after {
+			t.Errorf("job %v quarantined after %d attempts, want exactly %d", q.Injection, q.Attempts, after)
+		}
+		if !strings.Contains(q.Reason, "instrument corrupted state") {
+			t.Errorf("quarantine reason %q does not carry the worker fault", q.Reason)
+		}
+		if got := attempts[q.Injection.String()]; got != after {
+			t.Errorf("policy consulted %d times for %v, want %d", got, q.Injection, after)
+		}
+	}
+	// Quarantined jobs must not appear in any permeability denominator.
+	for _, loc := range res.Locations {
+		if loc.Quarantined != 1 {
+			t.Errorf("%s/%s: Quarantined = %d, want 1", loc.Module, loc.Signal, loc.Quarantined)
+		}
+		if loc.Injections != 1 {
+			t.Errorf("%s/%s: Injections = %d, want 1 (only the healthy case)", loc.Module, loc.Signal, loc.Injections)
+		}
+	}
+	for _, ps := range res.Pairs {
+		if ps.Injections > 1 {
+			t.Errorf("pair %s->%s: n_inj = %d, want <= 1", ps.InputSignal, ps.OutputSignal, ps.Injections)
+		}
+	}
+}
+
+func TestWorkerFaultAbortsWithoutPolicy(t *testing.T) {
+	cfg := hostileConfig(t)
+	cfg.Times = []sim.Millis{50}
+	cfg.Bits = []uint{3}
+	cfg.Instrument = poisonInstrument // no OnJobError: old fail-fast contract
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run succeeded despite an unhandled worker panic")
+	} else if !strings.Contains(err.Error(), "worker panic") {
+		t.Errorf("error %q does not name the worker panic", err)
+	}
+}
+
+var errForTest = errors.New("synthetic worker fault")
+
+func TestQuarantinePolicyDecisions(t *testing.T) {
+	var logged []string
+	policy := QuarantinePolicy(2, func(format string, args ...any) {
+		logged = append(logged, format)
+	})
+	inj := inject.Injection{Module: "M", Signal: "s", At: 1, Model: inject.BitFlip{Bit: 0}}
+	if got := policy(inj, 0, 1, errForTest); got != RetryJob {
+		t.Errorf("attempt 1: %v, want RetryJob", got)
+	}
+	if got := policy(inj, 0, 2, errForTest); got != QuarantineJob {
+		t.Errorf("attempt 2: %v, want QuarantineJob", got)
+	}
+	if len(logged) != 2 {
+		t.Errorf("policy logged %d lines, want 2", len(logged))
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Budget = sim.Budget{Steps: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted a negative step budget")
+	}
+	cfg = tinyConfig()
+	cfg.Budget = sim.Budget{Wall: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted a negative wall budget")
+	}
+}

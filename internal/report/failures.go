@@ -15,6 +15,11 @@ import (
 type FailureCase struct {
 	// Fingerprint is the canonical class key.
 	Fingerprint string
+	// Kind is the failure mode: "deviation" (a Golden Run Comparison
+	// mismatch, the default when empty), "crash" (target panic),
+	// "hang" (watchdog termination) or "quarantined" (poison job the
+	// supervisor abandoned).
+	Kind string
 	// Module and Signal locate the injection.
 	Module, Signal string
 	// Outputs are the deviating outputs of the injected module,
@@ -44,16 +49,23 @@ func FailureTable(cases []FailureCase) string {
 		return sorted[i].Fingerprint < sorted[j].Fingerprint
 	})
 
-	t := &textTable{header: []string{"count", "location", "escaped via", "latency", "example"}}
+	t := &textTable{header: []string{"count", "kind", "location", "escaped via", "latency", "example"}}
 	total := 0
 	for _, c := range sorted {
 		total += c.Count
+		kind := c.Kind
+		if kind == "" {
+			kind = "deviation"
+		}
 		latency := "contained"
-		if c.LatencyBucketMs >= 0 {
+		if kind != "deviation" {
+			latency = "-"
+		} else if c.LatencyBucketMs >= 0 {
 			latency = fmt.Sprintf("%d ms+", c.LatencyBucketMs)
 		}
 		t.add(
 			fmt.Sprintf("%d", c.Count),
+			kind,
 			fmt.Sprintf("%s@%s", c.Signal, c.Module),
 			strings.Join(c.Outputs, ","),
 			latency,
@@ -61,7 +73,7 @@ func FailureTable(cases []FailureCase) string {
 		)
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "Deviating runs: %d in %d equivalence classes\n\n", total, len(sorted))
+	fmt.Fprintf(&b, "Failing runs: %d in %d equivalence classes\n\n", total, len(sorted))
 	b.WriteString(t.String())
 	return b.String()
 }

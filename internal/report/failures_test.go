@@ -13,8 +13,12 @@ func TestFailureTable(t *testing.T) {
 			LatencyBucketMs: -1, Count: 7, Example: "bitflip:2@1500ms case 1"},
 	}
 	out := FailureTable(cases)
-	if !strings.Contains(out, "Deviating runs: 10 in 2 equivalence classes") {
+	if !strings.Contains(out, "Failing runs: 10 in 2 equivalence classes") {
 		t.Errorf("header wrong:\n%s", out)
+	}
+	// A missing Kind renders as the historical deviation class.
+	if !strings.Contains(out, "deviation") {
+		t.Errorf("kind column missing:\n%s", out)
 	}
 	// Most frequent class first.
 	if i, j := strings.Index(out, "mspeed@V_REG"), strings.Index(out, "pulscnt@CALC"); i < 0 || j < 0 || i > j {
@@ -29,5 +33,26 @@ func TestFailureTable(t *testing.T) {
 
 	if empty := FailureTable(nil); !strings.Contains(empty, "0 in 0 equivalence classes") {
 		t.Errorf("empty catalog renders wrong:\n%s", empty)
+	}
+}
+
+func TestFailureTableSupervisedKinds(t *testing.T) {
+	cases := []FailureCase{
+		{Fingerprint: "crash MINE/hs_val", Kind: "crash", Module: "MINE", Signal: "hs_val",
+			LatencyBucketMs: -1, Count: 4, Example: "bitflip:15@50ms case 0: mine tripped"},
+		{Fingerprint: "hang TARPIT/hs_tick", Kind: "hang", Module: "TARPIT", Signal: "hs_tick",
+			LatencyBucketMs: -1, Count: 4, Example: "bitflip:15@50ms case 0"},
+		{Fingerprint: "quarantined FEED/hs_cmd", Kind: "quarantined", Module: "FEED", Signal: "hs_cmd",
+			LatencyBucketMs: -1, Count: 1, Example: "bitflip:3@50ms case 1: worker panic"},
+	}
+	out := FailureTable(cases)
+	for _, want := range []string{"crash", "hang", "quarantined", "hs_val@MINE", "mine tripped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Supervised kinds have no propagation latency.
+	if strings.Contains(out, "contained") {
+		t.Errorf("supervised kinds should not render a containment latency:\n%s", out)
 	}
 }

@@ -34,6 +34,19 @@ func Markdown(res *campaign.Result, opts MarkdownOptions) (string, error) {
 	fmt.Fprintf(&b, "System **%s**: %d modules, %d input/output pairs, inputs %v, outputs %v.\n\n",
 		sys.Name(), len(sys.ModuleNames()), sys.TotalPairs(), sys.SystemInputs(), sys.SystemOutputs())
 	fmt.Fprintf(&b, "Campaign: %d injection runs (%d traps never fired).\n\n", res.Runs, res.Unfired)
+	if res.Crashes+res.Hangs+len(res.Quarantined) > 0 {
+		fmt.Fprintf(&b, "Supervised failure modes: %d crashes, %d hangs, %d quarantined jobs — all excluded from every permeability denominator, so the estimates below cover only runs that completed.\n\n",
+			res.Crashes, res.Hangs, len(res.Quarantined))
+	}
+	if len(res.Quarantined) > 0 {
+		b.WriteString("### Quarantined jobs\n\nThe supervisor abandoned these jobs after repeated worker crashes; they are journaled (a resumed campaign will not re-execute them) but contribute to no estimate.\n\n```\n")
+		qt := &textTable{header: []string{"injection", "case", "attempts", "reason"}}
+		for _, q := range res.Quarantined {
+			qt.add(q.Injection.String(), fmt.Sprintf("%d", q.CaseIndex), fmt.Sprintf("%d", q.Attempts), q.Reason)
+		}
+		b.WriteString(qt.String())
+		b.WriteString("```\n\n")
+	}
 
 	section := func(heading, body string) {
 		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n", heading, body)

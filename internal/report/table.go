@@ -67,9 +67,16 @@ func (t *textTable) String() string {
 // input/output pair, with raw counts and 95% confidence intervals —
 // the paper's Table 1.
 func Table1(res *campaign.Result) string {
-	t := &textTable{header: []string{"Pair", "Input", "Output", "n_inj", "n_err", "P", "95% CI"}}
+	// Crash/hang columns appear only when the campaign saw supervised
+	// failure modes, keeping the paper-faithful rendering otherwise.
+	supervised := res.Crashes+res.Hangs > 0
+	header := []string{"Pair", "Input", "Output", "n_inj", "n_err", "P", "95% CI"}
+	if supervised {
+		header = append(header, "crash", "hang")
+	}
+	t := &textTable{header: header}
 	for _, ps := range res.Pairs {
-		t.add(
+		row := []string{
 			ps.Pair.String(),
 			ps.InputSignal,
 			ps.OutputSignal,
@@ -77,7 +84,11 @@ func Table1(res *campaign.Result) string {
 			fmt.Sprintf("%d", ps.Errors),
 			fmt.Sprintf("%.3f", ps.Estimate),
 			fmt.Sprintf("[%.3f,%.3f]", ps.CI.Low, ps.CI.High),
-		)
+		}
+		if supervised {
+			row = append(row, fmt.Sprintf("%d", ps.Crashes), fmt.Sprintf("%d", ps.Hangs))
+		}
+		t.add(row...)
 	}
 	return "Table 1: estimated error permeability values of the input/output pairs\n" + t.String()
 }

@@ -10,6 +10,7 @@ import (
 
 	"propane/internal/campaign"
 	"propane/internal/inject"
+	"propane/internal/sim"
 	"propane/internal/trace"
 )
 
@@ -65,7 +66,13 @@ type snapshot struct {
 	FaultDurationMs int64             `json:"fault_duration_ms,omitempty"`
 	OnlyModule      string            `json:"only_module,omitempty"`
 	Tolerances      map[string]uint16 `json:"tolerances,omitempty"`
-	PlanSize        int               `json:"plan_size"`
+	// RunBudgetSteps pins the deterministic per-run watchdog: it
+	// decides which runs are classified as hangs, so it is part of the
+	// digest. The wall-clock backstop is deliberately excluded — it is
+	// non-deterministic and must never change a journaled outcome on a
+	// healthy run. omitempty keeps pre-supervision digests valid.
+	RunBudgetSteps int64 `json:"run_budget_steps,omitempty"`
+	PlanSize       int   `json:"plan_size"`
 	TotalRuns       int               `json:"total_runs"`
 	GoldenDigests   []string          `json:"golden_digests"`
 	Digest          string            `json:"digest,omitempty"`
@@ -85,6 +92,7 @@ func newSnapshot(name string, tier Tier, cfg campaign.Config, planSize int, gold
 		DirectWindowMs:  int64(cfg.DirectWindowMs),
 		FaultDurationMs: int64(cfg.FaultDurationMs),
 		OnlyModule:      cfg.OnlyModule,
+		RunBudgetSteps:  cfg.Budget.Steps,
 		PlanSize:        planSize,
 		TotalRuns:       planSize * len(cfg.TestCases),
 		GoldenDigests:   goldenDigests,
@@ -148,7 +156,17 @@ func goldenDigests(cfg campaign.Config) ([]string, error) {
 			return nil, fmt.Errorf("runner: golden run %d: %w", i, err)
 		}
 		inst.Kernel().AddPostHook(rec.Hook())
-		inst.Run(cfg.HorizonMs)
+		// The golden run executes under the same watchdog as the
+		// injection runs: an uninjected target that crashes or hangs is
+		// a broken config, reported before any journal is touched.
+		inst.Kernel().SetBudget(cfg.Budget)
+		if err := goldenGuard(inst, cfg.HorizonMs); err != nil {
+			return nil, fmt.Errorf("runner: golden run %d: %w", i, err)
+		}
+		if inst.Kernel().Exhausted() {
+			return nil, fmt.Errorf("runner: golden run %d exceeded the run budget (%d steps used) — raise the budget or fix the target",
+				i, inst.Kernel().BudgetUsed())
+		}
 		h := sha256.New()
 		if _, err := rec.Trace().WriteTo(h); err != nil {
 			return nil, fmt.Errorf("runner: hashing golden run %d: %w", i, err)
@@ -156,6 +174,18 @@ func goldenDigests(cfg campaign.Config) ([]string, error) {
 		digests[i] = hex.EncodeToString(h.Sum(nil))
 	}
 	return digests, nil
+}
+
+// goldenGuard drives the golden run, converting a target panic into
+// an error instead of taking the orchestrator down.
+func goldenGuard(inst campaign.RunnableInstance, horizon sim.Millis) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("uninjected target crashed: %v", r)
+		}
+	}()
+	inst.Run(horizon)
+	return nil
 }
 
 // writeSnapshot persists the config snapshot, or — when one already

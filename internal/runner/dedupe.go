@@ -36,8 +36,33 @@ func newDeduper(sys *model.System) *deduper {
 }
 
 // add folds one run into the catalog and reports whether it opened a
-// new equivalence class. Non-deviating runs are ignored.
+// new equivalence class. Non-deviating completed runs are ignored;
+// crashes, hangs and quarantined jobs are always catalogued, classed
+// by injection location so a panicking module surfaces as one line,
+// not thousands.
 func (d *deduper) add(rec campaign.RunRecord) (novel bool) {
+	switch rec.Outcome {
+	case campaign.OutcomeCrash, campaign.OutcomeHang, campaign.OutcomeQuarantined:
+		fp := fmt.Sprintf("%s %s/%s", rec.Outcome, rec.Injection.Module, rec.Injection.Signal)
+		if c, ok := d.classes[fp]; ok {
+			c.Count++
+			return false
+		}
+		example := fmt.Sprintf("%v case %d", rec.Injection, rec.CaseIndex)
+		if rec.Detail != "" {
+			example += ": " + rec.Detail
+		}
+		d.classes[fp] = &report.FailureCase{
+			Fingerprint:     fp,
+			Kind:            string(rec.Outcome),
+			Module:          rec.Injection.Module,
+			Signal:          rec.Injection.Signal,
+			LatencyBucketMs: -1,
+			Count:           1,
+			Example:         example,
+		}
+		return true
+	}
 	if !rec.Fired {
 		return false
 	}
@@ -69,6 +94,7 @@ func (d *deduper) add(rec campaign.RunRecord) (novel bool) {
 	}
 	d.classes[fp] = &report.FailureCase{
 		Fingerprint:     fp,
+		Kind:            "deviation",
 		Module:          rec.Injection.Module,
 		Signal:          rec.Injection.Signal,
 		Outputs:         outputs,

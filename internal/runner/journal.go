@@ -21,8 +21,11 @@ import (
 // replays losslessly into the campaign aggregates (campaign.Replay),
 // so an interrupted campaign converges to the uninterrupted result.
 
-// journalVersion guards the record schema.
-const journalVersion = 1
+// journalVersion guards the record schema. Version 2 added the
+// outcome/detail/attempts fields; they are additive and omitted when
+// empty, so version-1 journals load unchanged (records without an
+// outcome are classified from their diffs on replay).
+const journalVersion = 2
 
 // header is the journal's first line.
 type header struct {
@@ -65,6 +68,15 @@ type Record struct {
 	FailureAtMs   int64 `json:"failure_at_ms,omitempty"`
 	// Diffs holds the deviating signals only.
 	Diffs map[string]DiffRecord `json:"diffs,omitempty"`
+	// Outcome classifies the run (ok/deviation/crash/hang/
+	// quarantined). Empty in version-1 journals; replay then derives
+	// ok-or-deviation from the diffs.
+	Outcome string `json:"outcome,omitempty"`
+	// Detail carries the crash's panic value or the quarantined job's
+	// last worker error.
+	Detail string `json:"detail,omitempty"`
+	// Attempts is the consecutive-failure count behind a quarantine.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // newRecord converts a live campaign observation into its journaled
@@ -86,6 +98,9 @@ func newRecord(job int, rec campaign.RunRecord) (Record, error) {
 		FiredAtMs:     int64(rec.FiredAt),
 		SystemFailure: rec.SystemFailure,
 		FailureAtMs:   int64(rec.FailureAt),
+		Outcome:       string(rec.Outcome),
+		Detail:        rec.Detail,
+		Attempts:      rec.Attempts,
 	}
 	for sig, d := range rec.Diffs {
 		if !d.Differs() {
@@ -118,6 +133,9 @@ func (r Record) RunRecord() (campaign.RunRecord, error) {
 		FiredAt:       sim.Millis(r.FiredAtMs),
 		SystemFailure: r.SystemFailure,
 		FailureAt:     sim.Millis(r.FailureAtMs),
+		Outcome:       campaign.Outcome(r.Outcome),
+		Detail:        r.Detail,
+		Attempts:      r.Attempts,
 	}
 	if len(r.Diffs) > 0 {
 		rec.Diffs = make(map[string]trace.Diff, len(r.Diffs))
@@ -272,8 +290,8 @@ func loadJournal(path string) (hdr header, recs []Record, validLen int64, err er
 				}
 				return header{}, nil, 0, fmt.Errorf("runner: journal %s has no valid header", path)
 			}
-			if hdr.Version != journalVersion {
-				return header{}, nil, 0, fmt.Errorf("runner: journal %s is version %d, want %d", path, hdr.Version, journalVersion)
+			if hdr.Version < 1 || hdr.Version > journalVersion {
+				return header{}, nil, 0, fmt.Errorf("runner: journal %s is version %d, want 1..%d", path, hdr.Version, journalVersion)
 			}
 			pos = lineEnd
 			validLen = int64(lineEnd)

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"propane/internal/campaign"
@@ -13,6 +14,10 @@ import (
 type ModuleCounter struct {
 	Injections int `json:"n_inj"`
 	Errors     int `json:"n_err"`
+	// Crashes and Hangs count the module's supervised failure modes;
+	// they are excluded from Injections (the estimate denominator).
+	Crashes int `json:"n_crash,omitempty"`
+	Hangs   int `json:"n_hang,omitempty"`
 }
 
 // Metrics is the exportable observability snapshot of a campaign run
@@ -36,6 +41,12 @@ type Metrics struct {
 	Unfired        int `json:"unfired"`
 	SystemFailures int `json:"system_failures"`
 	UniqueFailures int `json:"unique_failures"`
+	// Crashes and Hangs count runs terminated by a target panic or by
+	// the watchdog; Quarantined counts poison jobs abandoned by the
+	// supervisor. None of them enter a permeability denominator.
+	Crashes     int `json:"crashes,omitempty"`
+	Hangs       int `json:"hangs,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
 	// Throughput and worker economics. WorkerUtilization is
 	// busy-time / (elapsed × workers); per-run busy time is measured
 	// up to the serial observer, so queueing behind the observer can
@@ -86,6 +97,23 @@ func (t *tracker) absorb(rec campaign.RunRecord, dur time.Duration, replayed boo
 	} else {
 		t.m.ExecutedRuns++
 		t.busy += dur
+	}
+	switch rec.Outcome {
+	case campaign.OutcomeQuarantined:
+		t.m.Quarantined++
+		return
+	case campaign.OutcomeCrash:
+		t.m.Crashes++
+		if rec.Fired {
+			t.counter(rec.Injection.Module).Crashes++
+		}
+		return
+	case campaign.OutcomeHang:
+		t.m.Hangs++
+		if rec.Fired {
+			t.counter(rec.Injection.Module).Hangs++
+		}
+		return
 	}
 	if !rec.Fired {
 		t.m.Unfired++
@@ -142,10 +170,14 @@ func (t *tracker) maybeLog(uniqueFailures int) {
 	if m.PlannedRuns > 0 {
 		pct = 100 * float64(done) / float64(m.PlannedRuns)
 	}
-	t.logf("%s/%s shard %d/%d: %d/%d runs (%.1f%%), %.0f runs/s, ETA %.0fs, util %.0f%%, %d failures (%d unique)",
+	supervised := ""
+	if m.Crashes+m.Hangs+m.Quarantined > 0 {
+		supervised = fmt.Sprintf(", %d crash/%d hang/%d quarantined", m.Crashes, m.Hangs, m.Quarantined)
+	}
+	t.logf("%s/%s shard %d/%d: %d/%d runs (%.1f%%), %.0f runs/s, ETA %.0fs, util %.0f%%, %d failures (%d unique)%s",
 		m.Instance, m.Tier, m.Shard+1, m.Shards, done, m.PlannedRuns, pct,
 		m.RunsPerSecond, m.ETASeconds, 100*m.WorkerUtilization,
-		m.SystemFailures, uniqueFailures)
+		m.SystemFailures, uniqueFailures, supervised)
 }
 
 // writeMetrics exports the final snapshot as metrics.json.

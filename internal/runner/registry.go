@@ -7,6 +7,7 @@ import (
 	"propane/internal/arrestor"
 	"propane/internal/autobrake"
 	"propane/internal/campaign"
+	"propane/internal/hostile"
 	"propane/internal/inject"
 	"propane/internal/physics"
 	"propane/internal/sim"
@@ -167,6 +168,39 @@ var registry = map[string]Definition{
 			default:
 				return campaign.Config{}, fmt.Errorf("runner: unknown tier %q", tier)
 			}
+			return cfg, nil
+		},
+	},
+	"hostile": {
+		Name:        "hostile",
+		Description: "adversarial crash/hang target exercising the supervised execution layer",
+		Config: func(tier Tier) (campaign.Config, error) {
+			cfg := campaign.Config{
+				Custom: hostile.Target(),
+			}
+			switch tier {
+			case TierQuick:
+				cases, err := physics.Grid(1, 2, 12000, 12000, 50, 70)
+				if err != nil {
+					return campaign.Config{}, err
+				}
+				cfg.TestCases = cases
+				cfg.Times = []sim.Millis{50, 150}
+				cfg.Bits = []uint{3, 15}
+				cfg.HorizonMs = 300
+			case TierFull:
+				cases, err := physics.Grid(2, 2, 8000, 20000, 40, 80)
+				if err != nil {
+					return campaign.Config{}, err
+				}
+				cfg.TestCases = cases
+				cfg.Times = []sim.Millis{50, 250, 450}
+				cfg.Bits = []uint{0, 3, 7, 11, 15}
+				cfg.HorizonMs = 600
+			default:
+				return campaign.Config{}, fmt.Errorf("runner: unknown tier %q", tier)
+			}
+			cfg.Budget = hostile.RunBudget(cfg.HorizonMs)
 			return cfg, nil
 		},
 	},

@@ -61,6 +61,74 @@ type Options struct {
 	LogInterval time.Duration
 	// Logf receives progress and lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
+	// RunBudgetSteps arms the per-run watchdog: each injection run is
+	// terminated and classified as a hang once it has charged this
+	// many deterministic work units (campaign.Config.Budget.Steps).
+	// 0 leaves the config's own budget in force. The value is part of
+	// the config digest — a hang is a run outcome, so two processes
+	// must agree on the budget to share a journal.
+	RunBudgetSteps int64
+	// RunWallBudget adds a non-deterministic wall-clock backstop per
+	// run. It is excluded from the config digest: it should only trip
+	// for code that hangs without charging the step budget.
+	RunWallBudget time.Duration
+	// MaxRetries bounds the retries of a transient journal or
+	// artifact I/O failure (capped exponential backoff). 0 means the
+	// default (3); negative disables retrying.
+	MaxRetries int
+	// QuarantineAfter abandons a job as poison after this many
+	// consecutive worker crashes, journaling it as quarantined instead
+	// of aborting the campaign. 0 means the default (3); negative
+	// disables quarantine, restoring the fail-fast contract. Ignored
+	// when the config already sets OnJobError.
+	QuarantineAfter int
+}
+
+// Defaults for the zero values of the supervision knobs.
+const (
+	defaultMaxRetries      = 3
+	defaultQuarantineAfter = 3
+)
+
+// maxRetries resolves the I/O retry count (0 → default, negative →
+// disabled).
+func (o *Options) maxRetries() int {
+	switch {
+	case o.MaxRetries == 0:
+		return defaultMaxRetries
+	case o.MaxRetries < 0:
+		return 0
+	}
+	return o.MaxRetries
+}
+
+// quarantineAfter resolves the quarantine threshold (0 → default,
+// negative → disabled).
+func (o *Options) quarantineAfter() int {
+	switch {
+	case o.QuarantineAfter == 0:
+		return defaultQuarantineAfter
+	case o.QuarantineAfter < 0:
+		return 0
+	}
+	return o.QuarantineAfter
+}
+
+// applySupervision folds the supervision knobs into the campaign
+// configuration. It must run before the config is validated, digested
+// or planned, so journals record the effective budget.
+func (o *Options) applySupervision(cfg *campaign.Config) {
+	if o.RunBudgetSteps > 0 {
+		cfg.Budget.Steps = o.RunBudgetSteps
+	}
+	if o.RunWallBudget > 0 {
+		cfg.Budget.Wall = o.RunWallBudget
+	}
+	if cfg.OnJobError == nil {
+		if after := o.quarantineAfter(); after > 0 {
+			cfg.OnJobError = campaign.QuarantinePolicy(after, o.Logf)
+		}
+	}
 }
 
 func (o *Options) normalise() error {
@@ -157,6 +225,7 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 	if err := opts.normalise(); err != nil {
 		return nil, err
 	}
+	opts.applySupervision(&cfg)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -302,7 +371,9 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 				observeErr = fmt.Errorf("runner: observed unplanned job %v case %d", rec.Injection, rec.CaseIndex)
 			} else if jrec, err := newRecord(job, rec); err != nil {
 				observeErr = err
-			} else if err := jw.Append(jrec); err != nil {
+			} else if err := retryIO(opts.maxRetries(), opts.Logf, "journal append", func() error {
+				return jw.Append(jrec)
+			}); err != nil {
 				observeErr = err
 			}
 		}
@@ -334,11 +405,16 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 func finalise(res *campaign.Result, l layout, trk *tracker, ddp *deduper, opts Options) (*RunResult, error) {
 	trk.m.UniqueFailures = ddp.unique()
 	metrics := trk.snapshot(time.Now())
-	if err := writeMetrics(l.metricsPath(), metrics); err != nil {
+	retries := opts.maxRetries()
+	if err := retryIO(retries, opts.Logf, "writing metrics.json", func() error {
+		return writeMetrics(l.metricsPath(), metrics)
+	}); err != nil {
 		return nil, err
 	}
 	failures := ddp.failures()
-	if err := writeFileAtomic(l.failuresPath(), []byte(report.FailureTable(failures))); err != nil {
+	if err := retryIO(retries, opts.Logf, "writing failures.md", func() error {
+		return writeFileAtomic(l.failuresPath(), []byte(report.FailureTable(failures)))
+	}); err != nil {
 		return nil, err
 	}
 	if opts.Shards == 1 {
@@ -349,7 +425,9 @@ func finalise(res *campaign.Result, l layout, trk *tracker, ddp *deduper, opts O
 		if err != nil {
 			return nil, err
 		}
-		if err := writeFileAtomic(l.reportPath(), []byte(md)); err != nil {
+		if err := retryIO(retries, opts.Logf, "writing report.md", func() error {
+			return writeFileAtomic(l.reportPath(), []byte(md))
+		}); err != nil {
 			return nil, err
 		}
 	} else {
@@ -371,6 +449,9 @@ func Assemble(cfg campaign.Config, opts Options) (*RunResult, error) {
 	if err := opts.normalise(); err != nil {
 		return nil, err
 	}
+	// Apply the same supervision overrides as Run so the config digest
+	// matches the shard journals being assembled.
+	opts.applySupervision(&cfg)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

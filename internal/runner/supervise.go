@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+)
+
+// Transient-failure supervision for the runner's own I/O: a campaign
+// that has been executing for hours must not die because one journal
+// append or artifact write hit a transient filesystem error (NFS
+// hiccup, disk-full window, antivirus lock). Such operations retry
+// with capped exponential backoff before the failure is considered
+// fatal.
+
+const (
+	// retryBaseDelay is the first backoff step; each retry doubles it
+	// up to retryMaxDelay.
+	retryBaseDelay = 50 * time.Millisecond
+	retryMaxDelay  = 2 * time.Second
+)
+
+// ioSleep is the backoff sleeper, a variable so tests can run the
+// retry loop without real delays.
+var ioSleep = time.Sleep
+
+// retryIO runs op, retrying a failure up to maxRetries times with
+// capped exponential backoff. Each retry is logged, so a campaign
+// limping through a flaky filesystem leaves evidence. The final error
+// wraps the last failure.
+func retryIO(maxRetries int, logf func(format string, args ...any), what string, op func() error) error {
+	delay := retryBaseDelay
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempt >= maxRetries {
+			break
+		}
+		if logf != nil {
+			logf("runner: %s failed (attempt %d/%d), retrying in %v: %v",
+				what, attempt+1, maxRetries, delay, err)
+		}
+		ioSleep(delay)
+		delay *= 2
+		if delay > retryMaxDelay {
+			delay = retryMaxDelay
+		}
+	}
+	return fmt.Errorf("runner: %s failed after %d attempts: %w", what, maxRetries+1, err)
+}

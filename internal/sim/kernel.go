@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"time"
 )
 
 // Task is a schedulable unit of software: one of the target system's
@@ -28,6 +30,34 @@ func (t TaskFunc) Step(now Millis) { t.Fn(now) }
 // sampling after it).
 type Hook func(now Millis)
 
+// Budget bounds one run of the kernel — the per-run watchdog of the
+// supervised execution layer. An injected error can drive a target
+// module into a non-terminating state; the budget lets the campaign
+// terminate such a run deterministically and classify it as a hang
+// instead of stalling forever.
+type Budget struct {
+	// Steps caps the number of work units charged during one run: the
+	// kernel charges one unit per task Step invocation, and
+	// instrumented module code may charge additional units from inner
+	// loops via Kernel.Charge (the simulated analogue of an executed
+	// instruction budget). 0 means unlimited. Step accounting is fully
+	// deterministic: the same run trips at the same point in every
+	// process.
+	Steps int64
+	// Wall caps the wall-clock duration of one Run call, as a coarse
+	// backstop for non-terminating code that never charges the step
+	// budget. 0 means unlimited. Wall-clock checks are inherently
+	// non-deterministic; prefer Steps wherever reproducibility
+	// matters.
+	Wall time.Duration
+}
+
+// errBudgetExhausted is the sentinel panic Charge raises to unwind
+// out of a non-terminating task; Run recovers exactly this value and
+// records the exhaustion, so genuine target panics still propagate to
+// the campaign's crash classification.
+var errBudgetExhausted = errors.New("sim: run budget exhausted")
+
 // Kernel is the slot-based, non-preemptive scheduler of the target
 // system (Section 7.1): time advances in 1-ms ticks; the system
 // operates in a fixed number of 1-ms slots; in each slot the
@@ -45,6 +75,11 @@ type Kernel struct {
 	post       []Hook
 
 	now Millis
+
+	budget    Budget
+	used      int64
+	deadline  time.Time
+	exhausted bool
 }
 
 // NewKernel creates a kernel with the given number of execution slots
@@ -95,6 +130,38 @@ func (k *Kernel) AddBackground(t Task) { k.background = append(k.background, t) 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Millis { return k.now }
 
+// SetBudget arms the per-run watchdog and resets its accounting. Call
+// it before Run; the zero Budget disables supervision.
+func (k *Kernel) SetBudget(b Budget) {
+	k.budget = b
+	k.used = 0
+	k.exhausted = false
+	k.deadline = time.Time{}
+}
+
+// Charge consumes n work units of the step budget. Module code calls
+// it from loops whose trip count depends on (possibly corrupted)
+// signal values, so a run driven into a non-terminating state unwinds
+// deterministically instead of hanging the worker. When the budget is
+// exhausted, Charge panics with a sentinel that Run recovers and
+// converts into the exhausted state; without an armed budget it only
+// accumulates usage.
+func (k *Kernel) Charge(n int64) {
+	k.used += n
+	if k.budget.Steps > 0 && k.used > k.budget.Steps {
+		k.exhausted = true
+		panic(errBudgetExhausted)
+	}
+}
+
+// Exhausted reports whether the last Run was terminated by the
+// watchdog — the kernel-level signature of a hung run.
+func (k *Kernel) Exhausted() bool { return k.exhausted }
+
+// BudgetUsed returns the work units consumed since the budget was
+// last armed.
+func (k *Kernel) BudgetUsed() int64 { return k.used }
+
 // Tick advances simulated time by one millisecond, running pre-hooks,
 // every-tick tasks, the current slot's tasks, background tasks and
 // post-hooks, in that order.
@@ -104,6 +171,7 @@ func (k *Kernel) Tick() {
 		h(now)
 	}
 	for _, t := range k.everyTick {
+		k.used++
 		t.Step(now)
 	}
 	slot := int(now) % k.numSlots
@@ -111,9 +179,11 @@ func (k *Kernel) Tick() {
 		slot = int(k.slotSignal.Read()) % k.numSlots
 	}
 	for _, t := range k.slotted[slot] {
+		k.used++
 		t.Step(now)
 	}
 	for _, t := range k.background {
+		k.used++
 		t.Step(now)
 	}
 	for _, h := range k.post {
@@ -125,9 +195,36 @@ func (k *Kernel) Tick() {
 // Run executes ticks until the given simulated time (exclusive) is
 // reached or the stop predicate returns true after a tick. It returns
 // the time at which it stopped.
-func (k *Kernel) Run(until Millis, stop func() bool) Millis {
+//
+// With a budget armed (SetBudget), Run additionally stops — and marks
+// the kernel Exhausted — when the charged work units exceed
+// Budget.Steps (checked at tick boundaries and, mid-task, by Charge)
+// or when Budget.Wall elapses. Budget exhaustion raised by Charge is
+// recovered here; any other panic from task code propagates to the
+// caller untouched, so crashes stay distinguishable from hangs.
+func (k *Kernel) Run(until Millis, stop func() bool) (stopped Millis) {
+	if k.budget.Wall > 0 {
+		k.deadline = time.Now().Add(k.budget.Wall)
+	}
+	defer func() {
+		stopped = k.now
+		if r := recover(); r != nil {
+			if r == errBudgetExhausted { //nolint:errorlint // sentinel identity, never wrapped
+				return
+			}
+			panic(r)
+		}
+	}()
 	for k.now < until {
 		k.Tick()
+		if k.budget.Steps > 0 && k.used > k.budget.Steps {
+			k.exhausted = true
+			break
+		}
+		if k.budget.Wall > 0 && time.Now().After(k.deadline) {
+			k.exhausted = true
+			break
+		}
 		if stop != nil && stop() {
 			break
 		}

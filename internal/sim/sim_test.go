@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSignalReadWrite(t *testing.T) {
@@ -213,5 +214,99 @@ func TestKernelRunWithStop(t *testing.T) {
 	end = k.Run(20, nil)
 	if end != 20 || count != 20 {
 		t.Errorf("Run to deadline: t=%d count=%d, want 20/20", end, count)
+	}
+}
+
+func TestBudgetStepExhaustionAtTickBoundary(t *testing.T) {
+	k, err := NewKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	k.AddEveryTick(TaskFunc{TaskName: "c", Fn: func(Millis) { count++ }})
+	// One work unit per tick: a 10-step budget stops after tick 11
+	// trips the check (used=11 > 10), deterministically.
+	k.SetBudget(Budget{Steps: 10})
+	end := k.Run(1000, nil)
+	if !k.Exhausted() {
+		t.Fatal("kernel not exhausted after exceeding step budget")
+	}
+	if end != 11 || count != 11 {
+		t.Errorf("stopped at t=%d count=%d, want 11/11", end, count)
+	}
+	// Re-arming resets the accounting.
+	k.SetBudget(Budget{Steps: 5})
+	if k.Exhausted() || k.BudgetUsed() != 0 {
+		t.Errorf("SetBudget did not reset: exhausted=%v used=%d", k.Exhausted(), k.BudgetUsed())
+	}
+}
+
+func TestChargeUnwindsNonTerminatingTask(t *testing.T) {
+	k, err := NewKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A task spinning forever, as an injected error can cause: only
+	// the in-loop Charge lets the watchdog break it.
+	k.AddEveryTick(TaskFunc{TaskName: "spin", Fn: func(Millis) {
+		for {
+			k.Charge(1)
+		}
+	}})
+	k.SetBudget(Budget{Steps: 1000})
+	end := k.Run(100, nil)
+	if !k.Exhausted() {
+		t.Fatal("kernel not exhausted by non-terminating task")
+	}
+	if end != 0 {
+		t.Errorf("stopped at t=%d, want 0 (first tick never completed)", end)
+	}
+	if k.BudgetUsed() <= 1000 {
+		t.Errorf("BudgetUsed() = %d, want > 1000", k.BudgetUsed())
+	}
+}
+
+func TestBudgetZeroValueIsUnlimited(t *testing.T) {
+	k, err := NewKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.AddEveryTick(TaskFunc{TaskName: "n", Fn: func(Millis) {}})
+	k.SetBudget(Budget{})
+	if end := k.Run(500, nil); end != 500 || k.Exhausted() {
+		t.Errorf("zero budget: t=%d exhausted=%v, want 500/false", end, k.Exhausted())
+	}
+}
+
+func TestTaskPanicPropagatesThroughRun(t *testing.T) {
+	k, err := NewKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.AddEveryTick(TaskFunc{TaskName: "boom", Fn: func(Millis) { panic("target crash") }})
+	k.SetBudget(Budget{Steps: 100})
+	defer func() {
+		r := recover()
+		if r != "target crash" {
+			t.Errorf("recovered %v, want the task's own panic", r)
+		}
+		if k.Exhausted() {
+			t.Error("crash misclassified as budget exhaustion")
+		}
+	}()
+	k.Run(10, nil)
+	t.Fatal("Run returned despite panicking task")
+}
+
+func TestBudgetWallClockBackstop(t *testing.T) {
+	k, err := NewKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.AddEveryTick(TaskFunc{TaskName: "slow", Fn: func(Millis) { time.Sleep(time.Millisecond) }})
+	k.SetBudget(Budget{Wall: 5 * time.Millisecond})
+	k.Run(1_000_000, nil)
+	if !k.Exhausted() {
+		t.Fatal("wall-clock budget did not trip")
 	}
 }
