@@ -332,6 +332,7 @@ func BenchmarkSimulationTick(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inst.Kernel().Tick()
@@ -345,6 +346,7 @@ func BenchmarkSingleInjectionRun(b *testing.B) {
 	cfg.Bits = []uint{7}
 	cfg.Times = []sim.Millis{2500}
 	cfg.OnlyModule = arrestor.ModVReg
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := campaign.Run(cfg); err != nil {
 			b.Fatal(err)
@@ -467,6 +469,7 @@ func BenchmarkPaperScaleCampaign(b *testing.B) {
 	if os.Getenv("PROPANE_PAPER_BENCH") == "" {
 		b.Skip("set PROPANE_PAPER_BENCH=1 to run the full 52 000-run campaign")
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := campaign.Run(campaign.PaperConfig()); err != nil {
 			b.Fatal(err)
@@ -558,6 +561,62 @@ func BenchmarkHostileCampaign(b *testing.B) {
 		}
 		if res.Crashes == 0 || res.Hangs == 0 {
 			b.Fatalf("hostile campaign saw %d crashes / %d hangs, want both non-zero", res.Crashes, res.Hangs)
+		}
+	}
+}
+
+// BenchmarkCampaignFullReplay pins the pre-checkpoint execution model
+// as the baseline: every injection run replays the target from t=0,
+// re-simulating the identical pre-injection prefix for all 16 bit
+// positions of every (case, instant) pair.
+func BenchmarkCampaignFullReplay(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Checkpoints = campaign.CheckpointOff
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignCheckpointed is the same campaign with checkpoint
+// fast-forward forced on: one extra uninjected pass per test case
+// captures a snapshot at each injection instant, and every run sharing
+// that (case, instant) restores it instead of re-simulating the
+// prefix. Compare against BenchmarkCampaignFullReplay.
+func BenchmarkCampaignCheckpointed(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Checkpoints = campaign.CheckpointForce
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointCaptureRestore measures the snapshot primitive
+// itself: one Capture plus one Restore of a mid-flight arrestment
+// instance. This bounds the per-run cost the fast-forward path pays
+// instead of re-simulating the prefix.
+func BenchmarkCheckpointCaptureRestore(b *testing.B) {
+	inst, err := arrestor.NewInstance(arrestor.DefaultConfig(), physics.TestCase{MassKg: 14000, VelocityMS: 60}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for inst.Kernel().Now() < 2500 {
+		inst.Kernel().Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := inst.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.Restore(snap); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"propane/internal/profiling"
 	"propane/internal/runner"
 )
 
@@ -44,7 +45,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("campaignrunner", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the registered campaign instances and exit")
 	instance := fs.String("instance", "", "campaign instance to run (see -list)")
@@ -54,14 +55,26 @@ func run(args []string, out io.Writer) error {
 	shard := fs.Int("shard", 0, "this process's shard index, in [0,shards)")
 	shards := fs.Int("shards", 0, "split the injection space over this many shards (0 = unsharded)")
 	assemble := fs.Bool("assemble", false, "merge the shard journals under -dir into the final report")
-	workers := fs.Int("workers", 0, "concurrent injection runs (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "concurrent injection runs (<= 0 means GOMAXPROCS)")
 	progress := fs.Duration("progress", 10*time.Second, "progress-line interval (0 disables)")
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget: terminate and classify a run as hung after this many work units (0 = instance default)")
 	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures (0 = default 3, negative disables)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the campaign finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	if *list {
 		fmt.Fprintln(out, "registered campaign instances (tiers: quick, full):")
@@ -89,7 +102,6 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var rr *runner.RunResult
-	var err error
 	if *assemble {
 		def, lerr := runner.Lookup(*instance)
 		if lerr != nil {

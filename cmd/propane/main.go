@@ -7,6 +7,7 @@
 //	propane [-scale tiny|reduced|paper] [-workers N] [-table all|1|2|3|4]
 //	        [-uniform] [-advice] [-dot DIR] [-artifacts DIR [-resume]]
 //	        [-run-budget N] [-max-retries N] [-quarantine-after N]
+//	        [-cpuprofile F] [-memprofile F]
 //
 // -scale selects the campaign size (tiny runs in well under a second,
 // paper executes the full 52 000-run campaign). -dot writes Graphviz
@@ -27,6 +28,7 @@ import (
 	"propane/internal/core"
 	"propane/internal/expfile"
 	"propane/internal/physics"
+	"propane/internal/profiling"
 	"propane/internal/report"
 	"propane/internal/runner"
 	"propane/internal/sim"
@@ -39,10 +41,10 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("propane", flag.ContinueOnError)
 	scale := fs.String("scale", "reduced", "campaign scale: tiny, reduced or paper")
-	workers := fs.Int("workers", 0, "concurrent injection runs (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "concurrent injection runs (<= 0 means GOMAXPROCS)")
 	table := fs.String("table", "all", "which table to print: all, 1, 2, 3 or 4")
 	uniform := fs.Bool("uniform", false, "print the uniform-propagation check")
 	advice := fs.Bool("advice", false, "print the Section 5 EDM/ERM placement advice")
@@ -60,9 +62,21 @@ func run(args []string) error {
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget: terminate and classify a run as hung after this many work units (0 = unlimited)")
 	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures with -artifacts (0 = default 3, negative disables)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the campaign finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	var cfg campaign.Config
 	if *configPath != "" {

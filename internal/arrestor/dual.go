@@ -279,5 +279,8 @@ func NewDualInstance(cfg DualConfig, tc physics.TestCase, onRead sim.ReadHook) (
 			return nil, fmt.Errorf("arrestor: scheduling %s: %w", sched.task.Name(), err)
 		}
 	}
+	// Slave-side hidden state; tx and the slave glue pre-hook are
+	// stateless (pure functions of their inputs).
+	inst.stateful = append(inst.stateful, rx, psB, vrB, paB)
 	return inst, nil
 }

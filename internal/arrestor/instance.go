@@ -3,6 +3,7 @@ package arrestor
 import (
 	"fmt"
 
+	"propane/internal/model"
 	"propane/internal/physics"
 	"propane/internal/sim"
 )
@@ -17,6 +18,9 @@ type Instance struct {
 	kernel *sim.Kernel
 	bus    *sim.Bus
 	world  *physics.World
+
+	snap     *sim.Snapshotter
+	stateful []model.Stateful
 }
 
 // NewInstance builds an instance for one test case. onRead, if
@@ -128,7 +132,12 @@ func NewInstance(cfg Config, tc physics.TestCase, onRead sim.ReadHook) (*Instanc
 	}
 	kernel.AddBackground(cl)
 
-	return &Instance{cfg: cfg, kernel: kernel, bus: bus, world: world}, nil
+	in := &Instance{cfg: cfg, kernel: kernel, bus: bus, world: world}
+	in.snap = sim.NewSnapshotter(kernel, bus)
+	// Every component carrying hidden state, in a fixed order the
+	// restore side relies on. NewDualInstance appends the slave's.
+	in.stateful = []model.Stateful{world, g, ck, ds, ps, cl, vr, pa}
+	return in, nil
 }
 
 // Kernel returns the instance's kernel (for adding trace hooks and
@@ -144,4 +153,22 @@ func (in *Instance) World() *physics.World { return in.world }
 // Run advances the simulation to the given horizon in milliseconds.
 func (in *Instance) Run(horizon sim.Millis) {
 	in.kernel.Run(horizon, nil)
+}
+
+// Checkpoint captures the instance's full dynamic state at a tick
+// boundary (target.Checkpointable).
+func (in *Instance) Checkpoint() (*sim.Snapshot, error) {
+	snap := in.snap.Capture()
+	snap.Hidden = model.CaptureStates(in.stateful)
+	return snap, nil
+}
+
+// Restore overwrites the instance's full dynamic state from a
+// snapshot captured on an identically constructed instance
+// (target.Checkpointable).
+func (in *Instance) Restore(snap *sim.Snapshot) error {
+	if err := in.snap.Restore(snap); err != nil {
+		return err
+	}
+	return model.RestoreStates(in.stateful, snap.Hidden)
 }

@@ -1,6 +1,7 @@
 package autobrake
 
 import (
+	"propane/internal/model"
 	"propane/internal/physics"
 	"propane/internal/sim"
 	"propane/internal/target"
@@ -15,6 +16,9 @@ type Instance struct {
 	tcntVal uint16
 	wspVal  uint16
 	vspVal  uint16
+
+	snap     *sim.Snapshotter
+	stateful []model.Stateful
 }
 
 // NewInstance builds an instance for one panic-stop scenario. onRead
@@ -106,6 +110,10 @@ func NewInstance(cfg Config, tc physics.TestCase, onRead sim.ReadHook) (*Instanc
 	if err := kernel.AddSlotted(cfg.SlotPMod, pm); err != nil {
 		return nil, err
 	}
+	inst.snap = sim.NewSnapshotter(kernel, bus)
+	// Every component carrying hidden state, in a fixed order the
+	// restore side relies on.
+	inst.stateful = []model.Stateful{instanceCounters{inst}, plant, ws, vs, sc, ct, pm}
 	return inst, nil
 }
 

@@ -60,8 +60,15 @@ type Config struct {
 	// the window and counts every deviation.
 	DirectWindowMs sim.Millis
 	// Workers bounds the number of concurrent injection runs;
-	// 0 selects GOMAXPROCS.
+	// Workers <= 0 selects GOMAXPROCS.
 	Workers int
+	// Checkpoints selects the fast-forward strategy (see
+	// CheckpointMode): the default CheckpointAuto snapshots the
+	// simulation state at each injection instant and starts injection
+	// runs there instead of replaying from t=0, whenever the target
+	// supports it and no Instrument hook is configured. Results are
+	// bit-identical either way.
+	Checkpoints CheckpointMode
 	// OnlyModule, when non-empty, restricts injections to the inputs
 	// of one module (useful for focused studies).
 	OnlyModule string
@@ -211,7 +218,10 @@ type RunRecord struct {
 	CaseIndex int
 	Fired     bool
 	FiredAt   sim.Millis
-	// Diffs holds the Golden Run Comparison result for every signal.
+	// Diffs holds the Golden Run Comparison result for the deviating
+	// signals; a signal without an entry matched the golden run
+	// everywhere. (Replay accepts either this sparse form or a full
+	// per-signal map.)
 	Diffs map[string]trace.Diff
 	// SystemFailure is true when any system output deviated; FailureAt
 	// is the earliest first-difference over the system outputs (-1
@@ -313,8 +323,10 @@ func (c Config) Validate() error {
 			return invalidf("campaign: injection time %d outside [0,%d)", at, c.HorizonMs)
 		}
 	}
-	if c.Workers < 0 {
-		return invalidf("campaign: negative worker count")
+	switch c.Checkpoints {
+	case CheckpointAuto, CheckpointOff, CheckpointForce:
+	default:
+		return invalidf("campaign: unknown checkpoint mode %d", c.Checkpoints)
 	}
 	if c.DirectWindowMs < 0 {
 		return invalidf("campaign: negative direct window")
@@ -496,6 +508,32 @@ func Run(cfg Config) (*Result, error) {
 		inj     inject.Injection
 		caseIdx int
 	}
+	// Materialise the job list up front (applying Skip) so that, when
+	// checkpointing is active, jobs can be grouped by (test case,
+	// injection instant): every group shares one cached snapshot, so
+	// the grouping turns the cache's lazy build passes into long runs
+	// of hits. Aggregation is order-independent and journal records
+	// identify jobs by content, so the ordering is free to choose.
+	var jobList []job
+	for _, inj := range plan {
+		for ci := range cfg.TestCases {
+			if cfg.Skip != nil && cfg.Skip(inj, ci) {
+				continue
+			}
+			jobList = append(jobList, job{inj: inj, caseIdx: ci})
+		}
+	}
+	var ckpts *checkpointCache
+	if len(jobList) > 0 && cfg.checkpointsEnabled() {
+		ckpts = newCheckpointCache(cfg)
+		sort.SliceStable(jobList, func(i, j int) bool {
+			if jobList[i].caseIdx != jobList[j].caseIdx {
+				return jobList[i].caseIdx < jobList[j].caseIdx
+			}
+			return jobList[i].inj.At < jobList[j].inj.At
+		})
+	}
+
 	jobs := make(chan job)
 	outcomes := make(chan runOutcome)
 
@@ -510,17 +548,13 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < workerCount(cfg.Workers); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out, err := superviseJob(cfg, sys, goldens[j.caseIdx], j.caseIdx, j.inj)
+				out, err := superviseJob(cfg, sys, goldens[j.caseIdx], j.caseIdx, j.inj, ckpts)
 				if err != nil {
 					fail(err)
 					continue // keep draining jobs so the feeder never blocks
@@ -531,16 +565,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	go func() {
 		defer close(jobs)
-		for _, inj := range plan {
-			for ci := range cfg.TestCases {
-				if cfg.Skip != nil && cfg.Skip(inj, ci) {
-					continue
-				}
-				select {
-				case jobs <- job{inj: inj, caseIdx: ci}:
-				case <-done:
-					return
-				}
+		for _, j := range jobList {
+			select {
+			case jobs <- j:
+			case <-done:
+				return
 			}
 		}
 	}()
@@ -618,49 +647,36 @@ func (c Config) NewInstance(tc physics.TestCase, hook sim.ReadHook) (RunnableIns
 	}
 }
 
-// goldenRuns records one Golden Run per test case, in parallel (each
-// run is fully independent and deterministic, so the resulting traces
-// are identical to a serial recording).
+// workerCount resolves Config.Workers: values <= 0 select GOMAXPROCS.
+func workerCount(configured int) int {
+	if configured <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return configured
+}
+
+// goldenRuns records one Golden Run per test case, fanned out over
+// the same worker-pool pattern Run uses for injection jobs (each run
+// is fully independent and deterministic, so the resulting traces are
+// identical to a serial recording).
 func goldenRuns(cfg Config) ([]*trace.Trace, error) {
 	goldens := make([]*trace.Trace, len(cfg.TestCases))
 	errs := make([]error, len(cfg.TestCases))
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, workers)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for i, tc := range cfg.TestCases {
+	for w := 0; w < workerCount(cfg.Workers); w++ {
 		wg.Add(1)
-		go func(i int, tc physics.TestCase) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			inst, err := cfg.NewInstance(tc, nil)
-			if err != nil {
-				errs[i] = fmt.Errorf("campaign: golden run %d: %w", i, err)
-				return
+			for i := range idx {
+				goldens[i], errs[i] = goldenRun(cfg, i)
 			}
-			rec, err := trace.NewRecorder(inst.Bus())
-			if err != nil {
-				errs[i] = fmt.Errorf("campaign: golden run %d: %w", i, err)
-				return
-			}
-			inst.Kernel().AddPostHook(rec.Hook())
-			inst.Kernel().SetBudget(cfg.Budget)
-			// A golden run is uninjected: a crash or hang here is a
-			// broken target or an undersized budget, not a result.
-			if crashed, pv := runGuarded(inst, cfg.HorizonMs); crashed {
-				errs[i] = fmt.Errorf("campaign: golden run %d crashed: %v", i, pv)
-				return
-			}
-			if inst.Kernel().Exhausted() {
-				errs[i] = fmt.Errorf("campaign: golden run %d exceeded the run budget (%d steps used) — raise Config.Budget or fix the target", i, inst.Kernel().BudgetUsed())
-				return
-			}
-			goldens[i] = rec.Trace()
-		}(i, tc)
+		}()
 	}
+	for i := range cfg.TestCases {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -670,14 +686,37 @@ func goldenRuns(cfg Config) ([]*trace.Trace, error) {
 	return goldens, nil
 }
 
+// goldenRun records the Golden Run of one test case.
+func goldenRun(cfg Config, i int) (*trace.Trace, error) {
+	inst, err := cfg.NewInstance(cfg.TestCases[i], nil)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: golden run %d: %w", i, err)
+	}
+	rec, err := trace.NewRecorderCap(inst.Bus(), int(cfg.HorizonMs))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: golden run %d: %w", i, err)
+	}
+	inst.Kernel().AddPostHook(rec.Hook())
+	inst.Kernel().SetBudget(cfg.Budget)
+	// A golden run is uninjected: a crash or hang here is a broken
+	// target or an undersized budget, not a result.
+	if crashed, pv := runGuarded(inst, cfg.HorizonMs); crashed {
+		return nil, fmt.Errorf("campaign: golden run %d crashed: %v", i, pv)
+	}
+	if inst.Kernel().Exhausted() {
+		return nil, fmt.Errorf("campaign: golden run %d exceeded the run budget (%d steps used) — raise Config.Budget or fix the target", i, inst.Kernel().BudgetUsed())
+	}
+	return rec.Trace(), nil
+}
+
 // superviseJob drives one injection job to a settled outcome under
 // the fault-isolation policy: worker panics become errors, errors
 // consult Config.OnJobError, and a quarantined job yields an
 // OutcomeQuarantined record instead of failing the campaign.
-func superviseJob(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection) (runOutcome, error) {
+func superviseJob(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache) (runOutcome, error) {
 	attempt := 0
 	for {
-		out, err := supervisedRun(cfg, sys, golden, caseIdx, inj)
+		out, err := supervisedRun(cfg, sys, golden, caseIdx, inj, ckpts)
 		if err == nil {
 			return out, nil
 		}
@@ -708,13 +747,13 @@ func superviseJob(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 // isolation: a panic outside the guarded target execution (instance
 // construction, instrumentation, comparison setup) is converted into
 // an error so the retry/quarantine policy can handle it.
-func supervisedRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection) (out runOutcome, err error) {
+func supervisedRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache) (out runOutcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("campaign: worker panic on %v case %d: %v", inj, caseIdx, r)
 		}
 	}()
-	return injectionRun(cfg, sys, golden, caseIdx, inj)
+	return injectionRun(cfg, sys, golden, caseIdx, inj, ckpts)
 }
 
 // runGuarded drives the instance to the horizon, converting a panic
@@ -732,8 +771,12 @@ func runGuarded(inst RunnableInstance, horizon sim.Millis) (crashed bool, panicV
 }
 
 // injectionRun executes one injection run against one test case and
-// returns its outcome.
-func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection) (runOutcome, error) {
+// returns its outcome. With a checkpoint cache available it restores
+// the (case, instant) snapshot and simulates only [At, horizon);
+// otherwise it replays from t=0. The two paths are bit-identical: a
+// trap has no effect before its arm time, so the skipped prefix is
+// exactly the uninjected prefix the snapshot captured.
+func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache) (runOutcome, error) {
 	// armedTrap unifies the transient (paper) and persistent traps.
 	type armedTrap interface {
 		Hook() sim.ReadHook
@@ -744,6 +787,16 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 		trap = inject.NewPersistentTrap(inj, cfg.FaultDurationMs)
 	} else {
 		trap = inject.NewTrap(inj)
+	}
+	var snap *sim.Snapshot
+	if ckpts != nil {
+		var err error
+		snap, err = ckpts.get(caseIdx, inj.At)
+		if err != nil {
+			// Cache failures flow through the same retry/quarantine
+			// policy as any other job infrastructure error.
+			return runOutcome{}, err
+		}
 	}
 	inst, err := cfg.NewInstance(cfg.TestCases[caseIdx], trap.Hook())
 	if err != nil {
@@ -762,18 +815,34 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 			return runOutcome{}, fmt.Errorf("campaign: instrumenting %v case %d: %w", inj, caseIdx, err)
 		}
 	}
+	// SetBudget resets the step accounting; Restore then rewinds it to
+	// the snapshot's value, so a fast-forwarded run exhausts its budget
+	// at exactly the tick a full replay would.
 	inst.Kernel().SetBudget(cfg.Budget)
+	if snap != nil {
+		ck, ok := inst.(target.Checkpointable)
+		if !ok {
+			return runOutcome{}, fmt.Errorf("campaign: injection %v case %d: instance lost checkpoint support", inj, caseIdx)
+		}
+		if err := ck.Restore(snap); err != nil {
+			return runOutcome{}, fmt.Errorf("campaign: restoring checkpoint for %v case %d: %w", inj, caseIdx, err)
+		}
+		// The skipped prefix matched the golden run by construction;
+		// comparison starts at the checkpoint tick.
+		if err := cmp.SeekTo(int(snap.Now)); err != nil {
+			return runOutcome{}, fmt.Errorf("campaign: seeking comparator for %v case %d: %w", inj, caseIdx, err)
+		}
+	}
 	crashed, panicVal := runGuarded(inst, cfg.HorizonMs)
 
 	firedAt, fired := trap.Fired()
 	out := runOutcome{
-		injection:   inj,
-		caseIdx:     caseIdx,
-		fired:       fired,
-		firedAt:     firedAt,
-		outputFirst: make(map[string]sim.Millis),
-		diffs:       cmp.Diffs(), // partial up to the crash/hang point — still recorded
-		attachment:  attachment,
+		injection:  inj,
+		caseIdx:    caseIdx,
+		fired:      fired,
+		firedAt:    firedAt,
+		diffs:      cmp.DeviatingDiffs(), // partial up to the crash/hang point — still recorded
+		attachment: attachment,
 	}
 	out.failureAt = -1
 	switch {
@@ -785,23 +854,27 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 		out.detail = fmt.Sprintf("%v", panicVal)
 		return out, nil
 	}
+	// out.diffs is sparse — it carries deviating signals only, so a
+	// missing entry means "matched the golden run everywhere".
 	diffs := out.diffs
 	mod, err := sys.Module(inj.Module)
 	if err != nil {
 		return runOutcome{}, err
 	}
 	for _, o := range mod.Outputs {
-		out.outputFirst[o.Signal] = diffs[o.Signal].First
-	}
-	out.outcome = OutcomeOK
-	for _, d := range diffs {
-		if d.Differs() {
-			out.outcome = OutcomeDeviation
-			break
+		if d, ok := diffs[o.Signal]; ok {
+			if out.outputFirst == nil {
+				out.outputFirst = make(map[string]sim.Millis, len(mod.Outputs))
+			}
+			out.outputFirst[o.Signal] = d.First
 		}
 	}
+	out.outcome = OutcomeOK
+	if len(diffs) > 0 {
+		out.outcome = OutcomeDeviation
+	}
 	for _, so := range sys.SystemOutputs() {
-		if d := diffs[so]; d.Differs() {
+		if d, ok := diffs[so]; ok {
 			out.systemDiff = true
 			if out.failureAt < 0 || d.First < out.failureAt {
 				out.failureAt = d.First

@@ -221,7 +221,7 @@ func TestConfigValidateCampaign(t *testing.T) {
 		"zero horizon":    func(c *Config) { c.HorizonMs = 0 },
 		"time >= horizon": func(c *Config) { c.Times = []sim.Millis{6000} },
 		"negative time":   func(c *Config) { c.Times = []sim.Millis{-1} },
-		"neg workers":     func(c *Config) { c.Workers = -1 },
+		"bad checkpoints": func(c *Config) { c.Checkpoints = CheckpointMode(99) },
 		"neg window":      func(c *Config) { c.DirectWindowMs = -1 },
 		"bad arrestor":    func(c *Config) { c.Arrestor.MaxSlew = 0 },
 	}

@@ -69,6 +69,7 @@ func Topology() *model.System {
 type Instance struct {
 	kernel *sim.Kernel
 	bus    *sim.Bus
+	snap   *sim.Snapshotter
 }
 
 // Bus implements target.Instance.
@@ -79,6 +80,17 @@ func (in *Instance) Kernel() *sim.Kernel { return in.kernel }
 
 // Run implements target.RunnableInstance.
 func (in *Instance) Run(horizon sim.Millis) { in.kernel.Run(horizon, nil) }
+
+// Checkpoint implements target.Checkpointable. Every hostile module
+// is a pure function of its inputs and the current tick, so the
+// sim-layer capture (kernel time, budget accounting, bus signals) is
+// the complete state — which also means a checkpoint taken before a
+// poison bit arms MINE or TARPIT restores to an instance that crashes
+// or hangs exactly as a full replay would.
+func (in *Instance) Checkpoint() (*sim.Snapshot, error) { return in.snap.Capture(), nil }
+
+// Restore implements target.Checkpointable.
+func (in *Instance) Restore(snap *sim.Snapshot) error { return in.snap.Restore(snap) }
 
 // mod is the shared instrumented-read helper (the arrestor/autobrake
 // idiom).
@@ -178,7 +190,7 @@ func NewInstance(tc physics.TestCase, hook sim.ReadHook) (*Instance, error) {
 	kernel.AddEveryTick(&mine{mod: mod{name: ModMine, onRead: hook}, in: val, out: mineOut})
 	kernel.AddEveryTick(&tarpit{mod: mod{name: ModTarpit, onRead: hook}, kernel: kernel, in: tick, out: pit})
 	kernel.AddEveryTick(&sink{mod: mod{name: ModSink, onRead: hook}, a: mineOut, b: pit, out: out})
-	return &Instance{kernel: kernel, bus: bus}, nil
+	return &Instance{kernel: kernel, bus: bus, snap: sim.NewSnapshotter(kernel, bus)}, nil
 }
 
 // Target adapts the hostile pipeline to the campaign engine.

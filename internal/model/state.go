@@ -1,0 +1,59 @@
+package model
+
+import "fmt"
+
+// Stateful is implemented by simulation components (modules, hardware
+// glue, plant models) that carry hidden state outside the signal bus.
+// It is the per-component half of the checkpoint fast-forward
+// machinery: an instance collects its Stateful components in a fixed
+// registration order, captures them alongside a sim.Snapshot, and
+// restores them into a freshly constructed clone.
+type Stateful interface {
+	// State returns an opaque value capturing all hidden state. The
+	// value must be an independent copy: mutating the component after
+	// State must not affect it (deep-copy any slices or maps).
+	State() any
+	// Restore overwrites the component's hidden state from a value
+	// previously returned by State on an identically constructed
+	// component. It returns an error if the value is not of the
+	// expected type.
+	Restore(state any) error
+}
+
+// CaptureStates captures every component's hidden state in order.
+func CaptureStates(components []Stateful) []any {
+	states := make([]any, len(components))
+	for i, c := range components {
+		states[i] = c.State()
+	}
+	return states
+}
+
+// RestoreAs implements the common body of a Stateful.Restore method:
+// it type-asserts state to T (the type the matching State method
+// returned) and copies it over dst.
+func RestoreAs[T any](dst *T, state any) error {
+	s, ok := state.(T)
+	if !ok {
+		var want T
+		return fmt.Errorf("model: state is %T, want %T", state, want)
+	}
+	*dst = s
+	return nil
+}
+
+// RestoreStates restores every component's hidden state in order. The
+// state slice must come from CaptureStates over an identically
+// registered component list.
+func RestoreStates(components []Stateful, states []any) error {
+	if len(states) != len(components) {
+		return fmt.Errorf("model: %d states for %d stateful components — not the same topology",
+			len(states), len(components))
+	}
+	for i, c := range components {
+		if err := c.Restore(states[i]); err != nil {
+			return fmt.Errorf("model: restoring component %d: %w", i, err)
+		}
+	}
+	return nil
+}

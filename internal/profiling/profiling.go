@@ -1,0 +1,51 @@
+// Package profiling wires the runtime/pprof CPU and heap profilers
+// into the command-line tools, so campaign hot spots can be captured
+// with the standard `go tool pprof` workflow (-cpuprofile /
+// -memprofile) instead of editing code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges
+// a heap profile to be written to memPath (when non-empty). The
+// returned stop function flushes both profiles; call it exactly once
+// after the measured work. Empty paths make Start and stop no-ops, so
+// callers can pass flag values through unconditionally.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -354,6 +354,15 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 		}
 		return att, nil
 	}
+	// The timing wrapper observes nothing before the injection
+	// instant, so it must not disable checkpoint fast-forward the way
+	// genuine caller instrumentation (monitors, recovery hooks) does
+	// under CheckpointAuto. Force checkpoints when the wrapper is the
+	// only instrumentation; unsupported targets still fall back to
+	// full replay inside the campaign engine.
+	if userInstrument == nil && cfg.Checkpoints == campaign.CheckpointAuto {
+		cfg.Checkpoints = campaign.CheckpointForce
+	}
 
 	// The serial observer path: journal, dedupe, metrics, then any
 	// caller observer (with its own attachment restored).

@@ -32,6 +32,25 @@ type RunnableInstance interface {
 	Run(horizon sim.Millis)
 }
 
+// Checkpointable is a RunnableInstance whose complete dynamic state —
+// kernel time, step-budget accounting, bus signals, and all hidden
+// module/glue/plant state — can be captured at a tick boundary and
+// restored into a fresh, identically constructed instance. The
+// campaign engine uses it to fast-forward injection runs: restore a
+// snapshot taken just before the injection instant and simulate only
+// the suffix. Targets that cannot guarantee a complete capture simply
+// do not implement the interface and the engine falls back to full
+// replay from t=0.
+type Checkpointable interface {
+	RunnableInstance
+	// Checkpoint captures the full dynamic state. Call it only at a
+	// tick boundary (between Run calls).
+	Checkpoint() (*sim.Snapshot, error)
+	// Restore overwrites the full dynamic state from a snapshot
+	// captured on an identically constructed instance.
+	Restore(snap *sim.Snapshot) error
+}
+
 // Target is a named target system: its topology and an instance
 // constructor. Both fields must be non-nil.
 type Target struct {

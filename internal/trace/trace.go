@@ -83,36 +83,54 @@ func (t *Trace) At(signal string, i int) (uint16, error) {
 type Recorder struct {
 	bus     *sim.Bus
 	handles []*sim.Signal
+	series  [][]uint16
 	trace   *Trace
 }
 
 // NewRecorder creates a recorder over all signals currently registered
 // on the bus.
 func NewRecorder(bus *sim.Bus) (*Recorder, error) {
+	return NewRecorderCap(bus, 0)
+}
+
+// NewRecorderCap is NewRecorder with the per-signal sample buffers
+// preallocated for the given number of ticks (the run horizon), so a
+// run of known length records without growth reallocations.
+func NewRecorderCap(bus *sim.Bus, capacity int) (*Recorder, error) {
 	names := bus.Names()
 	handles := make([]*sim.Signal, len(names))
+	series := make([][]uint16, len(names))
 	for i, n := range names {
 		s, err := bus.Lookup(n)
 		if err != nil {
 			return nil, err
 		}
 		handles[i] = s
+		if capacity > 0 {
+			series[i] = make([]uint16, 0, capacity)
+		}
 	}
-	return &Recorder{bus: bus, handles: handles, trace: NewTrace(names)}, nil
+	return &Recorder{bus: bus, handles: handles, series: series, trace: NewTrace(names)}, nil
 }
 
 // Hook returns the kernel post-hook performing the sampling.
 func (r *Recorder) Hook() sim.Hook {
 	return func(sim.Millis) {
 		for i, h := range r.handles {
-			sig := r.trace.signals[i]
-			r.trace.samples[sig] = append(r.trace.samples[sig], h.Read())
+			r.series[i] = append(r.series[i], h.Read())
 		}
 	}
 }
 
 // Trace returns the recorded trace.
-func (r *Recorder) Trace() *Trace { return r.trace }
+func (r *Recorder) Trace() *Trace {
+	// Sampling appends to indexed series (no per-tick map writes);
+	// sync them into the trace on access.
+	for i, sig := range r.trace.signals {
+		r.trace.samples[sig] = r.series[i]
+	}
+	return r.trace
+}
 
 // Diff summarises how one signal of a run trace deviates from the
 // golden run.
@@ -200,6 +218,7 @@ func CompareTol(golden, run *Trace, tol Tolerances) (map[string]Diff, error) {
 type StreamComparator struct {
 	golden  *Trace
 	handles []*sim.Signal
+	samples [][]uint16 // golden sample series, one per handle
 	diffs   []Diff
 	tol     Tolerances
 	tick    int
@@ -218,6 +237,7 @@ func NewStreamComparator(golden *Trace, bus *sim.Bus) (*StreamComparator, error)
 		return nil, errors.New("trace: bus and golden trace cover different signal sets")
 	}
 	handles := make([]*sim.Signal, len(names))
+	samples := make([][]uint16, len(names))
 	diffs := make([]Diff, len(names))
 	for i, n := range names {
 		if busNames[i] != n {
@@ -228,9 +248,23 @@ func NewStreamComparator(golden *Trace, bus *sim.Bus) (*StreamComparator, error)
 			return nil, err
 		}
 		handles[i] = s
+		samples[i] = golden.samples[n]
 		diffs[i] = Diff{Signal: n, First: -1, Last: -1}
 	}
-	return &StreamComparator{golden: golden, handles: handles, diffs: diffs}, nil
+	return &StreamComparator{golden: golden, handles: handles, samples: samples, diffs: diffs}, nil
+}
+
+// SeekTo positions the comparator at the given tick, as if the first
+// `tick` samples had already been compared and matched. The campaign
+// engine uses it when fast-forwarding an injection run from a
+// checkpoint: the pre-injection prefix is bit-identical to the golden
+// run by construction, so comparison starts at the checkpoint tick.
+func (c *StreamComparator) SeekTo(tick int) error {
+	if tick < 0 || tick > c.golden.Len() {
+		return fmt.Errorf("trace: seek to tick %d outside golden trace [0,%d]", tick, c.golden.Len())
+	}
+	c.tick = tick
+	return nil
 }
 
 // Hook returns the kernel post-hook performing the per-tick compare.
@@ -241,9 +275,12 @@ func (c *StreamComparator) Hook() sim.Hook {
 			return
 		}
 		for i, h := range c.handles {
-			sig := c.diffs[i].Signal
-			g := c.golden.samples[sig][c.tick]
-			if v := h.Read(); !c.tol.within(sig, g, v) {
+			g := c.samples[i][c.tick]
+			v := h.Read()
+			if v == g {
+				continue
+			}
+			if !c.tol.within(c.diffs[i].Signal, g, v) {
 				d := &c.diffs[i]
 				if d.Count == 0 {
 					d.First = sim.Millis(c.tick)
@@ -261,6 +298,26 @@ func (c *StreamComparator) Diffs() map[string]Diff {
 	out := make(map[string]Diff, len(c.diffs))
 	for _, d := range c.diffs {
 		out[d.Signal] = d
+	}
+	return out
+}
+
+// DeviatingDiffs returns only the signals that deviated, keyed by
+// signal — nil when the run matched the golden trace everywhere. On
+// the campaign hot path the overwhelming majority of runs deviate on
+// few or no signals, so the sparse form skips building (and garbage-
+// collecting) a full per-signal map per run. Callers must treat a
+// missing entry as "no deviation", never as a zero-valued Diff (whose
+// First of 0 would read as a deviation at tick 0).
+func (c *StreamComparator) DeviatingDiffs() map[string]Diff {
+	var out map[string]Diff
+	for _, d := range c.diffs {
+		if d.Differs() {
+			if out == nil {
+				out = make(map[string]Diff, 4)
+			}
+			out[d.Signal] = d
+		}
 	}
 	return out
 }

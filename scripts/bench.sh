@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# scripts/bench.sh TAG [extra go-test args...]
+#
+# Runs the benchmark suite with -benchmem and writes the results as
+# BENCH_<TAG>.json at the repository root, so the performance
+# trajectory of the project is recorded in version control and can be
+# diffed across PRs (e.g. BENCH_seed.json vs BENCH_pr3.json).
+#
+# Two passes run:
+#   1. the regular suite (paper-scale campaign skipped) at
+#      PROPANE_BENCHTIME per benchmark (default 200ms) for stable
+#      per-op numbers;
+#   2. BenchmarkPaperScaleCampaign alone, one iteration
+#      (-benchtime=1x) with PROPANE_PAPER_BENCH=1 — the wall-clock
+#      yardstick of the checkpoint fast-forward work. Skipped when
+#      PROPANE_SKIP_PAPER_BENCH=1.
+#
+# The JSON schema is one object:
+#   {"tag": ..., "go": ..., "goos": ..., "goarch": ..., "cpu": ...,
+#    "benchmarks": [{"name", "runs", "ns_op", "b_op", "allocs_op"}]}
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: scripts/bench.sh TAG [extra go-test args...]" >&2
+    exit 2
+fi
+
+TAG="$1"
+shift
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/BENCH_${TAG}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+BENCHTIME="${PROPANE_BENCHTIME:-200ms}"
+
+cd "$ROOT"
+echo "bench.sh: regular suite (-benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench . -benchmem -benchtime="$BENCHTIME" "$@" . | tee -a "$RAW" >&2
+
+if [ "${PROPANE_SKIP_PAPER_BENCH:-0}" != "1" ]; then
+    echo "bench.sh: paper-scale campaign (-benchtime=1x)..." >&2
+    PROPANE_PAPER_BENCH=1 go test -run '^$' -bench 'BenchmarkPaperScaleCampaign$' \
+        -benchmem -benchtime=1x -timeout 60m "$@" . | tee -a "$RAW" >&2
+fi
+
+awk -v tag="$TAG" '
+    /^goos: /   { goos = $2 }
+    /^goarch: / { goarch = $2 }
+    /^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+    /^Benchmark/ && / ns\/op/ {
+        name = $1
+        sub(/^Benchmark/, "", name)
+        sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+        runs = $2
+        ns = ""; b = "0"; allocs = "0"
+        for (i = 3; i < NF; i++) {
+            if ($(i + 1) == "ns/op") ns = $i
+            if ($(i + 1) == "B/op") b = $i
+            if ($(i + 1) == "allocs/op") allocs = $i
+        }
+        if (ns == "") next
+        if (n > 0) rows = rows ",\n"
+        rows = rows sprintf("    {\"name\": \"%s\", \"runs\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
+                            name, runs, ns, b, allocs)
+        n++
+    }
+    END {
+        printf "{\n"
+        printf "  \"tag\": \"%s\",\n", tag
+        printf "  \"goos\": \"%s\",\n", goos
+        printf "  \"goarch\": \"%s\",\n", goarch
+        printf "  \"cpu\": \"%s\",\n", cpu
+        printf "  \"benchmarks\": [\n%s\n  ]\n", rows
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "bench.sh: wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
