@@ -10,6 +10,7 @@
 package propane_test
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"testing"
@@ -18,12 +19,14 @@ import (
 	"propane/internal/autobrake"
 	"propane/internal/campaign"
 	"propane/internal/core"
+	"propane/internal/distrib"
 	"propane/internal/edm"
 	"propane/internal/hostile"
 	"propane/internal/inject"
 	"propane/internal/model"
 	"propane/internal/physics"
 	"propane/internal/report"
+	"propane/internal/runner"
 	"propane/internal/sim"
 	"propane/internal/trace"
 )
@@ -643,5 +646,65 @@ func BenchmarkSupervisedInjectionRun(b *testing.B) {
 			b.Fatalf("benign campaign tripped supervision: %d crashes, %d hangs, %d quarantined",
 				res.Crashes, res.Hangs, len(res.Quarantined))
 		}
+	}
+}
+
+// benchDistributed runs one complete distributed campaign through the
+// loopback harness: coordinator, ephemeral HTTP listener, `workers`
+// in-process worker agents, assembly. The measured time is the full
+// wall clock from planning to assembled matrix, so it is directly
+// comparable to a single-node campaign.Run of the same instance.
+func benchDistributed(b *testing.B, instance string, tier runner.Tier, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "propane-distrib-bench-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, err = distrib.Loopback(distrib.Config{
+			Instance: instance,
+			Tier:     tier,
+			Dir:      dir,
+			Units:    2 * workers,
+		}, workers, distrib.WorkerOptions{Workers: 1})
+		b.StopTimer()
+		rmErr := os.RemoveAll(dir)
+		b.StartTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rmErr != nil {
+			b.Fatal(rmErr)
+		}
+	}
+}
+
+// BenchmarkDistributedLoopbackQuick measures the distributed path on
+// the quick-tier reduced campaign for 1- and 2-worker loopback
+// fleets. Against BenchmarkTable1PairPermeabilities-style single-node
+// numbers this exposes the fixed coordination overhead (per-unit
+// golden runs, HTTP round-trips, journal assembly).
+func BenchmarkDistributedLoopbackQuick(b *testing.B) {
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchDistributed(b, "reduced", runner.TierQuick, workers)
+		})
+	}
+}
+
+// BenchmarkDistributedPaperCampaign runs the paper's full campaign
+// through coordinator + N loopback workers — the scale-out yardstick
+// against BenchmarkPaperScaleCampaign. Guarded behind
+// PROPANE_PAPER_BENCH=1 like its single-node counterpart.
+func BenchmarkDistributedPaperCampaign(b *testing.B) {
+	if os.Getenv("PROPANE_PAPER_BENCH") == "" {
+		b.Skip("set PROPANE_PAPER_BENCH=1 to run the full paper campaign through the distributed path")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchDistributed(b, "paper", runner.TierFull, workers)
+		})
 	}
 }

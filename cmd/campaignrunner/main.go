@@ -8,6 +8,7 @@
 //	campaignrunner -instance paper -dir D -resume
 //	campaignrunner -instance paper -dir D -shard 0 -shards 4
 //	campaignrunner -instance paper -dir D -assemble
+//	campaignrunner -worker http://coordinator:8080 -dir scratch
 //
 // Every run writes an artifact set under -dir: config.json (the
 // digestable config snapshot), journal.jsonl (one line per completed
@@ -25,6 +26,13 @@
 // and a job that repeatedly crashes its worker is quarantined after
 // -quarantine-after consecutive failures instead of wedging the
 // campaign.
+//
+// With -worker, the process joins the fleet of a distributed
+// coordinator (command propaned) instead of running a campaign of
+// its own: it leases work units, executes them through the same
+// supervised local path under -dir (the scratch root), and streams
+// the journal records back until the coordinator reports the
+// campaign complete.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"os"
 	"time"
 
+	"propane/internal/distrib"
 	"propane/internal/profiling"
 	"propane/internal/runner"
 )
@@ -60,6 +69,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget: terminate and classify a run as hung after this many work units (0 = instance default)")
 	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures (0 = default 3, negative disables)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
+	workerURL := fs.String("worker", "", "join a distributed coordinator's fleet at this URL (see propaned); -dir becomes the local scratch root")
+	workerName := fs.String("worker-name", "", "fleet identity for -worker mode (default hostname-pid; keep it stable across restarts to resume local work)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the campaign finishes")
 	if err := fs.Parse(args); err != nil {
@@ -83,11 +94,22 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		return nil
 	}
+	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
+	if *workerURL != "" {
+		if *dir == "" {
+			return fmt.Errorf("-worker needs -dir as the local scratch root")
+		}
+		return distrib.RunWorker(*workerURL, distrib.WorkerOptions{
+			Name:        *workerName,
+			Dir:         *dir,
+			Workers:     *workers,
+			LogInterval: *progress,
+			Logf:        logf,
+		})
+	}
 	if *instance == "" {
 		return fmt.Errorf("no -instance given (use -list to see the registry)")
 	}
-
-	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
 	opts := runner.Options{
 		Dir:             *dir,
 		Shard:           *shard,

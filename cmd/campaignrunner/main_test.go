@@ -1,11 +1,17 @@
 package main
 
 import (
+	"net"
+	"net/http"
+
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+
+	"propane/internal/distrib"
+	"propane/internal/runner"
 )
 
 func TestRunList(t *testing.T) {
@@ -107,5 +113,48 @@ func TestRunHostileQuickReportsSupervisedModes(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("failures.md misses %q", want)
 		}
+	}
+}
+
+// TestRunWorkerMode joins a live coordinator as a fleet worker and
+// processes the whole campaign through the CLI entry point.
+func TestRunWorkerMode(t *testing.T) {
+	dir := t.TempDir()
+	coord, err := distrib.NewCoordinator(distrib.Config{
+		Instance: "reduced",
+		Tier:     runner.TierQuick,
+		Dir:      filepath.Join(dir, "coord"),
+		Units:    2,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	var out strings.Builder
+	args := []string{"-worker", "http://" + l.Addr().String(),
+		"-dir", filepath.Join(dir, "scratch"), "-worker-name", "cli-w1", "-progress", "0"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("worker exited but the campaign is not complete")
+	}
+	if _, err := coord.Assemble(); err != nil {
+		t.Fatal(err)
+	}
+
+	// -worker without a scratch root must refuse.
+	if err := run([]string{"-worker", "http://127.0.0.1:1"}, &out); err == nil {
+		t.Error("-worker without -dir accepted")
 	}
 }

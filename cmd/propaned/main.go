@@ -1,0 +1,116 @@
+// Command propaned is the distributed campaign coordinator: it
+// decomposes a registry instance into lease-bounded work units,
+// serves them over HTTP to campaignrunner -worker agents, journals
+// the records they stream back, and — once every unit is complete —
+// assembles the final report, bit-identical to a single-node run.
+//
+// Usage:
+//
+//	propaned -instance paper -tier full -dir artifacts/paper -listen :8080
+//	propaned -instance paper -dir artifacts/paper -resume
+//	propaned -instance reduced -dir D -loopback 3
+//
+// Workers join with
+//
+//	campaignrunner -worker http://coordinator:8080 -dir scratch
+//
+// and may come and go freely: a worker silent past the lease TTL is
+// presumed dead and its unit is reassigned, fast-forwarded past
+// every record already received. Killing and restarting propaned
+// itself with -resume restores its state from the journals under
+// -dir. The HTTP API also serves /status and /metrics JSON for
+// dashboards.
+//
+// -loopback N skips the network fleet entirely and runs N worker
+// agents in-process against an ephemeral listener — a self-contained
+// (and offline) way to exercise the full distributed path on one
+// machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"propane/internal/distrib"
+	"propane/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "propaned:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("propaned", flag.ContinueOnError)
+	instance := fs.String("instance", "", "campaign instance to coordinate (see campaignrunner -list)")
+	tier := fs.String("tier", "quick", "campaign intensity: quick or full")
+	dir := fs.String("dir", "", "coordinator artifact directory (shard journals, assignment journal, final report)")
+	units := fs.Int("units", 0, "work units to decompose the campaign into (0 = default 8; more units than workers lets the fleet rebalance)")
+	listen := fs.String("listen", "127.0.0.1:8080", "address to serve the coordinator API on")
+	lease := fs.Duration("lease", 0, "lease TTL: a worker silent this long is presumed dead and its unit reassigned (0 = default 30s)")
+	resume := fs.Bool("resume", false, "restore coordinator state from the journals under -dir")
+	loopback := fs.Int("loopback", 0, "run this many in-process workers on an ephemeral listener instead of serving a network fleet")
+	workers := fs.Int("workers", 0, "local campaign parallelism per loopback worker (<= 0 means GOMAXPROCS)")
+	runBudget := fs.Int64("run-budget", 0, "per-run step budget, applied fleet-wide via the config digest (0 = instance default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *instance == "" {
+		return fmt.Errorf("no -instance given (use campaignrunner -list to see the registry)")
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
+	cc := distrib.Config{
+		Instance:       *instance,
+		Tier:           runner.Tier(*tier),
+		Dir:            *dir,
+		Units:          *units,
+		LeaseTTL:       *lease,
+		Resume:         *resume,
+		RunBudgetSteps: *runBudget,
+		Logf:           logf,
+	}
+
+	var rr *runner.RunResult
+	var err error
+	if *loopback > 0 {
+		rr, err = distrib.Loopback(cc, *loopback, distrib.WorkerOptions{
+			Workers: *workers,
+			Logf:    logf,
+		})
+	} else {
+		var coord *distrib.Coordinator
+		coord, err = distrib.NewCoordinator(cc)
+		if err != nil {
+			return err
+		}
+		var l net.Listener
+		l, err = net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		info := coord.Info()
+		logf("propaned: coordinating %s/%s — %d runs in %d units — on http://%s (workers: campaignrunner -worker http://%s -dir scratch)",
+			info.Name, info.Tier, info.TotalRuns, coord.Status().Units, l.Addr(), l.Addr())
+		rr, err = coord.Serve(l)
+	}
+	if err != nil {
+		return err
+	}
+
+	m := rr.Metrics
+	fmt.Fprintf(out, "campaign %s/%s assembled: %d runs, %d traps unfired\n",
+		m.Instance, m.Tier, m.ReplayedRuns+m.ExecutedRuns, m.Unfired)
+	fmt.Fprintf(out, "%d system failures in %d equivalence classes\n", m.SystemFailures, m.UniqueFailures)
+	if m.Crashes+m.Hangs+m.Quarantined > 0 {
+		fmt.Fprintf(out, "supervised failure modes: %d crashes, %d hangs, %d quarantined jobs (excluded from all estimates)\n",
+			m.Crashes, m.Hangs, m.Quarantined)
+	}
+	fmt.Fprintf(out, "artifacts in %s\n", rr.Dir)
+	return nil
+}

@@ -1,7 +1,15 @@
-// The distributed example analyses the *real* deployment of the
-// paper's target system (Section 7.1): a master node computing the
-// pressure set point and a slave node receiving it over a
-// parity-protected link, each controlling one drum. It demonstrates:
+// The distributed example runs the analysis of the paper's *real*
+// deployment (Section 7.1) — a master node computing the pressure set
+// point and a slave node receiving it over a parity-protected link —
+// on propane's distributed execution subsystem (internal/distrib): an
+// HTTP coordinator decomposes the campaign into lease-bounded work
+// units and a three-agent worker fleet executes them, streaming
+// journal records back until the result assembles bit-identically to
+// a single-node run. The fleet here is the in-process loopback
+// harness, so the example runs offline on one machine while
+// exercising the exact wire protocol a multi-machine fleet uses.
+//
+// The assembled matrix then demonstrates:
 //
 //   - propagation analysis on a genuinely distributed topology with
 //     two system outputs (TOC2 on the master, TOC2_B on the slave);
@@ -16,25 +24,43 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"propane"
 	"propane/internal/arrestor"
 	"propane/internal/core"
+	"propane/internal/distrib"
 	"propane/internal/report"
+	"propane/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("distributed: ")
 
-	cfg := propane.ReducedCampaign()
-	cfg.Dual = true
-	fmt.Println("running reduced campaign on the master/slave configuration...")
-	res, err := propane.RunCampaign(cfg)
+	dir, err := os.MkdirTemp("", "propane-distributed-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d injection runs over %d input/output pairs\n\n", res.Runs, len(res.Pairs))
+	defer os.RemoveAll(dir)
+
+	// Coordinator plus three workers, all in-process over loopback
+	// HTTP. The campaign is the two-node master/slave instance from
+	// the registry, split into six work units so the fleet has slack
+	// to rebalance.
+	fmt.Println("running the master/slave campaign on a coordinator + 3-worker loopback fleet...")
+	rr, err := distrib.Loopback(distrib.Config{
+		Instance: "dual",
+		Tier:     runner.TierQuick,
+		Dir:      dir,
+		Units:    6,
+	}, 3, distrib.WorkerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rr.Result
+	fmt.Printf("%d injection runs over %d input/output pairs, assembled from %d work units\n\n",
+		res.Runs, len(res.Pairs), 6)
 
 	// The containment barrier: the parity check drops every corrupted
 	// frame.

@@ -137,6 +137,14 @@ type Config struct {
 	// during the run itself never reach this hook; they are classified
 	// OutcomeCrash.
 	OnJobError func(inj inject.Injection, caseIdx, attempt int, err error) JobErrorAction
+	// Abort, when non-nil, is polled between job dispatches; once it
+	// returns true no further jobs start. In-flight runs complete and
+	// reach Observer, then Run returns the partial result without
+	// error. The distributed execution layer (internal/distrib) uses
+	// it to stop a worker whose lease has been reassigned. It is
+	// called from the dispatch goroutine, concurrently with Observer —
+	// implementations must be safe for that (e.g. an atomic flag).
+	Abort func() bool
 
 	// defect records a construction-time failure of a preset
 	// constructor (e.g. ReducedConfig); Validate surfaces it joined to
@@ -566,6 +574,9 @@ func Run(cfg Config) (*Result, error) {
 	go func() {
 		defer close(jobs)
 		for _, j := range jobList {
+			if cfg.Abort != nil && cfg.Abort() {
+				return
+			}
 			select {
 			case jobs <- j:
 			case <-done:

@@ -72,6 +72,56 @@ func TestSignalExposureOf(t *testing.T) {
 	}
 }
 
+// TestSignalExposureDeterministic pins the bit-level reproducibility
+// of X^S: the arc weights below sum order-dependently under float64
+// (0.1+0.2+0.3 != 0.3+0.2+0.1), so summing in map-iteration order
+// would let the low bits of the exposure vary between calls — enough
+// to flip a value sitting on a display-rounding boundary between
+// otherwise identical campaign reports. The sum must be performed in
+// a fixed arc order and therefore be bit-identical on every call.
+func TestSignalExposureDeterministic(t *testing.T) {
+	sys, err := model.NewBuilder("fan").
+		AddModule("SRC", []string{"ext"}, []string{"s"}).
+		AddModule("F", []string{"s"}, []string{"o1", "o2", "o3"}).
+		AddModule("J", []string{"o1", "o2", "o3"}, []string{"out"}).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := NewMatrix(sys)
+	for _, set := range []struct {
+		mod     string
+		in, out int
+		v       float64
+	}{
+		{"SRC", 1, 1, 0.5},
+		{"F", 1, 1, 0.9}, {"F", 1, 2, 0.9}, {"F", 1, 3, 0.9},
+		{"J", 1, 1, 0.1}, {"J", 2, 1, 0.2}, {"J", 3, 1, 0.3},
+	} {
+		if err := m.Set(set.mod, set.in, set.out, set.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Signal s generates the three J arcs {0.1, 0.2, 0.3} in its S_p
+	// set (via o1..o3) plus the three F arcs.
+	first, err := SignalExposures(m)
+	if err != nil {
+		t.Fatalf("SignalExposures: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		again, err := SignalExposures(m)
+		if err != nil {
+			t.Fatalf("SignalExposures: %v", err)
+		}
+		for j, se := range again {
+			if se != first[j] {
+				t.Fatalf("call %d: exposure %d = %+v, first call %+v — X^S is not bit-deterministic",
+					i, j, se, first[j])
+			}
+		}
+	}
+}
+
 // TestSignalExposureUniqueness builds a diamond topology where one
 // signal is consumed by two modules whose outputs rejoin; the shared
 // upstream arcs must be counted once even though the signal generates

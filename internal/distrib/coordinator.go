@@ -1,0 +1,911 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"propane/internal/campaign"
+	"propane/internal/runner"
+)
+
+// Config parameterises one coordinated campaign.
+type Config struct {
+	// Instance and Tier select the campaign from the registry. Both
+	// sides resolve the name through their own registry; the config
+	// digest guards against version skew.
+	Instance string
+	Tier     runner.Tier
+	// Dir is the coordinator's artifact directory: shard journals,
+	// the assignment journal, and — after completion — the assembled
+	// config.json, metrics.json, failures.md and report.md.
+	Dir string
+	// Units is the number of work units the job space is decomposed
+	// into (the shard count). More units than workers lets the fleet
+	// rebalance around slow or dying members. <= 0 selects 8.
+	Units int
+	// LeaseTTL bounds how long a silent worker keeps a unit. Record
+	// flushes and heartbeats renew the lease; a worker silent for a
+	// full TTL is presumed dead and its unit is reassigned. <= 0
+	// selects 30 s.
+	LeaseTTL time.Duration
+	// Resume restores coordinator state from the journals under Dir
+	// (records already streamed, completed units) instead of refusing
+	// to touch a non-empty directory.
+	Resume bool
+	// RunBudgetSteps arms the per-run watchdog fleet-wide; it is part
+	// of the config digest, so workers apply the value carried in
+	// their work unit.
+	RunBudgetSteps int64
+	// Logf receives lifecycle lines (nil discards).
+	Logf func(format string, args ...any)
+}
+
+const (
+	defaultUnits    = 8
+	defaultLeaseTTL = 30 * time.Second
+)
+
+func (c *Config) normalise() error {
+	if c.Instance == "" {
+		return errors.New("distrib: no instance")
+	}
+	if c.Dir == "" {
+		return errors.New("distrib: no artifact directory")
+	}
+	if c.Tier == "" {
+		c.Tier = runner.TierQuick
+	}
+	if c.Units <= 0 {
+		c.Units = defaultUnits
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = defaultLeaseTTL
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// unitState is the lease state machine: pending → leased → done, with
+// leased → pending on expiry (the unit keeps its received records, so
+// the next holder fast-forwards).
+type unitState int
+
+const (
+	unitPending unitState = iota
+	unitLeased
+	unitDone
+)
+
+func (s unitState) String() string {
+	switch s {
+	case unitPending:
+		return "pending"
+	case unitLeased:
+		return "leased"
+	case unitDone:
+		return "done"
+	}
+	return fmt.Sprintf("unitState(%d)", int(s))
+}
+
+// unit is one shard-range work unit.
+type unit struct {
+	shard    int
+	jobs     int // total job count of this unit
+	state    unitState
+	leaseID  string
+	worker   string
+	expires  time.Time
+	attempts int                   // times leased
+	seen     map[int]runner.Record // job → received record (content-keyed)
+	journal  *runner.ShardJournal  // lazily opened on first record
+}
+
+// workerState is the coordinator's view of one fleet member.
+type workerState struct {
+	name     string
+	lastSeen time.Time
+	unit     int // leased unit's shard, -1 when idle
+	records  int
+	outcomes map[string]int
+}
+
+// Coordinator decomposes a campaign into lease-bounded work units,
+// collects worker-streamed journal records, and reassembles the
+// result. All HTTP handlers and accessors are safe for concurrent
+// use.
+type Coordinator struct {
+	cfg      Config
+	campaign campaign.Config
+	info     runner.PlanInfo
+
+	mu       sync.Mutex
+	units    []*unit
+	byLease  map[string]*unit
+	workers  map[string]*workerState
+	leaseSeq int
+	resumed  int // records restored from journals at startup
+	received int // live records accepted from workers
+	start    time.Time
+	assign   *os.File
+	complete bool
+
+	done chan struct{}
+}
+
+// NewCoordinator plans the campaign (running the golden runs to pin
+// the config digest), decomposes it into cfg.Units work units, and —
+// with cfg.Resume — restores received records and completed units
+// from the journals under cfg.Dir.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	info, err := runner.DescribeInstance(cfg.Instance, cfg.Tier, runner.Options{
+		Dir:            cfg.Dir,
+		RunBudgetSteps: cfg.RunBudgetSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	def, err := runner.Lookup(cfg.Instance)
+	if err != nil {
+		return nil, err
+	}
+	ccfg, err := def.Config(cfg.Tier)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Units > info.TotalRuns {
+		cfg.Units = info.TotalRuns // no empty units
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("distrib: creating artifact dir: %w", err)
+	}
+
+	c := &Coordinator{
+		cfg:      cfg,
+		campaign: ccfg,
+		info:     info,
+		byLease:  make(map[string]*unit),
+		workers:  make(map[string]*workerState),
+		start:    time.Now(),
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.Units; i++ {
+		jobs := info.TotalRuns / cfg.Units
+		if i < info.TotalRuns%cfg.Units {
+			jobs++
+		}
+		c.units = append(c.units, &unit{
+			shard: i,
+			jobs:  jobs,
+			seen:  make(map[int]runner.Record),
+		})
+	}
+
+	if err := c.restoreJournals(); err != nil {
+		return nil, err
+	}
+	if err := c.openAssignmentLog(); err != nil {
+		return nil, err
+	}
+	c.maybeCompleteLocked()
+	return c, nil
+}
+
+// restoreJournals rebuilds unit state from the shard journals — the
+// journals, not the assignment log, are the source of truth for which
+// work is done, so a coordinator crash between the two can never
+// invent or lose records.
+func (c *Coordinator) restoreJournals() error {
+	for _, u := range c.units {
+		path := runner.ShardJournalPath(c.cfg.Dir, u.shard, c.cfg.Units)
+		if !c.cfg.Resume {
+			if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+				return fmt.Errorf("distrib: %s already exists — pass Resume to continue the campaign or use a fresh directory", path)
+			}
+			continue
+		}
+		hdr, recs, err := runner.ReadJournal(path)
+		if err != nil {
+			return err
+		}
+		if hdr.ConfigDigest != "" && hdr.ConfigDigest != c.info.Digest {
+			return fmt.Errorf("distrib: journal %s belongs to config %s, not %s: %w",
+				path, hdr.ConfigDigest, c.info.Digest, runner.ErrDigestMismatch)
+		}
+		for _, rec := range recs {
+			if err := c.checkRecordLocked(u, rec); err != nil {
+				return fmt.Errorf("distrib: journal %s: %w", path, err)
+			}
+			if prev, dup := u.seen[rec.Job]; dup {
+				if !runner.RecordsEqual(prev, rec) {
+					return fmt.Errorf("distrib: journal %s: job %d recorded twice with different content: %w",
+						path, rec.Job, runner.ErrConflictingRecords)
+				}
+				continue
+			}
+			u.seen[rec.Job] = rec
+			c.resumed++
+		}
+		if len(u.seen) == u.jobs {
+			u.state = unitDone
+		}
+	}
+	if c.resumed > 0 {
+		c.cfg.Logf("distrib: resumed %d/%d runs from journals under %s", c.resumed, c.info.TotalRuns, c.cfg.Dir)
+	}
+	return nil
+}
+
+// assignEvent is one line of the assignment journal — the
+// coordinator's own write-ahead record of the lease state machine,
+// kept for crash-resumable bookkeeping (attempt counts, lease
+// sequence) and operator forensics.
+type assignEvent struct {
+	Type   string `json:"type"` // assign | expire | complete | campaign_complete
+	TimeMs int64  `json:"time_ms"`
+	Unit   int    `json:"unit,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Lease  string `json:"lease,omitempty"`
+}
+
+func (c *Coordinator) assignmentLogPath() string {
+	return filepath.Join(c.cfg.Dir, "assignments.jsonl")
+}
+
+// openAssignmentLog opens the assignment journal for appending,
+// replaying any existing events to restore the lease sequence and
+// per-unit attempt counters.
+func (c *Coordinator) openAssignmentLog() error {
+	path := c.assignmentLogPath()
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range splitLines(data) {
+			var ev assignEvent
+			if json.Unmarshal(line, &ev) != nil {
+				continue // torn tail from a killed coordinator
+			}
+			if ev.Type == "assign" {
+				c.leaseSeq++
+				if ev.Unit >= 0 && ev.Unit < len(c.units) {
+					c.units[ev.Unit].attempts++
+				}
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("distrib: reading assignment journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("distrib: opening assignment journal: %w", err)
+	}
+	c.assign = f
+	return nil
+}
+
+// splitLines splits a byte slice into its newline-terminated lines
+// (final unterminated fragment included).
+func splitLines(data []byte) [][]byte {
+	var lines [][]byte
+	for len(data) > 0 {
+		i := 0
+		for i < len(data) && data[i] != '\n' {
+			i++
+		}
+		if i > 0 {
+			lines = append(lines, data[:i])
+		}
+		if i == len(data) {
+			break
+		}
+		data = data[i+1:]
+	}
+	return lines
+}
+
+// logAssignLocked appends one event to the assignment journal. The
+// shard journals are authoritative, so an append failure here is
+// logged, not fatal.
+func (c *Coordinator) logAssignLocked(ev assignEvent) {
+	ev.TimeMs = time.Now().UnixMilli()
+	line, err := json.Marshal(ev)
+	if err == nil {
+		_, err = c.assign.Write(append(line, '\n'))
+	}
+	if err != nil {
+		c.cfg.Logf("distrib: assignment journal append failed: %v", err)
+	}
+}
+
+// Info returns the planned campaign's identity.
+func (c *Coordinator) Info() runner.PlanInfo { return c.info }
+
+// Done is closed once every work unit is journaled in full.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// maybeCompleteLocked closes the done channel when the last unit
+// settles.
+func (c *Coordinator) maybeCompleteLocked() {
+	if c.complete {
+		return
+	}
+	for _, u := range c.units {
+		if u.state != unitDone {
+			return
+		}
+	}
+	c.complete = true
+	c.logAssignLocked(assignEvent{Type: "campaign_complete"})
+	if c.assign != nil {
+		_ = c.assign.Sync()
+	}
+	c.cfg.Logf("distrib: campaign %s/%s complete — all %d units journaled",
+		c.cfg.Instance, c.cfg.Tier, len(c.units))
+	close(c.done)
+}
+
+// sweepLocked expires overdue leases, returning their units to the
+// pending pool with all received records retained.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for _, u := range c.units {
+		if u.state != unitLeased || now.Before(u.expires) {
+			continue
+		}
+		c.cfg.Logf("distrib: lease %s (unit %d/%d, worker %s) expired — reassigning with %d/%d runs already journaled",
+			u.leaseID, u.shard+1, c.cfg.Units, u.worker, len(u.seen), u.jobs)
+		delete(c.byLease, u.leaseID)
+		c.logAssignLocked(assignEvent{Type: "expire", Unit: u.shard, Worker: u.worker, Lease: u.leaseID})
+		if ws := c.workers[u.worker]; ws != nil && ws.unit == u.shard {
+			ws.unit = -1
+		}
+		u.state = unitPending
+		u.leaseID = ""
+		u.worker = ""
+	}
+}
+
+// touchWorkerLocked records fleet-member liveness.
+func (c *Coordinator) touchWorkerLocked(name string, now time.Time) *workerState {
+	ws := c.workers[name]
+	if ws == nil {
+		ws = &workerState{name: name, unit: -1, outcomes: make(map[string]int)}
+		c.workers[name] = ws
+	}
+	ws.lastSeen = now
+	return ws
+}
+
+// checkRecordLocked validates that a record belongs to the unit.
+func (c *Coordinator) checkRecordLocked(u *unit, rec runner.Record) error {
+	if rec.Job < 0 || rec.Job >= c.info.TotalRuns {
+		return fmt.Errorf("job %d outside [0,%d)", rec.Job, c.info.TotalRuns)
+	}
+	if rec.Job%c.cfg.Units != u.shard {
+		return fmt.Errorf("job %d does not belong to unit %d of %d", rec.Job, u.shard, c.cfg.Units)
+	}
+	return nil
+}
+
+// settleLocked marks a unit done. The lease stays resolvable so the
+// worker's trailing complete call succeeds instead of 409ing.
+func (c *Coordinator) settleLocked(u *unit) {
+	u.state = unitDone
+	if u.journal != nil {
+		if err := u.journal.Close(); err != nil {
+			c.cfg.Logf("distrib: closing unit %d journal: %v", u.shard, err)
+		}
+		u.journal = nil
+	}
+	c.logAssignLocked(assignEvent{Type: "complete", Unit: u.shard, Worker: u.worker, Lease: u.leaseID})
+	if ws := c.workers[u.worker]; ws != nil && ws.unit == u.shard {
+		ws.unit = -1
+	}
+	c.cfg.Logf("distrib: unit %d/%d complete (%d runs, worker %s)", u.shard+1, c.cfg.Units, u.jobs, u.worker)
+	c.maybeCompleteLocked()
+}
+
+// outcomeKey normalises a record's outcome for per-worker counters
+// (version-1 records carry no outcome field).
+func outcomeKey(rec runner.Record) string {
+	if rec.Outcome != "" {
+		return rec.Outcome
+	}
+	if rec.SystemFailure || len(rec.Diffs) > 0 {
+		return string(campaign.OutcomeDeviation)
+	}
+	return string(campaign.OutcomeOK)
+}
+
+// handleLease assigns the lowest pending unit to the requester.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding lease request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "lease request names no worker")
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	c.touchWorkerLocked(req.Worker, now)
+
+	if c.complete {
+		writeJSON(w, LeaseResponse{Status: StatusDone})
+		return
+	}
+	var pick *unit
+	for _, u := range c.units {
+		if u.state == unitPending {
+			pick = u
+			break
+		}
+	}
+	if pick == nil {
+		retry := c.cfg.LeaseTTL / 4
+		if retry > 2*time.Second {
+			retry = 2 * time.Second
+		}
+		if retry < 50*time.Millisecond {
+			retry = 50 * time.Millisecond
+		}
+		writeJSON(w, LeaseResponse{Status: StatusWait, RetryMs: retry.Milliseconds()})
+		return
+	}
+
+	c.leaseSeq++
+	pick.state = unitLeased
+	pick.leaseID = fmt.Sprintf("L%04d-u%d", c.leaseSeq, pick.shard)
+	pick.worker = req.Worker
+	pick.expires = now.Add(c.cfg.LeaseTTL)
+	pick.attempts++
+	c.byLease[pick.leaseID] = pick
+	ws := c.workers[req.Worker]
+	ws.unit = pick.shard
+	c.logAssignLocked(assignEvent{Type: "assign", Unit: pick.shard, Worker: req.Worker, Lease: pick.leaseID})
+	c.cfg.Logf("distrib: leased unit %d/%d to %s (%s, attempt %d, %d/%d runs pre-journaled)",
+		pick.shard+1, c.cfg.Units, req.Worker, pick.leaseID, pick.attempts, len(pick.seen), pick.jobs)
+
+	doneJobs := make([]int, 0, len(pick.seen))
+	for job := range pick.seen {
+		doneJobs = append(doneJobs, job)
+	}
+	sort.Ints(doneJobs)
+	writeJSON(w, LeaseResponse{
+		Status:  StatusUnit,
+		LeaseID: pick.leaseID,
+		TTLMs:   c.cfg.LeaseTTL.Milliseconds(),
+		Unit: &WorkUnit{
+			Instance:       c.cfg.Instance,
+			Tier:           string(c.cfg.Tier),
+			ConfigDigest:   c.info.Digest,
+			Shard:          pick.shard,
+			Shards:         c.cfg.Units,
+			TotalRuns:      c.info.TotalRuns,
+			RunBudgetSteps: c.cfg.RunBudgetSteps,
+			DoneJobs:       doneJobs,
+		},
+	})
+}
+
+// leaseLocked resolves a live lease, sweeping expiries first.
+func (c *Coordinator) leaseLocked(id string, now time.Time) (*unit, error) {
+	c.sweepLocked(now)
+	u := c.byLease[id]
+	if u == nil || u.leaseID != id {
+		return nil, fmt.Errorf("unknown or expired lease %q", id)
+	}
+	return u, nil
+}
+
+// handleRecords persists one streamed batch, renewing the lease.
+func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
+	var batch RecordBatch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding record batch: %v", err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u, err := c.leaseLocked(batch.LeaseID, now)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if u.state == unitLeased {
+		u.expires = now.Add(c.cfg.LeaseTTL)
+	}
+	ws := c.touchWorkerLocked(u.worker, now)
+
+	resp := BatchResponse{}
+	for _, rec := range batch.Records {
+		if err := c.checkRecordLocked(u, rec); err != nil {
+			httpError(w, http.StatusBadRequest, "record rejected: %v", err)
+			return
+		}
+		if prev, dup := u.seen[rec.Job]; dup {
+			if !runner.RecordsEqual(prev, rec) {
+				httpError(w, http.StatusConflict, "job %d already journaled with different content: %v",
+					rec.Job, runner.ErrConflictingRecords)
+				return
+			}
+			resp.Duplicates++
+			continue
+		}
+		if u.journal == nil {
+			j, err := runner.OpenShardJournal(c.cfg.Dir, runner.JournalHeader{
+				Instance:     c.cfg.Instance,
+				Tier:         string(c.cfg.Tier),
+				Shard:        u.shard,
+				Shards:       c.cfg.Units,
+				ConfigDigest: c.info.Digest,
+			})
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "opening unit journal: %v", err)
+				return
+			}
+			u.journal = j
+		}
+		if err := u.journal.Append(rec); err != nil {
+			httpError(w, http.StatusInternalServerError, "journaling record: %v", err)
+			return
+		}
+		u.seen[rec.Job] = rec
+		c.received++
+		ws.records++
+		ws.outcomes[outcomeKey(rec)]++
+		resp.Accepted++
+	}
+	if u.state == unitLeased && len(u.seen) == u.jobs {
+		c.settleLocked(u)
+	}
+	resp.UnitDone = u.state == unitDone
+	writeJSON(w, resp)
+}
+
+// handleHeartbeat renews a lease.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding heartbeat: %v", err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u, err := c.leaseLocked(req.LeaseID, now)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if u.state == unitLeased {
+		u.expires = now.Add(c.cfg.LeaseTTL)
+	}
+	c.touchWorkerLocked(u.worker, now)
+	writeJSON(w, HeartbeatResponse{TTLMs: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+// handleComplete settles a unit from the worker's side. The
+// coordinator has usually settled it already (units auto-complete on
+// their last record); a complete call for a unit with missing records
+// revokes the lease so the gap re-executes elsewhere.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding complete: %v", err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u, err := c.leaseLocked(req.LeaseID, now)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	c.touchWorkerLocked(u.worker, now)
+	if u.state == unitLeased {
+		if len(u.seen) != u.jobs {
+			c.cfg.Logf("distrib: worker %s reported unit %d complete with %d/%d runs journaled — revoking lease",
+				u.worker, u.shard+1, len(u.seen), u.jobs)
+			delete(c.byLease, u.leaseID)
+			c.logAssignLocked(assignEvent{Type: "expire", Unit: u.shard, Worker: u.worker, Lease: u.leaseID})
+			u.state = unitPending
+			u.leaseID = ""
+			u.worker = ""
+			httpError(w, http.StatusConflict, "unit %d has %d of %d runs journaled — lease revoked", u.shard, len(u.seen), u.jobs)
+			return
+		}
+		c.settleLocked(u)
+	}
+	writeJSON(w, CompleteResponse{CampaignDone: c.complete})
+}
+
+// UnitStatus is the /status view of one work unit.
+type UnitStatus struct {
+	Shard    int    `json:"shard"`
+	State    string `json:"state"`
+	Worker   string `json:"worker,omitempty"`
+	Lease    string `json:"lease,omitempty"`
+	DoneRuns int    `json:"done_runs"`
+	Jobs     int    `json:"jobs"`
+	Attempts int    `json:"attempts"`
+}
+
+// WorkerStatus is the /status and /metrics view of one fleet member.
+type WorkerStatus struct {
+	Name          string         `json:"name"`
+	Unit          int            `json:"unit"` // -1 when idle
+	Records       int            `json:"records"`
+	Outcomes      map[string]int `json:"outcomes,omitempty"`
+	LastSeenMsAgo int64          `json:"last_seen_ms_ago"`
+	Live          bool           `json:"live"`
+}
+
+// Status is the /status JSON document.
+type Status struct {
+	Instance     string         `json:"instance"`
+	Tier         string         `json:"tier"`
+	ConfigDigest string         `json:"config_digest"`
+	Units        int            `json:"units"`
+	Pending      int            `json:"pending"`
+	Leased       int            `json:"leased"`
+	Done         int            `json:"done"`
+	TotalRuns    int            `json:"total_runs"`
+	DoneRuns     int            `json:"done_runs"`
+	Complete     bool           `json:"complete"`
+	UnitsDetail  []UnitStatus   `json:"units_detail"`
+	Workers      []WorkerStatus `json:"workers"`
+}
+
+// Metrics is the /metrics JSON document: fleet throughput and
+// utilisation for dashboards and the scale-out benchmarks.
+type Metrics struct {
+	Instance       string  `json:"instance"`
+	Tier           string  `json:"tier"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	TotalRuns      int     `json:"total_runs"`
+	DoneRuns       int     `json:"done_runs"`
+	ResumedRuns    int     `json:"resumed_runs"`
+	ReceivedRuns   int     `json:"received_runs"`
+	RunsPerSecond  float64 `json:"runs_per_second"`
+	ETASeconds     float64 `json:"eta_seconds"`
+	UnitsPending   int     `json:"units_pending"`
+	UnitsLeased    int     `json:"units_leased"`
+	UnitsDone      int     `json:"units_done"`
+	LiveWorkers    int     `json:"live_workers"`
+	// FleetUtilization is the fraction of live workers currently
+	// holding a lease.
+	FleetUtilization float64        `json:"fleet_utilization"`
+	Complete         bool           `json:"complete"`
+	Workers          []WorkerStatus `json:"workers"`
+}
+
+// workerLiveWindow is how long after its last contact a worker still
+// counts as part of the fleet.
+func (c *Coordinator) workerLiveWindow() time.Duration { return 3 * c.cfg.LeaseTTL }
+
+func (c *Coordinator) workersLocked(now time.Time) []WorkerStatus {
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]WorkerStatus, 0, len(names))
+	for _, name := range names {
+		ws := c.workers[name]
+		outcomes := make(map[string]int, len(ws.outcomes))
+		for k, v := range ws.outcomes {
+			outcomes[k] = v
+		}
+		out = append(out, WorkerStatus{
+			Name:          ws.name,
+			Unit:          ws.unit,
+			Records:       ws.records,
+			Outcomes:      outcomes,
+			LastSeenMsAgo: now.Sub(ws.lastSeen).Milliseconds(),
+			Live:          now.Sub(ws.lastSeen) <= c.workerLiveWindow(),
+		})
+	}
+	return out
+}
+
+// Status snapshots the fleet (also served at /status).
+func (c *Coordinator) Status() Status {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	s := Status{
+		Instance:     c.cfg.Instance,
+		Tier:         string(c.cfg.Tier),
+		ConfigDigest: c.info.Digest,
+		Units:        len(c.units),
+		TotalRuns:    c.info.TotalRuns,
+		Complete:     c.complete,
+		Workers:      c.workersLocked(now),
+	}
+	for _, u := range c.units {
+		switch u.state {
+		case unitPending:
+			s.Pending++
+		case unitLeased:
+			s.Leased++
+		case unitDone:
+			s.Done++
+		}
+		s.DoneRuns += len(u.seen)
+		s.UnitsDetail = append(s.UnitsDetail, UnitStatus{
+			Shard:    u.shard,
+			State:    u.state.String(),
+			Worker:   u.worker,
+			Lease:    u.leaseID,
+			DoneRuns: len(u.seen),
+			Jobs:     u.jobs,
+			Attempts: u.attempts,
+		})
+	}
+	return s
+}
+
+// Metrics snapshots fleet throughput (also served at /metrics).
+func (c *Coordinator) Metrics() Metrics {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	m := Metrics{
+		Instance:       c.cfg.Instance,
+		Tier:           string(c.cfg.Tier),
+		ElapsedSeconds: now.Sub(c.start).Seconds(),
+		TotalRuns:      c.info.TotalRuns,
+		ResumedRuns:    c.resumed,
+		ReceivedRuns:   c.received,
+		Complete:       c.complete,
+		Workers:        c.workersLocked(now),
+	}
+	for _, u := range c.units {
+		switch u.state {
+		case unitPending:
+			m.UnitsPending++
+		case unitLeased:
+			m.UnitsLeased++
+		case unitDone:
+			m.UnitsDone++
+		}
+		m.DoneRuns += len(u.seen)
+	}
+	for _, ws := range m.Workers {
+		if ws.Live {
+			m.LiveWorkers++
+		}
+	}
+	if m.ElapsedSeconds > 0 {
+		m.RunsPerSecond = float64(m.ReceivedRuns) / m.ElapsedSeconds
+	}
+	if remaining := m.TotalRuns - m.DoneRuns; remaining > 0 && m.RunsPerSecond > 0 {
+		m.ETASeconds = float64(remaining) / m.RunsPerSecond
+	}
+	if m.LiveWorkers > 0 {
+		m.FleetUtilization = float64(m.UnitsLeased) / float64(m.LiveWorkers)
+		if m.FleetUtilization > 1 {
+			m.FleetUtilization = 1
+		}
+	}
+	return m
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	post := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				httpError(w, http.StatusMethodNotAllowed, "POST only")
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc(PathLease, post(c.handleLease))
+	mux.HandleFunc(PathRecords, post(c.handleRecords))
+	mux.HandleFunc(PathHeartbeat, post(c.handleHeartbeat))
+	mux.HandleFunc(PathComplete, post(c.handleComplete))
+	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc(PathMetrics, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Metrics())
+	})
+	return mux
+}
+
+// Close releases the coordinator's files without assembling — for a
+// coordinator abandoned (or crashed in a test) mid-campaign. The
+// journals on disk remain resumable.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	for _, u := range c.units {
+		if u.journal != nil {
+			errs = append(errs, u.journal.Close())
+			u.journal = nil
+		}
+	}
+	if c.assign != nil {
+		errs = append(errs, c.assign.Close())
+		c.assign = nil
+	}
+	return errors.Join(errs...)
+}
+
+// Assemble merges the shard journals into the final campaign result —
+// bit-identical to a single-node run — and writes the closing
+// artifacts (config.json, metrics.json, failures.md, report.md).
+func (c *Coordinator) Assemble() (*runner.RunResult, error) {
+	c.mu.Lock()
+	for _, u := range c.units {
+		if u.journal != nil {
+			if err := u.journal.Close(); err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+			u.journal = nil
+		}
+	}
+	c.mu.Unlock()
+	return runner.Assemble(c.campaign, runner.Options{
+		Name:           c.cfg.Instance,
+		Tier:           c.cfg.Tier,
+		Dir:            c.cfg.Dir,
+		RunBudgetSteps: c.cfg.RunBudgetSteps,
+		Logf:           c.cfg.Logf,
+	})
+}
+
+// Serve runs the coordinator's HTTP API on l until the campaign
+// completes, then assembles the final result. The server keeps
+// answering (with StatusDone leases) while assembly runs, so workers
+// drain cleanly, and shuts down afterwards.
+func (c *Coordinator) Serve(l net.Listener) (*runner.RunResult, error) {
+	srv := &http.Server{Handler: c.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case <-c.Done():
+	case err := <-errCh:
+		return nil, fmt.Errorf("distrib: coordinator server: %w", err)
+	}
+	rr, err := c.Assemble()
+	_ = srv.Close()
+	return rr, err
+}
+
+// writeJSON writes a 200 with a JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes an errorResponse with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,78 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"propane/internal/runner"
+)
+
+// Loopback runs a complete distributed campaign inside one process: a
+// coordinator on an ephemeral 127.0.0.1 listener and `workers`
+// RunWorker goroutines speaking real HTTP to it. It is the offline
+// test and benchmark harness for the subsystem — the wire protocol,
+// lease machinery and journal flow are exactly what a multi-machine
+// fleet exercises — and returns the assembled result, bit-identical
+// to a single-node run.
+//
+// wo is the template for every worker: each one gets wo.Name (or
+// "loopback") suffixed with "-wN" and its own scratch subdirectory;
+// an empty wo.Dir defaults to <cc.Dir>/worker-scratch.
+func Loopback(cc Config, workers int, wo WorkerOptions) (*runner.RunResult, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	coord, err := NewCoordinator(cc)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		coord.Close()
+		return nil, fmt.Errorf("distrib: loopback listener: %w", err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(l)
+	url := "http://" + l.Addr().String()
+
+	if wo.Dir == "" {
+		wo.Dir = filepath.Join(cc.Dir, "worker-scratch")
+	}
+	if wo.Name == "" {
+		wo.Name = "loopback"
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		o := wo
+		o.Name = fmt.Sprintf("%s-w%d", wo.Name, i+1)
+		wg.Add(1)
+		go func(i int, o WorkerOptions) {
+			defer wg.Done()
+			errs[i] = RunWorker(url, o)
+		}(i, o)
+	}
+	workersDone := make(chan struct{})
+	go func() { wg.Wait(); close(workersDone) }()
+
+	select {
+	case <-coord.Done():
+		// Workers observe StatusDone on their next lease request and
+		// exit cleanly.
+		<-workersDone
+	case <-workersDone:
+		_ = srv.Close()
+		coord.Close()
+		return nil, fmt.Errorf("distrib: loopback fleet exited before campaign completion: %w", errors.Join(errs...))
+	}
+	_ = srv.Close()
+	rr, err := coord.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return rr, errors.Join(errs...)
+}

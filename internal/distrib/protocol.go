@@ -1,0 +1,139 @@
+// Package distrib turns the single-process campaign runner into a
+// horizontally scalable service. An HTTP coordinator decomposes a
+// registry instance (instance × tier, via internal/runner planning)
+// into work units — shard ranges of the deterministic job enumeration
+// — and hands them to worker agents under time-bounded leases.
+// Workers execute their unit through the existing supervised,
+// checkpointed, journaled runner path locally, stream the journal
+// records back in batches (each flush renews the lease), and
+// heartbeat while simulating. The coordinator persists every record
+// into ordinary shard journals plus its own assignment journal, so
+// either side can crash and resume; it expires dead workers' leases
+// and reassigns their units, relying on content-keyed journal records
+// for idempotent overlap. When every unit is complete, the journals
+// reassemble — via runner.Assemble — into a result bit-identical to a
+// single-node run.
+//
+// Protocol (all bodies JSON):
+//
+//	POST /v1/lease      LeaseRequest  → LeaseResponse
+//	POST /v1/records    RecordBatch   → BatchResponse
+//	POST /v1/heartbeat  HeartbeatRequest → HeartbeatResponse
+//	POST /v1/complete   CompleteRequest  → CompleteResponse
+//	GET  /status        → Status
+//	GET  /metrics       → Metrics
+//
+// A request against an unknown or expired lease fails with HTTP 409;
+// the worker abandons the unit (another worker owns it now) and asks
+// for new work.
+package distrib
+
+import "propane/internal/runner"
+
+// Endpoint paths served by Coordinator.Handler.
+const (
+	PathLease     = "/v1/lease"
+	PathRecords   = "/v1/records"
+	PathHeartbeat = "/v1/heartbeat"
+	PathComplete  = "/v1/complete"
+	PathStatus    = "/status"
+	PathMetrics   = "/metrics"
+)
+
+// LeaseRequest asks the coordinator for a work unit.
+type LeaseRequest struct {
+	// Worker names the requesting agent (stable across its restarts,
+	// unique within the fleet).
+	Worker string `json:"worker"`
+}
+
+// Lease-response statuses.
+const (
+	// StatusUnit: a work unit is attached — run it.
+	StatusUnit = "unit"
+	// StatusWait: every unit is leased or done but the campaign is not
+	// complete — poll again after RetryMs.
+	StatusWait = "wait"
+	// StatusDone: the campaign is complete — the worker may exit.
+	StatusDone = "done"
+)
+
+// WorkUnit is one lease-bounded slice of the campaign: shard Shard of
+// Shards over the registry instance's deterministic job enumeration.
+type WorkUnit struct {
+	Instance string `json:"instance"`
+	Tier     string `json:"tier"`
+	// ConfigDigest is the coordinator's runner.PlanInfo digest. The
+	// worker recomputes it from the registry before executing and
+	// refuses the unit on mismatch — a version-skewed worker must not
+	// contribute records.
+	ConfigDigest string `json:"config_digest"`
+	Shard        int    `json:"shard"`
+	Shards       int    `json:"shards"`
+	// TotalRuns is the whole campaign's job count (the worker's share
+	// is the jobs ≡ Shard mod Shards).
+	TotalRuns int `json:"total_runs"`
+	// RunBudgetSteps is the per-run watchdog budget the coordinator
+	// folded into its digest; the worker must apply the same value.
+	RunBudgetSteps int64 `json:"run_budget_steps,omitempty"`
+	// DoneJobs lists the unit's job indices the coordinator already
+	// holds (streamed by a previous lease holder). The worker neither
+	// executes nor streams them, so a reassigned unit fast-forwards.
+	DoneJobs []int `json:"done_jobs,omitempty"`
+}
+
+// LeaseResponse answers a lease request.
+type LeaseResponse struct {
+	Status  string    `json:"status"` // unit | wait | done
+	LeaseID string    `json:"lease_id,omitempty"`
+	TTLMs   int64     `json:"ttl_ms,omitempty"`
+	RetryMs int64     `json:"retry_ms,omitempty"`
+	Unit    *WorkUnit `json:"unit,omitempty"`
+}
+
+// RecordBatch streams completed runs back to the coordinator. Batches
+// may overlap previous deliveries (worker restart, reassigned lease):
+// records are content-keyed by job index, so duplicates are verified
+// idempotent and conflicting content is rejected.
+type RecordBatch struct {
+	LeaseID string          `json:"lease_id"`
+	Records []runner.Record `json:"records"`
+}
+
+// BatchResponse acknowledges a record batch.
+type BatchResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	// UnitDone is true once every job of the unit is journaled (the
+	// coordinator settles the unit itself — a worker dying between its
+	// last flush and its complete call costs nothing).
+	UnitDone bool `json:"unit_done"`
+}
+
+// HeartbeatRequest renews a lease while the worker is simulating.
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatResponse confirms the renewal.
+type HeartbeatResponse struct {
+	TTLMs int64 `json:"ttl_ms"`
+}
+
+// CompleteRequest reports a unit finished from the worker's side.
+type CompleteRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// CompleteResponse acknowledges completion.
+type CompleteResponse struct {
+	// CampaignDone is true when every unit of the campaign is
+	// journaled — the worker's next lease request would answer
+	// StatusDone.
+	CampaignDone bool `json:"campaign_done"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,376 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"propane/internal/runner"
+)
+
+// WorkerOptions parameterises one worker agent.
+type WorkerOptions struct {
+	// Name identifies the worker to the coordinator. It must be
+	// unique within the fleet and stable across this worker's
+	// restarts (a restarted worker with the same name and Dir replays
+	// its local journal and re-streams anything the coordinator never
+	// received). Empty selects hostname-pid.
+	Name string
+	// Dir is the worker's scratch root: each work unit runs in its
+	// own subdirectory with the full local journal/checkpoint
+	// machinery. Required.
+	Dir string
+	// Workers is the local campaign parallelism per unit (0 lets the
+	// campaign default apply).
+	Workers int
+	// PollInterval paces lease requests while the coordinator has no
+	// pending unit (the coordinator's RetryMs hint wins when longer).
+	// <= 0 selects 1 s.
+	PollInterval time.Duration
+	// BatchSize is how many records accumulate before a flush to the
+	// coordinator (each flush renews the lease). <= 0 selects 64.
+	BatchSize int
+	// MaxErrors bounds consecutive failed coordinator round-trips
+	// before the worker gives up. <= 0 selects 10.
+	MaxErrors int
+	// LogInterval throttles local campaign progress lines (0
+	// disables them).
+	LogInterval time.Duration
+	// Logf receives lifecycle lines (nil discards).
+	Logf func(format string, args ...any)
+}
+
+func (o *WorkerOptions) normalise() error {
+	if o.Dir == "" {
+		return errors.New("distrib: worker needs a scratch directory")
+	}
+	if o.Name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		o.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = time.Second
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.MaxErrors <= 0 {
+		o.MaxErrors = 10
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// httpStatusError is a non-2xx coordinator reply.
+type httpStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("coordinator answered %d: %s", e.status, e.msg)
+}
+
+// leaseLost reports whether an error is the coordinator disowning the
+// lease (409) — the unit belongs to someone else now.
+func leaseLost(err error) bool {
+	var se *httpStatusError
+	return errors.As(err, &se) && se.status == http.StatusConflict
+}
+
+// fatalStatus reports a reply that retrying cannot fix (4xx other
+// than 409).
+func fatalStatus(err error) bool {
+	var se *httpStatusError
+	return errors.As(err, &se) && se.status >= 400 && se.status < 500 && se.status != http.StatusConflict
+}
+
+// worker is one agent's connection to a coordinator.
+type worker struct {
+	base   string
+	opts   WorkerOptions
+	client *http.Client
+	// describeCache memoises runner.DescribeInstance per work-unit
+	// identity — the golden runs behind it are the expensive part.
+	describeCache map[string]runner.PlanInfo
+}
+
+// post sends one JSON request and decodes the JSON reply. Non-2xx
+// replies come back as *httpStatusError.
+func (w *worker) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("distrib: encoding %s request: %w", path, err)
+	}
+	r, err := w.client.Post(w.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("distrib: %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var er errorResponse
+		data, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		if json.Unmarshal(data, &er) != nil || er.Error == "" {
+			er.Error = string(data)
+		}
+		return &httpStatusError{status: r.StatusCode, msg: er.Error}
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+		return fmt.Errorf("distrib: decoding %s reply: %w", path, err)
+	}
+	return nil
+}
+
+// postRetry retries transient failures (network errors, 5xx) with
+// capped exponential backoff; 4xx errors return immediately.
+func (w *worker) postRetry(path string, req, resp any) error {
+	backoff := 100 * time.Millisecond
+	var err error
+	for attempt := 0; attempt < w.opts.MaxErrors; attempt++ {
+		err = w.post(path, req, resp)
+		var se *httpStatusError
+		if err == nil || (errors.As(err, &se) && se.status < 500) {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	return err
+}
+
+// RunWorker joins the fleet of the coordinator at coordinatorURL and
+// processes work units until the campaign completes (returns nil) or
+// the worker fails fatally: coordinator unreachable past
+// MaxErrors consecutive attempts, config-digest mismatch (version
+// skew), or a local execution error. A lost lease is not fatal — the
+// worker abandons the unit and asks for new work.
+func RunWorker(coordinatorURL string, opts WorkerOptions) error {
+	if err := opts.normalise(); err != nil {
+		return err
+	}
+	w := &worker{
+		base:          coordinatorURL,
+		opts:          opts,
+		client:        &http.Client{Timeout: 30 * time.Second},
+		describeCache: make(map[string]runner.PlanInfo),
+	}
+	consecutive := 0
+	for {
+		var lr LeaseResponse
+		if err := w.post(PathLease, LeaseRequest{Worker: opts.Name}, &lr); err != nil {
+			consecutive++
+			if consecutive >= opts.MaxErrors {
+				return fmt.Errorf("distrib: worker %s: %d consecutive lease failures, last: %w",
+					opts.Name, consecutive, err)
+			}
+			time.Sleep(opts.PollInterval)
+			continue
+		}
+		consecutive = 0
+		switch lr.Status {
+		case StatusDone:
+			opts.Logf("distrib: worker %s: campaign complete", opts.Name)
+			return nil
+		case StatusWait:
+			wait := opts.PollInterval
+			if hint := time.Duration(lr.RetryMs) * time.Millisecond; hint > wait {
+				wait = hint
+			}
+			time.Sleep(wait)
+		case StatusUnit:
+			if lr.Unit == nil {
+				return fmt.Errorf("distrib: worker %s: unit lease %s carried no unit", opts.Name, lr.LeaseID)
+			}
+			if err := w.runUnit(lr); err != nil {
+				return fmt.Errorf("distrib: worker %s: %w", opts.Name, err)
+			}
+		default:
+			return fmt.Errorf("distrib: worker %s: unknown lease status %q", opts.Name, lr.Status)
+		}
+	}
+}
+
+// describe resolves and digests the unit's campaign through this
+// worker's own registry, memoised per identity.
+func (w *worker) describe(u *WorkUnit) (runner.PlanInfo, error) {
+	key := fmt.Sprintf("%s|%s|%d", u.Instance, u.Tier, u.RunBudgetSteps)
+	if info, ok := w.describeCache[key]; ok {
+		return info, nil
+	}
+	info, err := runner.DescribeInstance(u.Instance, runner.Tier(u.Tier), runner.Options{
+		RunBudgetSteps: u.RunBudgetSteps,
+	})
+	if err != nil {
+		return runner.PlanInfo{}, err
+	}
+	w.describeCache[key] = info
+	return info, nil
+}
+
+// scratchDir is the unit's local artifact directory. The worker name
+// is part of the path so two fleet members sharing a filesystem (or
+// one process hosting a loopback fleet) never append the same local
+// journal; the unit identity is part of the path so a restarted
+// worker resumes exactly its own prior work.
+func (w *worker) scratchDir(u *WorkUnit) string {
+	digest8 := u.ConfigDigest
+	if len(digest8) > 8 {
+		digest8 = digest8[:8]
+	}
+	return filepath.Join(w.opts.Dir, w.opts.Name,
+		fmt.Sprintf("%s-%s-%s", u.Instance, u.Tier, digest8),
+		fmt.Sprintf("unit-%dof%d", u.Shard+1, u.Shards))
+}
+
+// runUnit executes one leased work unit through the local supervised
+// runner, streaming records back and heartbeating until the unit is
+// done or the lease is lost.
+func (w *worker) runUnit(lr LeaseResponse) error {
+	u := lr.Unit
+	info, err := w.describe(u)
+	if err != nil {
+		return err
+	}
+	if info.Digest != u.ConfigDigest {
+		return fmt.Errorf("local config digest %s does not match coordinator's %s for %s/%s — version skew: %w",
+			info.Digest, u.ConfigDigest, u.Instance, u.Tier, runner.ErrDigestMismatch)
+	}
+	def, err := runner.Lookup(u.Instance)
+	if err != nil {
+		return err
+	}
+	cfg, err := def.Config(runner.Tier(u.Tier))
+	if err != nil {
+		return err
+	}
+
+	w.opts.Logf("distrib: worker %s: running unit %d/%d (%s, %d jobs pre-done)",
+		w.opts.Name, u.Shard+1, u.Shards, lr.LeaseID, len(u.DoneJobs))
+	excluded := make(map[int]bool, len(u.DoneJobs))
+	for _, job := range u.DoneJobs {
+		excluded[job] = true
+	}
+
+	// lost flips once the coordinator disowns the lease; the Abort
+	// hook then drains the local campaign without error.
+	var lost atomic.Bool
+	batch := make([]runner.Record, 0, w.opts.BatchSize)
+	flush := func() error {
+		if len(batch) == 0 || lost.Load() {
+			return nil
+		}
+		var br BatchResponse
+		err := w.postRetry(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: batch}, &br)
+		if err != nil {
+			if leaseLost(err) {
+				lost.Store(true)
+				return nil
+			}
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+
+	// Heartbeat at a third of the TTL while the campaign runs, so a
+	// long simulation between record flushes keeps the lease alive.
+	ttl := time.Duration(lr.TTLMs) * time.Millisecond
+	hbEvery := ttl / 3
+	if hbEvery <= 0 {
+		hbEvery = time.Second
+	}
+	stopHB := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-t.C:
+				var hr HeartbeatResponse
+				if err := w.post(PathHeartbeat, HeartbeatRequest{LeaseID: lr.LeaseID}, &hr); err != nil {
+					if leaseLost(err) || fatalStatus(err) {
+						lost.Store(true)
+						return
+					}
+					// Transient: the next tick, or the next record
+					// flush, renews the lease.
+				}
+			}
+		}
+	}()
+
+	_, runErr := runner.Run(cfg, runner.Options{
+		Name:           u.Instance,
+		Tier:           runner.Tier(u.Tier),
+		Dir:            w.scratchDir(u),
+		Shard:          u.Shard,
+		Shards:         u.Shards,
+		Resume:         true,
+		Workers:        w.opts.Workers,
+		RunBudgetSteps: u.RunBudgetSteps,
+		LogInterval:    w.opts.LogInterval,
+		Logf:           w.opts.Logf,
+		ExcludeJobs:    func(job int) bool { return excluded[job] },
+		Abort:          func() bool { return lost.Load() },
+		// OnRecord runs on the serial observer path: replayed
+		// delivery re-streams records a previous incarnation of this
+		// worker journaled locally but never flushed (the coordinator
+		// deduplicates by content).
+		OnRecord: func(rec runner.Record, replayed bool) error {
+			if lost.Load() {
+				return nil
+			}
+			batch = append(batch, rec)
+			if len(batch) >= w.opts.BatchSize {
+				return flush()
+			}
+			return nil
+		},
+	})
+	close(stopHB)
+	<-hbDone
+	if runErr != nil {
+		return runErr
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if lost.Load() {
+		w.opts.Logf("distrib: worker %s: lease %s lost — abandoning unit %d/%d",
+			w.opts.Name, lr.LeaseID, u.Shard+1, u.Shards)
+		return nil
+	}
+	var cr CompleteResponse
+	if err := w.postRetry(PathComplete, CompleteRequest{LeaseID: lr.LeaseID}, &cr); err != nil {
+		if leaseLost(err) {
+			// The coordinator revoked the lease (or expired it during
+			// the final flush): someone else finishes the gap.
+			w.opts.Logf("distrib: worker %s: complete for %s rejected — unit reassigned", w.opts.Name, lr.LeaseID)
+			return nil
+		}
+		return err
+	}
+	w.opts.Logf("distrib: worker %s: unit %d/%d complete", w.opts.Name, u.Shard+1, u.Shards)
+	return nil
+}

@@ -71,11 +71,11 @@ type snapshot struct {
 	// digest. The wall-clock backstop is deliberately excluded — it is
 	// non-deterministic and must never change a journaled outcome on a
 	// healthy run. omitempty keeps pre-supervision digests valid.
-	RunBudgetSteps int64 `json:"run_budget_steps,omitempty"`
-	PlanSize       int   `json:"plan_size"`
-	TotalRuns       int               `json:"total_runs"`
-	GoldenDigests   []string          `json:"golden_digests"`
-	Digest          string            `json:"digest,omitempty"`
+	RunBudgetSteps int64    `json:"run_budget_steps,omitempty"`
+	PlanSize       int      `json:"plan_size"`
+	TotalRuns      int      `json:"total_runs"`
+	GoldenDigests  []string `json:"golden_digests"`
+	Digest         string   `json:"digest,omitempty"`
 }
 
 // newSnapshot freezes a campaign configuration. goldens may be nil
@@ -198,8 +198,8 @@ func writeSnapshot(path string, s snapshot, resume bool) error {
 			return fmt.Errorf("runner: %s is corrupt: %w", path, err)
 		}
 		if existing.Digest != s.Digest {
-			return fmt.Errorf("runner: %s was recorded for config %s, current config is %s — use a fresh artifact directory",
-				path, existing.Digest, s.Digest)
+			return fmt.Errorf("runner: %s was recorded for config %s, current config is %s — use a fresh artifact directory: %w",
+				path, existing.Digest, s.Digest, ErrDigestMismatch)
 		}
 		return nil
 	} else if !os.IsNotExist(err) {

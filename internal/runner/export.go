@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"fmt"
+
+	"propane/internal/campaign"
+)
+
+// This file is the runner's contract with external orchestrators —
+// today the distributed coordinator (internal/distrib), which plans
+// work units from the same deterministic enumeration Run executes and
+// appends worker-streamed records to the same journal files Assemble
+// merges. Everything here is derived from the exact code paths Run
+// itself uses, so an orchestrator can never disagree with a local run
+// about job indices, config digests or journal layout.
+
+// PlanInfo describes a campaign's deterministic execution space: the
+// config digest that journals bind to and the job-index arithmetic
+// that sharding and resume rely on. Two processes whose Describe
+// results agree agree on everything journal-shaped.
+type PlanInfo struct {
+	// Name and Tier label the campaign as Options would.
+	Name string
+	Tier Tier
+	// Digest is the config snapshot digest (includes the golden-run
+	// trace digests, so it also pins the simulated target).
+	Digest string
+	// PlanSize is the injection-plan length; Cases the workload-grid
+	// size; TotalRuns their product — the job space [0, TotalRuns)
+	// enumerated plan-index major, case-index minor.
+	PlanSize  int
+	Cases     int
+	TotalRuns int
+}
+
+// Describe computes the digestable identity of a campaign exactly as
+// Run would: supervision options folded in, the config validated, the
+// plan enumerated and the golden runs executed and hashed. It touches
+// no files. The golden runs make it as expensive as Run's own startup
+// — cache the result per configuration.
+func Describe(cfg campaign.Config, opts Options) (PlanInfo, error) {
+	opts.Shards = 1
+	opts.Shard = 0
+	if opts.Dir == "" {
+		opts.Dir = "." // normalise demands one; Describe never uses it
+	}
+	if err := opts.normalise(); err != nil {
+		return PlanInfo{}, err
+	}
+	opts.applySupervision(&cfg)
+	if err := cfg.Validate(); err != nil {
+		return PlanInfo{}, err
+	}
+	plan, err := cfg.Plan()
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	digests, err := goldenDigests(cfg)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	snap, err := newSnapshot(opts.Name, opts.Tier, cfg, len(plan), digests)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	return PlanInfo{
+		Name:      opts.Name,
+		Tier:      opts.Tier,
+		Digest:    snap.Digest,
+		PlanSize:  len(plan),
+		Cases:     len(cfg.TestCases),
+		TotalRuns: snap.TotalRuns,
+	}, nil
+}
+
+// DescribeInstance resolves a named registry instance and describes
+// it.
+func DescribeInstance(name string, tier Tier, opts Options) (PlanInfo, error) {
+	def, err := Lookup(name)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	cfg, err := def.Config(tier)
+	if err != nil {
+		return PlanInfo{}, fmt.Errorf("runner: building %s/%s: %w", name, tier, err)
+	}
+	opts.Name = name
+	opts.Tier = tier
+	return Describe(cfg, opts)
+}
+
+// JournalHeader is the exported view of a journal file's header line.
+type JournalHeader struct {
+	Version      int
+	Instance     string
+	Tier         string
+	Shard        int
+	Shards       int
+	ConfigDigest string
+}
+
+// ShardJournalPath returns the journal path Run would use for one
+// shard of a campaign under dir — the same file Assemble later globs.
+func ShardJournalPath(dir string, shard, shards int) string {
+	return layout{dir: dir}.journalPath(shard, shards)
+}
+
+// ReadJournal loads a shard journal, tolerating the torn trailing
+// line a killed process leaves behind. A missing file yields a zero
+// header and no records.
+func ReadJournal(path string) (JournalHeader, []Record, error) {
+	hdr, recs, _, err := loadJournal(path)
+	if err != nil {
+		return JournalHeader{}, nil, err
+	}
+	return JournalHeader{
+		Version:      hdr.Version,
+		Instance:     hdr.Instance,
+		Tier:         hdr.Tier,
+		Shard:        hdr.Shard,
+		Shards:       hdr.Shards,
+		ConfigDigest: hdr.ConfigDigest,
+	}, recs, nil
+}
+
+// ShardJournal is an append-only shard journal opened by an external
+// orchestrator (the distributed coordinator persisting records its
+// workers stream back) instead of by Run itself. It shares Run's
+// journal format, torn-tail healing and digest binding, so the
+// resulting files assemble exactly like locally written shards.
+type ShardJournal struct {
+	w    *journalWriter
+	path string
+}
+
+// OpenShardJournal opens (or reopens) the journal for one shard under
+// dir, writing the header when the file is empty and verifying the
+// config digest when it is not (ErrDigestMismatch otherwise).
+func OpenShardJournal(dir string, hdr JournalHeader) (*ShardJournal, error) {
+	if hdr.Version == 0 {
+		hdr.Version = journalVersion
+	}
+	path := ShardJournalPath(dir, hdr.Shard, hdr.Shards)
+	w, err := openJournal(path, header{
+		Type:         "header",
+		Version:      hdr.Version,
+		Instance:     hdr.Instance,
+		Tier:         hdr.Tier,
+		Shard:        hdr.Shard,
+		Shards:       hdr.Shards,
+		ConfigDigest: hdr.ConfigDigest,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardJournal{w: w, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *ShardJournal) Path() string { return j.path }
+
+// Append journals one record.
+func (j *ShardJournal) Append(rec Record) error { return j.w.Append(rec) }
+
+// Sync flushes appended records to stable storage.
+func (j *ShardJournal) Sync() error {
+	if err := j.w.f.Sync(); err != nil {
+		return fmt.Errorf("runner: syncing journal: %w", err)
+	}
+	j.w.pending = 0
+	return nil
+}
+
+// Close syncs and closes the journal.
+func (j *ShardJournal) Close() error { return j.w.Close() }

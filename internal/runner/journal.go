@@ -3,6 +3,7 @@ package runner
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -26,6 +27,46 @@ import (
 // empty, so version-1 journals load unchanged (records without an
 // outcome are classified from their diffs on replay).
 const journalVersion = 2
+
+// Sentinel errors for journal and assembly integrity failures, so
+// orchestration layers (and operators' scripts) can distinguish "the
+// journals describe a different campaign" from ordinary I/O trouble.
+var (
+	// ErrDigestMismatch reports a journal or config snapshot recorded
+	// against a different campaign configuration than the one being
+	// run, resumed or assembled.
+	ErrDigestMismatch = errors.New("config digest mismatch")
+	// ErrConflictingRecords reports two journal records claiming the
+	// same job with different content — two processes disagreed about
+	// the simulation, and merging them would silently produce a bad
+	// matrix.
+	ErrConflictingRecords = errors.New("conflicting journal records")
+)
+
+// RecordsEqual reports whether two journaled records describe the
+// identical run outcome. Journal records are content-keyed by their
+// job index; equality of the full content is what makes overlapping
+// appends (a reassigned lease, a duplicated shard journal) idempotent
+// rather than corrupting.
+func RecordsEqual(a, b Record) bool {
+	if a.Type != b.Type || a.Job != b.Job ||
+		a.Module != b.Module || a.Signal != b.Signal ||
+		a.AtMs != b.AtMs || a.Model != b.Model || a.Case != b.Case ||
+		a.Fired != b.Fired || a.FiredAtMs != b.FiredAtMs ||
+		a.SystemFailure != b.SystemFailure || a.FailureAtMs != b.FailureAtMs ||
+		a.Outcome != b.Outcome || a.Detail != b.Detail || a.Attempts != b.Attempts {
+		return false
+	}
+	if len(a.Diffs) != len(b.Diffs) {
+		return false
+	}
+	for sig, d := range a.Diffs {
+		if bd, ok := b.Diffs[sig]; !ok || bd != d {
+			return false
+		}
+	}
+	return true
+}
 
 // header is the journal's first line.
 type header struct {
@@ -209,8 +250,8 @@ func openJournal(path string, hdr header) (*journalWriter, error) {
 	}
 	if existing.ConfigDigest != hdr.ConfigDigest {
 		f.Close()
-		return nil, fmt.Errorf("runner: journal %s belongs to config %s, not %s — refusing to mix campaigns",
-			path, existing.ConfigDigest, hdr.ConfigDigest)
+		return nil, fmt.Errorf("runner: journal %s belongs to config %s, not %s — refusing to mix campaigns: %w",
+			path, existing.ConfigDigest, hdr.ConfigDigest, ErrDigestMismatch)
 	}
 	if existing.Shard != hdr.Shard || existing.Shards != hdr.Shards {
 		f.Close()

@@ -82,6 +82,27 @@ type Options struct {
 	// disables quarantine, restoring the fail-fast contract. Ignored
 	// when the config already sets OnJobError.
 	QuarantineAfter int
+	// OnRecord, when non-nil, receives every journaled record on the
+	// serial observer path: records restored from the journal during
+	// resume (replayed true) and records appended as runs complete
+	// (replayed false). The distributed worker (internal/distrib)
+	// streams these to its coordinator — replayed delivery is what
+	// lets a restarted worker forward records it journaled locally but
+	// never managed to flush. A returned error aborts the run.
+	OnRecord func(rec Record, replayed bool) error
+	// ExcludeJobs, when non-nil, removes jobs from this process's
+	// share of the injection space entirely: excluded jobs are neither
+	// executed nor replayed from the journal, and they do not count
+	// toward PlannedRuns. The distributed worker excludes jobs its
+	// coordinator already holds, so a reassigned work unit
+	// fast-forwards past everything the dead worker streamed back.
+	ExcludeJobs func(job int) bool
+	// Abort, when non-nil, is polled between job dispatches; once it
+	// returns true no further jobs start, in-flight runs finish and
+	// journal, and Run returns the partial shard without error. It is
+	// called concurrently with OnRecord — use an atomic flag. The
+	// distributed worker aborts when its lease is lost.
+	Abort func() bool
 }
 
 // Defaults for the zero values of the supervision knobs.
@@ -268,8 +289,8 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 			return nil, err
 		}
 		if hdr.Type != "" && hdr.ConfigDigest != snap.Digest {
-			return nil, fmt.Errorf("runner: journal %s belongs to config %s, not %s — refusing to mix campaigns",
-				journalPath, hdr.ConfigDigest, snap.Digest)
+			return nil, fmt.Errorf("runner: journal %s belongs to config %s, not %s — refusing to mix campaigns: %w",
+				journalPath, hdr.ConfigDigest, snap.Digest, ErrDigestMismatch)
 		}
 		for _, r := range recs {
 			rec, err := r.RunRecord()
@@ -281,11 +302,19 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 				return nil, fmt.Errorf("runner: journal %s contains foreign job %v case %d",
 					journalPath, rec.Injection, rec.CaseIndex)
 			}
+			if opts.ExcludeJobs != nil && opts.ExcludeJobs(job) {
+				continue // another process owns this job's record
+			}
 			if done[job] {
 				continue // duplicate append from a racy predecessor
 			}
 			done[job] = true
 			replay = append(replay, rec)
+			if opts.OnRecord != nil {
+				if err := opts.OnRecord(r, true); err != nil {
+					return nil, err
+				}
+			}
 		}
 	} else if st, err := os.Stat(journalPath); err == nil && st.Size() > 0 {
 		return nil, fmt.Errorf("runner: %s already exists — pass Resume to continue it or use a fresh artifact directory", journalPath)
@@ -302,12 +331,16 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 	}
 	defer jw.Close()
 
-	// This shard's share of the job space.
+	// This shard's share of the job space (minus excluded jobs).
 	planned := 0
 	for job := 0; job < snap.TotalRuns; job++ {
-		if job%opts.Shards == opts.Shard {
-			planned++
+		if job%opts.Shards != opts.Shard {
+			continue
 		}
+		if opts.ExcludeJobs != nil && opts.ExcludeJobs(job) {
+			continue
+		}
+		planned++
 	}
 
 	workers := cfg.Workers
@@ -337,8 +370,12 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 		if !ok {
 			return true
 		}
-		return job%opts.Shards != opts.Shard || done[job]
+		if job%opts.Shards != opts.Shard || done[job] {
+			return true
+		}
+		return opts.ExcludeJobs != nil && opts.ExcludeJobs(job)
 	}
+	cfg.Abort = opts.Abort
 
 	// Wrap Instrument to stamp each run's start time (for worker
 	// utilisation), preserving any caller instrumentation.
@@ -384,6 +421,10 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 				return jw.Append(jrec)
 			}); err != nil {
 				observeErr = err
+			} else if opts.OnRecord != nil {
+				if err := opts.OnRecord(jrec, false); err != nil {
+					observeErr = err
+				}
 			}
 		}
 		trk.absorb(rec, dur, false)
@@ -493,7 +534,13 @@ func Assemble(cfg campaign.Config, opts Options) (*RunResult, error) {
 		return nil, err
 	}
 
-	done := make(map[int]bool)
+	// seen maps each job to the first record claiming it. Overlapping
+	// records across shard journals are legal — a resumed shard or a
+	// reassigned distributed lease appends the same content twice —
+	// but only when the content is identical: a conflicting duplicate
+	// means two processes disagreed about the simulation, and merging
+	// would silently produce a bad matrix.
+	seen := make(map[int]Record)
 	var replay []campaign.RunRecord
 	for _, path := range paths {
 		hdr, recs, _, err := loadJournal(path)
@@ -501,8 +548,8 @@ func Assemble(cfg campaign.Config, opts Options) (*RunResult, error) {
 			return nil, err
 		}
 		if hdr.Type != "" && hdr.ConfigDigest != snap.Digest {
-			return nil, fmt.Errorf("runner: journal %s belongs to config %s, not %s",
-				path, hdr.ConfigDigest, snap.Digest)
+			return nil, fmt.Errorf("runner: journal %s belongs to config %s, not %s: %w",
+				path, hdr.ConfigDigest, snap.Digest, ErrDigestMismatch)
 		}
 		for _, r := range recs {
 			rec, err := r.RunRecord()
@@ -513,16 +560,28 @@ func Assemble(cfg campaign.Config, opts Options) (*RunResult, error) {
 			if !ok {
 				return nil, fmt.Errorf("runner: journal %s contains foreign job %v case %d", path, rec.Injection, rec.CaseIndex)
 			}
-			if done[job] {
+			if prev, dup := seen[job]; dup {
+				// Journals disagree about the job index ↔ injection
+				// mapping exactly when the record content differs, so
+				// compare against the first claimant keyed by the
+				// replayed job index, not the raw r.Job field (which a
+				// differently-sharded journal numbers identically).
+				r.Job = job
+				prev.Job = job
+				if !RecordsEqual(prev, r) {
+					return nil, fmt.Errorf("runner: journal %s: job %d (%v case %d) recorded with different content elsewhere: %w",
+						path, job, rec.Injection, rec.CaseIndex, ErrConflictingRecords)
+				}
 				continue
 			}
-			done[job] = true
+			r.Job = job
+			seen[job] = r
 			replay = append(replay, rec)
 		}
 	}
-	if len(done) != snap.TotalRuns {
+	if len(seen) != snap.TotalRuns {
 		return nil, fmt.Errorf("runner: journals cover %d of %d runs — %d missing; run the remaining shards (or resume the killed ones) first",
-			len(done), snap.TotalRuns, snap.TotalRuns-len(done))
+			len(seen), snap.TotalRuns, snap.TotalRuns-len(seen))
 	}
 
 	trk := newTracker(Metrics{

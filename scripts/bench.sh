@@ -6,14 +6,17 @@
 # trajectory of the project is recorded in version control and can be
 # diffed across PRs (e.g. BENCH_seed.json vs BENCH_pr3.json).
 #
-# Two passes run:
-#   1. the regular suite (paper-scale campaign skipped) at
+# Three passes run:
+#   1. the regular suite (paper-scale campaigns skipped) at
 #      PROPANE_BENCHTIME per benchmark (default 200ms) for stable
 #      per-op numbers;
 #   2. BenchmarkPaperScaleCampaign alone, one iteration
 #      (-benchtime=1x) with PROPANE_PAPER_BENCH=1 — the wall-clock
-#      yardstick of the checkpoint fast-forward work. Skipped when
-#      PROPANE_SKIP_PAPER_BENCH=1.
+#      yardstick of the checkpoint fast-forward work;
+#   3. BenchmarkDistributedPaperCampaign (coordinator + 1/2/4
+#      loopback workers over real HTTP), one iteration each — the
+#      scale-out yardstick against pass 2's single-node number.
+# Passes 2 and 3 are skipped when PROPANE_SKIP_PAPER_BENCH=1.
 #
 # The JSON schema is one object:
 #   {"tag": ..., "go": ..., "goos": ..., "goarch": ..., "cpu": ...,
@@ -41,6 +44,10 @@ go test -run '^$' -bench . -benchmem -benchtime="$BENCHTIME" "$@" . | tee -a "$R
 if [ "${PROPANE_SKIP_PAPER_BENCH:-0}" != "1" ]; then
     echo "bench.sh: paper-scale campaign (-benchtime=1x)..." >&2
     PROPANE_PAPER_BENCH=1 go test -run '^$' -bench 'BenchmarkPaperScaleCampaign$' \
+        -benchmem -benchtime=1x -timeout 60m "$@" . | tee -a "$RAW" >&2
+
+    echo "bench.sh: distributed paper campaign, 1/2/4 loopback workers (-benchtime=1x)..." >&2
+    PROPANE_PAPER_BENCH=1 go test -run '^$' -bench 'BenchmarkDistributedPaperCampaign' \
         -benchmem -benchtime=1x -timeout 60m "$@" . | tee -a "$RAW" >&2
 fi
 
