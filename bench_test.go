@@ -344,11 +344,15 @@ func BenchmarkSimulationTick(b *testing.B) {
 
 // BenchmarkSingleInjectionRun measures one complete injection run:
 // instance construction, 6 s of simulated time and streaming GRC.
+// Pruning is pinned off: a one-run campaign would pay the golden
+// read-log capture with nothing to amortize it over, and the point of
+// this benchmark is the marginal cost of executing a run in full.
 func BenchmarkSingleInjectionRun(b *testing.B) {
 	cfg := benchCampaign()
 	cfg.Bits = []uint{7}
 	cfg.Times = []sim.Millis{2500}
 	cfg.OnlyModule = arrestor.ModVReg
+	cfg.Prune = campaign.PruneOff
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := campaign.Run(cfg); err != nil {
@@ -575,6 +579,7 @@ func BenchmarkHostileCampaign(b *testing.B) {
 func BenchmarkCampaignFullReplay(b *testing.B) {
 	cfg := benchCampaign()
 	cfg.Checkpoints = campaign.CheckpointOff
+	cfg.Prune = campaign.PruneOff
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := campaign.Run(cfg); err != nil {
@@ -591,10 +596,34 @@ func BenchmarkCampaignFullReplay(b *testing.B) {
 func BenchmarkCampaignCheckpointed(b *testing.B) {
 	cfg := benchCampaign()
 	cfg.Checkpoints = campaign.CheckpointForce
+	cfg.Prune = campaign.PruneOff
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := campaign.Run(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignPruned stacks equivalence pruning on top of the
+// checkpointed execution model: unfired traps resolve from the golden
+// read log without simulating, no-op corruptions short-circuit at
+// classification time, repeated injection states serve from the memo
+// cache, and executing runs exit early once their state reconverges
+// with the golden trajectory. Compare against the two benchmarks
+// above for the isolated contribution of each layer.
+func BenchmarkCampaignPruned(b *testing.B) {
+	cfg := benchCampaign()
+	cfg.Checkpoints = campaign.CheckpointForce
+	cfg.Prune = campaign.PruneForce
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Pruning.Total() == 0 {
+			b.Fatal("pruned campaign resolved nothing without execution")
 		}
 	}
 }
@@ -635,6 +664,7 @@ func BenchmarkSupervisedInjectionRun(b *testing.B) {
 	cfg.Bits = []uint{7}
 	cfg.Times = []sim.Millis{2500}
 	cfg.OnlyModule = arrestor.ModVReg
+	cfg.Prune = campaign.PruneOff
 	cfg.Budget = sim.Budget{Steps: int64(cfg.HorizonMs)*64 + 1024}
 	cfg.OnJobError = campaign.QuarantinePolicy(3, nil)
 	for i := 0; i < b.N; i++ {
@@ -654,6 +684,13 @@ func BenchmarkSupervisedInjectionRun(b *testing.B) {
 // in-process worker agents, assembly. The measured time is the full
 // wall clock from planning to assembled matrix, so it is directly
 // comparable to a single-node campaign.Run of the same instance.
+//
+// The unit count is fixed at 4 for every fleet size so the workload is
+// identical across the workers=N variants and the numbers measure pure
+// scale-out: adding workers to the same campaign must never make it
+// slower. (Earlier revisions used 2*workers units, which doubled the
+// per-unit fixed work — golden passes, scratch setup — along with the
+// fleet and muddied exactly that comparison.)
 func benchDistributed(b *testing.B, instance string, tier runner.Tier, workers int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
@@ -667,7 +704,7 @@ func benchDistributed(b *testing.B, instance string, tier runner.Tier, workers i
 			Instance: instance,
 			Tier:     tier,
 			Dir:      dir,
-			Units:    2 * workers,
+			Units:    4,
 		}, workers, distrib.WorkerOptions{Workers: 1})
 		b.StopTimer()
 		rmErr := os.RemoveAll(dir)

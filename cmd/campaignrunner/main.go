@@ -42,6 +42,7 @@ import (
 	"os"
 	"time"
 
+	"propane/internal/campaign"
 	"propane/internal/distrib"
 	"propane/internal/profiling"
 	"propane/internal/runner"
@@ -69,6 +70,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget: terminate and classify a run as hung after this many work units (0 = instance default)")
 	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures (0 = default 3, negative disables)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
+	pruneFlag := fs.String("prune", "auto", "equivalence pruning: auto (short-circuit provably equivalent runs) or off")
 	workerURL := fs.String("worker", "", "join a distributed coordinator's fleet at this URL (see propaned); -dir becomes the local scratch root")
 	workerName := fs.String("worker-name", "", "fleet identity for -worker mode (default hostname-pid; keep it stable across restarts to resume local work)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -95,6 +97,15 @@ func run(args []string, out io.Writer) (retErr error) {
 		return nil
 	}
 	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
+	var prune campaign.PruneMode
+	switch *pruneFlag {
+	case "auto", "":
+		prune = campaign.PruneAuto
+	case "off":
+		prune = campaign.PruneOff
+	default:
+		return fmt.Errorf("unknown -prune mode %q (want auto or off)", *pruneFlag)
+	}
 	if *workerURL != "" {
 		if *dir == "" {
 			return fmt.Errorf("-worker needs -dir as the local scratch root")
@@ -121,6 +132,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		RunBudgetSteps:  *runBudget,
 		MaxRetries:      *maxRetries,
 		QuarantineAfter: *quarantineAfter,
+		Prune:           prune,
 	}
 
 	var rr *runner.RunResult
@@ -150,6 +162,10 @@ func run(args []string, out io.Writer) (retErr error) {
 	if m.Crashes+m.Hangs+m.Quarantined > 0 {
 		fmt.Fprintf(out, "supervised failure modes: %d crashes, %d hangs, %d quarantined jobs (excluded from all estimates)\n",
 			m.Crashes, m.Hangs, m.Quarantined)
+	}
+	if m.PrunedRuns+m.MemoizedRuns+m.ConvergedRuns > 0 {
+		fmt.Fprintf(out, "equivalence pruning: %d pruned, %d memoized, %d converged (outcomes retained in all estimates)\n",
+			m.PrunedRuns, m.MemoizedRuns, m.ConvergedRuns)
 	}
 	if m.ExecutedRuns > 0 {
 		fmt.Fprintf(out, "%.0f runs/s over %d workers (%.0f%% utilisation)\n",

@@ -7,7 +7,7 @@
 //	propane [-scale tiny|reduced|paper] [-workers N] [-table all|1|2|3|4]
 //	        [-uniform] [-advice] [-dot DIR] [-artifacts DIR [-resume]]
 //	        [-run-budget N] [-max-retries N] [-quarantine-after N]
-//	        [-cpuprofile F] [-memprofile F]
+//	        [-prune auto|off] [-cpuprofile F] [-memprofile F]
 //
 // -scale selects the campaign size (tiny runs in well under a second,
 // paper executes the full 52 000-run campaign). -dot writes Graphviz
@@ -62,6 +62,7 @@ func run(args []string) (retErr error) {
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget: terminate and classify a run as hung after this many work units (0 = unlimited)")
 	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures with -artifacts (0 = default 3, negative disables)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
+	pruneFlag := fs.String("prune", "auto", "equivalence pruning: auto (short-circuit provably equivalent runs) or off")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the campaign finishes")
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +98,11 @@ func run(args []string) (retErr error) {
 		cfg.Dual = *dual
 	}
 	cfg.Workers = *workers
+	prune, err := parsePrune(*pruneFlag)
+	if err != nil {
+		return err
+	}
+	cfg.Prune = prune
 
 	errsPerPoint := len(cfg.Bits) + len(cfg.Models)
 	fmt.Printf("running campaign: %d test cases × %d instants × %d errors per input signal...\n",
@@ -124,6 +130,7 @@ func run(args []string) (retErr error) {
 			RunBudgetSteps:  *runBudget,
 			MaxRetries:      *maxRetries,
 			QuarantineAfter: *quarantineAfter,
+			Prune:           prune,
 		})
 		if err != nil {
 			return err
@@ -158,6 +165,11 @@ func run(args []string) (retErr error) {
 	if res.Crashes+res.Hangs+len(res.Quarantined) > 0 {
 		fmt.Printf("supervised failure modes: %d crashes, %d hangs, %d quarantined jobs (excluded from all estimates)\n",
 			res.Crashes, res.Hangs, len(res.Quarantined))
+	}
+	if total := res.Pruning.Total(); total > res.Pruning.Executed {
+		fmt.Printf("equivalence pruning: %d/%d runs resolved without full simulation (%d noop, %d unfired, %d memoized, %d converged)\n",
+			total-res.Pruning.Executed, total, res.Pruning.NoOp, res.Pruning.Unfired,
+			res.Pruning.Memoized, res.Pruning.Converged)
 	}
 	fmt.Println()
 
@@ -241,6 +253,16 @@ func run(args []string) (retErr error) {
 		fmt.Printf("report written to %s\n", *reportPath)
 	}
 	return nil
+}
+
+func parsePrune(s string) (campaign.PruneMode, error) {
+	switch s {
+	case "auto", "":
+		return campaign.PruneAuto, nil
+	case "off":
+		return campaign.PruneOff, nil
+	}
+	return campaign.PruneAuto, fmt.Errorf("unknown -prune mode %q (want auto or off)", s)
 }
 
 func configForScale(scale string) (campaign.Config, error) {

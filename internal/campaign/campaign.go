@@ -69,6 +69,14 @@ type Config struct {
 	// supports it and no Instrument hook is configured. Results are
 	// bit-identical either way.
 	Checkpoints CheckpointMode
+	// Prune selects equivalence pruning and run-result memoization
+	// (see PruneMode): the default PruneAuto short-circuits injections
+	// the golden run's read log proves unfired or no-op, serves
+	// repeated experiments from a bounded result cache, and stops
+	// executing runs whose state has reconverged to the golden run's at
+	// a checkpoint instant. Results are bit-identical either way;
+	// synthesized records carry RunRecord.Pruned.
+	Prune PruneMode
 	// OnlyModule, when non-empty, restricts injections to the inputs
 	// of one module (useful for focused studies).
 	OnlyModule string
@@ -150,6 +158,9 @@ type Config struct {
 	// constructor (e.g. ReducedConfig); Validate surfaces it joined to
 	// ErrInvalidConfig instead of the constructor panicking.
 	defect error
+	// memoBound overrides the result cache's entry bound (tests only;
+	// 0 selects defaultMemoBound).
+	memoBound int
 }
 
 // JobErrorAction is OnJobError's verdict on a failed injection job.
@@ -247,6 +258,11 @@ type RunRecord struct {
 	// Attempts is the consecutive-failure count behind a quarantined
 	// record (0 otherwise).
 	Attempts int
+	// Pruned labels how a pruned run's outcome was obtained (one of
+	// the Pruned* constants); empty for a fully executed run. The
+	// outcome itself is bit-identical either way, so the label is
+	// documentation, never part of record identity.
+	Pruned string
 }
 
 // PaperConfig returns the paper's full campaign: 25 test cases, 16
@@ -335,6 +351,11 @@ func (c Config) Validate() error {
 	case CheckpointAuto, CheckpointOff, CheckpointForce:
 	default:
 		return invalidf("campaign: unknown checkpoint mode %d", c.Checkpoints)
+	}
+	switch c.Prune {
+	case PruneAuto, PruneOff, PruneForce:
+	default:
+		return invalidf("campaign: unknown prune mode %d", c.Prune)
 	}
 	if c.DirectWindowMs < 0 {
 		return invalidf("campaign: negative direct window")
@@ -436,6 +457,10 @@ type Result struct {
 	// measured.
 	Crashes, Hangs int
 	Quarantined    []QuarantinedJob
+	// Pruning documents how the settled runs' outcomes were obtained
+	// (executed vs pruned/memoized). It never affects the estimates —
+	// pruned runs keep their synthesized outcomes in every denominator.
+	Pruning PruneStats
 }
 
 // QuarantinedJob describes one poison job: an injection job abandoned
@@ -464,6 +489,7 @@ type runOutcome struct {
 	outcome     Outcome
 	detail      string // panic value (crash) or last error (quarantined)
 	attempts    int    // consecutive failures behind a quarantine
+	pruned      string // Pruned* label, "" for a fully executed run
 }
 
 // Plan returns the campaign's deterministic injection plan — the
@@ -502,7 +528,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sys := cfg.topology()
 
-	goldens, err := goldenRuns(cfg)
+	goldens, preds, err := goldenRuns(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -541,6 +567,10 @@ func Run(cfg Config) (*Result, error) {
 			return jobList[i].inj.At < jobList[j].inj.At
 		})
 	}
+	var pr *pruner
+	if len(jobList) > 0 && preds != nil {
+		pr = newPruner(cfg, preds)
+	}
 
 	jobs := make(chan job)
 	outcomes := make(chan runOutcome)
@@ -562,7 +592,7 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out, err := superviseJob(cfg, sys, goldens[j.caseIdx], j.caseIdx, j.inj, ckpts)
+				out, err := superviseJob(cfg, sys, goldens[j.caseIdx], j.caseIdx, j.inj, ckpts, pr)
 				if err != nil {
 					fail(err)
 					continue // keep draining jobs so the feeder never blocks
@@ -615,6 +645,7 @@ func Run(cfg Config) (*Result, error) {
 				Outcome:       out.outcome,
 				Detail:        out.detail,
 				Attempts:      out.attempts,
+				Pruned:        out.pruned,
 			})
 		}
 	}
@@ -669,9 +700,17 @@ func workerCount(configured int) int {
 // goldenRuns records one Golden Run per test case, fanned out over
 // the same worker-pool pattern Run uses for injection jobs (each run
 // is fully independent and deterministic, so the resulting traces are
-// identical to a serial recording).
-func goldenRuns(cfg Config) ([]*trace.Trace, error) {
+// identical to a serial recording). When the campaign prunes, each
+// golden run additionally captures the instrumented-read log and
+// distills it into the per-case firing predictions; the returned
+// predictions are nil otherwise.
+func goldenRuns(cfg Config) ([]*trace.Trace, []casePredictions, error) {
+	capture := cfg.pruningEnabled()
 	goldens := make([]*trace.Trace, len(cfg.TestCases))
+	var preds []casePredictions
+	if capture {
+		preds = make([]casePredictions, len(cfg.TestCases))
+	}
 	errs := make([]error, len(cfg.TestCases))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -680,7 +719,11 @@ func goldenRuns(cfg Config) ([]*trace.Trace, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				goldens[i], errs[i] = goldenRun(cfg, i)
+				var p casePredictions
+				goldens[i], p, errs[i] = goldenRun(cfg, i, capture)
+				if capture {
+					preds[i] = p
+				}
 			}
 		}()
 	}
@@ -691,43 +734,58 @@ func goldenRuns(cfg Config) ([]*trace.Trace, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return goldens, nil
+	return goldens, preds, nil
 }
 
-// goldenRun records the Golden Run of one test case.
-func goldenRun(cfg Config, i int) (*trace.Trace, error) {
-	inst, err := cfg.NewInstance(cfg.TestCases[i], nil)
+// goldenRun records the Golden Run of one test case, optionally
+// logging every instrumented read for the pruning predictions. The
+// read hook only observes, so the recorded trace is bit-identical
+// with and without it.
+func goldenRun(cfg Config, i int, capture bool) (*trace.Trace, casePredictions, error) {
+	var lg *readLog
+	var hook sim.ReadHook
+	if capture {
+		lg = newReadLog()
+		hook = lg.hook()
+	}
+	inst, err := cfg.NewInstance(cfg.TestCases[i], hook)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: golden run %d: %w", i, err)
+		return nil, casePredictions{}, fmt.Errorf("campaign: golden run %d: %w", i, err)
 	}
 	rec, err := trace.NewRecorderCap(inst.Bus(), int(cfg.HorizonMs))
 	if err != nil {
-		return nil, fmt.Errorf("campaign: golden run %d: %w", i, err)
+		return nil, casePredictions{}, fmt.Errorf("campaign: golden run %d: %w", i, err)
 	}
 	inst.Kernel().AddPostHook(rec.Hook())
 	inst.Kernel().SetBudget(cfg.Budget)
 	// A golden run is uninjected: a crash or hang here is a broken
 	// target or an undersized budget, not a result.
 	if crashed, pv := runGuarded(inst, cfg.HorizonMs); crashed {
-		return nil, fmt.Errorf("campaign: golden run %d crashed: %v", i, pv)
+		return nil, casePredictions{}, fmt.Errorf("campaign: golden run %d crashed: %v", i, pv)
 	}
 	if inst.Kernel().Exhausted() {
-		return nil, fmt.Errorf("campaign: golden run %d exceeded the run budget (%d steps used) — raise Config.Budget or fix the target", i, inst.Kernel().BudgetUsed())
+		return nil, casePredictions{}, fmt.Errorf("campaign: golden run %d exceeded the run budget (%d steps used) — raise Config.Budget or fix the target", i, inst.Kernel().BudgetUsed())
 	}
-	return rec.Trace(), nil
+	var preds casePredictions
+	if capture {
+		// Distill immediately so the raw event slices (potentially a
+		// couple of MB per case) are garbage-collected here.
+		preds = lg.distill(cfg.Times, cfg.FaultDurationMs)
+	}
+	return rec.Trace(), preds, nil
 }
 
 // superviseJob drives one injection job to a settled outcome under
 // the fault-isolation policy: worker panics become errors, errors
 // consult Config.OnJobError, and a quarantined job yields an
 // OutcomeQuarantined record instead of failing the campaign.
-func superviseJob(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache) (runOutcome, error) {
+func superviseJob(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache, pr *pruner) (runOutcome, error) {
 	attempt := 0
 	for {
-		out, err := supervisedRun(cfg, sys, golden, caseIdx, inj, ckpts)
+		out, err := supervisedRun(cfg, sys, golden, caseIdx, inj, ckpts, pr)
 		if err == nil {
 			return out, nil
 		}
@@ -758,13 +816,13 @@ func superviseJob(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 // isolation: a panic outside the guarded target execution (instance
 // construction, instrumentation, comparison setup) is converted into
 // an error so the retry/quarantine policy can handle it.
-func supervisedRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache) (out runOutcome, err error) {
+func supervisedRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache, pr *pruner) (out runOutcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("campaign: worker panic on %v case %d: %v", inj, caseIdx, r)
 		}
 	}()
-	return injectionRun(cfg, sys, golden, caseIdx, inj, ckpts)
+	return injectionRun(cfg, sys, golden, caseIdx, inj, ckpts, pr)
 }
 
 // runGuarded drives the instance to the horizon, converting a panic
@@ -786,8 +844,11 @@ func runGuarded(inst RunnableInstance, horizon sim.Millis) (crashed bool, panicV
 // the (case, instant) snapshot and simulates only [At, horizon);
 // otherwise it replays from t=0. The two paths are bit-identical: a
 // trap has no effect before its arm time, so the skipped prefix is
-// exactly the uninjected prefix the snapshot captured.
-func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache) (runOutcome, error) {
+// exactly the uninjected prefix the snapshot captured. With a pruner
+// available the job may be settled without simulating at all (see
+// prune.go), and an executing transient run is probed at later
+// checkpoint instants for reconvergence to the golden state.
+func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx int, inj inject.Injection, ckpts *checkpointCache, pr *pruner) (runOutcome, error) {
 	// armedTrap unifies the transient (paper) and persistent traps.
 	type armedTrap interface {
 		Hook() sim.ReadHook
@@ -809,11 +870,22 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 			return runOutcome{}, err
 		}
 	}
+	var mk *memoKey
+	if pr != nil {
+		out, pruned, key, err := pr.classify(sys, caseIdx, inj, snap)
+		if err != nil {
+			return runOutcome{}, err
+		}
+		if pruned {
+			return out, nil
+		}
+		mk = key
+	}
 	inst, err := cfg.NewInstance(cfg.TestCases[caseIdx], trap.Hook())
 	if err != nil {
 		return runOutcome{}, fmt.Errorf("campaign: injection %v case %d: %w", inj, caseIdx, err)
 	}
-	cmp, err := trace.NewStreamComparator(golden, inst.Bus())
+	cmp, err := trace.AcquireStreamComparator(golden, inst.Bus())
 	if err != nil {
 		return runOutcome{}, fmt.Errorf("campaign: injection %v case %d: %w", inj, caseIdx, err)
 	}
@@ -844,7 +916,7 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 			return runOutcome{}, fmt.Errorf("campaign: seeking comparator for %v case %d: %w", inj, caseIdx, err)
 		}
 	}
-	crashed, panicVal := runGuarded(inst, cfg.HorizonMs)
+	crashed, panicVal, converged := executeToHorizon(cfg, inst, trap.Fired, caseIdx, inj.At, ckpts, pr)
 
 	firedAt, fired := trap.Fired()
 	out := runOutcome{
@@ -856,21 +928,85 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 		attachment: attachment,
 	}
 	out.failureAt = -1
+	// DeviatingDiffs copied the results out and the instance (with the
+	// comparator's stale post-hook) is discarded with this run, so the
+	// comparator can be recycled.
+	trace.ReleaseStreamComparator(cmp)
+	if converged {
+		out.pruned = PrunedConverged
+	}
 	switch {
 	case inst.Kernel().Exhausted():
 		out.outcome = OutcomeHang
-		return out, nil
 	case crashed:
 		out.outcome = OutcomeCrash
 		out.detail = fmt.Sprintf("%v", panicVal)
-		return out, nil
+	default:
+		if err := finishOutcome(sys, &out); err != nil {
+			return runOutcome{}, err
+		}
 	}
-	// out.diffs is sparse — it carries deviating signals only, so a
-	// missing entry means "matched the golden run everywhere".
+	if pr != nil {
+		pr.store(mk, out)
+	}
+	return out, nil
+}
+
+// executeToHorizon drives an injection run to the horizon. When the
+// campaign prunes, a transient run on a checkpointable target is
+// instead driven in segments to each later checkpoint instant: once
+// the trap has fired and the instance's state equals the golden
+// snapshot there, the remaining suffix is by determinism the golden
+// run's — its diffs are final and it can neither crash (the suffix is
+// golden) nor hang (the golden run finished within budget, and the
+// step accounting matched when a step budget is armed) — so the run
+// stops early, reported as converged.
+func executeToHorizon(cfg Config, inst RunnableInstance, fired func() (sim.Millis, bool), caseIdx int, at sim.Millis, ckpts *checkpointCache, pr *pruner) (crashed bool, panicVal any, converged bool) {
+	ck, checkpointable := inst.(target.Checkpointable)
+	if pr == nil || ckpts == nil || !checkpointable || cfg.FaultDurationMs > 0 {
+		crashed, panicVal = runGuarded(inst, cfg.HorizonMs)
+		return crashed, panicVal, false
+	}
+	for _, ct := range ckpts.instants() {
+		if ct <= at {
+			continue
+		}
+		if crashed, panicVal = runGuarded(inst, ct); crashed || inst.Kernel().Exhausted() {
+			return crashed, panicVal, false
+		}
+		if _, hasFired := fired(); !hasFired {
+			continue
+		}
+		g, err := ckpts.get(caseIdx, ct)
+		if err != nil || g == nil {
+			// Probing is opportunistic: without a golden snapshot here,
+			// just keep simulating.
+			continue
+		}
+		cur, err := ck.Checkpoint()
+		if err != nil {
+			continue
+		}
+		if snapshotsEqual(cur, g, cfg.Budget.Steps > 0) {
+			return false, nil, true
+		}
+	}
+	crashed, panicVal = runGuarded(inst, cfg.HorizonMs)
+	return crashed, panicVal, false
+}
+
+// finishOutcome derives the epilogue of a completed (neither crashed
+// nor hung) run from its diffs: the per-output first deviations, the
+// ok/deviation outcome, and the system-failure classification.
+// out.failureAt must be initialised to -1. out.diffs is sparse — it
+// carries deviating signals only, so a missing entry means "matched
+// the golden run everywhere". Shared between executed and memoized
+// runs so synthesized records are derived by the exact same code.
+func finishOutcome(sys *model.System, out *runOutcome) error {
 	diffs := out.diffs
-	mod, err := sys.Module(inj.Module)
+	mod, err := sys.Module(out.injection.Module)
 	if err != nil {
-		return runOutcome{}, err
+		return err
 	}
 	for _, o := range mod.Outputs {
 		if d, ok := diffs[o.Signal]; ok {
@@ -892,7 +1028,7 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // aggregator accumulates outcomes into the final Result.
@@ -953,6 +1089,7 @@ func (agg *aggregator) absorbRecord(sys *model.System, rec RunRecord) error {
 		outcome:     rec.Outcome,
 		detail:      rec.Detail,
 		attempts:    rec.Attempts,
+		pruned:      rec.Pruned,
 	}
 	// Pre-supervision journals carry no outcome field: every record
 	// in them is a completed run, so derive ok/deviation from the
@@ -983,6 +1120,7 @@ func (agg *aggregator) absorbRecord(sys *model.System, rec RunRecord) error {
 
 func (agg *aggregator) absorb(sys *model.System, out runOutcome) {
 	agg.Runs++
+	agg.countPrune(out)
 	switch out.outcome {
 	case OutcomeQuarantined:
 		agg.Quarantined = append(agg.Quarantined, QuarantinedJob{
@@ -1063,6 +1201,39 @@ func (agg *aggregator) absorb(sys *model.System, out runOutcome) {
 			}
 		}
 	}
+}
+
+// countPrune folds one settled run into the pruning-effectiveness
+// counters. Quarantined jobs are excluded: they were neither executed
+// nor pruned, and they are already surfaced separately.
+func (agg *aggregator) countPrune(out runOutcome) {
+	if out.outcome == OutcomeQuarantined {
+		return
+	}
+	st := &agg.Pruning
+	loc := out.injection.Signal + "@" + out.injection.Module
+	if st.PerSignal == nil {
+		st.PerSignal = make(map[string]PruneSignalCounts)
+	}
+	sc := st.PerSignal[loc]
+	switch out.pruned {
+	case PrunedNoOp:
+		st.NoOp++
+		sc.NoOp++
+	case PrunedUnfired:
+		st.Unfired++
+		sc.Unfired++
+	case PrunedMemoized:
+		st.Memoized++
+		sc.Memoized++
+	case PrunedConverged:
+		st.Converged++
+		sc.Converged++
+	default:
+		st.Executed++
+		sc.Executed++
+	}
+	st.PerSignal[loc] = sc
 }
 
 func (agg *aggregator) finalise(sys *model.System) error {

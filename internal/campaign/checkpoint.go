@@ -92,6 +92,11 @@ func newCheckpointCache(cfg Config) *checkpointCache {
 	}
 }
 
+// instants returns the distinct checkpointed injection instants in
+// ascending order (read-only — shared slice). The convergence probe
+// iterates it to find golden snapshots after a trap's firing point.
+func (cc *checkpointCache) instants() []sim.Millis { return cc.times }
+
 // get returns the snapshot for one (test case, injection instant),
 // building the case's snapshot set on first request. A nil snapshot
 // with nil error means the instant has no checkpoint (never the case

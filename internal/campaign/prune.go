@@ -1,0 +1,507 @@
+package campaign
+
+import (
+	"container/list"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"propane/internal/inject"
+	"propane/internal/model"
+	"propane/internal/sim"
+	"propane/internal/trace"
+)
+
+// Equivalence pruning and run-result memoization. The simulator is
+// fully deterministic, so many injection runs are decided before they
+// execute:
+//
+//   - Unfired: the golden run's instrumented reads tell us, per
+//     (module, input signal, instant), whether a trap armed there can
+//     fire at all. Until a trap fires the injected run is bit-identical
+//     to the golden run, so golden reads predict injected reads
+//     exactly; a port the golden run never reads at or after the
+//     instant yields an unfired run with an empty comparison.
+//   - No-op: the same read log carries the value the trap would
+//     mutate. When Mutate(v) == v the trap writes back the value that
+//     was already there — the run completes as ok with no deviations,
+//     without simulating.
+//   - Memoized: two transient jobs whose restored snapshot state
+//     (digested), firing read and corrupted value coincide are the
+//     same experiment; the second is served from a bounded result
+//     cache carrying the full outcome + deviation diffs, so the
+//     synthesized record is bit-identical to the executed one.
+//   - Converged: an executing transient run that, at a later
+//     checkpoint instant, has returned to exactly the golden state
+//     (signals, hidden state, and — under a step budget — the step
+//     accounting) must follow the golden run for the rest of the
+//     horizon: its diffs are final and it can neither crash nor hang
+//     later, so simulation stops there.
+//
+// All four classifications preserve bit-identity with a full
+// execution; the equivalence suite (prune_test.go) asserts it on
+// every registry target, including crash/hang-heavy ones.
+
+// PruneMode selects whether provably redundant injection runs are
+// short-circuited (equivalence pruning) and repeated experiments are
+// served from the result cache (memoization).
+type PruneMode int
+
+const (
+	// PruneAuto (the default) prunes when no Instrument hook is
+	// configured. A pruned run never builds a target instance, so
+	// Instrument would not be invoked and its attachment would be
+	// missing from the record; auto mode conservatively executes every
+	// run for instrumented campaigns.
+	PruneAuto PruneMode = iota
+	// PruneOff executes every injection run.
+	PruneOff
+	// PruneForce prunes even with an Instrument hook configured — for
+	// instrumentation that only wraps per-run bookkeeping (e.g.
+	// internal/runner's timing wrapper) and tolerates a nil attachment
+	// on synthesized records.
+	PruneForce
+)
+
+// Pruned-kind labels recorded on RunRecord.Pruned (and on journal
+// records) for runs whose outcome was obtained without a full
+// execution. The empty string marks a fully executed run.
+const (
+	// PrunedUnfired: the golden read log proves the trap cannot fire.
+	PrunedUnfired = "unfired"
+	// PrunedNoOp: the corrupted value equals the golden value at the
+	// firing read, so the injection changes nothing.
+	PrunedNoOp = "noop"
+	// PrunedMemoized: the outcome was served from the result cache of
+	// an identical earlier experiment.
+	PrunedMemoized = "memo"
+	// PrunedConverged: the run executed, but stopped early at a
+	// checkpoint instant where its state had returned to the golden
+	// run's.
+	PrunedConverged = "converged"
+)
+
+// PruneSignalCounts breaks the pruning counters down for one injection
+// location ("signal@module").
+type PruneSignalCounts struct {
+	NoOp, Unfired, Memoized, Converged, Executed int
+}
+
+// PruneStats counts, over all settled non-quarantined injection jobs,
+// how each outcome was obtained. Pruned runs keep their synthesized
+// outcomes in every estimate denominator — the counters document how
+// the estimates were computed, they do not change them.
+type PruneStats struct {
+	NoOp, Unfired, Memoized, Converged, Executed int
+	// PerSignal keys the same counters by injection location,
+	// "signal@module".
+	PerSignal map[string]PruneSignalCounts
+}
+
+// Total returns the number of runs settled without a full execution.
+func (ps PruneStats) Total() int {
+	return ps.NoOp + ps.Unfired + ps.Memoized + ps.Converged
+}
+
+// pruningEnabled decides whether this campaign prunes. Unlike
+// checkpointsEnabled it needs no target capability probe: the read-log
+// classifications are sound for any target, and the checkpoint-based
+// convergence probe simply stays off when no checkpoint cache exists.
+func (c Config) pruningEnabled() bool {
+	switch c.Prune {
+	case PruneOff:
+		return false
+	case PruneAuto:
+		if c.Instrument != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// portKey identifies one instrumented input port.
+type portKey struct {
+	module, signal string
+}
+
+// readEvent is one instrumented read observed on the golden run: the
+// simulated tick and the pre-read signal value — exactly what a trap
+// armed on this port would see and mutate.
+type readEvent struct {
+	tick  sim.Millis
+	value uint16
+}
+
+// readLog records every instrumented read of one golden run. It is
+// written from a single goroutine (the case's golden run) and only
+// distilled afterwards, so it needs no locking.
+type readLog struct {
+	events map[portKey][]readEvent
+}
+
+func newReadLog() *readLog {
+	return &readLog{events: make(map[portKey][]readEvent)}
+}
+
+// hook returns the recording sim.ReadHook. It observes only — the
+// golden run with this hook installed is bit-identical to one without.
+func (l *readLog) hook() sim.ReadHook {
+	return func(module, signal string, sig *sim.Signal, now sim.Millis) {
+		k := portKey{module: module, signal: signal}
+		l.events[k] = append(l.events[k], readEvent{tick: now, value: sig.Read()})
+	}
+}
+
+// transientPred predicts a one-shot trap armed at one (port, instant):
+// whether it fires, the tick of the firing read, and the value the
+// read would deliver uninjected. Sound because the injected run is
+// bit-identical to the golden run until the trap fires.
+type transientPred struct {
+	fires    bool
+	fireTick sim.Millis
+	value    uint16
+}
+
+// persistentPred predicts a persistent trap's window [At, At+dur]:
+// whether any read falls in it, the first one's tick, and the set of
+// distinct values read. The set only supports the no-op check — if
+// every value maps to itself the injected run never diverges, by
+// induction over the (then still golden) reads.
+type persistentPred struct {
+	fires      bool
+	fireTick   sim.Millis
+	values     []uint16
+	unprunable bool // too many distinct values to enumerate
+}
+
+// maxPersistentValues caps the distinct-value set of a persistent
+// prediction; windows richer than this are executed unconditionally.
+const maxPersistentValues = 64
+
+// casePredictions is one test case's distilled read log: one
+// prediction per (instrumented port, injection instant). Ports the
+// golden run never reads have no entry; the zero-valued prediction a
+// lookup then returns means "cannot fire", which is exactly right.
+type casePredictions struct {
+	transient  map[portKey]map[sim.Millis]transientPred
+	persistent map[portKey]map[sim.Millis]persistentPred
+}
+
+// distill reduces the raw read log to per-instant predictions so the
+// (potentially large) event slices can be garbage-collected.
+func (l *readLog) distill(times []sim.Millis, faultDuration sim.Millis) casePredictions {
+	cp := casePredictions{}
+	if faultDuration <= 0 {
+		cp.transient = make(map[portKey]map[sim.Millis]transientPred, len(l.events))
+		for k, evs := range l.events {
+			m := make(map[sim.Millis]transientPred, len(times))
+			for _, at := range times {
+				// Events are appended in tick order; the first one at or
+				// after the arm time is the firing read.
+				i := sort.Search(len(evs), func(i int) bool { return evs[i].tick >= at })
+				p := transientPred{}
+				if i < len(evs) {
+					p = transientPred{fires: true, fireTick: evs[i].tick, value: evs[i].value}
+				}
+				m[at] = p
+			}
+			cp.transient[k] = m
+		}
+		return cp
+	}
+	cp.persistent = make(map[portKey]map[sim.Millis]persistentPred, len(l.events))
+	for k, evs := range l.events {
+		m := make(map[sim.Millis]persistentPred, len(times))
+		for _, at := range times {
+			i := sort.Search(len(evs), func(i int) bool { return evs[i].tick >= at })
+			p := persistentPred{}
+			seen := make(map[uint16]bool)
+			for ; i < len(evs) && evs[i].tick <= at+faultDuration; i++ {
+				if !p.fires {
+					p.fires = true
+					p.fireTick = evs[i].tick
+				}
+				if !seen[evs[i].value] {
+					seen[evs[i].value] = true
+					p.values = append(p.values, evs[i].value)
+					if len(p.values) > maxPersistentValues {
+						p.unprunable = true
+						break
+					}
+				}
+			}
+			m[at] = p
+		}
+		cp.persistent[k] = m
+	}
+	return cp
+}
+
+// memoKey identifies one transient experiment up to determinism: the
+// test case (construction parameters are not part of the state
+// digest), the digested pre-injection state, the port, the tick of
+// the firing read, the corrupted value the trap writes there, and the
+// step budget (it decides hang classification). The firing read's
+// position inside its tick needs no key component: it is always the
+// first matching read of tick fireTick, whatever the arm time was.
+type memoKey struct {
+	caseIdx        int
+	digest         string
+	module, signal string
+	fireTick       sim.Millis
+	value          uint16
+	budget         int64
+}
+
+// memoEntry carries everything needed to synthesize a record
+// bit-identical to the executed one.
+type memoEntry struct {
+	outcome Outcome
+	detail  string
+	firedAt sim.Millis
+	diffs   map[string]trace.Diff
+}
+
+// defaultMemoBound bounds the result cache (entries, LRU-recycled).
+const defaultMemoBound = 4096
+
+// memoCache is a bounded, concurrency-safe LRU of run results. Diffs
+// are cloned on both store and serve so a cached map is never aliased
+// by records in flight.
+type memoCache struct {
+	mu    sync.Mutex
+	bound int
+	items map[memoKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+type memoItem struct {
+	key   memoKey
+	entry memoEntry
+}
+
+func newMemoCache(bound int) *memoCache {
+	if bound <= 0 {
+		bound = defaultMemoBound
+	}
+	return &memoCache{bound: bound, items: make(map[memoKey]*list.Element), order: list.New()}
+}
+
+func (mc *memoCache) get(k memoKey) (memoEntry, bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	el, ok := mc.items[k]
+	if !ok {
+		return memoEntry{}, false
+	}
+	mc.order.MoveToFront(el)
+	e := el.Value.(*memoItem).entry
+	e.diffs = cloneDiffs(e.diffs)
+	return e, true
+}
+
+func (mc *memoCache) put(k memoKey, e memoEntry) {
+	e.diffs = cloneDiffs(e.diffs)
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if el, ok := mc.items[k]; ok {
+		mc.order.MoveToFront(el)
+		el.Value.(*memoItem).entry = e
+		return
+	}
+	mc.items[k] = mc.order.PushFront(&memoItem{key: k, entry: e})
+	for mc.order.Len() > mc.bound {
+		back := mc.order.Back()
+		mc.order.Remove(back)
+		delete(mc.items, back.Value.(*memoItem).key)
+	}
+}
+
+func (mc *memoCache) len() int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.order.Len()
+}
+
+func cloneDiffs(m map[string]trace.Diff) map[string]trace.Diff {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]trace.Diff, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// digestKey scopes a state digest to one (test case, instant).
+type digestKey struct {
+	caseIdx int
+	at      sim.Millis
+}
+
+// pruner classifies injection jobs before execution and serves /
+// collects memoized results. Shared across the campaign's workers.
+type pruner struct {
+	cfg   Config
+	preds []casePredictions // per test case
+	memo  *memoCache
+
+	mu      sync.Mutex
+	digests map[digestKey]string
+}
+
+func newPruner(cfg Config, preds []casePredictions) *pruner {
+	return &pruner{
+		cfg:     cfg,
+		preds:   preds,
+		memo:    newMemoCache(cfg.memoBound),
+		digests: make(map[digestKey]string),
+	}
+}
+
+// digestFor returns the cached pre-injection state digest for one
+// (test case, instant). With a checkpoint snapshot available that is
+// Snapshot.Digest; without one, determinism still pins the state of a
+// (case, instant) within this campaign, so a positional fallback key
+// is equally sound — the digest is a guard, not the sole key.
+func (p *pruner) digestFor(caseIdx int, at sim.Millis, snap *sim.Snapshot) string {
+	key := digestKey{caseIdx: caseIdx, at: at}
+	p.mu.Lock()
+	d, ok := p.digests[key]
+	p.mu.Unlock()
+	if ok {
+		return d
+	}
+	if snap != nil {
+		d = snap.Digest()
+	} else {
+		d = fmt.Sprintf("t=%d", at)
+	}
+	p.mu.Lock()
+	p.digests[key] = d
+	p.mu.Unlock()
+	return d
+}
+
+// classify decides one job before execution. It returns the
+// synthesized outcome when the job is pruned; otherwise, for
+// memoizable jobs, it returns the key under which the executed result
+// should be stored (see store).
+func (p *pruner) classify(sys *model.System, caseIdx int, inj inject.Injection, snap *sim.Snapshot) (runOutcome, bool, *memoKey, error) {
+	base := runOutcome{injection: inj, caseIdx: caseIdx, failureAt: -1}
+	pk := portKey{module: inj.Module, signal: inj.Signal}
+	if p.cfg.FaultDurationMs > 0 {
+		pred := p.preds[caseIdx].persistent[pk][inj.At]
+		if !pred.fires {
+			base.outcome = OutcomeOK
+			base.pruned = PrunedUnfired
+			return base, true, nil, nil
+		}
+		if pred.unprunable {
+			return runOutcome{}, false, nil, nil
+		}
+		for _, v := range pred.values {
+			if inj.Model.Mutate(v) != v {
+				// Persistent runs diverge from the golden run after the
+				// first effective write, invalidating every later
+				// prediction — they are never memoized either.
+				return runOutcome{}, false, nil, nil
+			}
+		}
+		base.fired = true
+		base.firedAt = pred.fireTick
+		base.outcome = OutcomeOK
+		base.pruned = PrunedNoOp
+		return base, true, nil, nil
+	}
+	pred := p.preds[caseIdx].transient[pk][inj.At]
+	if !pred.fires {
+		// firedAt stays 0, matching an executed run's Trap.Fired() zero
+		// return; diffs stay nil — until a trap fires the run is the
+		// golden run, and an unfired run never deviates.
+		base.outcome = OutcomeOK
+		base.pruned = PrunedUnfired
+		return base, true, nil, nil
+	}
+	corrupted := inj.Model.Mutate(pred.value)
+	if corrupted == pred.value {
+		base.fired = true
+		base.firedAt = pred.fireTick
+		base.outcome = OutcomeOK
+		base.pruned = PrunedNoOp
+		return base, true, nil, nil
+	}
+	mk := &memoKey{
+		caseIdx:  caseIdx,
+		digest:   p.digestFor(caseIdx, inj.At, snap),
+		module:   inj.Module,
+		signal:   inj.Signal,
+		fireTick: pred.fireTick,
+		value:    corrupted,
+		budget:   p.cfg.Budget.Steps,
+	}
+	if e, ok := p.memo.get(*mk); ok {
+		out := base
+		out.fired = true
+		out.firedAt = e.firedAt
+		out.diffs = e.diffs // cloned by get
+		out.outcome = e.outcome
+		out.detail = e.detail
+		out.pruned = PrunedMemoized
+		if e.outcome == OutcomeCrash || e.outcome == OutcomeHang {
+			// Executed crash/hang records skip the output epilogue
+			// (outputFirst nil, no system failure, failureAt -1); the
+			// synthesized record must match them field for field.
+			return out, true, nil, nil
+		}
+		if err := finishOutcome(sys, &out); err != nil {
+			return runOutcome{}, false, nil, err
+		}
+		return out, true, nil, nil
+	}
+	return runOutcome{}, false, mk, nil
+}
+
+// store caches one executed result under the key classify handed out.
+// The fired sanity check guards the prediction: if the trap did not
+// fire exactly as predicted the result is not cached (and the
+// prediction machinery has a bug the equivalence suite will catch).
+func (p *pruner) store(mk *memoKey, out runOutcome) {
+	if mk == nil || !out.fired || out.firedAt != mk.fireTick || out.outcome == OutcomeQuarantined {
+		return
+	}
+	p.memo.put(*mk, memoEntry{
+		outcome: out.outcome,
+		detail:  out.detail,
+		firedAt: out.firedAt,
+		diffs:   out.diffs,
+	})
+}
+
+// snapshotsEqual reports whether two snapshots capture identical
+// dynamic state. The step accounting is compared only under a step
+// budget: without one it cannot influence any outcome, and hostile
+// targets charge data-dependent step counts that would otherwise
+// forgo valid convergence prunes. Wall budgets are a non-deterministic
+// backstop, excluded from outcomes by design (see sim.Snapshot).
+func snapshotsEqual(a, b *sim.Snapshot, compareUsed bool) bool {
+	if a.Now != b.Now || len(a.Signals) != len(b.Signals) || len(a.Hidden) != len(b.Hidden) {
+		return false
+	}
+	if compareUsed && a.Used != b.Used {
+		return false
+	}
+	for i := range a.Signals {
+		if a.Signals[i] != b.Signals[i] {
+			return false
+		}
+	}
+	for i := range a.Hidden {
+		if !reflect.DeepEqual(a.Hidden[i], b.Hidden[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package campaign
+
+// Equivalence suite for the pruning/memoization path: for every
+// target topology a campaign run with pruning forced on must produce
+// a Result bit-identical to the same campaign with pruning off (every
+// run fully executed). Runs under -race in CI alongside the
+// checkpoint suite, stressing the shared memo cache.
+
+import (
+	"testing"
+
+	"propane/internal/inject"
+	"propane/internal/sim"
+	"propane/internal/trace"
+)
+
+// modelsConfig guarantees work for every transient classification: at
+// any fired (port, instant) one of the two StuckAt models is the
+// identity on bit 3 (no-op prune) and the other corrupts the value to
+// exactly what BitFlip{3} produces (a memo hit on the second of the
+// pair in serial order — Workers is pinned to 1 for that guarantee).
+func modelsConfig() Config {
+	cfg := tinyConfig()
+	cfg.Bits = nil
+	cfg.Models = []inject.ErrorModel{
+		inject.BitFlip{Bit: 3},
+		inject.StuckAt{Bit: 3, One: false},
+		inject.StuckAt{Bit: 3, One: true},
+	}
+	cfg.Workers = 1
+	return cfg
+}
+
+// TestPruneEquivalence proves the tentpole contract on every target:
+// pruned, memoized and converged runs yield the same Result matrix,
+// run for run, as executing every injection in full.
+func TestPruneEquivalence(t *testing.T) {
+	configs := map[string]func(t *testing.T) Config{
+		"arrestor": func(t *testing.T) Config { return tinyConfig() },
+		"dual": func(t *testing.T) Config {
+			cfg := tinyConfig()
+			cfg.Dual = true
+			return cfg
+		},
+		"autobrake": autobrakeConfig,
+		// hostile covers crash and hang outcomes: a memoized crash must
+		// synthesize the exact crash record of the executed one.
+		"hostile": hostileConfig,
+		// models guarantees no-op prunes and memo hits (see modelsConfig).
+		"models": func(t *testing.T) Config { return modelsConfig() },
+		// persistent exercises the window-value no-op rule.
+		"persistent": func(t *testing.T) Config {
+			cfg := tinyConfig()
+			cfg.FaultDurationMs = 400
+			return cfg
+		},
+		"reduced": func(t *testing.T) Config {
+			if testing.Short() {
+				t.Skip("reduced equivalence skipped in -short mode")
+			}
+			return ReducedConfig()
+		},
+	}
+	for name, mk := range configs {
+		t.Run(name, func(t *testing.T) {
+			off := mk(t)
+			off.Prune = PruneOff
+			base, baseRecs := runKeyed(t, off)
+
+			on := mk(t)
+			on.Prune = PruneForce
+			pr, prRecs := runKeyed(t, on)
+
+			assertEquivalent(t, base, pr, baseRecs, prRecs)
+
+			if base.Pruning.Total() != 0 {
+				t.Errorf("PruneOff still pruned: %+v", base.Pruning)
+			}
+			// Every unfired record must have been predicted from the read
+			// log — an unfired trap that slipped through to execution
+			// means the predictions are incomplete.
+			if pr.Pruning.Unfired != pr.Unfired {
+				t.Errorf("pruned %d unfired runs, result counts %d unfired traps", pr.Pruning.Unfired, pr.Unfired)
+			}
+			if name == "models" {
+				if pr.Pruning.NoOp == 0 {
+					t.Errorf("models config produced no no-op prunes: %+v", pr.Pruning)
+				}
+				if pr.Pruning.Memoized == 0 {
+					t.Errorf("models config produced no memo hits: %+v", pr.Pruning)
+				}
+			}
+			// The per-record labels must agree with the aggregate counters.
+			counts := PruneSignalCounts{}
+			for _, rec := range prRecs {
+				switch rec.Pruned {
+				case PrunedNoOp:
+					counts.NoOp++
+				case PrunedUnfired:
+					counts.Unfired++
+				case PrunedMemoized:
+					counts.Memoized++
+				case PrunedConverged:
+					counts.Converged++
+				case "":
+					counts.Executed++
+				default:
+					t.Errorf("unknown pruned label %q", rec.Pruned)
+				}
+			}
+			got := PruneSignalCounts{
+				NoOp: pr.Pruning.NoOp, Unfired: pr.Pruning.Unfired,
+				Memoized: pr.Pruning.Memoized, Converged: pr.Pruning.Converged,
+				Executed: pr.Pruning.Executed,
+			}
+			if counts != got {
+				t.Errorf("record labels %+v disagree with Result.Pruning %+v", counts, got)
+			}
+		})
+	}
+}
+
+// TestPruneAutoFallsBackUnderInstrument: a pruned run never builds a
+// target instance, so an Instrument hook would be skipped; PruneAuto
+// must execute everything for instrumented campaigns — and still
+// produce the baseline Result with every attachment present.
+func TestPruneAutoFallsBackUnderInstrument(t *testing.T) {
+	attach := func(inst Instance, caseIdx int) (any, error) { return caseIdx, nil }
+
+	off := tinyConfig()
+	off.Prune = PruneOff
+	off.Instrument = attach
+	base, baseRecs := runKeyed(t, off)
+
+	auto := tinyConfig()
+	auto.Prune = PruneAuto
+	auto.Instrument = attach
+	pr, prRecs := runKeyed(t, auto)
+
+	assertEquivalent(t, base, pr, baseRecs, prRecs)
+	if pr.Pruning.Total() != 0 {
+		t.Errorf("PruneAuto pruned under an Instrument hook: %+v", pr.Pruning)
+	}
+	for key, rec := range prRecs {
+		if rec.Attachment != rec.CaseIndex {
+			t.Errorf("%s: attachment %v, want case index %d", key, rec.Attachment, rec.CaseIndex)
+		}
+	}
+}
+
+// TestMemoCacheEviction pins the cache's LRU contract: the bound
+// holds, eviction removes the least recently used key (gets refresh
+// recency), and served diff maps are never aliased to stored ones.
+func TestMemoCacheEviction(t *testing.T) {
+	mc := newMemoCache(2)
+	key := func(i int) memoKey { return memoKey{caseIdx: i, module: "m", signal: "s"} }
+	entry := func(i int) memoEntry {
+		return memoEntry{
+			outcome: OutcomeDeviation,
+			firedAt: 10,
+			diffs:   map[string]trace.Diff{"sig": {Signal: "sig", First: sim.Millis(i), Last: 5}},
+		}
+	}
+
+	mc.put(key(1), entry(1))
+	mc.put(key(2), entry(2))
+	if _, ok := mc.get(key(1)); !ok { // refresh 1 → 2 becomes LRU
+		t.Fatal("key 1 missing before eviction")
+	}
+	mc.put(key(3), entry(3))
+	if mc.len() != 2 {
+		t.Fatalf("cache holds %d entries, bound is 2", mc.len())
+	}
+	if _, ok := mc.get(key(2)); ok {
+		t.Error("key 2 survived eviction despite being least recently used")
+	}
+	if _, ok := mc.get(key(1)); !ok {
+		t.Error("key 1 evicted despite a refreshing get")
+	}
+	if _, ok := mc.get(key(3)); !ok {
+		t.Error("key 3 missing right after put")
+	}
+
+	// Clone-on-serve: corrupting a served map must not reach the cache.
+	served, _ := mc.get(key(3))
+	served.diffs["sig"] = trace.Diff{Signal: "sig", First: -99}
+	again, _ := mc.get(key(3))
+	if again.diffs["sig"].First != 3 {
+		t.Errorf("cache entry corrupted through a served map: %+v", again.diffs["sig"])
+	}
+
+	// Storing an existing key updates in place without growing.
+	mc.put(key(3), entry(4))
+	if mc.len() != 2 {
+		t.Fatalf("update grew the cache to %d entries", mc.len())
+	}
+	if e, _ := mc.get(key(3)); e.diffs["sig"].First != 4 {
+		t.Errorf("update did not replace the entry: %+v", e.diffs["sig"])
+	}
+}

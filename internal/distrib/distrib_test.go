@@ -229,6 +229,65 @@ func TestLeaseExpiryReassignment(t *testing.T) {
 	assertMatchesBaseline(t, rr)
 }
 
+// TestLeaseLongPollPromptness pins the idle-wait fix: with the fleet's
+// only unit leased to a silent worker, a second worker's lease request
+// parks inside the coordinator's long-poll and is answered with the
+// reclaimed unit in one round-trip as soon as the lease expires —
+// instead of bouncing through sleep/retry cycles and discovering the
+// free unit a poll interval late.
+func TestLeaseLongPollPromptness(t *testing.T) {
+	dir := t.TempDir()
+	const ttl = 500 * time.Millisecond
+	coord, err := NewCoordinator(Config{
+		Instance: "reduced",
+		Tier:     runner.TierQuick,
+		Dir:      dir,
+		Units:    1,
+		LeaseTTL: ttl,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	url, srv := serveCoordinator(t, coord)
+	defer srv.Close()
+
+	w := &worker{
+		base:   url,
+		opts:   WorkerOptions{Name: "probe", Dir: dir, Logf: t.Logf},
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	var a LeaseResponse
+	if err := w.post(PathLease, LeaseRequest{Worker: "silent"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != StatusUnit {
+		t.Fatalf("first lease got status %q, want %q", a.Status, StatusUnit)
+	}
+
+	// The silent worker never heartbeats; the eager one's request must
+	// hold until the TTL reclaims the unit, then return it directly.
+	start := time.Now()
+	var b LeaseResponse
+	if err := w.post(PathLease, LeaseRequest{Worker: "eager"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if b.Status != StatusUnit {
+		t.Fatalf("parked lease got status %q after %v, want the expired unit", b.Status, elapsed)
+	}
+	if b.Unit == nil || b.Unit.Shard != a.Unit.Shard {
+		t.Fatalf("parked lease returned unit %+v, want shard %d", b.Unit, a.Unit.Shard)
+	}
+	if elapsed < ttl/2 {
+		t.Errorf("unit handed over after %v, before the %v lease could expire", elapsed, ttl)
+	}
+	if elapsed > ttl+2*time.Second {
+		t.Errorf("parked lease answered after %v — long-poll did not wake on expiry (TTL %v)", elapsed, ttl)
+	}
+}
+
 // TestCoordinatorCrashRestart kills both sides mid-campaign: a worker
 // dies after streaming part of its unit, then the coordinator "dies"
 // (server closed, files closed) and restarts with Resume — restoring

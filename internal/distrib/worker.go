@@ -30,9 +30,11 @@ type WorkerOptions struct {
 	// Workers is the local campaign parallelism per unit (0 lets the
 	// campaign default apply).
 	Workers int
-	// PollInterval paces lease requests while the coordinator has no
-	// pending unit (the coordinator's RetryMs hint wins when longer).
-	// <= 0 selects 1 s.
+	// PollInterval paces lease retries when the coordinator is
+	// unreachable, and is the fallback pause after a StatusWait reply
+	// carrying no RetryMs hint. A reachable coordinator long-polls
+	// lease requests itself and hints a short retry, so this interval
+	// rarely governs. <= 0 selects 1 s.
 	PollInterval time.Duration
 	// BatchSize is how many records accumulate before a flush to the
 	// coordinator (each flush renews the lease). <= 0 selects 64.
@@ -189,9 +191,13 @@ func RunWorker(coordinatorURL string, opts WorkerOptions) error {
 			opts.Logf("distrib: worker %s: campaign complete", opts.Name)
 			return nil
 		case StatusWait:
-			wait := opts.PollInterval
-			if hint := time.Duration(lr.RetryMs) * time.Millisecond; hint > wait {
-				wait = hint
+			// The coordinator already parked this request in its
+			// long-poll; trust its hint — it is deliberately short so
+			// the worker re-parks promptly instead of sleeping through
+			// a unit becoming available.
+			wait := time.Duration(lr.RetryMs) * time.Millisecond
+			if wait <= 0 {
+				wait = opts.PollInterval
 			}
 			time.Sleep(wait)
 		case StatusUnit:

@@ -151,7 +151,10 @@ func goldenDigests(cfg campaign.Config) ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runner: golden run %d: %w", i, err)
 		}
-		rec, err := trace.NewRecorder(inst.Bus())
+		// The trace is hashed and discarded, so the recorder's buffers
+		// are safe to recycle (see the aliasing hazard on
+		// AcquireRecorder).
+		rec, err := trace.AcquireRecorder(inst.Bus(), int(cfg.HorizonMs))
 		if err != nil {
 			return nil, fmt.Errorf("runner: golden run %d: %w", i, err)
 		}
@@ -172,6 +175,7 @@ func goldenDigests(cfg campaign.Config) ([]string, error) {
 			return nil, fmt.Errorf("runner: hashing golden run %d: %w", i, err)
 		}
 		digests[i] = hex.EncodeToString(h.Sum(nil))
+		trace.ReleaseRecorder(rec)
 	}
 	return digests, nil
 }

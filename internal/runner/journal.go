@@ -23,10 +23,11 @@ import (
 // so an interrupted campaign converges to the uninterrupted result.
 
 // journalVersion guards the record schema. Version 2 added the
-// outcome/detail/attempts fields; they are additive and omitted when
-// empty, so version-1 journals load unchanged (records without an
-// outcome are classified from their diffs on replay).
-const journalVersion = 2
+// outcome/detail/attempts fields; version 3 added the pruned label.
+// Both are additive and omitted when empty, so older journals load
+// unchanged (records without an outcome are classified from their
+// diffs on replay; records without a pruned label count as executed).
+const journalVersion = 3
 
 // Sentinel errors for journal and assembly integrity failures, so
 // orchestration layers (and operators' scripts) can distinguish "the
@@ -47,7 +48,10 @@ var (
 // identical run outcome. Journal records are content-keyed by their
 // job index; equality of the full content is what makes overlapping
 // appends (a reassigned lease, a duplicated shard journal) idempotent
-// rather than corrupting.
+// rather than corrupting. Pruned is deliberately NOT compared: a
+// pruned and an executed record of the same job carry bit-identical
+// outcomes by construction, and overlapping journals from processes
+// with different prune settings must stay idempotent.
 func RecordsEqual(a, b Record) bool {
 	if a.Type != b.Type || a.Job != b.Job ||
 		a.Module != b.Module || a.Signal != b.Signal ||
@@ -118,6 +122,10 @@ type Record struct {
 	Detail string `json:"detail,omitempty"`
 	// Attempts is the consecutive-failure count behind a quarantine.
 	Attempts int `json:"attempts,omitempty"`
+	// Pruned labels how a pruned run's outcome was obtained (see the
+	// campaign.Pruned* constants); empty for executed runs. Excluded
+	// from RecordsEqual — see there.
+	Pruned string `json:"pruned,omitempty"`
 }
 
 // newRecord converts a live campaign observation into its journaled
@@ -142,6 +150,7 @@ func newRecord(job int, rec campaign.RunRecord) (Record, error) {
 		Outcome:       string(rec.Outcome),
 		Detail:        rec.Detail,
 		Attempts:      rec.Attempts,
+		Pruned:        rec.Pruned,
 	}
 	for sig, d := range rec.Diffs {
 		if !d.Differs() {
@@ -177,6 +186,7 @@ func (r Record) RunRecord() (campaign.RunRecord, error) {
 		Outcome:       campaign.Outcome(r.Outcome),
 		Detail:        r.Detail,
 		Attempts:      r.Attempts,
+		Pruned:        r.Pruned,
 	}
 	if len(r.Diffs) > 0 {
 		rec.Diffs = make(map[string]trace.Diff, len(r.Diffs))

@@ -47,6 +47,15 @@ type Metrics struct {
 	Crashes     int `json:"crashes,omitempty"`
 	Hangs       int `json:"hangs,omitempty"`
 	Quarantined int `json:"quarantined,omitempty"`
+	// Equivalence-pruning counters. PrunedRuns counts runs whose
+	// outcome was proven without simulating (unfired traps and no-op
+	// corruptions); MemoizedRuns were served from the result cache;
+	// ConvergedRuns executed but stopped early at a state that
+	// reconverged with the golden run. All of them still carry full
+	// outcomes and enter every n_inj/n_err counter as usual.
+	PrunedRuns    int `json:"pruned_runs,omitempty"`
+	MemoizedRuns  int `json:"memoized_runs,omitempty"`
+	ConvergedRuns int `json:"converged_runs,omitempty"`
 	// Throughput and worker economics. WorkerUtilization is
 	// busy-time / (elapsed × workers); per-run busy time is measured
 	// up to the serial observer, so queueing behind the observer can
@@ -97,6 +106,14 @@ func (t *tracker) absorb(rec campaign.RunRecord, dur time.Duration, replayed boo
 	} else {
 		t.m.ExecutedRuns++
 		t.busy += dur
+	}
+	switch rec.Pruned {
+	case campaign.PrunedNoOp, campaign.PrunedUnfired:
+		t.m.PrunedRuns++
+	case campaign.PrunedMemoized:
+		t.m.MemoizedRuns++
+	case campaign.PrunedConverged:
+		t.m.ConvergedRuns++
 	}
 	switch rec.Outcome {
 	case campaign.OutcomeQuarantined:
@@ -174,10 +191,14 @@ func (t *tracker) maybeLog(uniqueFailures int) {
 	if m.Crashes+m.Hangs+m.Quarantined > 0 {
 		supervised = fmt.Sprintf(", %d crash/%d hang/%d quarantined", m.Crashes, m.Hangs, m.Quarantined)
 	}
-	t.logf("%s/%s shard %d/%d: %d/%d runs (%.1f%%), %.0f runs/s, ETA %.0fs, util %.0f%%, %d failures (%d unique)%s",
+	pruned := ""
+	if m.PrunedRuns+m.MemoizedRuns+m.ConvergedRuns > 0 {
+		pruned = fmt.Sprintf(", %d pruned/%d memoized/%d converged", m.PrunedRuns, m.MemoizedRuns, m.ConvergedRuns)
+	}
+	t.logf("%s/%s shard %d/%d: %d/%d runs (%.1f%%), %.0f runs/s, ETA %.0fs, util %.0f%%, %d failures (%d unique)%s%s",
 		m.Instance, m.Tier, m.Shard+1, m.Shards, done, m.PlannedRuns, pct,
 		m.RunsPerSecond, m.ETASeconds, 100*m.WorkerUtilization,
-		m.SystemFailures, uniqueFailures, supervised)
+		m.SystemFailures, uniqueFailures, supervised, pruned)
 }
 
 // writeMetrics exports the final snapshot as metrics.json.

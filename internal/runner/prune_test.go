@@ -1,0 +1,82 @@
+package runner
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"propane/internal/campaign"
+)
+
+// TestPrunedKillAndResume proves pruning composes with the journal
+// lifecycle: a pruned campaign aborted mid-flight resumes (pruned
+// records replay like executed ones) and converges to the
+// bit-identical matrix of an unpruned, uninterrupted run — and the
+// pruned labels survive the journal round trip into the metrics.
+func TestPrunedKillAndResume(t *testing.T) {
+	base, err := RunInstance("reduced", TierQuick, Options{Dir: t.TempDir(), Prune: campaign.PruneOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix, wantRuns, wantUnfired := fingerprintResult(t, base)
+	if base.Metrics.PrunedRuns+base.Metrics.MemoizedRuns+base.Metrics.ConvergedRuns != 0 {
+		t.Fatalf("PruneOff run still counted pruning: %+v", base.Metrics)
+	}
+
+	// Abort the pruned run (pruning defaults on through the runner)
+	// partway through — the moral equivalent of a kill, with the
+	// journal left at whatever the workers had flushed.
+	dir := t.TempDir()
+	var seen atomic.Int32
+	aborted, err := RunInstance("reduced", TierQuick, Options{
+		Dir:      dir,
+		OnRecord: func(rec Record, replayed bool) error { seen.Add(1); return nil },
+		Abort:    func() bool { return seen.Load() >= 40 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborted.Metrics.ExecutedRuns >= wantRuns {
+		t.Fatalf("abort did not interrupt the campaign: %d/%d runs executed", aborted.Metrics.ExecutedRuns, wantRuns)
+	}
+
+	rr, err := RunInstance("reduced", TierQuick, Options{Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, runs, unfired := fingerprintResult(t, rr)
+	if runs != wantRuns || unfired != wantUnfired {
+		t.Errorf("resumed pruned run counts %d/%d, want %d/%d", runs, unfired, wantRuns, wantUnfired)
+	}
+	if matrix != wantMatrix {
+		t.Error("resumed pruned matrix differs from the unpruned uninterrupted run")
+	}
+	if rr.Metrics.ReplayedRuns == 0 {
+		t.Error("nothing replayed — the aborted journal was ignored")
+	}
+
+	// Every journaled pruned label must be reflected in the metrics,
+	// whether its record was replayed or executed this process.
+	_, recs, _, err := loadJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled := 0
+	for _, r := range recs {
+		switch r.Pruned {
+		case "", campaign.PrunedNoOp, campaign.PrunedUnfired, campaign.PrunedMemoized, campaign.PrunedConverged:
+		default:
+			t.Errorf("job %d journaled with unknown pruned label %q", r.Job, r.Pruned)
+		}
+		if r.Pruned != "" {
+			labeled++
+		}
+	}
+	m := rr.Metrics
+	if got := m.PrunedRuns + m.MemoizedRuns + m.ConvergedRuns; got != labeled {
+		t.Errorf("metrics count %d pruned runs, journal carries %d labels", got, labeled)
+	}
+	if wantUnfired > 0 && m.PrunedRuns < wantUnfired {
+		t.Errorf("%d unfired traps but only %d pruned runs — unfired prediction incomplete", wantUnfired, m.PrunedRuns)
+	}
+}

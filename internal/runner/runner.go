@@ -103,6 +103,11 @@ type Options struct {
 	// called concurrently with OnRecord — use an atomic flag. The
 	// distributed worker aborts when its lease is lost.
 	Abort func() bool
+	// Prune overrides the config's equivalence-pruning mode when not
+	// PruneAuto. It is excluded from the config digest: pruned and
+	// executed records carry bit-identical outcomes, so journals
+	// written with different prune settings interoperate.
+	Prune campaign.PruneMode
 }
 
 // Defaults for the zero values of the supervision knobs.
@@ -247,6 +252,9 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 		return nil, err
 	}
 	opts.applySupervision(&cfg)
+	if opts.Prune != campaign.PruneAuto {
+		cfg.Prune = opts.Prune
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -399,6 +407,13 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 	// full replay inside the campaign engine.
 	if userInstrument == nil && cfg.Checkpoints == campaign.CheckpointAuto {
 		cfg.Checkpoints = campaign.CheckpointForce
+	}
+	// Same reasoning for pruning: PruneAuto backs off under an
+	// Instrument hook because pruned runs never build an instance, so
+	// the hook would be skipped — but the timing wrapper tolerates
+	// that (a pruned run has no meaningful duration to time).
+	if userInstrument == nil && cfg.Prune == campaign.PruneAuto {
+		cfg.Prune = campaign.PruneForce
 	}
 
 	// The serial observer path: journal, dedupe, metrics, then any

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Digest returns a content hash of the snapshot: simulated time, step
+// accounting, every bus signal value and the %#v rendering of every
+// hidden component state. Two snapshots of identical dynamic state
+// digest equally, so the digest can key caches of "what happens from
+// this state onward" (the campaign engine's run-result memoization).
+//
+// The hidden states are hashed through their Go-syntax representation.
+// That is exact for the value-typed states the built-in targets return
+// from model.Stateful.State(); a state carrying pointers would render
+// its addresses, making equal states digest unequally. For a cache key
+// that failure mode is safe — it can only cost hits, never fabricate
+// one — and the campaign engine additionally scopes every digest to
+// one (test case, instant), where determinism pins the state anyway.
+func (s *Snapshot) Digest() string {
+	h := sha256.New()
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(s.Now))
+	h.Write(b8[:])
+	binary.LittleEndian.PutUint64(b8[:], uint64(s.Used))
+	h.Write(b8[:])
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(s.Signals)))
+	h.Write(b8[:])
+	var b2 [2]byte
+	for _, v := range s.Signals {
+		binary.LittleEndian.PutUint16(b2[:], v)
+		h.Write(b2[:])
+	}
+	for _, hs := range s.Hidden {
+		fmt.Fprintf(h, "/%#v", hs)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -21,6 +21,11 @@
 # The JSON schema is one object:
 #   {"tag": ..., "go": ..., "goos": ..., "goarch": ..., "cpu": ...,
 #    "benchmarks": [{"name", "runs", "ns_op", "b_op", "allocs_op"}]}
+#
+# After writing BENCH_<TAG>.json, the run is diffed against the
+# committed BENCH_seed.json and BENCH_pr4.json baselines (when
+# present): one line per shared benchmark with the old and new ns/op
+# and the speedup ratio (old/new, so >1.00x means this run is faster).
 set -euo pipefail
 
 if [ $# -lt 1 ]; then
@@ -84,3 +89,36 @@ awk -v tag="$TAG" '
 ' "$RAW" > "$OUT"
 
 echo "bench.sh: wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
+
+# diff_against BASELINE.json — per-benchmark ns/op comparison against a
+# committed baseline. Relies on the one-benchmark-per-line layout this
+# script itself emits, so it needs no JSON tooling.
+diff_against() {
+    local base="$1"
+    [ -f "$base" ] || return 0
+    echo "" >&2
+    echo "bench.sh: $(basename "$OUT") vs $(basename "$base") (ratio = old/new, >1.00x is faster):" >&2
+    printf '  %-50s %15s %15s %9s\n' "benchmark" "old ns/op" "new ns/op" "speedup" >&2
+    awk -v newf="$OUT" -v oldf="$base" '
+        function load(f, arr,   line, name, ns) {
+            while ((getline line < f) > 0) {
+                if (line !~ /"name"/) continue
+                match(line, /"name": "[^"]*"/)
+                name = substr(line, RSTART + 9, RLENGTH - 10)
+                match(line, /"ns_op": [0-9.e+]+/)
+                ns = substr(line, RSTART + 9, RLENGTH - 9)
+                arr[name] = ns + 0
+            }
+            close(f)
+        }
+        BEGIN {
+            load(oldf, old); load(newf, new)
+            for (name in new)
+                if (name in old && old[name] > 0)
+                    printf "  %-50s %15.0f %15.0f %8.2fx\n", name, old[name], new[name], old[name] / new[name]
+        }
+    ' | sort >&2
+}
+
+diff_against "$ROOT/BENCH_seed.json"
+diff_against "$ROOT/BENCH_pr4.json"
