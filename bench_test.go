@@ -12,6 +12,7 @@ package propane_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -28,6 +29,8 @@ import (
 	"propane/internal/report"
 	"propane/internal/runner"
 	"propane/internal/sim"
+	"propane/internal/synth"
+	"propane/internal/target"
 	"propane/internal/trace"
 )
 
@@ -743,5 +746,84 @@ func BenchmarkDistributedPaperCampaign(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			benchDistributed(b, "paper", runner.TierFull, workers)
 		})
+	}
+}
+
+// synthBenchTarget compiles examples/synth/arrestor.yaml once per
+// process for the DSL-vs-handwritten pair below.
+var (
+	synthBenchOnce sync.Once
+	synthBenchTgt  *target.Target
+)
+
+func synthBenchCampaign(b *testing.B) campaign.Config {
+	b.Helper()
+	synthBenchOnce.Do(func() {
+		data, err := os.ReadFile(filepath.Join("examples", "synth", "arrestor.yaml"))
+		if err != nil {
+			panic(err)
+		}
+		spec, err := synth.Parse(data)
+		if err != nil {
+			panic(err)
+		}
+		compiled, err := synth.Compile(spec)
+		if err != nil {
+			panic(err)
+		}
+		synthBenchTgt = compiled.Target
+	})
+	cfg := benchCampaign()
+	cfg.Arrestor = arrestor.Config{}
+	cfg.Custom = synthBenchTgt
+	return cfg
+}
+
+// BenchmarkArrestorCampaignHandwritten is the baseline of the DSL
+// overhead pair: the 52-run bench campaign through the hand-written
+// arrestor modules.
+func BenchmarkArrestorCampaignHandwritten(b *testing.B) {
+	cfg := benchCampaign()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArrestorCampaignDSL runs the identical campaign through
+// the DSL-compiled target (examples/synth/arrestor.yaml). The two
+// produce bit-identical matrices (internal/synth's equivalence
+// tests), so the delta against the handwritten baseline is pure
+// generic-dispatch overhead: port-buffer latching plus one interface
+// call per module step.
+func BenchmarkArrestorCampaignDSL(b *testing.B) {
+	cfg := synthBenchCampaign(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthCompile measures the document pipeline alone: parse
+// (YAML subset decoder), validation and compilation to a registered
+// target, without running anything.
+func BenchmarkSynthCompile(b *testing.B) {
+	data, err := os.ReadFile(filepath.Join("examples", "synth", "arrestor.yaml"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec, err := synth.Parse(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := synth.Compile(spec); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -9,6 +9,8 @@
 //	campaignrunner -instance paper -dir D -shard 0 -shards 4
 //	campaignrunner -instance paper -dir D -assemble
 //	campaignrunner -worker http://coordinator:8080 -dir scratch
+//	campaignrunner -synth examples/synth/arrestor.yaml -instance synth-arrestor -tier quick -dir D
+//	campaignrunner -fuzz-topologies 200
 //
 // Every run writes an artifact set under -dir: config.json (the
 // digestable config snapshot), journal.jsonl (one line per completed
@@ -27,6 +29,14 @@
 // -quarantine-after consecutive failures instead of wedging the
 // campaign.
 //
+// With -synth, declarative topology documents (YAML/JSON, see
+// examples/synth/) are compiled and registered as additional named
+// instances before any other mode runs, so they list, run, resume,
+// shard and assemble exactly like the built-in ones. With
+// -fuzz-topologies N, the process instead generates N random valid
+// topologies and runs each one's quick campaign twice, failing on
+// any engine panic, campaign error or non-determinism.
+//
 // With -worker, the process joins the fleet of a distributed
 // coordinator (command propaned) instead of running a campaign of
 // its own: it leases work units, executes them through the same
@@ -42,10 +52,13 @@ import (
 	"os"
 	"time"
 
+	"strings"
+
 	"propane/internal/campaign"
 	"propane/internal/distrib"
 	"propane/internal/profiling"
 	"propane/internal/runner"
+	"propane/internal/synth"
 )
 
 func main() {
@@ -71,6 +84,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures (0 = default 3, negative disables)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
 	pruneFlag := fs.String("prune", "auto", "equivalence pruning: auto (short-circuit provably equivalent runs) or off")
+	synthFiles := fs.String("synth", "", "comma-separated declarative topology documents to compile and register as instances")
+	fuzzTopologies := fs.Int("fuzz-topologies", 0, "generate and campaign this many random topologies, then exit")
 	workerURL := fs.String("worker", "", "join a distributed coordinator's fleet at this URL (see propaned); -dir becomes the local scratch root")
 	workerName := fs.String("worker-name", "", "fleet identity for -worker mode (default hostname-pid; keep it stable across restarts to resume local work)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -88,6 +103,23 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = perr
 		}
 	}()
+
+	if *synthFiles != "" {
+		for _, path := range strings.Split(*synthFiles, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			def, serr := runner.RegisterSynthFile(path)
+			if serr != nil {
+				return serr
+			}
+			fmt.Fprintf(out, "registered instance %q from %s\n", def.Name, path)
+		}
+	}
+	if *fuzzTopologies > 0 {
+		return runTopologyFuzz(*fuzzTopologies, out)
+	}
 
 	if *list {
 		fmt.Fprintln(out, "registered campaign instances (tiers: quick, full):")
@@ -177,5 +209,23 @@ func run(args []string, out io.Writer) (retErr error) {
 	} else {
 		fmt.Fprintf(out, "artifacts in %s\n", rr.Dir)
 	}
+	return nil
+}
+
+// runTopologyFuzz sweeps seeds 1..n through the topology generator:
+// each spec must validate, compile and produce a deterministic quick
+// campaign. Crashing or hanging modules are legitimate outcomes; an
+// engine panic or campaign error fails the sweep.
+func runTopologyFuzz(n int, out io.Writer) error {
+	for seed := int64(1); seed <= int64(n); seed++ {
+		spec := synth.GenerateTopology(seed)
+		if err := synth.CheckTopology(spec); err != nil {
+			return fmt.Errorf("topology fuzz: seed %d: %w", seed, err)
+		}
+		if seed%50 == 0 || seed == int64(n) {
+			fmt.Fprintf(out, "topology fuzz: %d/%d topologies survived\n", seed, n)
+		}
+	}
+	fmt.Fprintf(out, "topology fuzz: %d topologies, zero engine panics\n", n)
 	return nil
 }

@@ -158,3 +158,59 @@ func TestRunWorkerMode(t *testing.T) {
 		t.Error("-worker without -dir accepted")
 	}
 }
+
+// TestRunSynthInstance compiles a declarative topology document from
+// the CLI, registers it, and journals its quick campaign exactly like
+// a built-in instance.
+func TestRunSynthInstance(t *testing.T) {
+	dir := t.TempDir()
+	synthFile := filepath.Join("..", "..", "examples", "synth", "hostile.yaml")
+	var out strings.Builder
+	args := []string{"-synth", synthFile, "-instance", "synth-hostile",
+		"-dir", dir, "-progress", "0"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { runner.Unregister("synth-hostile") })
+	if !strings.Contains(out.String(), `registered instance "synth-hostile"`) {
+		t.Errorf("registration line missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "campaign synth-hostile/quick") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "supervised failure modes:") {
+		t.Errorf("compiled mines/tarpits produced no supervised modes:\n%s", out.String())
+	}
+	for _, name := range []string{"config.json", "journal.jsonl", "metrics.json", "report.md"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}
+
+// TestRunSynthErrors: a missing or invalid document fails the run up
+// front, before any campaign work.
+func TestRunSynthErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-synth", filepath.Join(t.TempDir(), "nope.yaml"), "-list"}, &out); err == nil {
+		t.Error("missing -synth file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(bad, []byte("name: broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-synth", bad, "-list"}, &out); err == nil {
+		t.Error("invalid -synth file accepted")
+	}
+}
+
+// TestRunFuzzTopologies drives the generator sweep through the CLI.
+func TestRunFuzzTopologies(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fuzz-topologies", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "5 topologies, zero engine panics") {
+		t.Errorf("fuzz summary missing:\n%s", out.String())
+	}
+}

@@ -8,12 +8,17 @@
 //	        [-uniform] [-advice] [-dot DIR] [-artifacts DIR [-resume]]
 //	        [-run-budget N] [-max-retries N] [-quarantine-after N]
 //	        [-prune auto|off] [-cpuprofile F] [-memprofile F]
+//	        [-synth FILE [-synth-tier quick|full]]
 //
 // -scale selects the campaign size (tiny runs in well under a second,
 // paper executes the full 52 000-run campaign). -dot writes Graphviz
 // renderings of Figs. 8–12 into DIR. -artifacts routes the campaign
 // through the journaled runner (internal/runner), so a long campaign
 // killed mid-flight resumes with -resume instead of starting over.
+// -synth compiles a declarative topology document (YAML/JSON, see
+// examples/synth/) and runs the full analysis pipeline — permeability
+// tables, placement advice, sensitivity — against the compiled
+// target; it overrides -scale, -config and -dual.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"propane/internal/report"
 	"propane/internal/runner"
 	"propane/internal/sim"
+	"propane/internal/synth"
 )
 
 func main() {
@@ -56,6 +62,8 @@ func run(args []string) (retErr error) {
 	trees := fs.Bool("trees", false, "print ASCII backtrack and trace trees (Figs. 10-12)")
 	reportPath := fs.String("report", "", "write the complete Markdown report to this file")
 	configPath := fs.String("config", "", "experiment description file (JSON); overrides -scale and -dual")
+	synthPath := fs.String("synth", "", "declarative topology document (YAML/JSON) to compile and campaign; overrides -scale, -config and -dual")
+	synthTier := fs.String("synth-tier", "quick", "campaign tier of the -synth document to run")
 	dotDir := fs.String("dot", "", "write Graphviz figures (Figs. 8-12) into this directory")
 	artifacts := fs.String("artifacts", "", "journal the campaign into this artifact directory (resumable)")
 	resume := fs.Bool("resume", false, "resume a killed campaign from the -artifacts journal")
@@ -80,7 +88,24 @@ func run(args []string) (retErr error) {
 	}()
 
 	var cfg campaign.Config
-	if *configPath != "" {
+	if *synthPath != "" {
+		data, err := os.ReadFile(*synthPath)
+		if err != nil {
+			return err
+		}
+		spec, err := synth.Parse(data)
+		if err != nil {
+			return err
+		}
+		compiled, err := synth.Compile(spec)
+		if err != nil {
+			return err
+		}
+		cfg, err = compiled.Config(*synthTier)
+		if err != nil {
+			return err
+		}
+	} else if *configPath != "" {
 		data, err := os.ReadFile(*configPath)
 		if err != nil {
 			return err
@@ -122,6 +147,9 @@ func run(args []string) (retErr error) {
 		name := "propane-" + *scale
 		if *configPath != "" {
 			name = "propane-config"
+		}
+		if *synthPath != "" {
+			name = "propane-synth"
 		}
 		rr, err := runner.Run(cfg, runner.Options{
 			Name: name, Dir: *artifacts, Resume: *resume,

@@ -50,11 +50,27 @@ func TestRunConfigFile(t *testing.T) {
 	}
 }
 
+func TestRunSynthDocument(t *testing.T) {
+	doc := filepath.Join("..", "..", "examples", "synth", "hostile.yaml")
+	reportPath := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-synth", doc, "-table", "1", "-report", reportPath}); err != nil {
+		t.Fatalf("run with -synth: %v", err)
+	}
+	if md, err := os.ReadFile(reportPath); err != nil || len(md) == 0 {
+		t.Errorf("markdown report missing: %v", err)
+	}
+	// An undeclared tier in the document is a flag error, not a panic.
+	if err := run([]string{"-synth", doc, "-synth-tier", "nightly"}); err == nil {
+		t.Error("undeclared -synth-tier accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := [][]string{
 		{"-scale", "warp9"},
 		{"-scale", "tiny", "-table", "9"},
 		{"-config", "/no/such/file.json"},
+		{"-synth", "/no/such/topology.yaml"},
 	}
 	for _, args := range tests {
 		if err := run(args); err == nil {

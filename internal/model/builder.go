@@ -7,6 +7,12 @@ import (
 	"strings"
 )
 
+// ErrInvalidTopology is the sentinel every Build validation failure
+// wraps: callers (the campaign assembler, the declarative compiler,
+// decoders) can branch on errors.Is(err, ErrInvalidTopology) without
+// string-matching the accumulated detail.
+var ErrInvalidTopology = errors.New("model: invalid topology")
+
 // Builder constructs and validates a System. The zero value is not
 // usable; create one with NewBuilder.
 type Builder struct {
@@ -144,7 +150,7 @@ func (b *Builder) Build() (*System, error) {
 		}
 	}
 	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidTopology, errors.Join(errs...))
 	}
 
 	byName := make(map[string]*Module, len(b.modules))

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -234,8 +235,17 @@ func TestBuilderValidation(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if _, err := tt.build(); err == nil {
-				t.Error("Build() succeeded, want error")
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Build() panicked: %v (invalid topologies must return errors)", r)
+				}
+			}()
+			_, err := tt.build()
+			if err == nil {
+				t.Fatal("Build() succeeded, want error")
+			}
+			if !errors.Is(err, ErrInvalidTopology) {
+				t.Errorf("Build() error %v does not wrap ErrInvalidTopology", err)
 			}
 		})
 	}
@@ -301,8 +311,12 @@ func TestDecodeSystemErrors(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if _, err := DecodeSystem([]byte(tt.data)); err == nil {
+			_, err := DecodeSystem([]byte(tt.data))
+			if err == nil {
 				t.Error("DecodeSystem succeeded, want error")
+			}
+			if tt.name == "invalid topology" && !errors.Is(err, ErrInvalidTopology) {
+				t.Errorf("DecodeSystem error %v does not wrap ErrInvalidTopology", err)
 			}
 		})
 	}

@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"propane/internal/arrestor"
 	"propane/internal/autobrake"
@@ -95,7 +96,11 @@ func ablationModels() []inject.ErrorModel {
 
 // registry holds the named instances. Keep definitions deterministic:
 // the config a (name, tier) pair produces must be stable across
-// processes, because journals and shards key on its digest.
+// processes, because journals and shards key on its digest. regMu
+// guards it because Register can add DSL-compiled instances at
+// runtime while workers call Lookup.
+var regMu sync.RWMutex
+
 var registry = map[string]Definition{
 	"paper": {
 		Name:        "paper",
@@ -234,6 +239,8 @@ var registry = map[string]Definition{
 // Instances lists the registered instance definitions, sorted by
 // name.
 func Instances() []Definition {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	defs := make([]Definition, 0, len(registry))
 	for _, d := range registry {
 		defs = append(defs, d)
@@ -244,6 +251,8 @@ func Instances() []Definition {
 
 // Lookup resolves an instance by name.
 func Lookup(name string) (Definition, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	d, ok := registry[name]
 	if !ok {
 		names := make([]string, 0, len(registry))

@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadSynthFile: a declarative document loads into a Definition
+// whose tiers resolve against the document's own campaign section.
+func TestLoadSynthFile(t *testing.T) {
+	def, err := LoadSynthFile(filepath.Join("..", "..", "examples", "synth", "arrestor.yaml"))
+	if err != nil {
+		t.Fatalf("LoadSynthFile: %v", err)
+	}
+	if def.Name != "synth-arrestor" {
+		t.Errorf("name = %q, want synth-arrestor", def.Name)
+	}
+	for _, tier := range []Tier{TierQuick, TierFull} {
+		cfg, err := def.Config(tier)
+		if err != nil {
+			t.Fatalf("Config(%s): %v", tier, err)
+		}
+		if cfg.Custom == nil {
+			t.Fatalf("Config(%s): no custom target", tier)
+		}
+		if got := cfg.System().Name(); got != "synth-arrestor" {
+			t.Errorf("Config(%s): system name = %q", tier, got)
+		}
+	}
+	if _, err := def.Config(Tier("nightly")); err == nil {
+		t.Error("undeclared tier accepted")
+	}
+}
+
+// TestRegisterSynthFile: registration makes the instance visible to
+// Lookup and Instances, and name collisions are rejected — a loaded
+// document cannot shadow a built-in instance.
+func TestRegisterSynthFile(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "synth", "hostile.yaml")
+	def, err := RegisterSynthFile(path)
+	if err != nil {
+		t.Fatalf("RegisterSynthFile: %v", err)
+	}
+	t.Cleanup(func() {
+		if !Unregister(def.Name) {
+			t.Errorf("Unregister(%s) found nothing to remove", def.Name)
+		}
+	})
+
+	got, err := Lookup(def.Name)
+	if err != nil {
+		t.Fatalf("Lookup(%s): %v", def.Name, err)
+	}
+	if got.Name != def.Name {
+		t.Errorf("Lookup returned %q", got.Name)
+	}
+	found := false
+	for _, d := range Instances() {
+		if d.Name == def.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Instances() does not list %s", def.Name)
+	}
+
+	if _, err := RegisterSynthFile(path); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := Register(Definition{Name: "paper", Config: def.Config}); err == nil {
+		t.Error("shadowing a built-in instance accepted")
+	}
+}
+
+// TestLoadSynthFileErrors: unreadable and invalid documents are
+// rejected with named-path errors, and a document without campaign
+// tiers cannot become an instance.
+func TestLoadSynthFileErrors(t *testing.T) {
+	if _, err := LoadSynthFile(filepath.Join(t.TempDir(), "missing.yaml")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(bad, []byte("name: broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSynthFile(bad); err == nil {
+		t.Error("invalid document accepted")
+	} else if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %v does not name the file", err)
+	}
+}

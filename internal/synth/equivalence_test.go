@@ -1,0 +1,181 @@
+package synth_test
+
+// Equivalence suite for the declarative target DSL: compiling
+// examples/synth/arrestor.yaml must produce a campaign matrix that is
+// bit-identical to the hand-written registry "paper" instance — every
+// per-run record, every permeability pair, every location row. The
+// hostile document proves crash/hang outcome parity: the supervised
+// execution layer classifies a compiled mine/tarpit exactly as it
+// classifies the hand-written one. The suite runs under -race in CI.
+//
+// The tests live in an external package because they compare against
+// the runner registry, and runner imports synth.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"propane/internal/campaign"
+	"propane/internal/runner"
+	"propane/internal/synth"
+)
+
+// synthQuickConfig compiles an example document and builds its quick
+// tier campaign configuration.
+func synthQuickConfig(t *testing.T, file string) campaign.Config {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "synth", file))
+	if err != nil {
+		t.Fatalf("reading %s: %v", file, err)
+	}
+	spec, err := synth.Parse(data)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", file, err)
+	}
+	compiled, err := synth.Compile(spec)
+	if err != nil {
+		t.Fatalf("compiling %s: %v", file, err)
+	}
+	cfg, err := compiled.Config("quick")
+	if err != nil {
+		t.Fatalf("quick tier of %s: %v", file, err)
+	}
+	return cfg
+}
+
+// registryQuickConfig builds the quick tier of a hand-written
+// registry instance.
+func registryQuickConfig(t *testing.T, name string) campaign.Config {
+	t.Helper()
+	def, err := runner.Lookup(name)
+	if err != nil {
+		t.Fatalf("lookup %s: %v", name, err)
+	}
+	cfg, err := def.Config(runner.TierQuick)
+	if err != nil {
+		t.Fatalf("quick config of %s: %v", name, err)
+	}
+	return cfg
+}
+
+// runKeyed executes the campaign and returns the Result plus every
+// RunRecord keyed by (injection, case).
+func runKeyed(t *testing.T, cfg campaign.Config) (*campaign.Result, map[string]campaign.RunRecord) {
+	t.Helper()
+	var mu sync.Mutex
+	records := make(map[string]campaign.RunRecord)
+	cfg.Observer = func(rec campaign.RunRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := fmt.Sprintf("%s#%d", rec.Injection.String(), rec.CaseIndex)
+		if _, dup := records[key]; dup {
+			t.Errorf("duplicate record for %s", key)
+		}
+		records[key] = rec
+	}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, records
+}
+
+// assertMatricesEqual compares the hand-written baseline against the
+// DSL-compiled run. With exactDetail the Detail strings must match
+// byte for byte; without it only the outcome classification is
+// compared (panic messages legitimately carry different package
+// prefixes).
+func assertMatricesEqual(t *testing.T, hand, dsl *campaign.Result,
+	handRecs, dslRecs map[string]campaign.RunRecord, exactDetail bool) {
+	t.Helper()
+	if len(dslRecs) != len(handRecs) {
+		t.Fatalf("DSL run produced %d records, hand-written %d", len(dslRecs), len(handRecs))
+	}
+	for key, h := range handRecs {
+		d, ok := dslRecs[key]
+		if !ok {
+			t.Errorf("%s: missing from DSL run", key)
+			continue
+		}
+		if h.Outcome != d.Outcome || h.Fired != d.Fired || h.FiredAt != d.FiredAt ||
+			h.SystemFailure != d.SystemFailure || h.FailureAt != d.FailureAt ||
+			h.Attempts != d.Attempts {
+			t.Errorf("%s: record diverges:\nhand-written: %+v\nDSL: %+v", key, h, d)
+		}
+		if exactDetail && h.Detail != d.Detail {
+			t.Errorf("%s: detail diverges:\nhand-written: %q\nDSL: %q", key, h.Detail, d.Detail)
+		}
+		if !reflect.DeepEqual(h.Diffs, d.Diffs) {
+			t.Errorf("%s: diffs diverge:\nhand-written: %v\nDSL: %v", key, h.Diffs, d.Diffs)
+		}
+	}
+
+	if hand.Runs != dsl.Runs || hand.Unfired != dsl.Unfired ||
+		hand.Crashes != dsl.Crashes || hand.Hangs != dsl.Hangs ||
+		len(hand.Quarantined) != len(dsl.Quarantined) {
+		t.Errorf("totals diverge: runs %d/%d unfired %d/%d crashes %d/%d hangs %d/%d",
+			hand.Runs, dsl.Runs, hand.Unfired, dsl.Unfired,
+			hand.Crashes, dsl.Crashes, hand.Hangs, dsl.Hangs)
+	}
+	if len(hand.Pairs) != len(dsl.Pairs) {
+		t.Fatalf("pair count diverges: %d vs %d", len(hand.Pairs), len(dsl.Pairs))
+	}
+	for i := range hand.Pairs {
+		h, d := hand.Pairs[i], dsl.Pairs[i]
+		if h.Pair != d.Pair || h.Injections != d.Injections || h.Errors != d.Errors ||
+			h.Estimate != d.Estimate || h.CI != d.CI || h.MeanLatencyMs != d.MeanLatencyMs ||
+			h.Transients != d.Transients || h.Permanents != d.Permanents ||
+			h.Crashes != d.Crashes || h.Hangs != d.Hangs {
+			t.Errorf("pair %v diverges:\nhand-written: %+v\nDSL: %+v", h.Pair, h, d)
+		}
+	}
+	if !reflect.DeepEqual(hand.Locations, dsl.Locations) {
+		t.Errorf("location propagation diverges:\nhand-written: %+v\nDSL: %+v",
+			hand.Locations, dsl.Locations)
+	}
+}
+
+// TestSynthArrestorBitIdentical pins the headline acceptance: the
+// DSL-compiled arrestor's quick-tier campaign matrix equals the
+// hand-written "paper" instance's, run for run and digit for digit —
+// including golden-run diffs, latencies and Detail strings.
+func TestSynthArrestorBitIdentical(t *testing.T) {
+	hand, handRecs := runKeyed(t, registryQuickConfig(t, "paper"))
+	dsl, dslRecs := runKeyed(t, synthQuickConfig(t, "arrestor.yaml"))
+	assertMatricesEqual(t, hand, dsl, handRecs, dslRecs, true)
+}
+
+// TestSynthHostileOutcomeParity proves crash/hang parity: the
+// DSL-compiled adversarial pipeline produces the same outcome for
+// every (injection, case) as the hand-written hostile instance.
+// Detail strings are excluded (the panic messages carry different
+// package prefixes), but crash records on both sides must blame the
+// mine.
+func TestSynthHostileOutcomeParity(t *testing.T) {
+	hand, handRecs := runKeyed(t, registryQuickConfig(t, "hostile"))
+	dsl, dslRecs := runKeyed(t, synthQuickConfig(t, "hostile.yaml"))
+	assertMatricesEqual(t, hand, dsl, handRecs, dslRecs, false)
+
+	crashes := 0
+	for key, h := range handRecs {
+		d := dslRecs[key]
+		if h.Outcome != campaign.OutcomeCrash {
+			continue
+		}
+		crashes++
+		if !strings.Contains(h.Detail, "mine tripped") {
+			t.Errorf("%s: hand-written crash detail %q does not blame the mine", key, h.Detail)
+		}
+		if !strings.Contains(d.Detail, "mine tripped") {
+			t.Errorf("%s: DSL crash detail %q does not blame the mine", key, d.Detail)
+		}
+	}
+	if crashes == 0 {
+		t.Error("quick tier produced no crashes; the parity check is vacuous")
+	}
+}

@@ -1,0 +1,260 @@
+package synth
+
+// Topology fuzzing: GenerateTopology derives a random-but-valid spec
+// from a seed and CheckTopology compiles it and runs its quick-tier
+// campaign twice, requiring determinism. The generator keeps one
+// invariant: every signal is 15 bits wide and every environment
+// waveform is masked below bit 15, so a golden run can never trip a
+// mine or tarpit — crashes and hangs only ever come from injections,
+// which the supervised execution layer must classify, never escalate
+// into an engine failure.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"propane/internal/campaign"
+	"propane/internal/synth/workload"
+)
+
+// fuzzKinds lists the block types the generator draws from, with the
+// parameter choices it can make for each. Multi-input blocks are only
+// eligible once the signal pool is deep enough.
+var fuzzKinds = []string{
+	"passthrough", "gain", "saturate", "offset", "integrate", "delay",
+	"lookup", "sum", "median3", "feed", "slew_limiter",
+	"pi_regulator", "mine", "tarpit",
+}
+
+// GenerateTopology deterministically derives a random topology from a
+// seed: 1-3 waveform-driven boundary signals, 3-8 modules wired
+// feed-forward from the growing signal pool (possibly including mines
+// and tarpits), a sink collecting into the system output, and a tiny
+// quick campaign tier. The same seed always yields the same spec.
+func GenerateTopology(seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	slots := 1 + rng.Intn(4)
+
+	var signals []SignalSpec
+	var pool []string
+	declare := func(name string) string {
+		signals = append(signals, SignalSpec{Name: name, Width: 15})
+		return name
+	}
+
+	bind := make(map[string]string)
+	nBoundary := 1 + rng.Intn(3)
+	for i := 0; i < nBoundary; i++ {
+		name := declare(fmt.Sprintf("env%d", i))
+		pool = append(pool, name)
+		bind[fmt.Sprintf("w%d", i)] = name
+	}
+	env := EnvSpec{
+		Kind:   "waveform",
+		Params: map[string]float64{"seed": float64(1 + rng.Intn(1<<20))},
+		Bind:   bind,
+	}
+
+	// pick samples k distinct signals from the pool.
+	pick := func(k int) []string {
+		idx := rng.Perm(len(pool))[:k]
+		out := make([]string, k)
+		for i, j := range idx {
+			out[i] = pool[j]
+		}
+		return out
+	}
+	schedule := func() string {
+		switch rng.Intn(3) {
+		case 0:
+			return "every-tick"
+		case 1:
+			return "background"
+		default:
+			return fmt.Sprintf("slot:%d", rng.Intn(slots))
+		}
+	}
+
+	nMods := 3 + rng.Intn(6)
+	var modules []ModuleSpec
+	next := 0
+	fresh := func() string {
+		next++
+		name := declare(fmt.Sprintf("s%d", next))
+		return name
+	}
+	for m := 0; m < nMods; m++ {
+		kind := fuzzKinds[rng.Intn(len(fuzzKinds))]
+		if kind == "pi_regulator" && len(pool) < 2 {
+			kind = "gain"
+		}
+		mod := ModuleSpec{
+			Name:     fmt.Sprintf("M%d", m),
+			Schedule: schedule(),
+			Fn:       kind,
+		}
+		switch kind {
+		case "passthrough":
+			mod.Inputs = pick(1 + rng.Intn(min(2, len(pool))))
+			for range mod.Inputs {
+				mod.Outputs = append(mod.Outputs, fresh())
+			}
+		case "sum":
+			mod.Inputs = pick(1 + rng.Intn(min(2, len(pool))))
+			mod.Outputs = []string{fresh()}
+		case "pi_regulator":
+			mod.Inputs = pick(2)
+			mod.Outputs = []string{fresh()}
+		case "feed":
+			mod.Inputs = pick(1)
+			mod.Outputs = []string{fresh(), fresh()}
+			mod.Params = map[string]any{"mask": float64(0x7FFF)}
+		default:
+			mod.Inputs = pick(1)
+			mod.Outputs = []string{fresh()}
+			switch kind {
+			case "gain":
+				mod.Params = map[string]any{
+					"mul": float64(1 + rng.Intn(8)),
+					"div": float64(1 + rng.Intn(4)),
+				}
+			case "saturate":
+				lo := rng.Intn(1024)
+				mod.Params = map[string]any{
+					"lo": float64(lo),
+					"hi": float64(lo + rng.Intn(0x4000)),
+				}
+			case "offset":
+				mod.Params = map[string]any{"add": float64(rng.Intn(4096))}
+			case "integrate":
+				mod.Params = map[string]any{"shift": float64(rng.Intn(5))}
+			case "delay":
+				mod.Params = map[string]any{"ticks": float64(1 + rng.Intn(8))}
+			case "lookup":
+				table := make([]any, 1+rng.Intn(6))
+				for i := range table {
+					table[i] = float64(rng.Intn(0x8000))
+				}
+				mod.Params = map[string]any{"table": table}
+			case "median3":
+				mod.Params = map[string]any{"shift": float64(rng.Intn(9))}
+			case "slew_limiter":
+				mod.Params = map[string]any{"max_slew": float64(1 + rng.Intn(4096))}
+			case "mine", "tarpit":
+				mod.Params = map[string]any{"poison_mask": float64(0x8000)}
+			}
+		}
+		modules = append(modules, mod)
+		pool = append(pool, mod.Outputs...)
+	}
+
+	// A sink guarantees at least one driven, unconsumed system output
+	// regardless of how the random wiring worked out.
+	sink := ModuleSpec{
+		Name:     "SINK",
+		Schedule: "every-tick",
+		Fn:       "sum",
+		Inputs:   pick(1 + rng.Intn(min(2, len(pool)))),
+		Outputs:  []string{declare("out")},
+	}
+	modules = append(modules, sink)
+
+	horizon := int64(40 + rng.Intn(20))
+	return &Spec{
+		Name:        fmt.Sprintf("fuzz-%d", seed),
+		Description: "generated topology (fuzzer)",
+		Slots:       slots,
+		Signals:     signals,
+		Environment: env,
+		Modules:     modules,
+		SystemOutputs: []string{
+			"out",
+		},
+		Campaign: map[string]TierSpec{
+			"quick": {
+				Workload: func() workload.Spec {
+					mass := 9000 + 100*float64(rng.Intn(50))
+					return workload.Spec{
+						Kind: "grid", NMass: 1, NVel: 2,
+						MassLo: mass, MassHi: mass,
+						VelLo: 45, VelHi: 65,
+					}
+				}(),
+				TimesMs:        []int64{int64(5 + rng.Intn(10)), int64(20 + rng.Intn(15))},
+				Bits:           []uint{uint(rng.Intn(15)), 15},
+				HorizonMs:      horizon,
+				DirectWindowMs: 10,
+				// Generous for honest execution, tight enough that a
+				// poisoned tarpit trips it well before the wall clock.
+				BudgetSteps: horizon*int64(len(modules)+4) + 2048,
+			},
+		},
+	}
+}
+
+// campaignSummary is a deterministic, comparable digest of a campaign
+// Result: per-run records plus the exported aggregate statistics.
+type campaignSummary struct {
+	Records   map[string]string
+	Pairs     []string
+	Totals    string
+	Locations string
+}
+
+func runSummary(cfg campaign.Config) (*campaignSummary, error) {
+	cfg.Workers = 1
+	sum := &campaignSummary{Records: make(map[string]string)}
+	cfg.Observer = func(rec campaign.RunRecord) {
+		key := fmt.Sprintf("%s#%d", rec.Injection.String(), rec.CaseIndex)
+		sum.Records[key] = fmt.Sprintf("%v|%v|%v|%v|%v|%q|%d|%v",
+			rec.Outcome, rec.Fired, rec.FiredAt, rec.SystemFailure,
+			rec.FailureAt, rec.Detail, rec.Attempts, rec.Diffs)
+	}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range res.Pairs {
+		sum.Pairs = append(sum.Pairs, fmt.Sprintf("%v|%d|%d|%v|%v|%v|%d|%d|%d|%d",
+			p.Pair, p.Injections, p.Errors, p.Estimate, p.CI, p.MeanLatencyMs,
+			p.Transients, p.Permanents, p.Crashes, p.Hangs))
+	}
+	sum.Totals = fmt.Sprintf("runs=%d unfired=%d crashes=%d hangs=%d quarantined=%d",
+		res.Runs, res.Unfired, res.Crashes, res.Hangs, len(res.Quarantined))
+	sum.Locations = fmt.Sprintf("%v", res.Locations)
+	return sum, nil
+}
+
+// CheckTopology validates, compiles and campaigns a topology, then
+// repeats the campaign and requires a bit-identical summary. Any
+// validation error, compile error, campaign error or divergence is
+// returned; an engine panic propagates to the caller (that is the
+// fuzzing oracle: compiled targets may crash and hang, the engine may
+// not).
+func CheckTopology(s *Spec) error {
+	compiled, err := Compile(s)
+	if err != nil {
+		return err
+	}
+	cfg, err := compiled.Config("quick")
+	if err != nil {
+		return err
+	}
+	first, err := runSummary(cfg)
+	if err != nil {
+		return fmt.Errorf("synth: campaign on %s: %w", s.Name, err)
+	}
+	cfg2, err := compiled.Config("quick")
+	if err != nil {
+		return err
+	}
+	second, err := runSummary(cfg2)
+	if err != nil {
+		return fmt.Errorf("synth: re-run campaign on %s: %w", s.Name, err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		return fmt.Errorf("synth: topology %s is non-deterministic across identical campaigns", s.Name)
+	}
+	return nil
+}

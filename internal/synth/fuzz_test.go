@@ -1,0 +1,79 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzTopology is the native fuzz target: any int64 must yield a
+// valid spec whose campaign runs deterministically with zero engine
+// panics — injected crashes and hangs are classified outcomes, never
+// escalations.
+func FuzzTopology(f *testing.F) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		spec := GenerateTopology(seed)
+		if err := CheckTopology(spec); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}
+
+// TestFuzzTopologies sweeps a fixed band of seeds — the acceptance
+// floor is 200 random topologies with zero engine panics. -short
+// trims the band so the package test stays quick in CI's default
+// lane; the synth-fuzz-smoke job runs the full sweep.
+func TestFuzzTopologies(t *testing.T) {
+	n := int64(200)
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		spec := GenerateTopology(seed)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed %d: generated spec invalid: %v", seed, err)
+		}
+		if err := CheckTopology(spec); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestFuzzSpecsRoundTrip: generated specs must survive the canonical
+// serialization cycle like hand-written ones.
+func TestFuzzSpecsRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		s1 := GenerateTopology(seed)
+		ser, err := s1.Serialize()
+		if err != nil {
+			t.Fatalf("seed %d: serialize: %v", seed, err)
+		}
+		s2, err := Parse(ser)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		d1, err := s1.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := s2.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Errorf("seed %d: digest changed across round trip", seed)
+		}
+	}
+}
+
+// TestCheckTopologyRejectsInvalid: the checker must refuse a broken
+// spec with ErrInvalidSpec rather than running it.
+func TestCheckTopologyRejectsInvalid(t *testing.T) {
+	s := GenerateTopology(1)
+	s.SystemOutputs = nil
+	if err := CheckTopology(s); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("want ErrInvalidSpec, got %v", err)
+	}
+}

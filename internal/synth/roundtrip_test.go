@@ -1,0 +1,135 @@
+package synth
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRoundTrip pins the topology format's self-consistency: loading
+// a document, compiling it, re-serializing the spec and loading the
+// serialization again must yield an identical spec digest AND an
+// identical compiled model — for both the YAML and JSON forms, which
+// are synonyms by construction.
+func TestRoundTrip(t *testing.T) {
+	for _, name := range []string{"arrestor.yaml", "hostile.yaml"} {
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("..", "..", "examples", "synth", name))
+			if err != nil {
+				t.Fatalf("reading %s: %v", name, err)
+			}
+			s1, err := Parse(data)
+			if err != nil {
+				t.Fatalf("parse (yaml): %v", err)
+			}
+			c1, err := Compile(s1)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+
+			// Re-serialize (canonical JSON) and load again.
+			ser, err := s1.Serialize()
+			if err != nil {
+				t.Fatalf("serialize: %v", err)
+			}
+			s2, err := Parse(ser)
+			if err != nil {
+				t.Fatalf("parse (re-serialized JSON): %v", err)
+			}
+			c2, err := Compile(s2)
+			if err != nil {
+				t.Fatalf("compile (round-tripped): %v", err)
+			}
+
+			d1, err := s1.Digest()
+			if err != nil {
+				t.Fatalf("digest: %v", err)
+			}
+			d2, err := s2.Digest()
+			if err != nil {
+				t.Fatalf("digest (round-tripped): %v", err)
+			}
+			if d1 != d2 {
+				ser2, _ := s2.Serialize()
+				t.Errorf("spec digest changed across round trip:\n%s\nvs\n%s", ser, ser2)
+			}
+
+			// The compiled topology must be identical too: compare the
+			// model's canonical JSON serialization.
+			m1, err := c1.System.MarshalJSON()
+			if err != nil {
+				t.Fatalf("marshal system: %v", err)
+			}
+			m2, err := c2.System.MarshalJSON()
+			if err != nil {
+				t.Fatalf("marshal system (round-tripped): %v", err)
+			}
+			if !bytes.Equal(m1, m2) {
+				t.Errorf("model digest changed across round trip:\n%s\nvs\n%s", m1, m2)
+			}
+		})
+	}
+}
+
+// TestYAMLAndJSONFormsAgree feeds the same document through both
+// decoders and requires identical digests — YAML ints and JSON floats
+// must not produce distinguishable specs.
+func TestYAMLAndJSONFormsAgree(t *testing.T) {
+	yamlDoc := []byte(`
+name: agree
+slots: 2
+signals:
+  - {name: a, width: 16}
+  - {name: b, width: 12}
+environment:
+  kind: waveform
+  params:
+    seed: 7
+  bind:
+    d0: a
+modules:
+  - name: M
+    schedule: slot:1
+    fn: gain
+    inputs: [a]
+    outputs: [b]
+    params:
+      mul: 3
+      div: 2
+system_outputs: [b]
+`)
+	jsonDoc := []byte(`{
+  "name": "agree",
+  "slots": 2,
+  "signals": [{"name": "a", "width": 16}, {"name": "b", "width": 12}],
+  "environment": {"kind": "waveform", "params": {"seed": 7.0}, "bind": {"d0": "a"}},
+  "modules": [{
+    "name": "M", "schedule": "slot:1", "fn": "gain",
+    "inputs": ["a"], "outputs": ["b"],
+    "params": {"mul": 3.0, "div": 2.0}
+  }],
+  "system_outputs": ["b"]
+}`)
+	sy, err := Parse(yamlDoc)
+	if err != nil {
+		t.Fatalf("yaml: %v", err)
+	}
+	sj, err := Parse(jsonDoc)
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	dy, err := sy.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := sj.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dy != dj {
+		y, _ := sy.Serialize()
+		j, _ := sj.Serialize()
+		t.Errorf("YAML and JSON forms digest differently:\n%s\nvs\n%s", y, j)
+	}
+}

@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"propane/internal/synth/workload"
+)
+
+// minimalSpec returns a small valid spec tests can mutate into
+// specific invalid shapes.
+func minimalSpec() *Spec {
+	return &Spec{
+		Name:  "mini",
+		Slots: 1,
+		Signals: []SignalSpec{
+			{Name: "in", Width: 16},
+			{Name: "out", Width: 16},
+		},
+		Environment: EnvSpec{
+			Kind: "waveform",
+			Bind: map[string]string{"drive": "in"},
+		},
+		Modules: []ModuleSpec{
+			{Name: "M", Schedule: "every-tick", Fn: "passthrough",
+				Inputs: []string{"in"}, Outputs: []string{"out"}},
+		},
+		SystemOutputs: []string{"out"},
+	}
+}
+
+func TestMinimalSpecValid(t *testing.T) {
+	if err := minimalSpec().Validate(); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+}
+
+func TestValidationRejections(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"no name":          func(s *Spec) { s.Name = "" },
+		"negative slots":   func(s *Spec) { s.Slots = -1 },
+		"duplicate signal": func(s *Spec) { s.Signals = append(s.Signals, SignalSpec{Name: "in", Width: 16}) },
+		"zero-width signal": func(s *Spec) {
+			s.Signals = append(s.Signals, SignalSpec{Name: "z", Width: 0})
+		},
+		"over-wide signal": func(s *Spec) {
+			s.Signals = append(s.Signals, SignalSpec{Name: "w", Width: 17})
+		},
+		"empty signal name": func(s *Spec) {
+			s.Signals = append(s.Signals, SignalSpec{Name: "", Width: 16})
+		},
+		"no modules":       func(s *Spec) { s.Modules = nil },
+		"duplicate module": func(s *Spec) { s.Modules = append(s.Modules, s.Modules[0]) },
+		"empty module name": func(s *Spec) {
+			s.Modules[0].Name = ""
+		},
+		"unknown schedule": func(s *Spec) { s.Modules[0].Schedule = "sometimes" },
+		"slot out of range": func(s *Spec) {
+			s.Modules[0].Schedule = "slot:5" // only 1 slot
+		},
+		"unknown fn": func(s *Spec) { s.Modules[0].Fn = "wormhole" },
+		"arity mismatch": func(s *Spec) {
+			s.Modules[0].Fn = "gain" // 1→1, give it 2 inputs
+			s.Modules[0].Inputs = []string{"in", "out"}
+		},
+		"unknown param": func(s *Spec) {
+			s.Modules[0].Params = map[string]any{"frobnicate": 1.0}
+		},
+		"missing required param": func(s *Spec) {
+			s.Modules[0].Fn = "slew_limiter"
+		},
+		"bad param shape": func(s *Spec) {
+			s.Modules[0].Fn = "slew_limiter"
+			s.Modules[0].Params = map[string]any{"max_slew": "fast"}
+		},
+		"bad list param": func(s *Spec) {
+			s.Modules[0].Fn = "lookup"
+			s.Modules[0].Params = map[string]any{"table": []any{}}
+		},
+		"input listed twice": func(s *Spec) {
+			s.Modules[0].Fn = "sum"
+			s.Modules[0].Inputs = []string{"in", "in"}
+		},
+		"dangling input wire": func(s *Spec) {
+			s.Modules[0].Inputs = []string{"ghost"}
+		},
+		"dangling output wire": func(s *Spec) {
+			s.Modules[0].Outputs = []string{"ghost"}
+		},
+		"dangling slot signal": func(s *Spec) { s.SlotSignal = "ghost" },
+		"no system outputs":    func(s *Spec) { s.SystemOutputs = nil },
+		"dangling system output": func(s *Spec) {
+			s.SystemOutputs = []string{"ghost"}
+		},
+		"unknown env kind": func(s *Spec) { s.Environment.Kind = "vacuum" },
+		"unknown env param": func(s *Spec) {
+			s.Environment.Params = map[string]float64{"gravity": 9.8}
+		},
+		"missing env binding": func(s *Spec) {
+			s.Environment = EnvSpec{Kind: "ramp"} // needs command
+		},
+		"dangling env binding": func(s *Spec) {
+			s.Environment.Bind = map[string]string{"drive": "ghost"}
+		},
+		"tier bad workload": func(s *Spec) {
+			s.Campaign = map[string]TierSpec{"quick": {
+				Workload: workload.Spec{Kind: "zipf"},
+				TimesMs:  []int64{1}, Bits: []uint{0}, HorizonMs: 10,
+			}}
+		},
+		"tier no times": func(s *Spec) {
+			s.Campaign = map[string]TierSpec{"quick": {
+				Workload: workload.Spec{Kind: "grid", NMass: 1, NVel: 1, MassLo: 1, MassHi: 1, VelLo: 1, VelHi: 1},
+				Bits:     []uint{0}, HorizonMs: 10,
+			}}
+		},
+		"tier bit out of range": func(s *Spec) {
+			s.Campaign = map[string]TierSpec{"quick": {
+				Workload: workload.Spec{Kind: "grid", NMass: 1, NVel: 1, MassLo: 1, MassHi: 1, VelLo: 1, VelHi: 1},
+				TimesMs:  []int64{1}, Bits: []uint{16}, HorizonMs: 10,
+			}}
+		},
+		"tier no horizon": func(s *Spec) {
+			s.Campaign = map[string]TierSpec{"quick": {
+				Workload: workload.Spec{Kind: "grid", NMass: 1, NVel: 1, MassLo: 1, MassHi: 1, VelLo: 1, VelHi: 1},
+				TimesMs:  []int64{1}, Bits: []uint{0},
+			}}
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := minimalSpec()
+			mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("invalid spec accepted")
+			}
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Fatalf("error %v does not wrap ErrInvalidSpec", err)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"name": "x", "warp_factor": 9}`)); err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+}
+
+func TestParseYAMLErrorsNameLines(t *testing.T) {
+	bad := "name: x\nmodules:\n\t- name: M\n"
+	_, err := Parse([]byte(bad))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("tab error should name line 3, got: %v", err)
+	}
+}
+
+func TestExampleSpecsParse(t *testing.T) {
+	for _, name := range []string{"arrestor.yaml", "hostile.yaml"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "examples", "synth", name))
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		s, err := Parse(data)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		if _, err := Compile(s); err != nil {
+			t.Fatalf("compiling %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"propane/internal/physics"
+)
+
+func TestGridMatchesPhysicsGrid(t *testing.T) {
+	got, err := Generate(Spec{Kind: "grid", NMass: 2, NVel: 2,
+		MassLo: 8000, MassHi: 20000, VelLo: 40, VelHi: 80})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	want, err := physics.Grid(2, 2, 8000, 20000, 40, 80)
+	if err != nil {
+		t.Fatalf("physics.Grid: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("grid workload diverges from physics.Grid:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestSeededKindsAreDeterministic(t *testing.T) {
+	specs := []Spec{
+		{Kind: "uniform", Seed: 7, N: 16, MassLo: 8000, MassHi: 20000, VelLo: 40, VelHi: 80},
+		{Kind: "normal", Seed: 99, N: 16, MassMean: 14000, MassStd: 3000,
+			VelMean: 60, VelStd: 10, MassLo: 8000, MassHi: 20000, VelLo: 40, VelHi: 80},
+	}
+	for _, s := range specs {
+		a, err := Generate(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Kind, err)
+		}
+		b, err := Generate(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Kind, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two generations of the same spec diverge", s.Kind)
+		}
+		if len(a) != s.N {
+			t.Errorf("%s: got %d cases, want %d", s.Kind, len(a), s.N)
+		}
+		for i, tc := range a {
+			if tc.MassKg < s.MassLo || tc.MassKg > s.MassHi ||
+				tc.VelocityMS < s.VelLo || tc.VelocityMS > s.VelHi {
+				t.Errorf("%s case %d out of bounds: %v", s.Kind, i, tc)
+			}
+		}
+	}
+	// Distinct seeds must draw distinct workloads.
+	a, _ := Generate(specs[0])
+	shifted := specs[0]
+	shifted.Seed = 8
+	b, _ := Generate(shifted)
+	if reflect.DeepEqual(a, b) {
+		t.Error("uniform: distinct seeds produced identical workloads")
+	}
+}
+
+func TestPhasesConcatenate(t *testing.T) {
+	s := Spec{Kind: "phases", Phases: []Spec{
+		{Kind: "grid", NMass: 1, NVel: 2, MassLo: 9000, MassHi: 9000, VelLo: 40, VelHi: 80},
+		{Kind: "uniform", Seed: 3, N: 3, MassLo: 15000, MassHi: 20000, VelLo: 50, VelHi: 60},
+	}}
+	cases, err := Generate(s)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(cases) != 5 {
+		t.Fatalf("got %d cases, want 5", len(cases))
+	}
+	if cases[0].MassKg != 9000 || cases[2].MassKg < 15000 {
+		t.Errorf("phase boundary wrong: %v", cases)
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "cases.csv")
+	if err := os.WriteFile(csv, []byte("# recorded arrestments\n12000, 55\n18000,72\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases, err := Generate(Spec{Kind: "trace", Path: csv})
+	if err != nil {
+		t.Fatalf("csv trace: %v", err)
+	}
+	want := []physics.TestCase{{MassKg: 12000, VelocityMS: 55}, {MassKg: 18000, VelocityMS: 72}}
+	if !reflect.DeepEqual(cases, want) {
+		t.Errorf("csv trace: got %v, want %v", cases, want)
+	}
+
+	jsonPath := filepath.Join(dir, "cases.json")
+	if err := os.WriteFile(jsonPath,
+		[]byte(`[{"mass_kg": 9000, "velocity_ms": 44}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases, err = Generate(Spec{Kind: "trace", Path: jsonPath})
+	if err != nil {
+		t.Fatalf("json trace: %v", err)
+	}
+	if len(cases) != 1 || cases[0].MassKg != 9000 {
+		t.Errorf("json trace: got %v", cases)
+	}
+}
+
+func TestValidationRejections(t *testing.T) {
+	bad := map[string]Spec{
+		"no kind":        {},
+		"unknown kind":   {Kind: "zipf"},
+		"grid dims":      {Kind: "grid", NMass: 0, NVel: 2},
+		"grid bounds":    {Kind: "grid", NMass: 2, NVel: 2, MassLo: 2, MassHi: 1},
+		"uniform n":      {Kind: "uniform", MassLo: 1, MassHi: 2, VelLo: 1, VelHi: 2},
+		"uniform bounds": {Kind: "uniform", N: 4, MassLo: 0, MassHi: 2, VelLo: 1, VelHi: 2},
+		"normal mean":    {Kind: "normal", N: 4, MassMean: 0, VelMean: 60},
+		"normal std":     {Kind: "normal", N: 4, MassMean: 1, VelMean: 60, VelStd: -1},
+		"phases empty":   {Kind: "phases"},
+		"phases nested":  {Kind: "phases", Phases: []Spec{{Kind: "phases", Phases: []Spec{{Kind: "trace", Path: "x"}}}}},
+		"trace no path":  {Kind: "trace"},
+		"phase invalid":  {Kind: "phases", Phases: []Spec{{Kind: "grid"}}},
+	}
+	for name, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("%s: Generate accepted invalid spec %+v", name, s)
+		} else if !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidSpec", name, err)
+		}
+	}
+	if _, err := Generate(Spec{Kind: "trace", Path: "/nonexistent/really"}); err == nil {
+		t.Error("trace with missing file accepted")
+	}
+}

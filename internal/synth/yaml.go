@@ -1,0 +1,339 @@
+package synth
+
+// A minimal YAML-subset decoder. The repository deliberately carries
+// no third-party dependencies, and the topology format needs only a
+// small, predictable slice of YAML: block mappings, block sequences,
+// inline ("flow") lists, scalars (ints incl. 0x-hex, floats, bools,
+// quoted strings) and '#' comments. The decoder converts a document
+// into the same generic value tree encoding/json produces
+// (map[string]any / []any / float64 / int64 / bool / string), which
+// Parse then feeds through the JSON decoding path — so the YAML and
+// JSON forms of a spec are exact synonyms by construction.
+//
+// Unsupported YAML (anchors, multi-line strings, tabs, nested flow
+// maps, multi-document streams) is rejected with an error naming the
+// offending line, never mis-parsed silently.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlLine is one significant (non-blank, non-comment) source line.
+type yamlLine struct {
+	num    int // 1-based source line number
+	indent int // leading spaces
+	text   string
+}
+
+// decodeYAML parses the subset into a generic value tree.
+func decodeYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("synth: yaml line %d: tabs are not allowed, indent with spaces", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" {
+			if len(lines) > 0 {
+				return nil, fmt.Errorf("synth: yaml line %d: multi-document streams are not supported", i+1)
+			}
+			continue
+		}
+		lines = append(lines, yamlLine{
+			num:    i + 1,
+			indent: len(text) - len(strings.TrimLeft(text, " ")),
+			text:   trimmed,
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("synth: yaml document is empty")
+	}
+	v, next, err := parseYAMLBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("synth: yaml line %d: unexpected dedent/content after document", lines[next].num)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing '#'-comment, honouring quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble {
+				// YAML requires a preceding space (or line start) for
+				// a comment; "a#b" is a plain scalar.
+				if i == 0 || s[i-1] == ' ' {
+					return s[:i]
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseYAMLBlock parses the block starting at lines[i], whose items
+// all sit at exactly the given indent. It returns the value and the
+// index of the first line not consumed.
+func parseYAMLBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseYAMLSequence(lines, i, indent)
+	}
+	return parseYAMLMapping(lines, i, indent)
+}
+
+func parseYAMLMapping(lines []yamlLine, i, indent int) (any, int, error) {
+	m := make(map[string]any)
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, i, fmt.Errorf("synth: yaml line %d: sequence item inside a mapping", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("synth: yaml line %d: duplicate key %q", ln.num, key)
+		}
+		if rest != "" {
+			v, err := parseYAMLScalarOrFlow(rest, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i++
+			continue
+		}
+		// Nested block (or an empty value at end of block).
+		i++
+		if i >= len(lines) || lines[i].indent <= indent {
+			m[key] = nil
+			continue
+		}
+		v, next, err := parseYAMLBlock(lines, i, lines[i].indent)
+		if err != nil {
+			return nil, i, err
+		}
+		m[key] = v
+		i = next
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("synth: yaml line %d: unexpected indent", lines[i].num)
+	}
+	return m, i, nil
+}
+
+func parseYAMLSequence(lines []yamlLine, i, indent int) (any, int, error) {
+	list := []any{}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			break
+		}
+		content := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if content == "" {
+			// "-" alone: the item is the nested block below.
+			i++
+			if i >= len(lines) || lines[i].indent <= indent {
+				list = append(list, nil)
+				continue
+			}
+			v, next, err := parseYAMLBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			list = append(list, v)
+			i = next
+			continue
+		}
+		if isMappingStart(content) {
+			// "- key: value" starts an inline map item; its remaining
+			// keys sit at the content column on the following lines.
+			itemIndent := ln.indent + (len(ln.text) - len(content))
+			rewritten := append([]yamlLine{{num: ln.num, indent: itemIndent, text: content}}, nil...)
+			j := i + 1
+			for j < len(lines) && lines[j].indent >= itemIndent &&
+				!(lines[j].indent == indent && (strings.HasPrefix(lines[j].text, "- ") || lines[j].text == "-")) {
+				rewritten = append(rewritten, lines[j])
+				j++
+			}
+			v, next, err := parseYAMLMapping(rewritten, 0, itemIndent)
+			if err != nil {
+				return nil, i, err
+			}
+			if next != len(rewritten) {
+				return nil, i, fmt.Errorf("synth: yaml line %d: bad indentation inside sequence item", rewritten[next].num)
+			}
+			list = append(list, v)
+			i = j
+			continue
+		}
+		v, err := parseYAMLScalarOrFlow(content, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		list = append(list, v)
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("synth: yaml line %d: unexpected indent", lines[i].num)
+	}
+	return list, i, nil
+}
+
+// splitKey splits "key: value" / "key:" and validates the key.
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	idx := -1
+	if strings.HasSuffix(ln.text, ":") {
+		idx = len(ln.text) - 1
+	}
+	if j := strings.Index(ln.text, ": "); j >= 0 && (idx < 0 || j < idx) {
+		idx = j
+	}
+	if idx < 0 {
+		return "", "", fmt.Errorf("synth: yaml line %d: expected \"key: value\", got %q", ln.num, ln.text)
+	}
+	key = strings.TrimSpace(ln.text[:idx])
+	key = strings.Trim(key, `"'`)
+	if key == "" {
+		return "", "", fmt.Errorf("synth: yaml line %d: empty mapping key", ln.num)
+	}
+	return key, strings.TrimSpace(ln.text[idx+1:]), nil
+}
+
+// isMappingStart reports whether a sequence-item payload begins a
+// mapping ("name: CLOCK ...") rather than being a plain scalar.
+func isMappingStart(s string) bool {
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{") ||
+		strings.HasPrefix(s, `"`) || strings.HasPrefix(s, "'") {
+		return false
+	}
+	return strings.HasSuffix(s, ":") || strings.Contains(s, ": ")
+}
+
+// parseYAMLScalarOrFlow parses an inline value: a flow list, a flow
+// map, or a scalar.
+func parseYAMLScalarOrFlow(s string, line int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("synth: yaml line %d: unterminated flow list %q", line, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		list := []any{}
+		if inner == "" {
+			return list, nil
+		}
+		for _, part := range splitFlow(inner) {
+			v, err := parseYAMLScalarOrFlow(strings.TrimSpace(part), line)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+		}
+		return list, nil
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("synth: yaml line %d: unterminated flow map %q", line, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		m := make(map[string]any)
+		if inner == "" {
+			return m, nil
+		}
+		for _, part := range splitFlow(inner) {
+			kv := strings.SplitN(part, ":", 2)
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("synth: yaml line %d: bad flow-map entry %q", line, part)
+			}
+			key := strings.Trim(strings.TrimSpace(kv[0]), `"'`)
+			v, err := parseYAMLScalarOrFlow(strings.TrimSpace(kv[1]), line)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		}
+		return m, nil
+	default:
+		return parseYAMLScalar(s), nil
+	}
+}
+
+// splitFlow splits a flow body on top-level commas (no nested flow
+// collections inside flow collections beyond one bracket depth).
+func splitFlow(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '[', '{':
+			if !inSingle && !inDouble {
+				depth++
+			}
+		case ']', '}':
+			if !inSingle && !inDouble {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inSingle && !inDouble {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// parseYAMLScalar interprets a bare scalar: bool, null, int (decimal
+// or 0x-hex), float, quoted or plain string.
+func parseYAMLScalar(s string) any {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "true", "True":
+		return true
+	case "false", "False":
+		return false
+	case "null", "~", "Null":
+		return nil
+	}
+	if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

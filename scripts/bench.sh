@@ -18,6 +18,12 @@
 #      scale-out yardstick against pass 2's single-node number.
 # Passes 2 and 3 are skipped when PROPANE_SKIP_PAPER_BENCH=1.
 #
+# Pass 1 includes the DSL-vs-handwritten arrestor pair
+# (BenchmarkArrestorCampaignHandwritten vs BenchmarkArrestorCampaignDSL,
+# identical 52-run campaigns; the delta is the declarative target's
+# generic dispatch overhead) and BenchmarkSynthCompile (the document
+# parse+compile pipeline alone).
+#
 # The JSON schema is one object:
 #   {"tag": ..., "go": ..., "goos": ..., "goarch": ..., "cpu": ...,
 #    "benchmarks": [{"name", "runs", "ns_op", "b_op", "allocs_op"}]}
