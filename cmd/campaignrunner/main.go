@@ -9,6 +9,7 @@
 //	campaignrunner -instance paper -dir D -shard 0 -shards 4
 //	campaignrunner -instance paper -dir D -assemble
 //	campaignrunner -worker http://coordinator:8080 -dir scratch
+//	campaignrunner -worker http://coordinator:8080 -dir scratch -chaos seed=7,rate=0.2
 //	campaignrunner -synth examples/synth/arrestor.yaml -instance synth-arrestor -tier quick -dir D
 //	campaignrunner -fuzz-topologies 200
 //
@@ -42,19 +43,26 @@
 // its own: it leases work units, executes them through the same
 // supervised local path under -dir (the scratch root), and streams
 // the journal records back until the coordinator reports the
-// campaign complete.
+// campaign complete. -chaos wraps the worker's HTTP client in the
+// internal/chaos fault injector (seeded drops, duplicates,
+// truncations, corruptions, 5xx and delays) — the fabric's own SWIFI
+// harness; the campaign must still assemble bit-identically.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"strings"
 
 	"propane/internal/campaign"
+	"propane/internal/chaos"
 	"propane/internal/distrib"
 	"propane/internal/profiling"
 	"propane/internal/runner"
@@ -88,6 +96,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	fuzzTopologies := fs.Int("fuzz-topologies", 0, "generate and campaign this many random topologies, then exit")
 	workerURL := fs.String("worker", "", "join a distributed coordinator's fleet at this URL (see propaned); -dir becomes the local scratch root")
 	workerName := fs.String("worker-name", "", "fleet identity for -worker mode (default hostname-pid; keep it stable across restarts to resume local work)")
+	chaosSpec := fs.String("chaos", "", "inject seeded faults into this worker's coordinator RPCs, e.g. seed=7,rate=0.2 (see internal/chaos; -worker mode only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the campaign finishes")
 	if err := fs.Parse(args); err != nil {
@@ -142,13 +151,33 @@ func run(args []string, out io.Writer) (retErr error) {
 		if *dir == "" {
 			return fmt.Errorf("-worker needs -dir as the local scratch root")
 		}
-		return distrib.RunWorker(*workerURL, distrib.WorkerOptions{
+		var cs *chaos.Spec
+		if *chaosSpec != "" {
+			spec, cerr := chaos.ParseSpec(*chaosSpec)
+			if cerr != nil {
+				return cerr
+			}
+			cs = &spec
+		}
+		// A signal aborts backoff waits and poll sleeps immediately
+		// instead of letting a mid-retry worker linger.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		werr := distrib.RunWorkerContext(ctx, *workerURL, distrib.WorkerOptions{
 			Name:        *workerName,
 			Dir:         *dir,
 			Workers:     *workers,
+			Chaos:       cs,
 			LogInterval: *progress,
 			Logf:        logf,
 		})
+		if werr != nil && ctx.Err() != nil {
+			return fmt.Errorf("worker interrupted: %w", werr)
+		}
+		return werr
+	}
+	if *chaosSpec != "" {
+		return fmt.Errorf("-chaos only applies to -worker mode (or propaned -loopback)")
 	}
 	if *instance == "" {
 		return fmt.Errorf("no -instance given (use -list to see the registry)")

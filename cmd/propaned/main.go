@@ -9,6 +9,7 @@
 //	propaned -instance paper -tier full -dir artifacts/paper -listen :8080
 //	propaned -instance paper -dir artifacts/paper -resume
 //	propaned -instance reduced -dir D -loopback 3
+//	propaned -instance reduced -dir D -loopback 3 -chaos seed=7,rate=0.2
 //
 // Workers join with
 //
@@ -24,7 +25,11 @@
 // -loopback N skips the network fleet entirely and runs N worker
 // agents in-process against an ephemeral listener — a self-contained
 // (and offline) way to exercise the full distributed path on one
-// machine.
+// machine. Adding -chaos (e.g. -chaos seed=7,rate=0.2) wraps every
+// loopback worker's HTTP client in the internal/chaos fault injector:
+// seeded drops, duplicated deliveries, truncations, corruptions, 5xx
+// and delays on every RPC, against which the campaign must still
+// assemble bit-identically — the fabric's own SWIFI smoke test.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"net"
 	"os"
 
+	"propane/internal/chaos"
 	"propane/internal/distrib"
 	"propane/internal/runner"
 )
@@ -57,11 +63,23 @@ func run(args []string, out io.Writer) error {
 	loopback := fs.Int("loopback", 0, "run this many in-process workers on an ephemeral listener instead of serving a network fleet")
 	workers := fs.Int("workers", 0, "local campaign parallelism per loopback worker (<= 0 means GOMAXPROCS)")
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget, applied fleet-wide via the config digest (0 = instance default)")
+	chaosSpec := fs.String("chaos", "", "inject seeded faults into the loopback workers' RPCs, e.g. seed=7,rate=0.2 (see internal/chaos; -loopback mode only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *instance == "" {
 		return fmt.Errorf("no -instance given (use campaignrunner -list to see the registry)")
+	}
+	var cs *chaos.Spec
+	if *chaosSpec != "" {
+		if *loopback <= 0 {
+			return fmt.Errorf("-chaos only applies to -loopback mode (network workers carry their own -chaos flag)")
+		}
+		spec, cerr := chaos.ParseSpec(*chaosSpec)
+		if cerr != nil {
+			return cerr
+		}
+		cs = &spec
 	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
@@ -81,6 +99,7 @@ func run(args []string, out io.Writer) error {
 	if *loopback > 0 {
 		rr, err = distrib.Loopback(cc, *loopback, distrib.WorkerOptions{
 			Workers: *workers,
+			Chaos:   cs,
 			Logf:    logf,
 		})
 	} else {

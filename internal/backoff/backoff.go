@@ -1,0 +1,138 @@
+// Package backoff is the one retry policy shared by every layer that
+// talks to something unreliable: the distributed worker's coordinator
+// round-trips, the coordinator's own transient I/O, and the runner's
+// journal/artifact writes. Delays use full jitter — each wait is
+// drawn uniformly from [0, min(Cap, Base<<attempt)] — so a fleet of
+// workers whose coordinator just restarted spreads its retries out
+// instead of arriving as a synchronized thundering herd, and every
+// wait is context-aware so shutdown and test teardown never sit out a
+// backoff ladder.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Defaults applied by Policy methods when a field is zero.
+const (
+	DefaultBase     = 100 * time.Millisecond
+	DefaultCap      = 2 * time.Second
+	DefaultAttempts = 10
+)
+
+// Policy describes a capped exponential backoff with full jitter. The
+// zero value is usable and selects the defaults above.
+type Policy struct {
+	// Base is the ceiling of the first delay; each attempt doubles it
+	// up to Cap.
+	Base time.Duration
+	// Cap bounds every delay.
+	Cap time.Duration
+	// Attempts is the maximum number of times Do invokes the
+	// operation (so Attempts-1 retries).
+	Attempts int
+	// Int63n draws a uniform random int in [0, n). Nil uses the
+	// shared seeded math/rand source; tests inject a deterministic
+	// one.
+	Int63n func(n int64) int64
+	// Sleep waits between attempts. Nil uses a timer that aborts when
+	// ctx is done; tests inject a recorder.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when non-nil, observes every scheduled retry before
+	// its delay elapses — for logging which operation is limping.
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base > 0 {
+		return p.Base
+	}
+	return DefaultBase
+}
+
+func (p Policy) cap() time.Duration {
+	if p.Cap > 0 {
+		return p.Cap
+	}
+	return DefaultCap
+}
+
+func (p Policy) attempts() int {
+	if p.Attempts > 0 {
+		return p.Attempts
+	}
+	return DefaultAttempts
+}
+
+// Delay returns the full-jitter delay for the given zero-based
+// attempt: uniform in [0, min(Cap, Base<<attempt)].
+func (p Policy) Delay(attempt int) time.Duration {
+	ceiling := p.base()
+	for i := 0; i < attempt && ceiling < p.cap(); i++ {
+		ceiling *= 2
+	}
+	if ceiling > p.cap() {
+		ceiling = p.cap()
+	}
+	draw := p.Int63n
+	if draw == nil {
+		draw = rand.Int63n
+	}
+	return time.Duration(draw(int64(ceiling) + 1))
+}
+
+// sleepCtx is the default context-aware sleeper.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs op up to Attempts times. A nil error returns immediately;
+// an error for which retryable returns false returns immediately
+// (retryable nil means every error is retryable); otherwise Do sleeps
+// a jittered delay and tries again. A done context aborts the wait
+// and returns the last operation error (the context error when op
+// never ran).
+func (p Policy) Do(ctx context.Context, retryable func(error) bool, op func() error) error {
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var err error
+	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return err
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(err) {
+			return err
+		}
+		if attempt == p.attempts()-1 {
+			break
+		}
+		delay := p.Delay(attempt)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, delay, err)
+		}
+		if sleep(ctx, delay) != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,121 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fixedDraw always returns max-1, making Delay return the full
+// ceiling so ladders are assertable.
+func fixedDraw(n int64) int64 { return n - 1 }
+
+func TestDelayLadderIsCappedFullJitter(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Int63n: fixedDraw}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) ceiling = %v, want %v", attempt, got, w)
+		}
+	}
+	// The draw is uniform over the ceiling: a zero draw is a zero
+	// delay.
+	p.Int63n = func(int64) int64 { return 0 }
+	if got := p.Delay(5); got != 0 {
+		t.Errorf("Delay with zero draw = %v, want 0", got)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		Attempts: 5,
+		Int63n:   fixedDraw,
+		Sleep:    func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil },
+	}
+	calls := 0
+	err := p.Do(context.Background(), nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Errorf("calls = %d (want 3), sleeps = %d (want 2)", calls, len(slept))
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	p := Policy{Attempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := p.Do(context.Background(), func(err error) bool { return !errors.Is(err, fatal) }, func() error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Errorf("err = %v, calls = %d; want the fatal error after 1 call", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	transient := errors.New("still down")
+	calls, retries := 0, 0
+	p := Policy{
+		Attempts: 4,
+		Int63n:   fixedDraw,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+		OnRetry:  func(int, time.Duration, error) { retries++ },
+	}
+	err := p.Do(context.Background(), nil, func() error { calls++; return transient })
+	if !errors.Is(err, transient) {
+		t.Fatalf("err = %v, want the last transient failure", err)
+	}
+	if calls != 4 || retries != 3 {
+		t.Errorf("calls = %d (want 4), retries observed = %d (want 3)", calls, retries)
+	}
+}
+
+func TestDoAbortsPromptlyOnContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	transient := errors.New("down")
+	calls := 0
+	p := Policy{Attempts: 100, Base: time.Hour, Cap: time.Hour, Int63n: fixedDraw}
+	start := time.Now()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := p.Do(ctx, nil, func() error { calls++; return transient })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do took %v to abort — the backoff wait ignored the context", elapsed)
+	}
+	if !errors.Is(err, transient) {
+		t.Errorf("err = %v, want the last operation error", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1 (context cancelled during the first wait)", calls)
+	}
+}
+
+func TestDoCancelledBeforeFirstCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Policy{}.Do(ctx, nil, func() error { t.Fatal("op ran on a dead context"); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package chaos is the deterministic fault-injection layer for the
+// distributed campaign fabric — the same discipline the paper applies
+// to its target systems, turned on our own infrastructure. The
+// methodology's whole premise is that injected faults expose
+// propagation paths that normal operation masks; a coordinator/worker
+// protocol is no different, so the fabric is exercised under seeded
+// drop/delay/duplicate/truncate/corrupt/5xx faults per RPC class
+// (Transport, an http.RoundTripper wrapping the worker's client) and
+// labeled coordinator-side crash points (Crashpoints) that fire at
+// exact protocol sites instead of relying on SIGKILL races.
+//
+// Everything is seeded: a chaos run is reproducible by its Spec, and
+// the acceptance oracle is bit-identity — a campaign executed under
+// sustained fault rates must assemble the exact journal a single-node
+// run produces.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault names a single injected fault kind.
+type Fault string
+
+// The fault taxonomy. Each faulted request suffers exactly one:
+//
+//   - FaultDrop: the request never reaches the server (connection
+//     lost before send).
+//   - FaultDropResponse: the server processes the request but the
+//     reply is lost — the client must retry a delivery that already
+//     happened, the canonical duplicate-delivery producer.
+//   - Fault5xx: a synthetic 503 as an intermediary would emit it; the
+//     server never sees the request.
+//   - FaultDuplicate: the request is delivered twice back-to-back;
+//     the client sees only the second reply.
+//   - FaultTruncate: the request body is cut short in flight (the
+//     framing is repaired, so only integrity checks can tell).
+//   - FaultCorrupt: seeded byte flips inside the request body.
+//   - FaultDelay: the request is held for a seeded duration, then
+//     delivered intact — reordering and lease-expiry pressure.
+const (
+	FaultDrop         Fault = "drop"
+	FaultDropResponse Fault = "drop-response"
+	Fault5xx          Fault = "5xx"
+	FaultDuplicate    Fault = "duplicate"
+	FaultTruncate     Fault = "truncate"
+	FaultCorrupt      Fault = "corrupt"
+	FaultDelay        Fault = "delay"
+)
+
+// Faults lists the taxonomy in its canonical (and selection) order.
+func Faults() []Fault {
+	return []Fault{FaultDrop, FaultDropResponse, Fault5xx, FaultDuplicate, FaultTruncate, FaultCorrupt, FaultDelay}
+}
+
+// Spec parameterises a chaos run. The zero value injects nothing.
+type Spec struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// Rate is the probability that any one request in a targeted RPC
+	// class is faulted, in [0, 1].
+	Rate float64
+	// Weights biases which fault a faulted request suffers. Missing
+	// (or all-zero) weights select every fault equally; a zero weight
+	// with any positive weight present disables that fault.
+	Weights map[Fault]float64
+	// MaxDelay bounds FaultDelay holds. <= 0 selects 25ms.
+	MaxDelay time.Duration
+	// Classes restricts injection to these RPC classes (lease,
+	// records, heartbeat, complete). Empty targets all four. The
+	// "other" class (status, metrics) is never faulted.
+	Classes map[string]bool
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool { return s.Rate > 0 }
+
+func (s Spec) maxDelay() time.Duration {
+	if s.MaxDelay > 0 {
+		return s.MaxDelay
+	}
+	return 25 * time.Millisecond
+}
+
+// weight returns f's selection weight under the spec.
+func (s Spec) weight(f Fault) float64 {
+	if len(s.Weights) == 0 {
+		return 1
+	}
+	total := 0.0
+	for _, w := range s.Weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return s.Weights[f]
+}
+
+// String renders the spec in ParseSpec's syntax.
+func (s Spec) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", s.Seed), fmt.Sprintf("rate=%g", s.Rate)}
+	if s.MaxDelay > 0 {
+		parts = append(parts, fmt.Sprintf("maxdelay=%s", s.MaxDelay))
+	}
+	faults := make([]string, 0, len(s.Weights))
+	for f := range s.Weights {
+		faults = append(faults, string(f))
+	}
+	sort.Strings(faults)
+	for _, f := range faults {
+		parts = append(parts, fmt.Sprintf("%s=%g", f, s.Weights[Fault(f)]))
+	}
+	if len(s.Classes) > 0 {
+		classes := make([]string, 0, len(s.Classes))
+		for c := range s.Classes {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		parts = append(parts, "classes="+strings.Join(classes, "+"))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the -chaos flag syntax: comma-separated key=value
+// pairs.
+//
+//	seed=7,rate=0.2                       // 20% of RPCs faulted, all kinds
+//	seed=7,rate=0.3,drop=1,duplicate=3    // only drops and duplicates, 1:3
+//	seed=7,rate=0.2,maxdelay=50ms         // bound injected delays
+//	seed=7,rate=0.5,classes=records+complete
+//
+// Keys: seed, rate, maxdelay, classes, and one weight per fault kind
+// (drop, drop-response, 5xx, duplicate, truncate, corrupt, delay).
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{}
+	known := make(map[Fault]bool)
+	for _, f := range Faults() {
+		known[f] = true
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("chaos: %q is not key=value", part)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("chaos: bad seed %q: %v", val, err)
+			}
+			spec.Seed = n
+		case "rate":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r < 0 || r > 1 {
+				return Spec{}, fmt.Errorf("chaos: bad rate %q (want a probability in [0,1])", val)
+			}
+			spec.Rate = r
+		case "maxdelay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Spec{}, fmt.Errorf("chaos: bad maxdelay %q: %v", val, err)
+			}
+			spec.MaxDelay = d
+		case "classes":
+			spec.Classes = make(map[string]bool)
+			for _, c := range strings.Split(val, "+") {
+				switch c {
+				case "lease", "records", "heartbeat", "complete":
+					spec.Classes[c] = true
+				default:
+					return Spec{}, fmt.Errorf("chaos: unknown RPC class %q (want lease, records, heartbeat or complete)", c)
+				}
+			}
+		default:
+			if !known[Fault(key)] {
+				return Spec{}, fmt.Errorf("chaos: unknown key %q", key)
+			}
+			w, err := strconv.ParseFloat(val, 64)
+			if err != nil || w < 0 {
+				return Spec{}, fmt.Errorf("chaos: bad weight %q for %s", val, key)
+			}
+			if spec.Weights == nil {
+				spec.Weights = make(map[Fault]float64)
+			}
+			spec.Weights[Fault(key)] = w
+		}
+	}
+	return spec, nil
+}
+
+// DeriveSeed folds a worker identity into a spec seed so every fleet
+// member draws an independent — but still reproducible — fault
+// sequence from one campaign-level seed.
+func DeriveSeed(seed int64, name string) int64 {
+	// FNV-1a over the name, xor-folded into the seed.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return seed ^ int64(h&0x7fffffffffffffff)
+}
+
+// rng is a lock-guarded seeded source shared by a Transport's
+// concurrent requests.
+type rng struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newRNG(seed int64) *rng { return &rng{r: rand.New(rand.NewSource(seed))} }
+
+func (g *rng) float64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Float64()
+}
+
+func (g *rng) intn(n int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Intn(n)
+}

@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec, err := ParseSpec("seed=7,rate=0.25,maxdelay=50ms,drop=1,duplicate=3,classes=records+complete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 || spec.Rate != 0.25 || spec.MaxDelay != 50*time.Millisecond {
+		t.Errorf("parsed %+v", spec)
+	}
+	if spec.Weights[FaultDrop] != 1 || spec.Weights[FaultDuplicate] != 3 {
+		t.Errorf("weights %v", spec.Weights)
+	}
+	if !spec.Classes["records"] || !spec.Classes["complete"] || spec.Classes["lease"] {
+		t.Errorf("classes %v", spec.Classes)
+	}
+	reparsed, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", spec.String(), err)
+	}
+	if !reflect.DeepEqual(spec, reparsed) {
+		t.Errorf("String round-trip: %+v != %+v", spec, reparsed)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, bad := range []string{
+		"rate=2", "rate=x", "seed=x", "maxdelay=-1s", "nope=1",
+		"classes=lease+bogus", "drop=-1", "seed",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeriveSeedIsStableAndDistinct(t *testing.T) {
+	a, b := DeriveSeed(7, "w1"), DeriveSeed(7, "w2")
+	if a == b {
+		t.Errorf("workers w1 and w2 derived the same seed %d", a)
+	}
+	if a != DeriveSeed(7, "w1") {
+		t.Error("DeriveSeed is not deterministic")
+	}
+}
+
+// chaosServer records every body that actually arrives.
+type chaosServer struct {
+	mu     sync.Mutex
+	bodies [][]byte
+}
+
+func (s *chaosServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		s.mu.Lock()
+		s.bodies = append(s.bodies, body)
+		s.mu.Unlock()
+		w.Write([]byte(`{"ok":true}`))
+	})
+}
+
+func (s *chaosServer) arrivals() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.bodies...)
+}
+
+// drive posts n identical record-class requests through the
+// transport, counting client-visible failures.
+func drive(t *testing.T, tr *Transport, url string, n int) (failures int) {
+	t.Helper()
+	client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+	payload := []byte(`{"lease_id":"L1","records":[{"job":1}]}`)
+	for i := 0; i < n; i++ {
+		resp, err := client.Post(url+"/v1/records", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			failures++
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			failures++
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return failures
+}
+
+func TestTransportInjectsEveryFaultKind(t *testing.T) {
+	srv := &chaosServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	spec := Spec{Seed: 42, Rate: 0.9, MaxDelay: time.Millisecond}
+	tr := NewTransport(spec, nil, t.Logf)
+	const n = 400
+	failures := drive(t, tr, ts.URL, n)
+
+	counts := tr.Counts()["records"]
+	for _, f := range Faults() {
+		if counts[f] == 0 {
+			t.Errorf("fault %s never injected over %d requests (counts %v)", f, n, counts)
+		}
+	}
+	if failures == 0 {
+		t.Error("no request ever failed under rate=0.9 chaos")
+	}
+	if tr.Injected() == 0 || tr.Summary() == "none" {
+		t.Errorf("injected=%d summary=%q", tr.Injected(), tr.Summary())
+	}
+
+	// Duplicates really delivered twice; drops really absent: the
+	// server must have seen more arrivals than (n - dropped kinds).
+	arrived := len(srv.arrivals())
+	expected := n + counts[FaultDuplicate] - counts[FaultDrop] - counts[Fault5xx]
+	if arrived != expected {
+		t.Errorf("server saw %d requests, want %d (n=%d dup=%d drop=%d 5xx=%d)",
+			arrived, expected, n, counts[FaultDuplicate], counts[FaultDrop], counts[Fault5xx])
+	}
+
+	// Truncated and corrupted bodies must have actually arrived
+	// mangled.
+	payload := []byte(`{"lease_id":"L1","records":[{"job":1}]}`)
+	mangled := 0
+	for _, b := range srv.arrivals() {
+		if !bytes.Equal(b, payload) {
+			mangled++
+		}
+	}
+	if want := counts[FaultTruncate] + counts[FaultCorrupt]; mangled != want {
+		t.Errorf("%d mangled bodies arrived, want %d (truncate=%d corrupt=%d)",
+			mangled, want, counts[FaultTruncate], counts[FaultCorrupt])
+	}
+}
+
+func TestTransportSameSeedSameFaults(t *testing.T) {
+	run := func() map[string]map[Fault]int {
+		srv := &chaosServer{}
+		ts := httptest.NewServer(srv.handler())
+		defer ts.Close()
+		tr := NewTransport(Spec{Seed: 11, Rate: 0.5, MaxDelay: time.Millisecond}, nil, nil)
+		drive(t, tr, ts.URL, 100)
+		return tr.Counts()
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different fault sequences: %v vs %v", a, b)
+	}
+}
+
+func TestTransportSparesUntargetedTraffic(t *testing.T) {
+	srv := &chaosServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	tr := NewTransport(Spec{Seed: 1, Rate: 1, Classes: map[string]bool{"lease": true}}, nil, nil)
+	client := &http.Client{Transport: tr}
+
+	// records is outside the targeted classes; /status is class
+	// "other": both must pass untouched even at rate=1.
+	for _, path := range []string{"/v1/records", "/status"} {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(`{}`)))
+		if err != nil {
+			t.Fatalf("POST %s through chaos transport: %v", path, err)
+		}
+		resp.Body.Close()
+	}
+	if tr.Injected() != 0 {
+		t.Errorf("untargeted traffic suffered %d faults: %s", tr.Injected(), tr.Summary())
+	}
+
+	var fe *FaultError
+	_, err := client.Post(ts.URL+"/v1/lease", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err == nil {
+		// rate=1 guarantees a fault, but the drawn kind may be one
+		// that still yields a response (5xx, duplicate, delay...).
+		if tr.Injected() == 0 {
+			t.Error("targeted lease RPC passed rate=1 chaos unfaulted")
+		}
+	} else if !errors.As(err, &fe) {
+		t.Logf("lease error (wrapped): %v", err) // url.Error wrapping is fine
+	}
+}
+
+func TestCrashpointsFireOnceAtArmedHit(t *testing.T) {
+	var fired []string
+	cp := NewCrashpoints(func(label string) { fired = append(fired, label) })
+	cp.Arm("mid-batch-append", 3)
+
+	var hits []bool
+	for i := 0; i < 5; i++ {
+		hits = append(hits, cp.Hit("mid-batch-append"))
+	}
+	want := []bool{false, false, true, false, false}
+	if !reflect.DeepEqual(hits, want) {
+		t.Errorf("hit results %v, want %v", hits, want)
+	}
+	if !reflect.DeepEqual(fired, []string{"mid-batch-append"}) {
+		t.Errorf("onCrash saw %v", fired)
+	}
+	if !reflect.DeepEqual(cp.Fired(), []string{"mid-batch-append"}) {
+		t.Errorf("Fired() = %v", cp.Fired())
+	}
+	if got := cp.Hits()["mid-batch-append"]; got != 5 {
+		t.Errorf("hit counter = %d, want 5", got)
+	}
+	if cp.Hit("pre-lease-grant") {
+		t.Error("unarmed site fired")
+	}
+	if got := cp.Labels(); len(got) != 2 {
+		t.Errorf("Labels() = %v", got)
+	}
+}
+
+func TestNilCrashpointsAreInert(t *testing.T) {
+	var cp *Crashpoints
+	if cp.Hit("anything") {
+		t.Error("nil crashpoints fired")
+	}
+	if cp.Fired() != nil || cp.Hits() != nil {
+		t.Error("nil crashpoints reported state")
+	}
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+)
+
+// Crashpoints is a registry of labeled coordinator crash sites. The
+// code under test calls Hit(label) at each site; a site armed with
+// Arm(label, n) fires on its nth hit, at which point Hit returns true
+// exactly once and the caller must behave as if the process died
+// right there — abort the in-flight request without replying, stop
+// serving, and leave whatever was durably written as the only
+// surviving state. Firing deterministically at exact protocol sites
+// replaces SIGKILL races: the same seed and arming reproduce the same
+// crash, every run.
+//
+// A nil *Crashpoints is inert: Hit returns false, so production code
+// carries the checks at zero configuration cost.
+type Crashpoints struct {
+	mu      sync.Mutex
+	armed   map[string]int // label → hits remaining before firing
+	hits    map[string]int
+	fired   []string
+	onCrash func(label string)
+}
+
+// NewCrashpoints builds an empty registry. onCrash, when non-nil, is
+// invoked synchronously from inside the firing Hit call — it must not
+// call back into the crashing component (the test harness typically
+// just signals a channel and performs the "kill" from outside).
+func NewCrashpoints(onCrash func(label string)) *Crashpoints {
+	return &Crashpoints{
+		armed:   make(map[string]int),
+		hits:    make(map[string]int),
+		onCrash: onCrash,
+	}
+}
+
+// Arm schedules the site to fire on its nth Hit from now (n <= 1
+// fires on the next hit). Re-arming a label replaces its schedule.
+func (c *Crashpoints) Arm(label string, n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed[label] = n
+}
+
+// Hit reports one execution of the labeled site, returning true when
+// the site fires. Each armed site fires at most once.
+func (c *Crashpoints) Hit(label string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	c.hits[label]++
+	remaining, armed := c.armed[label]
+	if !armed {
+		c.mu.Unlock()
+		return false
+	}
+	remaining--
+	if remaining > 0 {
+		c.armed[label] = remaining
+		c.mu.Unlock()
+		return false
+	}
+	delete(c.armed, label)
+	c.fired = append(c.fired, label)
+	onCrash := c.onCrash
+	c.mu.Unlock()
+	if onCrash != nil {
+		onCrash(label)
+	}
+	return true
+}
+
+// Fired returns the labels that have fired, in firing order.
+func (c *Crashpoints) Fired() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.fired))
+	copy(out, c.fired)
+	return out
+}
+
+// Hits returns the per-label hit counters (fired or not) — the
+// crash-point coverage a soak run achieved.
+func (c *Crashpoints) Hits() map[string]int {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.hits))
+	for k, v := range c.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// Labels returns the labels seen so far, sorted.
+func (c *Crashpoints) Labels() []string {
+	hits := c.Hits()
+	out := make([]string, 0, len(hits))
+	for k := range hits {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

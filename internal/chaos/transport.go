@@ -1,0 +1,252 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultError is the transport-level error surfaced for injected drop
+// and drop-response faults. It is indistinguishable from a real
+// network failure to anything that does not import this package —
+// which is the point: the client under test must survive it through
+// its ordinary retry path, not through special-casing.
+type FaultError struct {
+	Fault Fault
+	Class string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault on %s RPC", e.Fault, e.Class)
+}
+
+// Classify maps a request path to its RPC class: lease, records,
+// heartbeat, complete, or "other" (never faulted).
+func Classify(path string) string {
+	switch {
+	case strings.HasSuffix(path, "/lease"):
+		return "lease"
+	case strings.HasSuffix(path, "/records"):
+		return "records"
+	case strings.HasSuffix(path, "/heartbeat"):
+		return "heartbeat"
+	case strings.HasSuffix(path, "/complete"):
+		return "complete"
+	}
+	return "other"
+}
+
+// Transport is a fault-injecting http.RoundTripper. Wrap a worker's
+// client transport with NewTransport and every targeted RPC suffers a
+// seeded fault with probability Spec.Rate. All methods are safe for
+// concurrent use.
+type Transport struct {
+	spec  Spec
+	inner http.RoundTripper
+	rng   *rng
+	logf  func(format string, args ...any)
+
+	mu     sync.Mutex
+	counts map[string]map[Fault]int
+	total  int
+}
+
+// NewTransport wraps inner (nil selects http.DefaultTransport) with
+// fault injection per spec. logf, when non-nil, receives one line per
+// injected fault.
+func NewTransport(spec Spec, inner http.RoundTripper, logf func(format string, args ...any)) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{
+		spec:   spec,
+		inner:  inner,
+		rng:    newRNG(spec.Seed),
+		logf:   logf,
+		counts: make(map[string]map[Fault]int),
+	}
+}
+
+// Counts returns a copy of the per-class injected-fault counters.
+func (t *Transport) Counts() map[string]map[Fault]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]map[Fault]int, len(t.counts))
+	for class, m := range t.counts {
+		cm := make(map[Fault]int, len(m))
+		for f, n := range m {
+			cm[f] = n
+		}
+		out[class] = cm
+	}
+	return out
+}
+
+// Injected returns the total number of injected faults.
+func (t *Transport) Injected() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Summary renders the counters as one sorted line.
+func (t *Transport) Summary() string {
+	counts := t.Counts()
+	classes := make([]string, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	for _, c := range classes {
+		for _, f := range Faults() {
+			if n := counts[c][f]; n > 0 {
+				fmt.Fprintf(&b, " %s/%s=%d", c, f, n)
+			}
+		}
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func (t *Transport) record(class string, f Fault) {
+	t.mu.Lock()
+	if t.counts[class] == nil {
+		t.counts[class] = make(map[Fault]int)
+	}
+	t.counts[class][f]++
+	t.total++
+	t.mu.Unlock()
+	if t.logf != nil {
+		t.logf("chaos: injecting %s fault on %s RPC", f, class)
+	}
+}
+
+// pick draws the fault a faulted request suffers, honouring the
+// spec's weights. Body faults are excluded for bodyless requests.
+func (t *Transport) pick(hasBody bool) Fault {
+	faults := Faults()
+	weights := make([]float64, 0, len(faults))
+	total := 0.0
+	for _, f := range faults {
+		w := t.spec.weight(f)
+		if !hasBody && (f == FaultTruncate || f == FaultCorrupt) {
+			w = 0
+		}
+		weights = append(weights, w)
+		total += w
+	}
+	if total <= 0 {
+		return FaultDelay
+	}
+	r := t.rng.float64() * total
+	for i, f := range faults {
+		r -= weights[i]
+		if r < 0 {
+			return f
+		}
+	}
+	return faults[len(faults)-1]
+}
+
+// RoundTrip injects at most one fault per request. The incoming
+// request is never mutated: faulted bodies are rewritten on a clone,
+// as an intermediary would re-frame them.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	class := Classify(req.URL.Path)
+	if !t.spec.Enabled() || class == "other" {
+		return t.inner.RoundTrip(req)
+	}
+	if len(t.spec.Classes) > 0 && !t.spec.Classes[class] {
+		return t.inner.RoundTrip(req)
+	}
+
+	// Buffer the body once: every fault except plain delay needs to
+	// replay, rewrite or discard it.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: buffering request body: %w", err)
+		}
+	}
+	send := func(b []byte) (*http.Response, error) {
+		r := req.Clone(req.Context())
+		r.Body = io.NopCloser(bytes.NewReader(b))
+		r.ContentLength = int64(len(b))
+		r.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(b)), nil }
+		return t.inner.RoundTrip(r)
+	}
+
+	if t.rng.float64() >= t.spec.Rate {
+		return send(body)
+	}
+	fault := t.pick(len(body) > 0)
+	t.record(class, fault)
+	switch fault {
+	case FaultDrop:
+		return nil, &FaultError{Fault: fault, Class: class}
+	case FaultDropResponse:
+		resp, err := send(body)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, &FaultError{Fault: fault, Class: class}
+	case Fault5xx:
+		return synthetic503(req), nil
+	case FaultDuplicate:
+		if resp, err := send(body); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return send(body)
+	case FaultTruncate:
+		cut := 1 + t.rng.intn(len(body))
+		return send(body[:len(body)-cut])
+	case FaultCorrupt:
+		mangled := bytes.Clone(body)
+		flips := 1 + t.rng.intn(3)
+		for i := 0; i < flips; i++ {
+			mangled[t.rng.intn(len(mangled))] ^= byte(1 + t.rng.intn(255))
+		}
+		return send(mangled)
+	case FaultDelay:
+		d := time.Duration(t.rng.float64() * float64(t.spec.maxDelay()))
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+		return send(body)
+	}
+	return send(body)
+}
+
+// synthetic503 fabricates the reply an overloaded intermediary would
+// produce; the origin server never sees the request.
+func synthetic503(req *http.Request) *http.Response {
+	body := `{"error":"chaos: injected 5xx fault","code":"chaos_5xx"}`
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

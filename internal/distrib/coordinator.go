@@ -1,9 +1,13 @@
 package distrib
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -13,6 +17,7 @@ import (
 	"time"
 
 	"propane/internal/campaign"
+	"propane/internal/chaos"
 	"propane/internal/runner"
 )
 
@@ -44,9 +49,36 @@ type Config struct {
 	// of the config digest, so workers apply the value carried in
 	// their work unit.
 	RunBudgetSteps int64
+	// Crash, when non-nil, arms deterministic crash points at the
+	// labeled protocol sites (CrashPreLeaseGrant, CrashMidBatchAppend,
+	// CrashPreCompleteAck). A fired site aborts its in-flight request
+	// without a reply and flips the coordinator into a "crashed" state
+	// where every request answers 503/"coordinator_crashed" until a
+	// new coordinator resumes from the journals — the chaos harness's
+	// stand-in for a SIGKILL, with the kill site pinned instead of
+	// raced.
+	Crash *chaos.Crashpoints
 	// Logf receives lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
 }
+
+// Coordinator crash-point labels (see chaos.Crashpoints). Each marks
+// the instant just before a state transition becomes externally
+// visible, where a real crash is most likely to strand a client:
+const (
+	// CrashPreLeaseGrant fires after a unit is chosen but before the
+	// lease is recorded or granted — the requester gets no reply and
+	// the unit stays pending for the resumed coordinator.
+	CrashPreLeaseGrant = "pre-lease-grant"
+	// CrashMidBatchAppend fires inside a record batch after at least
+	// one record hit the journal — the batch is half-durable and the
+	// worker never learns which half.
+	CrashMidBatchAppend = "mid-batch-append"
+	// CrashPreCompleteAck fires after a unit settles but before the
+	// completion is acknowledged — the worker retries a completion
+	// the journals already contain.
+	CrashPreCompleteAck = "pre-complete-ack"
+)
 
 const (
 	defaultUnits    = 8
@@ -157,7 +189,57 @@ type Coordinator struct {
 	memoizedRuns  int
 	convergedRuns int
 
+	// crashed flips when an armed crash point fires: every subsequent
+	// request answers 503 until a resumed coordinator takes over.
+	crashed bool
+	// idem replays stored responses for duplicated /records and
+	// /complete deliveries.
+	idem idemStore
+
 	done chan struct{}
+}
+
+// idemStore is a bounded FIFO map of idempotency key → stored
+// response. Duplicated deliveries (retries after a lost reply,
+// chaos-duplicated requests) replay the original response verbatim,
+// making them true no-ops even for replies that carry counters.
+type idemStore struct {
+	mu      sync.Mutex
+	entries map[string]idemEntry
+	order   []string
+}
+
+type idemEntry struct {
+	status int
+	body   []byte
+}
+
+// idemStoreCap bounds the store; at one entry per in-flight batch the
+// working set is tiny, so the cap only guards pathological clients.
+const idemStoreCap = 1024
+
+func (s *idemStore) get(key string) (idemEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+func (s *idemStore) put(key string, e idemEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[string]idemEntry)
+	}
+	if _, dup := s.entries[key]; dup {
+		return
+	}
+	for len(s.order) >= idemStoreCap {
+		delete(s.entries, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.entries[key] = e
+	s.order = append(s.order, key)
 }
 
 // NewCoordinator plans the campaign (running the golden runs to pin
@@ -382,6 +464,40 @@ func (c *Coordinator) wakeLocked() {
 	c.wake = make(chan struct{})
 }
 
+// deadLocked answers 503/CodeCrashed when a crash point has fired.
+// The post middleware gates new requests, but a request already past
+// the gate (or parked in the lease long-poll) when the crash fires
+// must not mutate state either — a dead process appends nothing.
+// Handlers call this immediately after taking c.mu (the caller keeps
+// responsibility for unlocking); crashed is only written under c.mu,
+// so the check is exact.
+func (c *Coordinator) deadLocked(w http.ResponseWriter) bool {
+	if !c.crashed {
+		return false
+	}
+	httpErrorCode(w, http.StatusServiceUnavailable, CodeCrashed,
+		"coordinator crashed at a chaos crash point; awaiting resume")
+	return true
+}
+
+// hitCrashLocked checks an armed chaos crash point. When the site
+// fires, the coordinator flips into the crashed state — every later
+// request answers 503/CodeCrashed — and the in-flight handler aborts
+// via http.ErrAbortHandler, so the client sees a reset connection and
+// no reply: exactly the signature of a process killed at this
+// instruction. Whatever was already journaled stays journaled; a new
+// coordinator resuming from the directory is the only way forward.
+func (c *Coordinator) hitCrashLocked(label string) {
+	if c.cfg.Crash == nil {
+		return
+	}
+	if c.cfg.Crash.Hit(label) {
+		c.crashed = true
+		c.cfg.Logf("distrib: chaos crash point %q fired — coordinator dead until resumed", label)
+		panic(http.ErrAbortHandler)
+	}
+}
+
 // sweepLocked expires overdue leases, returning their units to the
 // pending pool with all received records retained.
 func (c *Coordinator) sweepLocked(now time.Time) {
@@ -512,6 +628,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	var pick *unit
 	for {
+		if c.deadLocked(w) {
+			c.mu.Unlock()
+			return
+		}
 		now = time.Now()
 		c.sweepLocked(now)
 		c.touchWorkerLocked(req.Worker, now)
@@ -558,6 +678,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	defer c.mu.Unlock()
 
+	c.hitCrashLocked(CrashPreLeaseGrant)
 	c.leaseSeq++
 	pick.state = unitLeased
 	pick.leaseID = fmt.Sprintf("L%04d-u%d", c.leaseSeq, pick.shard)
@@ -613,6 +734,9 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deadLocked(w) {
+		return
+	}
 	u, err := c.leaseLocked(batch.LeaseID, now)
 	if err != nil {
 		httpError(w, http.StatusConflict, "%v", err)
@@ -623,13 +747,24 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	ws := c.touchWorkerLocked(u.worker, now)
 
+	// Two passes: validate the whole batch first, then journal. Any
+	// invalid or conflicting record rejects the batch with nothing
+	// appended, so a hostile or wire-damaged batch can never
+	// partially journal — the all-or-nothing guarantee FuzzProtocol
+	// asserts.
 	resp := BatchResponse{}
+	fresh := make([]runner.Record, 0, len(batch.Records))
+	inBatch := make(map[int]runner.Record, len(batch.Records))
 	for _, rec := range batch.Records {
 		if err := c.checkRecordLocked(u, rec); err != nil {
 			httpError(w, http.StatusBadRequest, "record rejected: %v", err)
 			return
 		}
-		if prev, dup := u.seen[rec.Job]; dup {
+		prev, dup := u.seen[rec.Job]
+		if !dup {
+			prev, dup = inBatch[rec.Job]
+		}
+		if dup {
 			if !runner.RecordsEqual(prev, rec) {
 				httpError(w, http.StatusConflict, "job %d already journaled with different content: %v",
 					rec.Job, runner.ErrConflictingRecords)
@@ -638,6 +773,10 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 			resp.Duplicates++
 			continue
 		}
+		inBatch[rec.Job] = rec
+		fresh = append(fresh, rec)
+	}
+	for _, rec := range fresh {
 		if u.journal == nil {
 			j, err := runner.OpenShardJournal(c.cfg.Dir, runner.JournalHeader{
 				Instance:     c.cfg.Instance,
@@ -662,6 +801,7 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 		ws.records++
 		ws.outcomes[outcomeKey(rec)]++
 		resp.Accepted++
+		c.hitCrashLocked(CrashMidBatchAppend)
 	}
 	if u.state == unitLeased && len(u.seen) == u.jobs {
 		c.settleLocked(u)
@@ -680,6 +820,9 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deadLocked(w) {
+		return
+	}
 	u, err := c.leaseLocked(req.LeaseID, now)
 	if err != nil {
 		httpError(w, http.StatusConflict, "%v", err)
@@ -705,6 +848,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deadLocked(w) {
+		return
+	}
 	u, err := c.leaseLocked(req.LeaseID, now)
 	if err != nil {
 		httpError(w, http.StatusConflict, "%v", err)
@@ -726,6 +872,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		}
 		c.settleLocked(u)
 	}
+	c.hitCrashLocked(CrashPreCompleteAck)
 	writeJSON(w, CompleteResponse{CampaignDone: c.complete})
 }
 
@@ -912,22 +1059,101 @@ func (c *Coordinator) Metrics() Metrics {
 	return m
 }
 
+// maxRequestBody bounds a POST body. The largest legitimate request
+// is a record batch with per-bit diff lists; 64 MiB is an order of
+// magnitude above anything the fleet produces and still refuses a
+// hostile unbounded stream.
+const maxRequestBody = 64 << 20
+
+// responseRecorder tees a handler's reply into a buffer so the
+// idempotency store can replay it for duplicated deliveries.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	r.buf.Write(b)
+	return r.ResponseWriter.Write(b)
+}
+
+// post hardens one POST handler: method gate, crashed-state gate,
+// bounded body read, content-digest verification (a body damaged in
+// flight — chaos truncate/corrupt, or any real middlebox mangling —
+// is rejected with the retryable CodeBodyDigest before the handler
+// sees it), and, when idempotent, duplicate-delivery replay from the
+// idempotency store.
+func (c *Coordinator) post(idempotent bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		c.mu.Lock()
+		dead := c.crashed
+		c.mu.Unlock()
+		if dead {
+			httpErrorCode(w, http.StatusServiceUnavailable, CodeCrashed,
+				"coordinator crashed at a chaos crash point; awaiting resume")
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+		if err != nil {
+			// A short or broken read is wire damage, not a client
+			// bug: the sender's copy is intact, so mark it retryable.
+			httpErrorCode(w, http.StatusBadRequest, CodeBodyDigest, "reading request body: %v", err)
+			return
+		}
+		if len(body) > maxRequestBody {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBody)
+			return
+		}
+		if want := r.Header.Get(HeaderBodyDigest); want != "" {
+			sum := sha256.Sum256(body)
+			if got := hex.EncodeToString(sum[:]); got != want {
+				httpErrorCode(w, http.StatusBadRequest, CodeBodyDigest,
+					"request body digest %s does not match header %s — body damaged in flight", got, want)
+				return
+			}
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+
+		key := r.Header.Get(HeaderIdempotencyKey)
+		if !idempotent || key == "" {
+			h(w, r)
+			return
+		}
+		key = r.URL.Path + "|" + key
+		if e, ok := c.idem.get(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set(HeaderIdempotentReplay, "1")
+			w.WriteHeader(e.status)
+			_, _ = w.Write(e.body)
+			return
+		}
+		rec := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		// Store every terminal answer (including deterministic 4xx);
+		// 5xx replies are transient server trouble and must re-execute.
+		if rec.status < 500 {
+			c.idem.put(key, idemEntry{status: rec.status, body: bytes.Clone(rec.buf.Bytes())})
+		}
+	}
+}
+
 // Handler returns the coordinator's HTTP API.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	post := func(h http.HandlerFunc) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != http.MethodPost {
-				httpError(w, http.StatusMethodNotAllowed, "POST only")
-				return
-			}
-			h(w, r)
-		}
-	}
-	mux.HandleFunc(PathLease, post(c.handleLease))
-	mux.HandleFunc(PathRecords, post(c.handleRecords))
-	mux.HandleFunc(PathHeartbeat, post(c.handleHeartbeat))
-	mux.HandleFunc(PathComplete, post(c.handleComplete))
+	mux.HandleFunc(PathLease, c.post(false, c.handleLease))
+	mux.HandleFunc(PathRecords, c.post(true, c.handleRecords))
+	mux.HandleFunc(PathHeartbeat, c.post(false, c.handleHeartbeat))
+	mux.HandleFunc(PathComplete, c.post(true, c.handleComplete))
 	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Status())
 	})
@@ -935,6 +1161,30 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, c.Metrics())
 	})
 	return mux
+}
+
+// handlerDeadline bounds one request's service time. It must exceed
+// leaseWaitMax (the lease long-poll parks up to that long by design)
+// while still unsticking a handler wedged on pathological input.
+const handlerDeadline = 30 * time.Second
+
+// NewServer wraps h in an http.Server hardened for a bad network:
+// ReadHeaderTimeout defeats slow-header connection squatting,
+// IdleTimeout reaps abandoned keep-alives, and every handler runs
+// under handlerDeadline (expiry answers 503/CodeTimeout, which
+// clients treat as retryable). Every server the fabric starts —
+// coordinator Serve, the loopback harness, propaned — goes through
+// here.
+func NewServer(h http.Handler) *http.Server {
+	timeoutBody, _ := json.Marshal(errorResponse{
+		Error: fmt.Sprintf("handler deadline (%s) exceeded", handlerDeadline),
+		Code:  CodeTimeout,
+	})
+	return &http.Server{
+		Handler:           http.TimeoutHandler(h, handlerDeadline, string(timeoutBody)),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // Close releases the coordinator's files without assembling — for a
@@ -986,7 +1236,7 @@ func (c *Coordinator) Assemble() (*runner.RunResult, error) {
 // answering (with StatusDone leases) while assembly runs, so workers
 // drain cleanly, and shuts down afterwards.
 func (c *Coordinator) Serve(l net.Listener) (*runner.RunResult, error) {
-	srv := &http.Server{Handler: c.Handler()}
+	srv := NewServer(c.Handler())
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(l) }()
 	select {
@@ -1007,7 +1257,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // httpError writes an errorResponse with the given status.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	httpErrorCode(w, status, "", format, args...)
+}
+
+// httpErrorCode writes an errorResponse carrying a machine-readable
+// code alongside the prose.
+func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }

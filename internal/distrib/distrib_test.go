@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -76,7 +77,7 @@ func serveCoordinator(t *testing.T, c *Coordinator) (string, *http.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: c.Handler()}
+	srv := NewServer(c.Handler())
 	go srv.Serve(l)
 	return "http://" + l.Addr().String(), srv
 }
@@ -107,6 +108,7 @@ func runPartialWorker(t *testing.T, url, scratch string, maxStream int) (streame
 	w := &worker{
 		base:          url,
 		opts:          WorkerOptions{Name: "dying", Dir: scratch, Logf: t.Logf},
+		ctx:           context.Background(),
 		client:        &http.Client{Timeout: 10 * time.Second},
 		describeCache: make(map[string]runner.PlanInfo),
 	}
@@ -256,6 +258,7 @@ func TestLeaseLongPollPromptness(t *testing.T) {
 	w := &worker{
 		base:   url,
 		opts:   WorkerOptions{Name: "probe", Dir: dir, Logf: t.Logf},
+		ctx:    context.Background(),
 		client: &http.Client{Timeout: 30 * time.Second},
 	}
 	var a LeaseResponse

@@ -1,0 +1,92 @@
+package distrib
+
+// FuzzProtocol throws arbitrary bytes at the coordinator's four POST
+// endpoints and asserts the hardened-protocol invariants: the
+// coordinator never panics, never answers 5xx to malformed input, and
+// a 4xx reply implies nothing was journaled by that request — the
+// all-or-nothing batch guarantee. Run it natively:
+//
+//	go test ./internal/distrib/ -fuzz FuzzProtocol -fuzztime 30s
+//
+// Under plain `go test` only the seed corpus executes, keeping tier-1
+// fast.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"propane/internal/runner"
+)
+
+var fuzzPaths = []string{PathLease, PathRecords, PathHeartbeat, PathComplete}
+
+func FuzzProtocol(f *testing.F) {
+	dir, err := os.MkdirTemp("", "propane-fuzz-*")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(dir) })
+	coord, err := NewCoordinator(Config{
+		Instance: "reduced",
+		Tier:     runner.TierQuick,
+		Dir:      dir,
+		Units:    2,
+		// Tiny TTL: fuzz-granted leases return to the pool almost
+		// immediately, so a later lease request never parks the full
+		// long-poll window waiting for an expiry.
+		LeaseTTL: 50 * time.Millisecond,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { coord.Close() })
+	h := coord.Handler()
+
+	// Seeds: one well-formed body per endpoint, plus shapes that have
+	// historically been dangerous — a batch whose *second* record is
+	// invalid (partial-journal bait), out-of-range and wrong-shard
+	// jobs, conflicting rewrites, junk, and truncated JSON.
+	f.Add(0, []byte(`{"worker":"w1"}`))
+	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":0}]}`))
+	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":0},{"job":-1}]}`))
+	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":0},{"job":1}]}`))
+	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":99999}]}`))
+	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":0,"outcome":"ok"},{"job":0,"outcome":"crash"}]}`))
+	f.Add(2, []byte(`{"lease_id":"L0001-u0"}`))
+	f.Add(3, []byte(`{"lease_id":"L0001-u0"}`))
+	f.Add(1, []byte(`{"lease_id":`))
+	f.Add(2, []byte(`not json at all`))
+	f.Add(0, []byte(``))
+	f.Add(3, []byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, which int, body []byte) {
+		if which < 0 {
+			which = -which
+		}
+		path := fuzzPaths[which%len(fuzzPaths)]
+		before := coord.Metrics().ReceivedRuns
+
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic here is the fuzz failure
+
+		if rec.Code >= 500 {
+			t.Fatalf("%s answered %d to fuzzed input %q: %s", path, rec.Code, body, rec.Body.Bytes())
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("%s answered non-JSON %q to input %q", path, rec.Body.Bytes(), body)
+		}
+		if rec.Code >= 400 {
+			if after := coord.Metrics().ReceivedRuns; after != before {
+				t.Fatalf("%s answered %d yet journaled %d records (%d → %d): partial journal on rejected input %q",
+					path, rec.Code, after-before, before, after, body)
+			}
+		}
+	})
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"net/http"
 	"path/filepath"
 	"sync"
 
@@ -35,7 +34,7 @@ func Loopback(cc Config, workers int, wo WorkerOptions) (*runner.RunResult, erro
 		coord.Close()
 		return nil, fmt.Errorf("distrib: loopback listener: %w", err)
 	}
-	srv := &http.Server{Handler: coord.Handler()}
+	srv := NewServer(coord.Handler())
 	go srv.Serve(l)
 	url := "http://" + l.Addr().String()
 

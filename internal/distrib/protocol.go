@@ -26,6 +26,23 @@
 // A request against an unknown or expired lease fails with HTTP 409;
 // the worker abandons the unit (another worker owns it now) and asks
 // for new work.
+//
+// The protocol is hardened against the fault model internal/chaos
+// injects (the fabric's own SWIFI campaign):
+//
+//   - every POST body carries a SHA-256 content digest in
+//     X-Propane-Body-Digest; a body corrupted or truncated in flight
+//     is rejected with 400/"body_digest_mismatch" before any handler
+//     state changes, and the client treats that code as retryable
+//     (transport damage, not a client bug);
+//   - /records and /complete carry an idempotency key in
+//     X-Propane-Idempotency-Key (the body digest); a duplicated
+//     delivery replays the stored response verbatim instead of
+//     re-executing the handler;
+//   - a record batch is validated atomically — any invalid or
+//     conflicting record rejects the whole batch with nothing
+//     journaled, so a hostile or damaged batch can never partially
+//     journal.
 package distrib
 
 import "propane/internal/runner"
@@ -38,6 +55,34 @@ const (
 	PathComplete  = "/v1/complete"
 	PathStatus    = "/status"
 	PathMetrics   = "/metrics"
+)
+
+// Protocol headers.
+const (
+	// HeaderBodyDigest carries the hex SHA-256 of the request body.
+	// The coordinator verifies it before decoding; a mismatch means
+	// the body was damaged in flight and the request is rejected with
+	// CodeBodyDigest (retryable — the sender's copy is intact).
+	HeaderBodyDigest = "X-Propane-Body-Digest"
+	// HeaderIdempotencyKey makes a POST replayable: the coordinator
+	// stores the response under this key and answers a duplicated
+	// delivery from the store without re-executing the handler.
+	HeaderIdempotencyKey = "X-Propane-Idempotency-Key"
+	// HeaderIdempotentReplay marks a response served from the
+	// idempotency store.
+	HeaderIdempotentReplay = "X-Propane-Idempotent-Replay"
+)
+
+// Machine-readable error codes carried in errorResponse.Code.
+const (
+	// CodeBodyDigest: the body did not match its digest header —
+	// damaged in flight; retry with the intact copy.
+	CodeBodyDigest = "body_digest_mismatch"
+	// CodeCrashed: a chaos crash point fired and the coordinator is
+	// "dead" pending restart; retryable.
+	CodeCrashed = "coordinator_crashed"
+	// CodeTimeout: the per-handler deadline elapsed; retryable.
+	CodeTimeout = "handler_timeout"
 )
 
 // LeaseRequest asks the coordinator for a work unit.
@@ -133,7 +178,10 @@ type CompleteResponse struct {
 	CampaignDone bool `json:"campaign_done"`
 }
 
-// errorResponse is the JSON body of every non-2xx reply.
+// errorResponse is the JSON body of every non-2xx reply. Code, when
+// present, lets clients distinguish transport damage (retryable) from
+// genuine protocol errors without parsing prose.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

@@ -1,0 +1,115 @@
+package distrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"propane/internal/runner"
+)
+
+// spool is the worker's durable overflow queue: record batches the
+// coordinator could not be reached for land here (one JSON line per
+// record, fsynced per append) and drain oldest-first once delivery
+// works again. The unit's local journal already holds every record —
+// a worker that dies with a non-empty spool replays the journal on
+// restart and re-streams everything — so the spool's job is purely to
+// let the *current* incarnation keep executing at full speed while
+// the coordinator is away, without growing an unbounded in-memory
+// queue that a crash would take down untraced.
+type spool struct {
+	path  string
+	f     *os.File
+	queue []runner.Record
+}
+
+// openSpool creates (or truncates) the spool file at path. Any
+// leftover content belongs to a previous incarnation whose records the
+// local journal replay re-streams anyway.
+func openSpool(path string) (*spool, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("distrib: creating spool directory: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: opening spool %s: %w", path, err)
+	}
+	return &spool{path: path, f: f}, nil
+}
+
+func (s *spool) len() int { return len(s.queue) }
+
+// append journals the batch to the spool file and queues it for the
+// next drain.
+func (s *spool) append(recs []runner.Record) error {
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("distrib: encoding spool record: %w", err)
+		}
+		if _, err := s.f.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("distrib: appending to spool %s: %w", s.path, err)
+		}
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("distrib: syncing spool %s: %w", s.path, err)
+	}
+	s.queue = append(s.queue, recs...)
+	return nil
+}
+
+// drain delivers the queue oldest-first in batches of at most
+// batchSize. Delivered records leave the queue even when a later
+// batch fails; the file is rewritten to match whatever remains, so
+// the spool never re-delivers what the coordinator acknowledged.
+func (s *spool) drain(batchSize int, deliver func([]runner.Record) error) error {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	var deliverErr error
+	for len(s.queue) > 0 {
+		n := batchSize
+		if n > len(s.queue) {
+			n = len(s.queue)
+		}
+		if deliverErr = deliver(s.queue[:n]); deliverErr != nil {
+			break
+		}
+		s.queue = s.queue[n:]
+	}
+	if err := s.rewrite(); err != nil && deliverErr == nil {
+		deliverErr = err
+	}
+	return deliverErr
+}
+
+// rewrite replaces the spool file's contents with the current queue.
+func (s *spool) rewrite() error {
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("distrib: truncating spool %s: %w", s.path, err)
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("distrib: rewinding spool %s: %w", s.path, err)
+	}
+	if len(s.queue) == 0 {
+		return s.f.Sync()
+	}
+	queue := s.queue
+	s.queue = nil
+	return s.append(queue)
+}
+
+func (s *spool) close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// remove deletes the spool file (the unit completed — nothing left to
+// replay).
+func (s *spool) remove() {
+	s.close()
+	os.Remove(s.path)
+}

@@ -2,6 +2,9 @@ package distrib
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +15,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"propane/internal/backoff"
+	"propane/internal/chaos"
 	"propane/internal/runner"
 )
 
@@ -40,13 +45,28 @@ type WorkerOptions struct {
 	// coordinator (each flush renews the lease). <= 0 selects 64.
 	BatchSize int
 	// MaxErrors bounds consecutive failed coordinator round-trips
-	// before the worker gives up. <= 0 selects 10.
+	// before the worker gives up. While a leased unit is executing
+	// the worker never gives up — an unreachable coordinator flips it
+	// into degraded mode (records spool locally and replay on
+	// reconnect); MaxErrors governs the lease loop and the final
+	// drain. <= 0 selects 10.
 	MaxErrors int
+	// Chaos, when non-nil and enabled, wraps this worker's HTTP
+	// client in a fault-injecting chaos.Transport. The worker derives
+	// its own seed from Spec.Seed and its name, so one campaign-level
+	// seed gives every fleet member an independent, reproducible
+	// fault sequence.
+	Chaos *chaos.Spec
 	// LogInterval throttles local campaign progress lines (0
 	// disables them).
 	LogInterval time.Duration
 	// Logf receives lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
+
+	// transport overrides the HTTP transport outright (Chaos is then
+	// ignored) — tests inject a chaos.Transport they can interrogate
+	// after the run.
+	transport http.RoundTripper
 }
 
 func (o *WorkerOptions) normalise() error {
@@ -78,6 +98,7 @@ func (o *WorkerOptions) normalise() error {
 // httpStatusError is a non-2xx coordinator reply.
 type httpStatusError struct {
 	status int
+	code   string
 	msg    string
 }
 
@@ -92,31 +113,86 @@ func leaseLost(err error) bool {
 	return errors.As(err, &se) && se.status == http.StatusConflict
 }
 
-// fatalStatus reports a reply that retrying cannot fix (4xx other
-// than 409).
+// retryableError reports an error worth retrying: transport failures
+// (the request may never have arrived), 5xx (the coordinator is
+// restarting or overloaded), and digest-mismatch 4xx (the body was
+// damaged in flight — our copy is intact).
+func retryableError(err error) bool {
+	var se *httpStatusError
+	if !errors.As(err, &se) {
+		return true // transport-level: connection refused/reset/dropped
+	}
+	return se.status >= 500 || se.code == CodeBodyDigest
+}
+
+// fatalStatus reports a reply that retrying cannot fix: a 4xx other
+// than lease-conflict (409) and wire damage (CodeBodyDigest).
 func fatalStatus(err error) bool {
 	var se *httpStatusError
-	return errors.As(err, &se) && se.status >= 400 && se.status < 500 && se.status != http.StatusConflict
+	return errors.As(err, &se) && se.status >= 400 && se.status < 500 &&
+		se.status != http.StatusConflict && se.code != CodeBodyDigest
 }
 
 // worker is one agent's connection to a coordinator.
 type worker struct {
 	base   string
 	opts   WorkerOptions
+	ctx    context.Context
 	client *http.Client
+	policy backoff.Policy
 	// describeCache memoises runner.DescribeInstance per work-unit
 	// identity — the golden runs behind it are the expensive part.
 	describeCache map[string]runner.PlanInfo
 }
 
-// post sends one JSON request and decodes the JSON reply. Non-2xx
-// replies come back as *httpStatusError.
+func newWorker(ctx context.Context, coordinatorURL string, opts WorkerOptions) *worker {
+	transport := opts.transport
+	if transport == nil && opts.Chaos != nil && opts.Chaos.Enabled() {
+		spec := *opts.Chaos
+		spec.Seed = chaos.DeriveSeed(spec.Seed, opts.Name)
+		transport = chaos.NewTransport(spec, nil, opts.Logf)
+		opts.Logf("distrib: worker %s: chaos enabled (%s)", opts.Name, spec.String())
+	}
+	return &worker{
+		base: coordinatorURL,
+		opts: opts,
+		ctx:  ctx,
+		client: &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: transport,
+		},
+		policy: backoff.Policy{
+			Base:     100 * time.Millisecond,
+			Cap:      2 * time.Second,
+			Attempts: opts.MaxErrors,
+		},
+		describeCache: make(map[string]runner.PlanInfo),
+	}
+}
+
+// post sends one JSON request and decodes the JSON reply. The body
+// carries its SHA-256 in HeaderBodyDigest so the coordinator can
+// reject wire-damaged deliveries, and — for the mutating endpoints —
+// the same digest as HeaderIdempotencyKey so duplicated deliveries
+// replay instead of re-executing. Non-2xx replies come back as
+// *httpStatusError.
 func (w *worker) post(path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("distrib: encoding %s request: %w", path, err)
 	}
-	r, err := w.client.Post(w.base+path, "application/json", bytes.NewReader(body))
+	sum := sha256.Sum256(body)
+	digest := hex.EncodeToString(sum[:])
+	hreq, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("distrib: building %s request: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(HeaderBodyDigest, digest)
+	if path == PathRecords || path == PathComplete {
+		hreq.Header.Set(HeaderIdempotencyKey, digest)
+	}
+	r, err := w.client.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("distrib: %s: %w", path, err)
 	}
@@ -127,7 +203,7 @@ func (w *worker) post(path string, req, resp any) error {
 		if json.Unmarshal(data, &er) != nil || er.Error == "" {
 			er.Error = string(data)
 		}
-		return &httpStatusError{status: r.StatusCode, msg: er.Error}
+		return &httpStatusError{status: r.StatusCode, code: er.Code, msg: er.Error}
 	}
 	if resp == nil {
 		return nil
@@ -138,51 +214,78 @@ func (w *worker) post(path string, req, resp any) error {
 	return nil
 }
 
-// postRetry retries transient failures (network errors, 5xx) with
-// capped exponential backoff; 4xx errors return immediately.
-func (w *worker) postRetry(path string, req, resp any) error {
-	backoff := 100 * time.Millisecond
-	var err error
-	for attempt := 0; attempt < w.opts.MaxErrors; attempt++ {
-		err = w.post(path, req, resp)
-		var se *httpStatusError
-		if err == nil || (errors.As(err, &se) && se.status < 500) {
-			return err
-		}
-		time.Sleep(backoff)
-		if backoff < 2*time.Second {
-			backoff *= 2
-		}
+// postRetry retries transient failures — network errors, 5xx,
+// wire-damage 4xx — under the shared full-jitter backoff policy,
+// bounded to the given number of attempts (<= 0 selects MaxErrors).
+// Non-retryable statuses return immediately, and a cancelled context
+// aborts the wait mid-backoff.
+func (w *worker) postRetry(path string, req, resp any, attempts int) error {
+	pol := w.policy
+	if attempts > 0 {
+		pol.Attempts = attempts
 	}
-	return err
+	pol.OnRetry = func(attempt int, delay time.Duration, err error) {
+		w.opts.Logf("distrib: worker %s: %s attempt %d failed (%v), retrying in %v",
+			w.opts.Name, path, attempt+1, err, delay)
+	}
+	return pol.Do(w.ctx, retryableError, func() error { return w.post(path, req, resp) })
 }
 
-// RunWorker joins the fleet of the coordinator at coordinatorURL and
-// processes work units until the campaign completes (returns nil) or
-// the worker fails fatally: coordinator unreachable past
-// MaxErrors consecutive attempts, config-digest mismatch (version
-// skew), or a local execution error. A lost lease is not fatal — the
-// worker abandons the unit and asks for new work.
+// sleep pauses for d unless the context ends first, reporting whether
+// the full pause elapsed.
+func (w *worker) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return w.ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-w.ctx.Done():
+		return false
+	}
+}
+
+// RunWorker joins the fleet of the coordinator at coordinatorURL with
+// a background context; see RunWorkerContext.
 func RunWorker(coordinatorURL string, opts WorkerOptions) error {
+	return RunWorkerContext(context.Background(), coordinatorURL, opts)
+}
+
+// RunWorkerContext joins the fleet of the coordinator at
+// coordinatorURL and processes work units until the campaign
+// completes (returns nil), ctx is cancelled (returns ctx.Err()), or
+// the worker fails fatally: coordinator unreachable past MaxErrors
+// consecutive lease attempts, config-digest mismatch (version skew),
+// or a local execution error. A lost lease is not fatal — the worker
+// abandons the unit and asks for new work. A coordinator that
+// becomes unreachable while a unit is executing is not fatal either:
+// the worker degrades gracefully, spooling records durably and
+// replaying them when the coordinator returns.
+func RunWorkerContext(ctx context.Context, coordinatorURL string, opts WorkerOptions) error {
 	if err := opts.normalise(); err != nil {
 		return err
 	}
-	w := &worker{
-		base:          coordinatorURL,
-		opts:          opts,
-		client:        &http.Client{Timeout: 30 * time.Second},
-		describeCache: make(map[string]runner.PlanInfo),
-	}
+	w := newWorker(ctx, coordinatorURL, opts)
 	consecutive := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var lr LeaseResponse
 		if err := w.post(PathLease, LeaseRequest{Worker: opts.Name}, &lr); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			consecutive++
 			if consecutive >= opts.MaxErrors {
 				return fmt.Errorf("distrib: worker %s: %d consecutive lease failures, last: %w",
 					opts.Name, consecutive, err)
 			}
-			time.Sleep(opts.PollInterval)
+			if !w.sleep(w.policy.Delay(consecutive - 1)) {
+				return ctx.Err()
+			}
 			continue
 		}
 		consecutive = 0
@@ -199,7 +302,9 @@ func RunWorker(coordinatorURL string, opts WorkerOptions) error {
 			if wait <= 0 {
 				wait = opts.PollInterval
 			}
-			time.Sleep(wait)
+			if !w.sleep(wait) {
+				return ctx.Err()
+			}
 		case StatusUnit:
 			if lr.Unit == nil {
 				return fmt.Errorf("distrib: worker %s: unit lease %s carried no unit", opts.Name, lr.LeaseID)
@@ -245,9 +350,21 @@ func (w *worker) scratchDir(u *WorkUnit) string {
 		fmt.Sprintf("unit-%dof%d", u.Shard+1, u.Shards))
 }
 
+// degradedAttempts bounds one delivery try while the coordinator is
+// already known-unreachable: probe once per flush, spool on failure,
+// keep simulating.
+const (
+	degradedAttempts = 1
+	liveAttempts     = 3
+)
+
 // runUnit executes one leased work unit through the local supervised
 // runner, streaming records back and heartbeating until the unit is
-// done or the lease is lost.
+// done or the lease is lost. An unreachable coordinator degrades the
+// unit instead of aborting it: records spool durably under the
+// unit's scratch directory, execution continues, and the spool
+// replays (idempotently — the coordinator content-keys every record)
+// once a delivery succeeds.
 func (w *worker) runUnit(lr LeaseResponse) error {
 	u := lr.Unit
 	info, err := w.describe(u)
@@ -274,21 +391,95 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 		excluded[job] = true
 	}
 
+	scratch := w.scratchDir(u)
+	// A leftover spool from a previous incarnation is discarded: the
+	// local journal under scratch replays every record through
+	// OnRecord anyway, so the spool only ever needs to carry this
+	// incarnation's undelivered batches.
+	sp, err := openSpool(filepath.Join(scratch, "spool.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer sp.close()
+
 	// lost flips once the coordinator disowns the lease; the Abort
-	// hook then drains the local campaign without error.
+	// hook then drains the local campaign without error. degraded
+	// remembers that the last delivery failed, so flushes stop
+	// burning retry ladders and go straight to one probe + spool.
 	var lost atomic.Bool
+	degraded := false
 	batch := make([]runner.Record, 0, w.opts.BatchSize)
-	flush := func() error {
-		if len(batch) == 0 || lost.Load() {
+
+	deliver := func(recs []runner.Record, attempts int) error {
+		var br BatchResponse
+		return w.postRetry(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: recs}, &br, attempts)
+	}
+	// flush pushes the spool, then the live batch. final demands
+	// delivery (full retry budget, error surfaced); otherwise a
+	// failed delivery spools the batch and execution continues.
+	flush := func(final bool) error {
+		if lost.Load() || (len(batch) == 0 && sp.len() == 0) {
 			return nil
 		}
-		var br BatchResponse
-		err := w.postRetry(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: batch}, &br)
-		if err != nil {
+		attempts := liveAttempts
+		if final {
+			attempts = w.opts.MaxErrors // the unit is done: be patient
+		} else if degraded {
+			attempts = degradedAttempts
+		}
+		if sp.len() > 0 {
+			err := sp.drain(w.opts.BatchSize, func(recs []runner.Record) error {
+				return deliver(recs, attempts)
+			})
+			if err != nil {
+				if leaseLost(err) {
+					lost.Store(true)
+					return nil
+				}
+				if fatalStatus(err) || w.ctx.Err() != nil {
+					return err
+				}
+				degraded = true
+				if final {
+					return err
+				}
+				// Coordinator still down; the spool keeps its
+				// records and the live batch joins it below.
+			} else if degraded {
+				degraded = false
+				w.opts.Logf("distrib: worker %s: coordinator reachable again — spool drained", w.opts.Name)
+			}
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		if !degraded || final {
+			err := deliver(batch, attempts)
+			if err == nil {
+				if degraded {
+					degraded = false
+					w.opts.Logf("distrib: worker %s: coordinator reachable again", w.opts.Name)
+				}
+				batch = batch[:0]
+				return nil
+			}
 			if leaseLost(err) {
 				lost.Store(true)
 				return nil
 			}
+			if fatalStatus(err) || w.ctx.Err() != nil {
+				return err
+			}
+			if final {
+				return err
+			}
+			if !degraded {
+				w.opts.Logf("distrib: worker %s: coordinator unreachable (%v) — degrading: records spool to %s and execution continues",
+					w.opts.Name, err, sp.path)
+			}
+			degraded = true
+		}
+		if err := sp.append(batch); err != nil {
 			return err
 		}
 		batch = batch[:0]
@@ -312,6 +503,8 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 			select {
 			case <-stopHB:
 				return
+			case <-w.ctx.Done():
+				return
 			case <-t.C:
 				var hr HeartbeatResponse
 				if err := w.post(PathHeartbeat, HeartbeatRequest{LeaseID: lr.LeaseID}, &hr); err != nil {
@@ -329,7 +522,7 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 	_, runErr := runner.Run(cfg, runner.Options{
 		Name:           u.Instance,
 		Tier:           runner.Tier(u.Tier),
-		Dir:            w.scratchDir(u),
+		Dir:            scratch,
 		Shard:          u.Shard,
 		Shards:         u.Shards,
 		Resume:         true,
@@ -338,7 +531,7 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 		LogInterval:    w.opts.LogInterval,
 		Logf:           w.opts.Logf,
 		ExcludeJobs:    func(job int) bool { return excluded[job] },
-		Abort:          func() bool { return lost.Load() },
+		Abort:          func() bool { return lost.Load() || w.ctx.Err() != nil },
 		// OnRecord runs on the serial observer path: replayed
 		// delivery re-streams records a previous incarnation of this
 		// worker journaled locally but never flushed (the coordinator
@@ -349,7 +542,7 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 			}
 			batch = append(batch, rec)
 			if len(batch) >= w.opts.BatchSize {
-				return flush()
+				return flush(false)
 			}
 			return nil
 		},
@@ -359,23 +552,39 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 	if runErr != nil {
 		return runErr
 	}
-	if err := flush(); err != nil {
+	if err := w.ctx.Err(); err != nil {
 		return err
+	}
+	if err := flush(true); err != nil {
+		if lost.Load() {
+			return nil
+		}
+		w.opts.Logf("distrib: worker %s: final drain for unit %d/%d failed (%v) — abandoning lease; local journal retains the work",
+			w.opts.Name, u.Shard+1, u.Shards, err)
+		return nil
 	}
 	if lost.Load() {
 		w.opts.Logf("distrib: worker %s: lease %s lost — abandoning unit %d/%d",
 			w.opts.Name, lr.LeaseID, u.Shard+1, u.Shards)
 		return nil
 	}
+	sp.remove()
 	var cr CompleteResponse
-	if err := w.postRetry(PathComplete, CompleteRequest{LeaseID: lr.LeaseID}, &cr); err != nil {
+	if err := w.postRetry(PathComplete, CompleteRequest{LeaseID: lr.LeaseID}, &cr, 0); err != nil {
 		if leaseLost(err) {
 			// The coordinator revoked the lease (or expired it during
 			// the final flush): someone else finishes the gap.
 			w.opts.Logf("distrib: worker %s: complete for %s rejected — unit reassigned", w.opts.Name, lr.LeaseID)
 			return nil
 		}
-		return err
+		if fatalStatus(err) || w.ctx.Err() != nil {
+			return err
+		}
+		// Unreachable on the final ack: the coordinator settles the
+		// unit itself on its last record, so this costs nothing.
+		w.opts.Logf("distrib: worker %s: complete for %s undeliverable (%v) — coordinator settles the unit from its journal",
+			w.opts.Name, lr.LeaseID, err)
+		return nil
 	}
 	w.opts.Logf("distrib: worker %s: unit %d/%d complete", w.opts.Name, u.Shard+1, u.Shards)
 	return nil

@@ -1,20 +1,25 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"propane/internal/backoff"
 )
 
 // Transient-failure supervision for the runner's own I/O: a campaign
 // that has been executing for hours must not die because one journal
 // append or artifact write hit a transient filesystem error (NFS
 // hiccup, disk-full window, antivirus lock). Such operations retry
-// with capped exponential backoff before the failure is considered
+// under the shared backoff.Policy — capped exponential with full
+// jitter, so many workers limping through the same flaky filesystem
+// don't hammer it in lockstep — before the failure is considered
 // fatal.
 
 const (
-	// retryBaseDelay is the first backoff step; each retry doubles it
-	// up to retryMaxDelay.
+	// retryBaseDelay is the ceiling of the first backoff draw; each
+	// retry doubles it up to retryMaxDelay.
 	retryBaseDelay = 50 * time.Millisecond
 	retryMaxDelay  = 2 * time.Second
 )
@@ -24,28 +29,27 @@ const (
 var ioSleep = time.Sleep
 
 // retryIO runs op, retrying a failure up to maxRetries times with
-// capped exponential backoff. Each retry is logged, so a campaign
-// limping through a flaky filesystem leaves evidence. The final error
-// wraps the last failure.
+// full-jitter capped exponential backoff. Each retry is logged, so a
+// campaign limping through a flaky filesystem leaves evidence. The
+// final error wraps the last failure.
 func retryIO(maxRetries int, logf func(format string, args ...any), what string, op func() error) error {
-	delay := retryBaseDelay
-	var err error
-	for attempt := 0; ; attempt++ {
-		if err = op(); err == nil {
+	pol := backoff.Policy{
+		Base:     retryBaseDelay,
+		Cap:      retryMaxDelay,
+		Attempts: maxRetries + 1,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			ioSleep(d)
 			return nil
-		}
-		if attempt >= maxRetries {
-			break
-		}
-		if logf != nil {
+		},
+	}
+	if logf != nil {
+		pol.OnRetry = func(attempt int, delay time.Duration, err error) {
 			logf("runner: %s failed (attempt %d/%d), retrying in %v: %v",
 				what, attempt+1, maxRetries, delay, err)
 		}
-		ioSleep(delay)
-		delay *= 2
-		if delay > retryMaxDelay {
-			delay = retryMaxDelay
-		}
 	}
-	return fmt.Errorf("runner: %s failed after %d attempts: %w", what, maxRetries+1, err)
+	if err := pol.Do(context.Background(), nil, op); err != nil {
+		return fmt.Errorf("runner: %s failed after %d attempts: %w", what, maxRetries+1, err)
+	}
+	return nil
 }

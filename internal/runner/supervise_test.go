@@ -34,8 +34,11 @@ func TestRetryIORecoversTransientFailure(t *testing.T) {
 	if calls != 3 {
 		t.Errorf("op ran %d times, want 3", calls)
 	}
-	if len(slept) != 2 || slept[0] != retryBaseDelay || slept[1] != 2*retryBaseDelay {
-		t.Errorf("backoff %v, want [%v %v]", slept, retryBaseDelay, 2*retryBaseDelay)
+	// Full jitter: each delay is drawn from [0, base<<attempt].
+	if len(slept) != 2 || slept[0] < 0 || slept[0] > retryBaseDelay ||
+		slept[1] < 0 || slept[1] > 2*retryBaseDelay {
+		t.Errorf("backoff %v, want two draws within [0,%v] and [0,%v]",
+			slept, retryBaseDelay, 2*retryBaseDelay)
 	}
 }
 
@@ -56,13 +59,14 @@ func TestRetryIOGivesUpAndCaps(t *testing.T) {
 	if len(slept) != 8 {
 		t.Fatalf("slept %d times, want 8", len(slept))
 	}
-	for _, d := range slept {
-		if d > retryMaxDelay {
-			t.Errorf("backoff %v exceeds cap %v", d, retryMaxDelay)
+	ceiling := retryBaseDelay
+	for i, d := range slept {
+		if d < 0 || d > ceiling {
+			t.Errorf("backoff %d drew %v, want within [0,%v]", i, d, ceiling)
 		}
-	}
-	if slept[len(slept)-1] != retryMaxDelay {
-		t.Errorf("final backoff %v, want the cap %v", slept[len(slept)-1], retryMaxDelay)
+		if ceiling *= 2; ceiling > retryMaxDelay {
+			ceiling = retryMaxDelay
+		}
 	}
 
 	// Negative MaxRetries disables retrying entirely.
