@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"propane/internal/arrestor"
 	"propane/internal/autobrake"
@@ -722,15 +724,73 @@ func benchDistributed(b *testing.B, instance string, tier runner.Tier, workers i
 }
 
 // BenchmarkDistributedLoopbackQuick measures the distributed path on
-// the quick-tier reduced campaign for 1- and 2-worker loopback
+// the quick-tier reduced campaign for 1-, 2- and 4-worker loopback
 // fleets. Against BenchmarkTable1PairPermeabilities-style single-node
 // numbers this exposes the fixed coordination overhead (per-unit
 // golden runs, HTTP round-trips, journal assembly).
 func BenchmarkDistributedLoopbackQuick(b *testing.B) {
-	for _, workers := range []int{1, 2} {
+	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			benchDistributed(b, "reduced", runner.TierQuick, workers)
 		})
+	}
+}
+
+// TestDistributedScalingSmoke is the CI guard on distributed
+// scale-out: the quick-tier loopback campaign at 1, 2 and 4 workers,
+// best of three runs each. The fleet sizes are interleaved within
+// each rep so slow machine-level drift (VM CPU frequency, background
+// load) hits every fleet size equally instead of biasing whichever
+// batch ran last. On a multi-core runner the assertion is the strict
+// one the protocol is built for: workers=4 must beat workers=1 —
+// simulation genuinely parallelizes, so losing means the coordinator
+// is back on the hot path. A single-CPU machine serializes the
+// simulation work regardless of fleet size, so there the check
+// degrades to overhead parity: workers=4 may not be more than 25%
+// slower than workers=1. Gated behind PROPANE_SCALING_SMOKE=1 so
+// plain `go test ./...` stays fast.
+func TestDistributedScalingSmoke(t *testing.T) {
+	if os.Getenv("PROPANE_SCALING_SMOKE") == "" {
+		t.Skip("set PROPANE_SCALING_SMOKE=1 to run the distributed scaling smoke test")
+	}
+	best := map[int]time.Duration{}
+	for rep := 0; rep < 3; rep++ {
+		for _, workers := range []int{1, 2, 4} {
+			dir, err := os.MkdirTemp("", "propane-scaling-smoke-*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			_, err = distrib.Loopback(distrib.Config{
+				Instance: "reduced",
+				Tier:     runner.TierQuick,
+				Dir:      dir,
+				Units:    4,
+			}, workers, distrib.WorkerOptions{Workers: 1})
+			elapsed := time.Since(start)
+			os.RemoveAll(dir)
+			if err != nil {
+				t.Fatalf("workers=%d rep=%d: %v", workers, rep, err)
+			}
+			if cur, ok := best[workers]; !ok || elapsed < cur {
+				best[workers] = elapsed
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		t.Logf("workers=%d best-of-3 wall clock: %v", workers, best[workers])
+	}
+	if runtime.NumCPU() > 1 {
+		if best[4] >= best[1] {
+			t.Fatalf("adding workers made the campaign slower: workers=4 best %v >= workers=1 best %v",
+				best[4], best[1])
+		}
+		return
+	}
+	t.Logf("single CPU: no parallel speedup is possible, checking overhead parity only")
+	if best[4] > best[1]*5/4 {
+		t.Fatalf("distributed overhead grows with fleet size: workers=4 best %v > 1.25 * workers=1 best %v",
+			best[4], best[1])
 	}
 }
 

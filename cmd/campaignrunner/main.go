@@ -97,6 +97,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	workerURL := fs.String("worker", "", "join a distributed coordinator's fleet at this URL (see propaned); -dir becomes the local scratch root")
 	workerName := fs.String("worker-name", "", "fleet identity for -worker mode (default hostname-pid; keep it stable across restarts to resume local work)")
 	chaosSpec := fs.String("chaos", "", "inject seeded faults into this worker's coordinator RPCs, e.g. seed=7,rate=0.2 (see internal/chaos; -worker mode only)")
+	jsonRecords := fs.Bool("json-records", false, "upload records as JSON even when the coordinator offers the binary batch framing (-worker mode only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the campaign finishes")
 	if err := fs.Parse(args); err != nil {
@@ -163,11 +164,16 @@ func run(args []string, out io.Writer) (retErr error) {
 		// instead of letting a mid-retry worker linger.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		encoding := ""
+		if *jsonRecords {
+			encoding = "json"
+		}
 		werr := distrib.RunWorkerContext(ctx, *workerURL, distrib.WorkerOptions{
 			Name:        *workerName,
 			Dir:         *dir,
 			Workers:     *workers,
 			Chaos:       cs,
+			Encoding:    encoding,
 			LogInterval: *progress,
 			Logf:        logf,
 		})
@@ -178,6 +184,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *chaosSpec != "" {
 		return fmt.Errorf("-chaos only applies to -worker mode (or propaned -loopback)")
+	}
+	if *jsonRecords {
+		return fmt.Errorf("-json-records only applies to -worker mode")
 	}
 	if *instance == "" {
 		return fmt.Errorf("no -instance given (use -list to see the registry)")

@@ -17,10 +17,13 @@
 //
 // and may come and go freely: a worker silent past the lease TTL is
 // presumed dead and its unit is reassigned, fast-forwarded past
-// every record already received. Killing and restarting propaned
-// itself with -resume restores its state from the journals under
-// -dir. The HTTP API also serves /status and /metrics JSON for
-// dashboards.
+// every record already received. Workers journal their records
+// locally and normally complete a unit with a digest alone; the
+// coordinator pulls the full record set lazily — on digest mismatch,
+// when the final report needs it, or always under -pull. Killing and
+// restarting propaned itself with -resume restores its state from
+// the journals under -dir. The HTTP API also serves /status and
+// /metrics JSON for dashboards.
 //
 // -loopback N skips the network fleet entirely and runs N worker
 // agents in-process against an ephemeral listener — a self-contained
@@ -56,10 +59,11 @@ func run(args []string, out io.Writer) error {
 	instance := fs.String("instance", "", "campaign instance to coordinate (see campaignrunner -list)")
 	tier := fs.String("tier", "quick", "campaign intensity: quick or full")
 	dir := fs.String("dir", "", "coordinator artifact directory (shard journals, assignment journal, final report)")
-	units := fs.Int("units", 0, "work units to decompose the campaign into (0 = default 8; more units than workers lets the fleet rebalance)")
+	units := fs.Int("units", 0, "initial carve granularity: the first work units are sized as if the campaign split this many ways (0 = default 8); later units are cost-sized on demand")
 	listen := fs.String("listen", "127.0.0.1:8080", "address to serve the coordinator API on")
 	lease := fs.Duration("lease", 0, "lease TTL: a worker silent this long is presumed dead and its unit reassigned (0 = default 30s)")
 	resume := fs.Bool("resume", false, "restore coordinator state from the journals under -dir")
+	pull := fs.Bool("pull", false, "always pull full record sets from workers instead of accepting digest-only completion")
 	loopback := fs.Int("loopback", 0, "run this many in-process workers on an ephemeral listener instead of serving a network fleet")
 	workers := fs.Int("workers", 0, "local campaign parallelism per loopback worker (<= 0 means GOMAXPROCS)")
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget, applied fleet-wide via the config digest (0 = instance default)")
@@ -90,6 +94,7 @@ func run(args []string, out io.Writer) error {
 		Units:          *units,
 		LeaseTTL:       *lease,
 		Resume:         *resume,
+		Pull:           *pull,
 		RunBudgetSteps: *runBudget,
 		Logf:           logf,
 	}
@@ -114,8 +119,8 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		info := coord.Info()
-		logf("propaned: coordinating %s/%s — %d runs in %d units — on http://%s (workers: campaignrunner -worker http://%s -dir scratch)",
-			info.Name, info.Tier, info.TotalRuns, coord.Status().Units, l.Addr(), l.Addr())
+		logf("propaned: coordinating %s/%s — %d runs, carved into work units on demand — on http://%s (workers: campaignrunner -worker http://%s -dir scratch)",
+			info.Name, info.Tier, info.TotalRuns, l.Addr(), l.Addr())
 		rr, err = coord.Serve(l)
 	}
 	if err != nil {

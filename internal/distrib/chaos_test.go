@@ -261,12 +261,12 @@ func leaseAndCollect(t *testing.T, url, scratch string) (LeaseResponse, []runner
 	}
 	var recs []runner.Record
 	_, err = runner.Run(cfg, runner.Options{
-		Name:    u.Instance,
-		Tier:    runner.Tier(u.Tier),
-		Dir:     w.scratchDir(u),
-		Shard:   u.Shard,
-		Shards:  u.Shards,
-		Workers: 1,
+		Name:        u.Instance,
+		Tier:        runner.Tier(u.Tier),
+		Dir:         w.scratchDir(u),
+		Workers:     1,
+		SkipReport:  true,
+		ExcludeJobs: func(job int) bool { return job < u.JobLo || job >= u.JobHi },
 		OnRecord: func(rec runner.Record, replayed bool) error {
 			recs = append(recs, rec)
 			return nil
@@ -426,10 +426,11 @@ func TestWireDamagedBodyRejected(t *testing.T) {
 	}
 }
 
-// TestWorkerDegradesAndRecovers takes the coordinator away mid-unit:
-// the worker must keep executing, spool its records durably, drain
-// the spool when the coordinator returns, and finish the campaign
-// bit-identical — graceful degradation, not abort.
+// TestWorkerDegradesAndRecovers takes the coordinator away mid-upload:
+// the worker must keep its records safe in the local journal, degrade
+// to patient retries, resume the upload when the coordinator returns,
+// and finish the campaign bit-identical — graceful degradation, not
+// abort.
 func TestWorkerDegradesAndRecovers(t *testing.T) {
 	dir := t.TempDir()
 	logs := &logCapture{t: t}
@@ -445,8 +446,8 @@ func TestWorkerDegradesAndRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The outage: after the first record batch lands, every request
-	// 503s for a fixed window while the worker keeps simulating.
+	// The outage: after the first record chunk of a unit's bulk upload
+	// lands, every request 503s for a fixed window mid-upload.
 	var down atomic.Bool
 	var batches atomic.Int32
 	inner := coord.Handler()
@@ -498,7 +499,8 @@ func TestWorkerDegradesAndRecovers(t *testing.T) {
 	}
 	assertMatchesBaseline(t, rr)
 
-	// Completed units clean their spools up.
+	// The local journal is the only durability mechanism — protocol v2
+	// removed the delivery spool, so none may reappear.
 	spools := 0
 	filepath.WalkDir(filepath.Join(dir, "scratch"), func(path string, d fs.DirEntry, err error) error {
 		if err == nil && !d.IsDir() && d.Name() == "spool.jsonl" {
@@ -507,6 +509,6 @@ func TestWorkerDegradesAndRecovers(t *testing.T) {
 		return nil
 	})
 	if spools != 0 {
-		t.Errorf("%d spool files left behind after a completed campaign", spools)
+		t.Errorf("%d spool files found after a completed campaign — the local journal is the durability story", spools)
 	}
 }

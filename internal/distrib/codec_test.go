@@ -1,0 +1,377 @@
+package distrib
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"propane/internal/runner"
+)
+
+// codecBatch is a record batch exercising every field the frame
+// carries: empty and repeated strings, negative integers, flag
+// combinations, and multi-entry diff maps.
+func codecBatch() RecordBatch {
+	return RecordBatch{
+		LeaseID: "L0042-u7",
+		Records: []runner.Record{
+			{Type: "golden", Job: 0, Module: "engine", Signal: "rpm", Model: "", Outcome: "ok"},
+			{Type: "run", Job: 1, Module: "engine", Signal: "rpm", AtMs: 1500, Model: "bitflip",
+				Case: 3, Fired: true, FiredAtMs: 1502, Outcome: "deviation", Attempts: 2,
+				Diffs: map[string]runner.DiffRecord{
+					"out.torque": {FirstMs: 1502, LastMs: 1900, Count: 17},
+					"out.rpm":    {FirstMs: 1510, LastMs: 1890, Count: 3},
+				}},
+			{Type: "run", Job: 2, Module: "gearbox", Signal: "ratio", AtMs: -1, Model: "stuck",
+				Case: -4, SystemFailure: true, FailureAtMs: 2200, Outcome: "crash",
+				Detail: "watchdog: budget exhausted", Attempts: 1},
+			{Type: "run", Job: 3, Module: "engine", Signal: "rpm", Model: "bitflip",
+				Outcome: "ok", Pruned: "memoized"},
+		},
+	}
+}
+
+// TestRecordBatchRoundTrip proves the binary frame carries every
+// record field losslessly.
+func TestRecordBatchRoundTrip(t *testing.T) {
+	want := codecBatch()
+	var buf bytes.Buffer
+	if err := encodeRecordBatch(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRecordBatch(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LeaseID != want.LeaseID {
+		t.Errorf("lease id %q, want %q", got.LeaseID, want.LeaseID)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("decoded %d records, want %d", len(got.Records), len(want.Records))
+	}
+	for i := range want.Records {
+		if !reflect.DeepEqual(got.Records[i], want.Records[i]) {
+			t.Errorf("record %d round-tripped as\n%+v\nwant\n%+v", i, got.Records[i], want.Records[i])
+		}
+	}
+	releaseRecords(got.Records)
+}
+
+// TestFrameDeterministic pins frame determinism: identical batches
+// encode to identical bytes (diff-map keys are sorted), so frames are
+// directly comparable and idempotency keys derived from the body are
+// stable across retries.
+func TestFrameDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := encodeRecordBatch(&a, codecBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeRecordBatch(&b, codecBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical batches encoded to different frames")
+	}
+}
+
+// TestDecodeHostileFrames proves the decoder rejects malformed input
+// of every shape with an error — never a panic, never a partial
+// batch.
+func TestDecodeHostileFrames(t *testing.T) {
+	var good bytes.Buffer
+	if err := encodeRecordBatch(&good, codecBatch()); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad magic":        append([]byte("XXXX"), good.Bytes()[4:]...),
+		"magic only":       []byte("PRB1"),
+		"garbage gzip":     append([]byte("PRB1"), []byte("not a gzip stream")...),
+		"truncated":        good.Bytes()[:good.Len()/2],
+		"trailing garbage": append(bytes.Clone(good.Bytes()), 0xde, 0xad),
+	}
+	for name, data := range cases {
+		if _, err := decodeRecordBatch(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// A payload-level attack: valid gzip around a hostile payload
+	// demanding a giant string table.
+	hostile := acquireBuffer()
+	hostile.Write([]byte{0x00})                                  // lease id: empty
+	hostile.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})    // string count: huge
+	var frame bytes.Buffer                                       //
+	frame.Write(frameMagic)                                      //
+	zw := acquireGzipWriter(&frame)                              //
+	if _, err := zw.Write(hostile.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	releaseGzipWriter(zw)
+	releaseBuffer(hostile)
+	if _, err := decodeRecordBatch(frame.Bytes()); err == nil {
+		t.Error("giant string-table count decoded without error")
+	}
+}
+
+// countingHandler wraps a coordinator handler and tallies the
+// Content-Type of every /v1/records request, so tests can prove which
+// encodings actually went over the wire.
+type countingHandler struct {
+	inner http.Handler
+	mu    sync.Mutex
+	seen  map[string]int
+}
+
+func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == PathRecords {
+		ct := r.Header.Get("Content-Type")
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			ct = ct[:i]
+		}
+		c.mu.Lock()
+		if c.seen == nil {
+			c.seen = map[string]int{}
+		}
+		c.seen[ct]++
+		c.mu.Unlock()
+	}
+	c.inner.ServeHTTP(w, r)
+}
+
+func (c *countingHandler) count(ct string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen[ct]
+}
+
+// TestMixedFleetBitIdentical runs a fleet split across the two
+// encodings — one worker on negotiated binary frames, one forced to
+// JSON — and asserts both encodings really hit the wire and the
+// assembled result is bit-identical to the single-node baseline:
+// framing is transport, never semantics.
+func TestMixedFleetBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	coord, err := NewCoordinator(Config{
+		Instance: "reduced",
+		Tier:     runner.TierQuick,
+		Dir:      dir,
+		Units:    4,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &countingHandler{inner: coord.Handler()}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ch)
+	go srv.Serve(l)
+	defer srv.Close()
+	url := "http://" + l.Addr().String()
+
+	encodings := []string{"", "json"}
+	errs := make(chan error, len(encodings))
+	for i, enc := range encodings {
+		wo := WorkerOptions{
+			Name:         fmt.Sprintf("mixed-w%d-%s", i+1, map[bool]string{true: "bin", false: "json"}[enc == ""]),
+			Dir:          filepath.Join(dir, "scratch"),
+			Encoding:     enc,
+			BatchSize:    8,
+			PollInterval: 50 * time.Millisecond,
+			Logf:         t.Logf,
+		}
+		go func() { errs <- RunWorker(url, wo) }()
+	}
+	select {
+	case <-coord.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatal("mixed fleet did not complete the campaign")
+	}
+	for range encodings {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ch.count(ContentTypeBinary); n == 0 {
+		t.Error("no binary-framed batch hit the wire — the negotiated worker never used the frame")
+	}
+	if n := ch.count(ContentTypeJSON); n == 0 {
+		t.Error("no JSON batch hit the wire — the forced-JSON worker did not stay on JSON")
+	}
+	rr, err := coord.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesBaseline(t, rr)
+}
+
+// TestBinaryRefusedFallsBackToJSON simulates a coordinator that
+// advertises the binary frame but refuses it (version skew, a
+// content-type-mangling middlebox): the worker must fall back to JSON
+// permanently and still complete the campaign bit-identically.
+func TestBinaryRefusedFallsBackToJSON(t *testing.T) {
+	dir := t.TempDir()
+	logs := &logCapture{t: t}
+	coord, err := NewCoordinator(Config{
+		Instance: "reduced",
+		Tier:     runner.TierQuick,
+		Dir:      dir,
+		Units:    2,
+		Logf:     logs.logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := coord.Handler()
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PathRecords && strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary) {
+			httpError(w, http.StatusUnsupportedMediaType, "binary record frames not supported here")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(h)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	if err := RunWorker("http://"+l.Addr().String(), WorkerOptions{
+		Name:         "skewed",
+		Dir:          filepath.Join(dir, "scratch"),
+		BatchSize:    4,
+		PollInterval: 50 * time.Millisecond,
+		Logf:         logs.logf,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !logs.contains("falling back to JSON") {
+		t.Error("worker never fell back to JSON — the 415 path was not exercised")
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("worker exited but the campaign is incomplete")
+	}
+	rr, err := coord.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesBaseline(t, rr)
+}
+
+// TestPullModeReuploads pins Config.Pull's distinct branch: with the
+// coordinator already holding a unit's full record set (streamed), a
+// v2 completion is still answered NeedRecords — the records re-upload
+// and re-verify record by record — and only the post-upload
+// completion settles the unit.
+func TestPullModeReuploads(t *testing.T) {
+	dir := t.TempDir()
+	coord, err := NewCoordinator(Config{
+		Instance: "reduced",
+		Tier:     runner.TierQuick,
+		Dir:      dir,
+		Units:    2,
+		Pull:     true,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	url, srv := serveCoordinator(t, coord)
+	defer srv.Close()
+
+	lr, recs := leaseAndCollect(t, url, filepath.Join(dir, "scratch"))
+	w := &worker{base: url, opts: WorkerOptions{Name: "puller", Logf: t.Logf}, ctx: t.Context(),
+		client: &http.Client{Timeout: 10 * time.Second}}
+	var br BatchResponse
+	if err := w.post(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: recs}, &br); err != nil {
+		t.Fatal(err)
+	}
+	if !br.UnitDone {
+		t.Fatalf("streamed the full unit but UnitDone=false (accepted %d)", br.Accepted)
+	}
+	// The coordinator is fully covered, the digest matches — Pull must
+	// still demand the upload.
+	creq := CompleteRequest{LeaseID: lr.LeaseID, Runs: len(recs), Digest: runner.RecordSetDigest(recs)}
+	var cr CompleteResponse
+	if err := w.post(PathComplete, creq, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !cr.NeedRecords {
+		t.Fatal("Pull coordinator settled a covered unit without demanding the upload")
+	}
+	if err := w.post(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: recs}, &br); err != nil {
+		t.Fatalf("re-upload under Pull rejected: %v", err)
+	}
+	creq.Uploaded = true
+	var cr2 CompleteResponse
+	if err := w.post(PathComplete, creq, &cr2); err != nil {
+		t.Fatal(err)
+	}
+	if cr2.NeedRecords {
+		t.Error("coordinator still demands records after the forced re-upload")
+	}
+	st := coord.Status()
+	if st.UnitsDetail[lr.Unit.Unit].State != "done" {
+		t.Errorf("unit state %q after pull-verified completion, want done", st.UnitsDetail[lr.Unit.Unit].State)
+	}
+}
+
+// TestDigestMismatchRejected pins the no-transfer settle's
+// cross-check: a v2 completion whose record-set digest contradicts
+// the journaled set is refused with 409, because it means the two
+// sides simulated different outcomes.
+func TestDigestMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	coord, err := NewCoordinator(Config{
+		Instance: "reduced",
+		Tier:     runner.TierQuick,
+		Dir:      dir,
+		Units:    2,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	url, srv := serveCoordinator(t, coord)
+	defer srv.Close()
+
+	lr, recs := leaseAndCollect(t, url, filepath.Join(dir, "scratch"))
+	w := &worker{base: url, opts: WorkerOptions{Name: "liar", Logf: t.Logf}, ctx: t.Context(),
+		client: &http.Client{Timeout: 10 * time.Second}}
+	var br BatchResponse
+	if err := w.post(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: recs}, &br); err != nil {
+		t.Fatal(err)
+	}
+	var cr CompleteResponse
+	err = w.post(PathComplete, CompleteRequest{
+		LeaseID: lr.LeaseID, Runs: len(recs),
+		Digest: "0000000000000000000000000000000000000000000000000000000000000000",
+	}, &cr)
+	if !leaseLost(err) {
+		t.Fatalf("contradicting digest answered %v, want a 409 conflict", err)
+	}
+	// The truthful digest then settles the same covered unit.
+	if err := w.post(PathComplete, CompleteRequest{
+		LeaseID: lr.LeaseID, Runs: len(recs), Digest: runner.RecordSetDigest(recs),
+	}, &cr); err != nil {
+		t.Fatalf("truthful completion rejected after the mismatched one: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,23 +29,31 @@ type Config struct {
 	// digest guards against version skew.
 	Instance string
 	Tier     runner.Tier
-	// Dir is the coordinator's artifact directory: shard journals,
+	// Dir is the coordinator's artifact directory: the record journal,
 	// the assignment journal, and — after completion — the assembled
 	// config.json, metrics.json, failures.md and report.md.
 	Dir string
-	// Units is the number of work units the job space is decomposed
-	// into (the shard count). More units than workers lets the fleet
-	// rebalance around slow or dying members. <= 0 selects 8.
+	// Units sets the initial carve granularity: before any unit has
+	// completed (no cost measurements yet), work units are carved as
+	// ranges of ceil(TotalRuns/Units) jobs. Once per-run cost is
+	// measured, later units shrink to fit the lease TTL, so Units is a
+	// floor on the unit count, not a fixed decomposition. <= 0 selects
+	// 8.
 	Units int
-	// LeaseTTL bounds how long a silent worker keeps a unit. Record
-	// flushes and heartbeats renew the lease; a worker silent for a
-	// full TTL is presumed dead and its unit is reassigned. <= 0
-	// selects 30 s.
+	// LeaseTTL bounds how long a silent worker keeps a unit. Uploads
+	// and heartbeats renew the lease; a worker silent for a full TTL is
+	// presumed dead and its unit is reassigned. <= 0 selects 30 s.
 	LeaseTTL time.Duration
 	// Resume restores coordinator state from the journals under Dir
-	// (records already streamed, completed units) instead of refusing
-	// to touch a non-empty directory.
+	// (records already received, carved units) instead of refusing to
+	// touch a non-empty directory.
 	Resume bool
+	// Pull forces a full record upload for every unit, even when the
+	// coordinator already holds the unit's records and the offered
+	// digest matches — cross-verification at transfer cost. The
+	// default pulls lazily: records upload once per unit, after the
+	// digest-only completion.
+	Pull bool
 	// RunBudgetSteps arms the per-run watchdog fleet-wide; it is part
 	// of the config digest, so workers apply the value carried in
 	// their work unit.
@@ -88,9 +97,19 @@ const (
 	// comfortably under the worker HTTP client's 30 s timeout.
 	leaseWaitMax = 10 * time.Second
 	// leaseRetryMs is the retry hint returned when a long-poll times
-	// out without work — short, because the worker comes straight back
-	// into another long-poll rather than busy-waiting.
-	leaseRetryMs = 25
+	// out without work. One millisecond: the worker bounces straight
+	// back into another long-poll — leasing is event-driven, the hint
+	// only breaks a pathological tight loop against a broken client.
+	leaseRetryMs = 1
+	// minCarveJobs floors the cost-sized units, so a crash/hang-heavy
+	// campaign (huge per-run cost) still amortises the per-unit fixed
+	// costs (scratch setup, golden-run replay) over a meaningful
+	// range.
+	minCarveJobs = 16
+	// carveTargetFloorMs floors the unit-duration target derived from
+	// the lease TTL. Sub-second TTLs are test configurations; honoring
+	// them literally would shatter the job space.
+	carveTargetFloorMs = 1000
 )
 
 func (c *Config) normalise() error {
@@ -116,8 +135,8 @@ func (c *Config) normalise() error {
 }
 
 // unitState is the lease state machine: pending → leased → done, with
-// leased → pending on expiry (the unit keeps its received records, so
-// the next holder fast-forwards).
+// leased → pending on expiry (the received records stay, so the next
+// holder fast-forwards).
 type unitState int
 
 const (
@@ -138,44 +157,57 @@ func (s unitState) String() string {
 	return fmt.Sprintf("unitState(%d)", int(s))
 }
 
-// unit is one shard-range work unit.
+// unit is one carved job-range work unit.
 type unit struct {
-	shard    int
-	jobs     int // total job count of this unit
+	id       int
+	lo, hi   int // job range [lo, hi)
 	state    unitState
 	leaseID  string
 	worker   string
 	expires  time.Time
-	attempts int                   // times leased
-	seen     map[int]runner.Record // job → received record (content-keyed)
-	journal  *runner.ShardJournal  // lazily opened on first record
+	attempts int // times leased
+	done     int // jobs of the range present in the record set
+	reported int // worker-reported local progress (heartbeats)
 }
+
+func (u *unit) jobs() int { return u.hi - u.lo }
 
 // workerState is the coordinator's view of one fleet member.
 type workerState struct {
 	name     string
 	lastSeen time.Time
-	unit     int // leased unit's shard, -1 when idle
+	unit     int // leased unit's id, -1 when idle
 	records  int
 	outcomes map[string]int
 }
 
-// Coordinator decomposes a campaign into lease-bounded work units,
-// collects worker-streamed journal records, and reassembles the
-// result. All HTTP handlers and accessors are safe for concurrent
-// use.
+// Coordinator carves a campaign into lease-bounded work units,
+// collects the units' record sets (bulk-uploaded after digest-only
+// completions, or streamed), and reassembles the result. All HTTP
+// handlers and accessors are safe for concurrent use.
 type Coordinator struct {
 	cfg      Config
 	campaign campaign.Config
 	info     runner.PlanInfo
 
-	mu       sync.Mutex
-	units    []*unit
-	byLease  map[string]*unit
-	workers  map[string]*workerState
+	mu      sync.Mutex
+	units   []*unit
+	nextJob int // carve frontier: jobs below it belong to some unit
+	byLease map[string]*unit
+	workers map[string]*workerState
+	// seen is the global record set, keyed by job index. The journal
+	// mirrors it durably; on resume it is rebuilt from the journal.
+	seen     map[int]runner.Record
+	journal  *runner.ShardJournal // lazily opened on first record
 	leaseSeq int
 	resumed  int // records restored from journals at startup
 	received int // live records accepted from workers
+	// msPerJob is the cost model: an EWMA of wall-milliseconds per
+	// journaled run, fed by workers' completion reports. Pruned and
+	// memoized runs take microseconds while crash/hang runs burn a
+	// full watchdog budget; the measured average captures the mix
+	// without modeling it.
+	msPerJob float64
 	start    time.Time
 	assign   *os.File
 	complete bool
@@ -184,7 +216,7 @@ type Coordinator struct {
 	// parked in handleLease's long-poll.
 	wake chan struct{}
 	// Equivalence-pruning counters aggregated across the fleet from
-	// the streamed records' pruned labels.
+	// the received records' pruned labels.
 	prunedRuns    int
 	memoizedRuns  int
 	convergedRuns int
@@ -243,9 +275,9 @@ func (s *idemStore) put(key string, e idemEntry) {
 }
 
 // NewCoordinator plans the campaign (running the golden runs to pin
-// the config digest), decomposes it into cfg.Units work units, and —
-// with cfg.Resume — restores received records and completed units
-// from the journals under cfg.Dir.
+// the config digest) and — with cfg.Resume — restores received
+// records and carved units from the journals under cfg.Dir. Work
+// units are carved lazily as workers ask for them.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if err := cfg.normalise(); err != nil {
 		return nil, err
@@ -278,45 +310,75 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		info:     info,
 		byLease:  make(map[string]*unit),
 		workers:  make(map[string]*workerState),
+		seen:     make(map[int]runner.Record),
 		start:    time.Now(),
 		wake:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	for i := 0; i < cfg.Units; i++ {
-		jobs := info.TotalRuns / cfg.Units
-		if i < info.TotalRuns%cfg.Units {
-			jobs++
-		}
-		c.units = append(c.units, &unit{
-			shard: i,
-			jobs:  jobs,
-			seen:  make(map[int]runner.Record),
-		})
-	}
 
-	if err := c.restoreJournals(); err != nil {
-		return nil, err
-	}
 	if err := c.openAssignmentLog(); err != nil {
 		return nil, err
+	}
+	if err := c.restoreJournals(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	for _, u := range c.units {
+		u.done = c.coveredLocked(u)
+		if u.done == u.jobs() {
+			u.state = unitDone
+		}
 	}
 	c.maybeCompleteLocked()
 	return c, nil
 }
 
-// restoreJournals rebuilds unit state from the shard journals — the
+// initialCarve is the pre-cost-model unit size.
+func (c *Coordinator) initialCarve() int {
+	size := (c.info.TotalRuns + c.cfg.Units - 1) / c.cfg.Units
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// coveredLocked counts the unit's jobs present in the record set.
+func (c *Coordinator) coveredLocked(u *unit) int {
+	n := 0
+	for job := u.lo; job < u.hi; job++ {
+		if _, ok := c.seen[job]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// journalPath is the coordinator's single record journal. Protocol v1
+// bucketed records into per-unit shard journals; v2 appends every
+// accepted batch to one file — the batch is already grouped by unit,
+// and Assemble merges by content, not by file arithmetic.
+func (c *Coordinator) journalPath() string {
+	return runner.ShardJournalPath(c.cfg.Dir, 0, 1)
+}
+
+// restoreJournals rebuilds the record set from the journals — the
 // journals, not the assignment log, are the source of truth for which
 // work is done, so a coordinator crash between the two can never
 // invent or lose records.
 func (c *Coordinator) restoreJournals() error {
-	for _, u := range c.units {
-		path := runner.ShardJournalPath(c.cfg.Dir, u.shard, c.cfg.Units)
-		if !c.cfg.Resume {
+	paths, err := filepath.Glob(filepath.Join(c.cfg.Dir, "journal*.jsonl"))
+	if err != nil {
+		return fmt.Errorf("distrib: listing journals: %w", err)
+	}
+	if !c.cfg.Resume {
+		for _, path := range paths {
 			if st, err := os.Stat(path); err == nil && st.Size() > 0 {
 				return fmt.Errorf("distrib: %s already exists — pass Resume to continue the campaign or use a fresh directory", path)
 			}
-			continue
 		}
+		return nil
+	}
+	for _, path := range paths {
 		hdr, recs, err := runner.ReadJournal(path)
 		if err != nil {
 			return err
@@ -326,22 +388,19 @@ func (c *Coordinator) restoreJournals() error {
 				path, hdr.ConfigDigest, c.info.Digest, runner.ErrDigestMismatch)
 		}
 		for _, rec := range recs {
-			if err := c.checkRecordLocked(u, rec); err != nil {
-				return fmt.Errorf("distrib: journal %s: %w", path, err)
+			if rec.Job < 0 || rec.Job >= c.info.TotalRuns {
+				return fmt.Errorf("distrib: journal %s: job %d outside [0,%d)", path, rec.Job, c.info.TotalRuns)
 			}
-			if prev, dup := u.seen[rec.Job]; dup {
+			if prev, dup := c.seen[rec.Job]; dup {
 				if !runner.RecordsEqual(prev, rec) {
 					return fmt.Errorf("distrib: journal %s: job %d recorded twice with different content: %w",
 						path, rec.Job, runner.ErrConflictingRecords)
 				}
 				continue
 			}
-			u.seen[rec.Job] = rec
+			c.seen[rec.Job] = rec
 			c.resumed++
 			c.countPruneLocked(rec)
-		}
-		if len(u.seen) == u.jobs {
-			u.state = unitDone
 		}
 	}
 	if c.resumed > 0 {
@@ -351,13 +410,17 @@ func (c *Coordinator) restoreJournals() error {
 }
 
 // assignEvent is one line of the assignment journal — the
-// coordinator's own write-ahead record of the lease state machine,
-// kept for crash-resumable bookkeeping (attempt counts, lease
-// sequence) and operator forensics.
+// coordinator's own write-ahead record of the carve and lease state
+// machines. Carve events pin unit boundaries across coordinator
+// restarts (a resumed coordinator re-grants the same ranges, so a
+// restarted worker's scratch directories keep matching); assign
+// events restore the lease sequence and per-unit attempt counters.
 type assignEvent struct {
-	Type   string `json:"type"` // assign | expire | complete | campaign_complete
+	Type   string `json:"type"` // carve | assign | expire | complete | campaign_complete
 	TimeMs int64  `json:"time_ms"`
 	Unit   int    `json:"unit,omitempty"`
+	Lo     int    `json:"lo,omitempty"`
+	Hi     int    `json:"hi,omitempty"`
 	Worker string `json:"worker,omitempty"`
 	Lease  string `json:"lease,omitempty"`
 }
@@ -367,8 +430,8 @@ func (c *Coordinator) assignmentLogPath() string {
 }
 
 // openAssignmentLog opens the assignment journal for appending,
-// replaying any existing events to restore the lease sequence and
-// per-unit attempt counters.
+// replaying any existing events to restore the carved units, the
+// lease sequence and the per-unit attempt counters.
 func (c *Coordinator) openAssignmentLog() error {
 	path := c.assignmentLogPath()
 	if data, err := os.ReadFile(path); err == nil {
@@ -377,7 +440,16 @@ func (c *Coordinator) openAssignmentLog() error {
 			if json.Unmarshal(line, &ev) != nil {
 				continue // torn tail from a killed coordinator
 			}
-			if ev.Type == "assign" {
+			switch ev.Type {
+			case "carve":
+				// Carves replay in order; a gap or overlap means a lost
+				// append, and the remaining job space re-carves fresh
+				// behind whatever replayed cleanly.
+				if ev.Unit == len(c.units) && ev.Lo == c.nextJob && ev.Hi > ev.Lo && ev.Hi <= c.info.TotalRuns {
+					c.units = append(c.units, &unit{id: ev.Unit, lo: ev.Lo, hi: ev.Hi})
+					c.nextJob = ev.Hi
+				}
+			case "assign":
 				c.leaseSeq++
 				if ev.Unit >= 0 && ev.Unit < len(c.units) {
 					c.units[ev.Unit].attempts++
@@ -416,8 +488,9 @@ func splitLines(data []byte) [][]byte {
 }
 
 // logAssignLocked appends one event to the assignment journal. The
-// shard journals are authoritative, so an append failure here is
-// logged, not fatal.
+// record journal is authoritative, so an append failure here is
+// logged, not fatal (a lost carve line only costs re-carving that
+// range on resume).
 func (c *Coordinator) logAssignLocked(ev assignEvent) {
 	ev.TimeMs = time.Now().UnixMilli()
 	line, err := json.Marshal(ev)
@@ -432,27 +505,28 @@ func (c *Coordinator) logAssignLocked(ev assignEvent) {
 // Info returns the planned campaign's identity.
 func (c *Coordinator) Info() runner.PlanInfo { return c.info }
 
-// Done is closed once every work unit is journaled in full.
+// Done is closed once the whole job space is journaled.
 func (c *Coordinator) Done() <-chan struct{} { return c.done }
 
-// maybeCompleteLocked closes the done channel when the last unit
-// settles.
+// maybeCompleteLocked closes the done channel when the record set
+// covers the whole job space.
 func (c *Coordinator) maybeCompleteLocked() {
-	if c.complete {
+	if c.complete || len(c.seen) != c.info.TotalRuns {
 		return
 	}
-	for _, u := range c.units {
-		if u.state != unitDone {
-			return
-		}
-	}
 	c.complete = true
+	if c.journal != nil {
+		if err := c.journal.Close(); err != nil {
+			c.cfg.Logf("distrib: closing record journal: %v", err)
+		}
+		c.journal = nil
+	}
 	c.logAssignLocked(assignEvent{Type: "campaign_complete"})
 	if c.assign != nil {
 		_ = c.assign.Sync()
 	}
-	c.cfg.Logf("distrib: campaign %s/%s complete — all %d units journaled",
-		c.cfg.Instance, c.cfg.Tier, len(c.units))
+	c.cfg.Logf("distrib: campaign %s/%s complete — all %d runs journaled in %d units",
+		c.cfg.Instance, c.cfg.Tier, c.info.TotalRuns, len(c.units))
 	c.wakeLocked() // parked lease requests answer StatusDone immediately
 	close(c.done)
 }
@@ -506,16 +580,17 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 		if u.state != unitLeased || now.Before(u.expires) {
 			continue
 		}
-		c.cfg.Logf("distrib: lease %s (unit %d/%d, worker %s) expired — reassigning with %d/%d runs already journaled",
-			u.leaseID, u.shard+1, c.cfg.Units, u.worker, len(u.seen), u.jobs)
+		c.cfg.Logf("distrib: lease %s (unit %d [%d,%d), worker %s) expired — reassigning with %d/%d runs already journaled",
+			u.leaseID, u.id, u.lo, u.hi, u.worker, u.done, u.jobs())
 		delete(c.byLease, u.leaseID)
-		c.logAssignLocked(assignEvent{Type: "expire", Unit: u.shard, Worker: u.worker, Lease: u.leaseID})
-		if ws := c.workers[u.worker]; ws != nil && ws.unit == u.shard {
+		c.logAssignLocked(assignEvent{Type: "expire", Unit: u.id, Worker: u.worker, Lease: u.leaseID})
+		if ws := c.workers[u.worker]; ws != nil && ws.unit == u.id {
 			ws.unit = -1
 		}
 		u.state = unitPending
 		u.leaseID = ""
 		u.worker = ""
+		u.reported = 0
 		expired = true
 	}
 	if expired {
@@ -551,32 +626,75 @@ func (c *Coordinator) touchWorkerLocked(name string, now time.Time) *workerState
 	return ws
 }
 
-// checkRecordLocked validates that a record belongs to the unit.
-func (c *Coordinator) checkRecordLocked(u *unit, rec runner.Record) error {
-	if rec.Job < 0 || rec.Job >= c.info.TotalRuns {
-		return fmt.Errorf("job %d outside [0,%d)", rec.Job, c.info.TotalRuns)
+// carveSizeLocked sizes the next unit. Before any completion report,
+// the initial granularity (Config.Units) applies; afterwards the
+// measured per-run cost shrinks units toward half the lease TTL, so a
+// unit full of watchdog-budget hangs cannot become the straggler that
+// serialises the tail.
+func (c *Coordinator) carveSizeLocked() int {
+	size := c.initialCarve()
+	if c.msPerJob > 0 {
+		target := float64(c.cfg.LeaseTTL.Milliseconds()) / 2
+		if target < carveTargetFloorMs {
+			target = carveTargetFloorMs
+		}
+		byCost := int(target/c.msPerJob + 0.5)
+		if byCost < minCarveJobs {
+			byCost = minCarveJobs
+		}
+		if byCost < size {
+			size = byCost
+		}
 	}
-	if rec.Job%c.cfg.Units != u.shard {
-		return fmt.Errorf("job %d does not belong to unit %d of %d", rec.Job, u.shard, c.cfg.Units)
+	return size
+}
+
+// carveLocked cuts the next unit from the unassigned frontier,
+// fast-forwarded past records already in the set. Returns nil when
+// the frontier is exhausted.
+func (c *Coordinator) carveLocked() *unit {
+	if c.nextJob >= c.info.TotalRuns {
+		return nil
 	}
-	return nil
+	lo := c.nextJob
+	hi := lo + c.carveSizeLocked()
+	if hi > c.info.TotalRuns {
+		hi = c.info.TotalRuns
+	}
+	u := &unit{id: len(c.units), lo: lo, hi: hi}
+	c.nextJob = hi
+	c.units = append(c.units, u)
+	c.logAssignLocked(assignEvent{Type: "carve", Unit: u.id, Lo: lo, Hi: hi})
+	u.done = c.coveredLocked(u)
+	if u.done == u.jobs() {
+		u.state = unitDone // fully restored range: nothing to lease
+	}
+	return u
+}
+
+// observeCostLocked feeds one completed unit's measured cost into the
+// EWMA (a report without wall time or runs carries no signal).
+func (c *Coordinator) observeCostLocked(wallMs int64, runs int) {
+	if wallMs <= 0 || runs <= 0 {
+		return
+	}
+	sample := float64(wallMs) / float64(runs)
+	if c.msPerJob == 0 {
+		c.msPerJob = sample
+		return
+	}
+	c.msPerJob = 0.5*c.msPerJob + 0.5*sample
 }
 
 // settleLocked marks a unit done. The lease stays resolvable so the
 // worker's trailing complete call succeeds instead of 409ing.
 func (c *Coordinator) settleLocked(u *unit) {
 	u.state = unitDone
-	if u.journal != nil {
-		if err := u.journal.Close(); err != nil {
-			c.cfg.Logf("distrib: closing unit %d journal: %v", u.shard, err)
-		}
-		u.journal = nil
-	}
-	c.logAssignLocked(assignEvent{Type: "complete", Unit: u.shard, Worker: u.worker, Lease: u.leaseID})
-	if ws := c.workers[u.worker]; ws != nil && ws.unit == u.shard {
+	c.logAssignLocked(assignEvent{Type: "complete", Unit: u.id, Worker: u.worker, Lease: u.leaseID})
+	if ws := c.workers[u.worker]; ws != nil && ws.unit == u.id {
 		ws.unit = -1
 	}
-	c.cfg.Logf("distrib: unit %d/%d complete (%d runs, worker %s)", u.shard+1, c.cfg.Units, u.jobs, u.worker)
+	c.cfg.Logf("distrib: unit %d [%d,%d) complete (%d runs, worker %s)", u.id, u.lo, u.hi, u.jobs(), u.worker)
 	c.maybeCompleteLocked()
 }
 
@@ -605,14 +723,14 @@ func outcomeKey(rec runner.Record) string {
 	return string(campaign.OutcomeOK)
 }
 
-// handleLease assigns the lowest pending unit to the requester. With
-// nothing pending it long-polls: the request parks (up to leaseWaitMax,
-// well under the worker client's timeout) until a unit returns to the
-// pool or the campaign completes, instead of bouncing the worker into
-// a sleep/retry loop. An idle fleet member therefore observes
-// completion within one round-trip rather than one poll interval —
-// the difference between a loopback fleet finishing in ~100 ms and
-// idling for seconds.
+// handleLease assigns the lowest pending unit to the requester,
+// carving a fresh one from the frontier when none is pending. With no
+// pending unit and an exhausted frontier it long-polls: the request
+// parks (up to leaseWaitMax, well under the worker client's timeout)
+// until a unit returns to the pool or the campaign completes, instead
+// of bouncing the worker into a sleep/retry loop. A worker therefore
+// never sleeps while work is available — leasing is entirely
+// event-driven.
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -638,7 +756,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 		if c.complete {
 			c.mu.Unlock()
-			writeJSON(w, LeaseResponse{Status: StatusDone})
+			writeJSON(w, LeaseResponse{Status: StatusDone, Binary: true})
 			return
 		}
 		for _, u := range c.units {
@@ -647,11 +765,23 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 		}
+		for pick == nil {
+			u := c.carveLocked()
+			if u == nil {
+				break
+			}
+			if u.state == unitDone {
+				c.maybeCompleteLocked()
+				continue // fully restored range; carve the next one
+			}
+			pick = u
+		}
 		if pick != nil {
 			break
 		}
-		// Nothing pending: park until a wake, the next lease expiry
-		// (plus a sweep margin), or the long-poll deadline.
+		// Nothing pending and nothing left to carve: park until a
+		// wake, the next lease expiry (plus a sweep margin), or the
+		// long-poll deadline.
 		wait := time.Until(deadline)
 		if next, ok := c.nextExpiryLocked(); ok {
 			if d := time.Until(next) + 10*time.Millisecond; d < wait {
@@ -660,7 +790,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		if wait <= 0 {
 			c.mu.Unlock()
-			writeJSON(w, LeaseResponse{Status: StatusWait, RetryMs: leaseRetryMs})
+			writeJSON(w, LeaseResponse{Status: StatusWait, RetryMs: leaseRetryMs, Binary: true})
 			return
 		}
 		wake := c.wake
@@ -681,32 +811,37 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.hitCrashLocked(CrashPreLeaseGrant)
 	c.leaseSeq++
 	pick.state = unitLeased
-	pick.leaseID = fmt.Sprintf("L%04d-u%d", c.leaseSeq, pick.shard)
+	pick.leaseID = fmt.Sprintf("L%04d-u%d", c.leaseSeq, pick.id)
 	pick.worker = req.Worker
 	pick.expires = now.Add(c.cfg.LeaseTTL)
 	pick.attempts++
+	pick.reported = 0
 	c.byLease[pick.leaseID] = pick
 	ws := c.workers[req.Worker]
-	ws.unit = pick.shard
-	c.logAssignLocked(assignEvent{Type: "assign", Unit: pick.shard, Worker: req.Worker, Lease: pick.leaseID})
-	c.cfg.Logf("distrib: leased unit %d/%d to %s (%s, attempt %d, %d/%d runs pre-journaled)",
-		pick.shard+1, c.cfg.Units, req.Worker, pick.leaseID, pick.attempts, len(pick.seen), pick.jobs)
+	ws.unit = pick.id
+	c.logAssignLocked(assignEvent{Type: "assign", Unit: pick.id, Worker: req.Worker, Lease: pick.leaseID})
+	c.cfg.Logf("distrib: leased unit %d [%d,%d) to %s (%s, attempt %d, %d/%d runs pre-journaled)",
+		pick.id, pick.lo, pick.hi, req.Worker, pick.leaseID, pick.attempts, pick.done, pick.jobs())
 
-	doneJobs := make([]int, 0, len(pick.seen))
-	for job := range pick.seen {
-		doneJobs = append(doneJobs, job)
+	doneJobs := make([]int, 0, pick.done)
+	for job := pick.lo; job < pick.hi; job++ {
+		if _, ok := c.seen[job]; ok {
+			doneJobs = append(doneJobs, job)
+		}
 	}
 	sort.Ints(doneJobs)
 	writeJSON(w, LeaseResponse{
 		Status:  StatusUnit,
 		LeaseID: pick.leaseID,
 		TTLMs:   c.cfg.LeaseTTL.Milliseconds(),
+		Binary:  true,
 		Unit: &WorkUnit{
 			Instance:       c.cfg.Instance,
 			Tier:           string(c.cfg.Tier),
 			ConfigDigest:   c.info.Digest,
-			Shard:          pick.shard,
-			Shards:         c.cfg.Units,
+			Unit:           pick.id,
+			JobLo:          pick.lo,
+			JobHi:          pick.hi,
 			TotalRuns:      c.info.TotalRuns,
 			RunBudgetSteps: c.cfg.RunBudgetSteps,
 			DoneJobs:       doneJobs,
@@ -724,12 +859,38 @@ func (c *Coordinator) leaseLocked(id string, now time.Time) (*unit, error) {
 	return u, nil
 }
 
-// handleRecords persists one streamed batch, renewing the lease.
+// decodeBatch negotiates the request's record-batch encoding by
+// Content-Type. pooled reports whether the returned records came from
+// the decode pool (the caller releases them after copying what it
+// keeps).
+func decodeBatch(r *http.Request) (batch RecordBatch, pooled bool, err error) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary) {
+		data, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			return RecordBatch{}, false, rerr
+		}
+		batch, err = decodeRecordBatch(data)
+		return batch, err == nil, err
+	}
+	err = json.NewDecoder(r.Body).Decode(&batch)
+	return batch, false, err
+}
+
+// handleRecords ingests one record batch — the bulk upload after a
+// digest-only completion, or a v1-style mid-run stream — renewing the
+// lease. Validation is two-pass: the whole batch is checked before
+// anything is journaled, so a hostile or wire-damaged batch can never
+// partially journal (the all-or-nothing guarantee FuzzProtocol
+// asserts). The happy path appends the whole batch with a single
+// journal write.
 func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
-	var batch RecordBatch
-	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+	batch, pooled, err := decodeBatch(r)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "decoding record batch: %v", err)
 		return
+	}
+	if pooled {
+		defer releaseRecords(batch.Records)
 	}
 	now := time.Now()
 	c.mu.Lock()
@@ -747,20 +908,16 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	ws := c.touchWorkerLocked(u.worker, now)
 
-	// Two passes: validate the whole batch first, then journal. Any
-	// invalid or conflicting record rejects the batch with nothing
-	// appended, so a hostile or wire-damaged batch can never
-	// partially journal — the all-or-nothing guarantee FuzzProtocol
-	// asserts.
 	resp := BatchResponse{}
 	fresh := make([]runner.Record, 0, len(batch.Records))
 	inBatch := make(map[int]runner.Record, len(batch.Records))
 	for _, rec := range batch.Records {
-		if err := c.checkRecordLocked(u, rec); err != nil {
-			httpError(w, http.StatusBadRequest, "record rejected: %v", err)
+		if rec.Job < u.lo || rec.Job >= u.hi {
+			httpError(w, http.StatusBadRequest, "record rejected: job %d outside unit %d's range [%d,%d)",
+				rec.Job, u.id, u.lo, u.hi)
 			return
 		}
-		prev, dup := u.seen[rec.Job]
+		prev, dup := c.seen[rec.Job]
 		if !dup {
 			prev, dup = inBatch[rec.Job]
 		}
@@ -776,41 +933,67 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 		inBatch[rec.Job] = rec
 		fresh = append(fresh, rec)
 	}
-	for _, rec := range fresh {
-		if u.journal == nil {
+	if len(fresh) > 0 {
+		if c.journal == nil {
 			j, err := runner.OpenShardJournal(c.cfg.Dir, runner.JournalHeader{
 				Instance:     c.cfg.Instance,
 				Tier:         string(c.cfg.Tier),
-				Shard:        u.shard,
-				Shards:       c.cfg.Units,
+				Shard:        0,
+				Shards:       1,
 				ConfigDigest: c.info.Digest,
 			})
 			if err != nil {
-				httpError(w, http.StatusInternalServerError, "opening unit journal: %v", err)
+				httpError(w, http.StatusInternalServerError, "opening record journal: %v", err)
 				return
 			}
-			u.journal = j
+			c.journal = j
 		}
-		if err := u.journal.Append(rec); err != nil {
-			httpError(w, http.StatusInternalServerError, "journaling record: %v", err)
-			return
+		if c.cfg.Crash == nil {
+			// Steady state: one write for the whole batch.
+			if err := c.journal.AppendBatch(fresh); err != nil {
+				httpError(w, http.StatusInternalServerError, "journaling batch: %v", err)
+				return
+			}
+			for _, rec := range fresh {
+				c.acceptLocked(u, ws, rec)
+				resp.Accepted++
+			}
+		} else {
+			// Chaos-armed: append record by record so the
+			// mid-batch-append crash point can fire with the batch
+			// half-durable — the exact torn state the harness exists to
+			// reproduce.
+			for _, rec := range fresh {
+				if err := c.journal.Append(rec); err != nil {
+					httpError(w, http.StatusInternalServerError, "journaling record: %v", err)
+					return
+				}
+				c.acceptLocked(u, ws, rec)
+				resp.Accepted++
+				c.hitCrashLocked(CrashMidBatchAppend)
+			}
 		}
-		u.seen[rec.Job] = rec
-		c.received++
-		c.countPruneLocked(rec)
-		ws.records++
-		ws.outcomes[outcomeKey(rec)]++
-		resp.Accepted++
-		c.hitCrashLocked(CrashMidBatchAppend)
 	}
-	if u.state == unitLeased && len(u.seen) == u.jobs {
+	if u.state == unitLeased && u.done == u.jobs() {
 		c.settleLocked(u)
 	}
 	resp.UnitDone = u.state == unitDone
 	writeJSON(w, resp)
 }
 
-// handleHeartbeat renews a lease.
+// acceptLocked folds one freshly journaled record into the in-memory
+// state.
+func (c *Coordinator) acceptLocked(u *unit, ws *workerState, rec runner.Record) {
+	c.seen[rec.Job] = rec
+	c.received++
+	u.done++
+	c.countPruneLocked(rec)
+	ws.records++
+	ws.outcomes[outcomeKey(rec)]++
+}
+
+// handleHeartbeat renews a lease and records the worker's local
+// progress.
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req HeartbeatRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -830,15 +1013,24 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	if u.state == unitLeased {
 		u.expires = now.Add(c.cfg.LeaseTTL)
+		if req.Done > u.reported {
+			u.reported = req.Done
+		}
 	}
 	c.touchWorkerLocked(u.worker, now)
 	writeJSON(w, HeartbeatResponse{TTLMs: c.cfg.LeaseTTL.Milliseconds()})
 }
 
-// handleComplete settles a unit from the worker's side. The
-// coordinator has usually settled it already (units auto-complete on
-// their last record); a complete call for a unit with missing records
-// revokes the lease so the gap re-executes elsewhere.
+// handleComplete finishes a unit from the worker's side. Units settle
+// coordinator-side the moment their last record is journaled (ingest
+// or resume), so completion is about what the coordinator does NOT
+// yet hold: a v2 completion against an unsettled unit is answered
+// NeedRecords — the lazy pull — and against a settled unit it
+// cross-checks the offered record-set digest (and, under Config.Pull,
+// demands the upload anyway for per-record cross-verification). A v1
+// completion (bare lease ID) is only valid for a unit whose records
+// were streamed in full; it otherwise revokes the lease so the gap
+// re-executes elsewhere.
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -857,34 +1049,96 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.touchWorkerLocked(u.worker, now)
-	if u.state == unitLeased {
-		if len(u.seen) != u.jobs {
-			c.cfg.Logf("distrib: worker %s reported unit %d complete with %d/%d runs journaled — revoking lease",
-				u.worker, u.shard+1, len(u.seen), u.jobs)
-			delete(c.byLease, u.leaseID)
-			c.logAssignLocked(assignEvent{Type: "expire", Unit: u.shard, Worker: u.worker, Lease: u.leaseID})
-			u.state = unitPending
-			u.leaseID = ""
-			u.worker = ""
-			c.wakeLocked()
-			httpError(w, http.StatusConflict, "unit %d has %d of %d runs journaled — lease revoked", u.shard, len(u.seen), u.jobs)
-			return
+	v2 := req.Runs > 0 || req.Digest != "" || req.Uploaded
+	if v2 && !req.Uploaded {
+		// The first (pre-upload) completion carries the unit's
+		// measured cost; the post-upload retry would double-count it.
+		c.observeCostLocked(req.WallMs, req.Runs)
+		if len(req.Outcomes) > 0 {
+			c.cfg.Logf("distrib: worker %s reports unit %d done: %d runs, outcomes %v, pruned %d, memoized %d, converged %d (%d ms)",
+				u.worker, u.id, req.Runs, req.Outcomes, req.Pruned, req.Memoized, req.Converged, req.WallMs)
 		}
-		c.settleLocked(u)
+	}
+	switch {
+	case u.state == unitDone:
+		if v2 && !req.Uploaded {
+			// Under Config.Pull the records upload even though the
+			// unit is settled: every record arrives as a duplicate and
+			// is verified against the journaled copy — per-record
+			// cross-verification at transfer cost, for when digests
+			// are not trusted.
+			if c.cfg.Pull {
+				writeJSON(w, CompleteResponse{NeedRecords: true})
+				return
+			}
+			// Cross-check the offered digest: a mismatch means the
+			// worker simulated different outcomes than the set already
+			// journaled — nondeterminism or version skew that
+			// per-record content keys never got to compare, because
+			// this worker's records never transferred.
+			if req.Digest != "" {
+				if own := c.recordSetDigestLocked(u); own != req.Digest {
+					httpError(w, http.StatusConflict,
+						"unit %d record-set digest %s does not match the journaled set's %s: %v",
+						u.id, req.Digest, own, runner.ErrConflictingRecords)
+					return
+				}
+			}
+		}
+	case v2 && !req.Uploaded:
+		// The lazy pull: the worker holds records the coordinator
+		// lacks — ask for the upload, keep the lease alive. (The
+		// upload's last batch settles the unit at ingest; the
+		// post-upload completion lands in the settled case above.)
+		u.expires = now.Add(c.cfg.LeaseTTL)
+		writeJSON(w, CompleteResponse{NeedRecords: true})
+		return
+	default:
+		// v1 completion with gaps, or a post-upload completion that
+		// still left gaps (the worker's set was partial): the worker
+		// cannot help further — revoke so the gap re-executes
+		// elsewhere.
+		c.cfg.Logf("distrib: worker %s reported unit %d complete with %d/%d runs journaled — revoking lease",
+			u.worker, u.id, u.done, u.jobs())
+		delete(c.byLease, u.leaseID)
+		c.logAssignLocked(assignEvent{Type: "expire", Unit: u.id, Worker: u.worker, Lease: u.leaseID})
+		u.state = unitPending
+		u.leaseID = ""
+		u.worker = ""
+		u.reported = 0
+		c.wakeLocked()
+		httpError(w, http.StatusConflict, "unit %d has %d of %d runs journaled — lease revoked", u.id, u.done, u.jobs())
+		return
 	}
 	c.hitCrashLocked(CrashPreCompleteAck)
 	writeJSON(w, CompleteResponse{CampaignDone: c.complete})
 }
 
+// recordSetDigestLocked computes the canonical digest of a unit's
+// journaled record set (only called with the unit fully covered; the
+// no-transfer settle path).
+func (c *Coordinator) recordSetDigestLocked(u *unit) string {
+	recs := make([]runner.Record, 0, u.jobs())
+	for job := u.lo; job < u.hi; job++ {
+		recs = append(recs, c.seen[job])
+	}
+	return runner.RecordSetDigest(recs)
+}
+
 // UnitStatus is the /status view of one work unit.
 type UnitStatus struct {
-	Shard    int    `json:"shard"`
+	Unit     int    `json:"unit"`
+	JobLo    int    `json:"job_lo"`
+	JobHi    int    `json:"job_hi"`
 	State    string `json:"state"`
 	Worker   string `json:"worker,omitempty"`
 	Lease    string `json:"lease,omitempty"`
 	DoneRuns int    `json:"done_runs"`
-	Jobs     int    `json:"jobs"`
-	Attempts int    `json:"attempts"`
+	// Reported is the lease holder's own progress claim (heartbeats);
+	// DoneRuns counts records the coordinator actually holds.
+	Reported int `json:"reported,omitempty"`
+	Jobs     int `json:"jobs"`
+	Attempts int `json:"attempts"`
 }
 
 // WorkerStatus is the /status and /metrics view of one fleet member.
@@ -899,10 +1153,13 @@ type WorkerStatus struct {
 
 // Status is the /status JSON document.
 type Status struct {
-	Instance     string         `json:"instance"`
-	Tier         string         `json:"tier"`
-	ConfigDigest string         `json:"config_digest"`
+	Instance     string `json:"instance"`
+	Tier         string `json:"tier"`
+	ConfigDigest string `json:"config_digest"`
+	// Units counts the units carved so far; UncarvedJobs is the
+	// remaining frontier.
 	Units        int            `json:"units"`
+	UncarvedJobs int            `json:"uncarved_jobs"`
 	Pending      int            `json:"pending"`
 	Leased       int            `json:"leased"`
 	Done         int            `json:"done"`
@@ -923,6 +1180,13 @@ type Metrics struct {
 	DoneRuns       int     `json:"done_runs"`
 	ResumedRuns    int     `json:"resumed_runs"`
 	ReceivedRuns   int     `json:"received_runs"`
+	// ReportedRuns sums the live leases' worker-reported progress —
+	// work done but not yet uploaded (digest-only completion keeps
+	// records worker-side until the unit finishes).
+	ReportedRuns int `json:"reported_runs,omitempty"`
+	// MsPerRun is the cost model's current estimate (0 until the
+	// first unit completes).
+	MsPerRun float64 `json:"ms_per_run,omitempty"`
 	// Fleet-wide equivalence-pruning counters (from the records'
 	// pruned labels): proven without simulating, served from a
 	// worker's memo cache, and stopped early on golden reconvergence.
@@ -930,11 +1194,11 @@ type Metrics struct {
 	MemoizedRuns  int     `json:"memoized_runs,omitempty"`
 	ConvergedRuns int     `json:"converged_runs,omitempty"`
 	RunsPerSecond float64 `json:"runs_per_second"`
-	ETASeconds     float64 `json:"eta_seconds"`
-	UnitsPending   int     `json:"units_pending"`
-	UnitsLeased    int     `json:"units_leased"`
-	UnitsDone      int     `json:"units_done"`
-	LiveWorkers    int     `json:"live_workers"`
+	ETASeconds    float64 `json:"eta_seconds"`
+	UnitsPending  int     `json:"units_pending"`
+	UnitsLeased   int     `json:"units_leased"`
+	UnitsDone     int     `json:"units_done"`
+	LiveWorkers   int     `json:"live_workers"`
 	// FleetUtilization is the fraction of live workers currently
 	// holding a lease.
 	FleetUtilization float64        `json:"fleet_utilization"`
@@ -982,7 +1246,9 @@ func (c *Coordinator) Status() Status {
 		Tier:         string(c.cfg.Tier),
 		ConfigDigest: c.info.Digest,
 		Units:        len(c.units),
+		UncarvedJobs: c.info.TotalRuns - c.nextJob,
 		TotalRuns:    c.info.TotalRuns,
+		DoneRuns:     len(c.seen),
 		Complete:     c.complete,
 		Workers:      c.workersLocked(now),
 	}
@@ -995,14 +1261,16 @@ func (c *Coordinator) Status() Status {
 		case unitDone:
 			s.Done++
 		}
-		s.DoneRuns += len(u.seen)
 		s.UnitsDetail = append(s.UnitsDetail, UnitStatus{
-			Shard:    u.shard,
+			Unit:     u.id,
+			JobLo:    u.lo,
+			JobHi:    u.hi,
 			State:    u.state.String(),
 			Worker:   u.worker,
 			Lease:    u.leaseID,
-			DoneRuns: len(u.seen),
-			Jobs:     u.jobs,
+			DoneRuns: u.done,
+			Reported: u.reported,
+			Jobs:     u.jobs(),
 			Attempts: u.attempts,
 		})
 	}
@@ -1020,8 +1288,10 @@ func (c *Coordinator) Metrics() Metrics {
 		Tier:           string(c.cfg.Tier),
 		ElapsedSeconds: now.Sub(c.start).Seconds(),
 		TotalRuns:      c.info.TotalRuns,
+		DoneRuns:       len(c.seen),
 		ResumedRuns:    c.resumed,
 		ReceivedRuns:   c.received,
+		MsPerRun:       c.msPerJob,
 		PrunedRuns:     c.prunedRuns,
 		MemoizedRuns:   c.memoizedRuns,
 		ConvergedRuns:  c.convergedRuns,
@@ -1034,10 +1304,12 @@ func (c *Coordinator) Metrics() Metrics {
 			m.UnitsPending++
 		case unitLeased:
 			m.UnitsLeased++
+			if extra := u.reported - u.done; extra > 0 {
+				m.ReportedRuns += extra
+			}
 		case unitDone:
 			m.UnitsDone++
 		}
-		m.DoneRuns += len(u.seen)
 	}
 	for _, ws := range m.Workers {
 		if ws.Live {
@@ -1060,8 +1332,8 @@ func (c *Coordinator) Metrics() Metrics {
 }
 
 // maxRequestBody bounds a POST body. The largest legitimate request
-// is a record batch with per-bit diff lists; 64 MiB is an order of
-// magnitude above anything the fleet produces and still refuses a
+// is a whole unit's record upload (gzip-framed); 64 MiB is an order
+// of magnitude above anything the fleet produces and still refuses a
 // hostile unbounded stream.
 const maxRequestBody = 64 << 20
 
@@ -1088,7 +1360,8 @@ func (r *responseRecorder) Write(b []byte) (int, error) {
 // flight — chaos truncate/corrupt, or any real middlebox mangling —
 // is rejected with the retryable CodeBodyDigest before the handler
 // sees it), and, when idempotent, duplicate-delivery replay from the
-// idempotency store.
+// idempotency store. The digest covers the raw body regardless of
+// encoding, so binary frames are wire-protected exactly like JSON.
 func (c *Coordinator) post(idempotent bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -1194,11 +1467,9 @@ func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var errs []error
-	for _, u := range c.units {
-		if u.journal != nil {
-			errs = append(errs, u.journal.Close())
-			u.journal = nil
-		}
+	if c.journal != nil {
+		errs = append(errs, c.journal.Close())
+		c.journal = nil
 	}
 	if c.assign != nil {
 		errs = append(errs, c.assign.Close())
@@ -1207,19 +1478,17 @@ func (c *Coordinator) Close() error {
 	return errors.Join(errs...)
 }
 
-// Assemble merges the shard journals into the final campaign result —
+// Assemble merges the record journal into the final campaign result —
 // bit-identical to a single-node run — and writes the closing
 // artifacts (config.json, metrics.json, failures.md, report.md).
 func (c *Coordinator) Assemble() (*runner.RunResult, error) {
 	c.mu.Lock()
-	for _, u := range c.units {
-		if u.journal != nil {
-			if err := u.journal.Close(); err != nil {
-				c.mu.Unlock()
-				return nil, err
-			}
-			u.journal = nil
+	if c.journal != nil {
+		if err := c.journal.Close(); err != nil {
+			c.mu.Unlock()
+			return nil, err
 		}
+		c.journal = nil
 	}
 	c.mu.Unlock()
 	return runner.Assemble(c.campaign, runner.Options{

@@ -100,10 +100,11 @@ func TestLoopbackMatchesDirect(t *testing.T) {
 }
 
 // runPartialWorker drives the real wire protocol by hand: lease a
-// unit, stream maxStream records, then vanish without a heartbeat or
-// complete — a worker killed mid-lease. Returns how many records the
-// coordinator received and the leased unit's shard.
-func runPartialWorker(t *testing.T, url, scratch string, maxStream int) (streamed, shard int) {
+// unit, stream maxStream records (the v1 JSON mid-run streaming path,
+// which protocol v2 still accepts), then vanish without a heartbeat
+// or complete — a worker killed mid-lease. Returns how many records
+// the coordinator received and the leased unit's id.
+func runPartialWorker(t *testing.T, url, scratch string, maxStream int) (streamed, unitID int) {
 	t.Helper()
 	w := &worker{
 		base:          url,
@@ -134,14 +135,14 @@ func runPartialWorker(t *testing.T, url, scratch string, maxStream int) (streame
 	var stop atomic.Bool
 	count := 0
 	_, err = runner.Run(cfg, runner.Options{
-		Name:    u.Instance,
-		Tier:    runner.Tier(u.Tier),
-		Dir:     w.scratchDir(u),
-		Shard:   u.Shard,
-		Shards:  u.Shards,
-		Resume:  true,
-		Workers: 1,
-		Abort:   func() bool { return stop.Load() },
+		Name:        u.Instance,
+		Tier:        runner.Tier(u.Tier),
+		Dir:         w.scratchDir(u),
+		Resume:      true,
+		Workers:     1,
+		SkipReport:  true,
+		ExcludeJobs: func(job int) bool { return job < u.JobLo || job >= u.JobHi },
+		Abort:       func() bool { return stop.Load() },
 		OnRecord: func(rec runner.Record, replayed bool) error {
 			if count >= maxStream {
 				stop.Store(true)
@@ -164,7 +165,7 @@ func runPartialWorker(t *testing.T, url, scratch string, maxStream int) (streame
 	if count == 0 {
 		t.Fatal("partial worker streamed nothing — the test needs partial progress on the unit")
 	}
-	return count, u.Shard
+	return count, u.Unit
 }
 
 // TestLeaseExpiryReassignment kills a worker mid-lease and asserts
@@ -187,7 +188,7 @@ func TestLeaseExpiryReassignment(t *testing.T) {
 	url, srv := serveCoordinator(t, coord)
 	defer srv.Close()
 
-	streamed, shard := runPartialWorker(t, url, filepath.Join(dir, "scratch"), 2)
+	streamed, unitID := runPartialWorker(t, url, filepath.Join(dir, "scratch"), 2)
 
 	const fleet = 3
 	errs := make(chan error, fleet)
@@ -215,8 +216,8 @@ func TestLeaseExpiryReassignment(t *testing.T) {
 	}
 
 	st := coord.Status()
-	if got := st.UnitsDetail[shard].Attempts; got < 2 {
-		t.Errorf("unit %d leased %d times, want >= 2 (expiry should have reassigned it)", shard, got)
+	if got := st.UnitsDetail[unitID].Attempts; got < 2 {
+		t.Errorf("unit %d leased %d times, want >= 2 (expiry should have reassigned it)", unitID, got)
 	}
 	m := coord.Metrics()
 	if m.ReceivedRuns != m.TotalRuns {
@@ -280,8 +281,8 @@ func TestLeaseLongPollPromptness(t *testing.T) {
 	if b.Status != StatusUnit {
 		t.Fatalf("parked lease got status %q after %v, want the expired unit", b.Status, elapsed)
 	}
-	if b.Unit == nil || b.Unit.Shard != a.Unit.Shard {
-		t.Fatalf("parked lease returned unit %+v, want shard %d", b.Unit, a.Unit.Shard)
+	if b.Unit == nil || b.Unit.Unit != a.Unit.Unit {
+		t.Fatalf("parked lease returned unit %+v, want unit %d", b.Unit, a.Unit.Unit)
 	}
 	if elapsed < ttl/2 {
 		t.Errorf("unit handed over after %v, before the %v lease could expire", elapsed, ttl)
@@ -312,7 +313,7 @@ func TestCoordinatorCrashRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	url, srv := serveCoordinator(t, coord)
-	streamed, shard := runPartialWorker(t, url, filepath.Join(dir, "scratch"), 2)
+	streamed, unitID := runPartialWorker(t, url, filepath.Join(dir, "scratch"), 2)
 
 	srv.Close()
 	if err := coord.Close(); err != nil {
@@ -328,8 +329,8 @@ func TestCoordinatorCrashRestart(t *testing.T) {
 	if st.DoneRuns != streamed {
 		t.Fatalf("restarted coordinator restored %d runs, want %d", st.DoneRuns, streamed)
 	}
-	if st.UnitsDetail[shard].DoneRuns != streamed {
-		t.Fatalf("restarted coordinator restored %d runs on unit %d, want %d", st.UnitsDetail[shard].DoneRuns, shard, streamed)
+	if st.UnitsDetail[unitID].DoneRuns != streamed {
+		t.Fatalf("restarted coordinator restored %d runs on unit %d, want %d", st.UnitsDetail[unitID].DoneRuns, unitID, streamed)
 	}
 	url2, srv2 := serveCoordinator(t, coord2)
 	defer srv2.Close()

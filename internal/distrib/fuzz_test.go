@@ -1,10 +1,12 @@
 package distrib
 
 // FuzzProtocol throws arbitrary bytes at the coordinator's four POST
-// endpoints and asserts the hardened-protocol invariants: the
-// coordinator never panics, never answers 5xx to malformed input, and
-// a 4xx reply implies nothing was journaled by that request — the
-// all-or-nothing batch guarantee. Run it natively:
+// endpoints — in both negotiated encodings for /v1/records — and
+// asserts the hardened-protocol invariants: the coordinator never
+// panics, never answers 5xx to malformed input, and a 4xx reply
+// implies nothing was journaled by that request — the all-or-nothing
+// batch guarantee, for damaged JSON and damaged binary frames alike.
+// Run it natively:
 //
 //	go test ./internal/distrib/ -fuzz FuzzProtocol -fuzztime 30s
 //
@@ -24,6 +26,17 @@ import (
 )
 
 var fuzzPaths = []string{PathLease, PathRecords, PathHeartbeat, PathComplete}
+
+// fuzzFrame encodes one binary record-batch frame for the seed
+// corpus.
+func fuzzFrame(f *testing.F, batch RecordBatch) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := encodeRecordBatch(&buf, batch); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
 
 func FuzzProtocol(f *testing.F) {
 	dir, err := os.MkdirTemp("", "propane-fuzz-*")
@@ -49,22 +62,50 @@ func FuzzProtocol(f *testing.F) {
 
 	// Seeds: one well-formed body per endpoint, plus shapes that have
 	// historically been dangerous — a batch whose *second* record is
-	// invalid (partial-journal bait), out-of-range and wrong-shard
-	// jobs, conflicting rewrites, junk, and truncated JSON.
-	f.Add(0, []byte(`{"worker":"w1"}`))
-	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":0}]}`))
-	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":0},{"job":-1}]}`))
-	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":0},{"job":1}]}`))
-	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":99999}]}`))
-	f.Add(1, []byte(`{"lease_id":"L0001-u0","records":[{"job":0,"outcome":"ok"},{"job":0,"outcome":"crash"}]}`))
-	f.Add(2, []byte(`{"lease_id":"L0001-u0"}`))
-	f.Add(3, []byte(`{"lease_id":"L0001-u0"}`))
-	f.Add(1, []byte(`{"lease_id":`))
-	f.Add(2, []byte(`not json at all`))
-	f.Add(0, []byte(``))
-	f.Add(3, []byte(`[1,2,3]`))
+	// invalid (partial-journal bait), out-of-range jobs, conflicting
+	// rewrites, junk, and truncated JSON.
+	f.Add(0, false, []byte(`{"worker":"w1"}`))
+	f.Add(1, false, []byte(`{"lease_id":"L0001-u0","records":[{"job":0}]}`))
+	f.Add(1, false, []byte(`{"lease_id":"L0001-u0","records":[{"job":0},{"job":-1}]}`))
+	f.Add(1, false, []byte(`{"lease_id":"L0001-u0","records":[{"job":0},{"job":1}]}`))
+	f.Add(1, false, []byte(`{"lease_id":"L0001-u0","records":[{"job":99999}]}`))
+	f.Add(1, false, []byte(`{"lease_id":"L0001-u0","records":[{"job":0,"outcome":"ok"},{"job":0,"outcome":"crash"}]}`))
+	f.Add(2, false, []byte(`{"lease_id":"L0001-u0"}`))
+	f.Add(3, false, []byte(`{"lease_id":"L0001-u0","runs":3,"digest":"abc","wall_ms":12}`))
+	f.Add(1, false, []byte(`{"lease_id":`))
+	f.Add(2, false, []byte(`not json at all`))
+	f.Add(0, false, []byte(``))
+	f.Add(3, false, []byte(`[1,2,3]`))
 
-	f.Fuzz(func(t *testing.T, which int, body []byte) {
+	// Binary-frame seeds: a well-formed frame, the same frame with a
+	// record that is out of range, a truncated frame (mid-gzip), a
+	// frame with damaged magic, and raw garbage behind a valid magic.
+	good := fuzzFrame(f, RecordBatch{
+		LeaseID: "L0001-u0",
+		Records: []runner.Record{
+			{Type: "run", Job: 0, Module: "m1", Signal: "s1", Outcome: "ok"},
+			{Type: "run", Job: 1, Module: "m1", Signal: "s2", Outcome: "deviation",
+				Fired: true, FiredAtMs: 12, Diffs: map[string]runner.DiffRecord{
+					"sig": {FirstMs: 1, LastMs: 9, Count: 4},
+				}},
+		},
+	})
+	f.Add(1, true, good)
+	f.Add(1, true, fuzzFrame(f, RecordBatch{
+		LeaseID: "L0001-u0",
+		Records: []runner.Record{{Type: "run", Job: 99999}},
+	}))
+	f.Add(1, true, good[:len(good)/2])
+	bad := bytes.Clone(good)
+	bad[0] ^= 0xff
+	f.Add(1, true, bad)
+	f.Add(1, true, append([]byte("PRB1"), []byte("definitely not gzip")...))
+	// JSON posted with the binary content type (and vice versa) must
+	// fail cleanly, not confuse the decoder.
+	f.Add(1, true, []byte(`{"lease_id":"L0001-u0","records":[{"job":0}]}`))
+	f.Add(1, false, good)
+
+	f.Fuzz(func(t *testing.T, which int, binary bool, body []byte) {
 		if which < 0 {
 			which = -which
 		}
@@ -72,7 +113,11 @@ func FuzzProtocol(f *testing.F) {
 		before := coord.Metrics().ReceivedRuns
 
 		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
-		req.Header.Set("Content-Type", "application/json")
+		if binary && path == PathRecords {
+			req.Header.Set("Content-Type", ContentTypeBinary)
+		} else {
+			req.Header.Set("Content-Type", ContentTypeJSON)
+		}
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req) // a panic here is the fuzz failure
 

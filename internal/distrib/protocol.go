@@ -1,27 +1,38 @@
 // Package distrib turns the single-process campaign runner into a
-// horizontally scalable service. An HTTP coordinator decomposes a
-// registry instance (instance × tier, via internal/runner planning)
-// into work units — shard ranges of the deterministic job enumeration
-// — and hands them to worker agents under time-bounded leases.
-// Workers execute their unit through the existing supervised,
-// checkpointed, journaled runner path locally, stream the journal
-// records back in batches (each flush renews the lease), and
-// heartbeat while simulating. The coordinator persists every record
-// into ordinary shard journals plus its own assignment journal, so
-// either side can crash and resume; it expires dead workers' leases
-// and reassigns their units, relying on content-keyed journal records
-// for idempotent overlap. When every unit is complete, the journals
-// reassemble — via runner.Assemble — into a result bit-identical to a
-// single-node run.
+// horizontally scalable service. An HTTP coordinator carves a registry
+// instance (instance × tier, via internal/runner planning) into
+// contiguous job-range work units — sized by the measured per-run cost
+// once the first units complete — and hands them to worker agents
+// under time-bounded leases. Workers execute their unit through the
+// existing supervised, checkpointed, journaled runner path locally,
+// heartbeat progress while simulating, and finish with a digest-only
+// completion: the unit's record-set digest plus outcome/prune
+// counters. The coordinator pulls the full records lazily — when it
+// does not already hold them (the steady state: one bulk upload per
+// unit, binary-framed and journaled with batched writes), on a digest
+// mismatch, or always under Config.Pull — so the coordinator is off
+// the hot path while units execute. When the record set covers the
+// whole job space, the journal reassembles — via runner.Assemble —
+// into a result bit-identical to a single-node run.
 //
-// Protocol (all bodies JSON):
+// Protocol v2 endpoints:
 //
-//	POST /v1/lease      LeaseRequest  → LeaseResponse
-//	POST /v1/records    RecordBatch   → BatchResponse
-//	POST /v1/heartbeat  HeartbeatRequest → HeartbeatResponse
-//	POST /v1/complete   CompleteRequest  → CompleteResponse
+//	POST /v1/lease      LeaseRequest  → LeaseResponse       (JSON)
+//	POST /v1/records    RecordBatch   → BatchResponse       (JSON or binary frame)
+//	POST /v1/heartbeat  HeartbeatRequest → HeartbeatResponse (JSON)
+//	POST /v1/complete   CompleteRequest  → CompleteResponse  (JSON)
 //	GET  /status        → Status
 //	GET  /metrics       → Metrics
+//
+// /v1/records negotiates its body encoding by Content-Type: the
+// length-prefixed, gzip-compressed binary frame (ContentTypeBinary,
+// see codec.go) is the default for v2 workers — the coordinator
+// advertises support in LeaseResponse.Binary — and per-record JSON
+// (ContentTypeJSON) remains fully supported, so version-skewed
+// workers, mixed fleets and hand-rolled tooling interoperate batch by
+// batch. Mid-run streaming of JSON batches (the v1 worker behavior)
+// is still accepted and journaled; v2 workers simply have no reason
+// to use it.
 //
 // A request against an unknown or expired lease fails with HTTP 409;
 // the worker abandons the unit (another worker owns it now) and asks
@@ -30,19 +41,19 @@
 // The protocol is hardened against the fault model internal/chaos
 // injects (the fabric's own SWIFI campaign):
 //
-//   - every POST body carries a SHA-256 content digest in
-//     X-Propane-Body-Digest; a body corrupted or truncated in flight
-//     is rejected with 400/"body_digest_mismatch" before any handler
-//     state changes, and the client treats that code as retryable
-//     (transport damage, not a client bug);
+//   - every POST body — JSON or binary — carries a SHA-256 content
+//     digest in X-Propane-Body-Digest; a body corrupted or truncated
+//     in flight is rejected with 400/"body_digest_mismatch" before any
+//     handler state changes, and the client treats that code as
+//     retryable (transport damage, not a client bug);
 //   - /records and /complete carry an idempotency key in
 //     X-Propane-Idempotency-Key (the body digest); a duplicated
 //     delivery replays the stored response verbatim instead of
 //     re-executing the handler;
 //   - a record batch is validated atomically — any invalid or
-//     conflicting record rejects the whole batch with nothing
-//     journaled, so a hostile or damaged batch can never partially
-//     journal.
+//     conflicting record (and any undecodable frame) rejects the whole
+//     batch with nothing journaled, so a hostile or damaged batch can
+//     never partially journal.
 package distrib
 
 import "propane/internal/runner"
@@ -103,8 +114,13 @@ const (
 	StatusDone = "done"
 )
 
-// WorkUnit is one lease-bounded slice of the campaign: shard Shard of
-// Shards over the registry instance's deterministic job enumeration.
+// WorkUnit is one lease-bounded slice of the campaign: the contiguous
+// job range [JobLo, JobHi) of the registry instance's deterministic
+// job enumeration. Ranges are carved on demand from the unassigned
+// frontier, sized by the measured per-run cost once the first units
+// complete, so a crash/hang-heavy campaign gets small units (no
+// straggler serialises the tail) while a cheap one keeps the overhead
+// of unit bookkeeping low.
 type WorkUnit struct {
 	Instance string `json:"instance"`
 	Tier     string `json:"tier"`
@@ -113,19 +129,28 @@ type WorkUnit struct {
 	// refuses the unit on mismatch — a version-skewed worker must not
 	// contribute records.
 	ConfigDigest string `json:"config_digest"`
-	Shard        int    `json:"shard"`
-	Shards       int    `json:"shards"`
-	// TotalRuns is the whole campaign's job count (the worker's share
-	// is the jobs ≡ Shard mod Shards).
+	// Unit is the unit's index in carve order (stable across
+	// coordinator restarts: carve events replay from the assignment
+	// journal).
+	Unit int `json:"unit"`
+	// JobLo and JobHi bound the unit's job range, lo inclusive, hi
+	// exclusive.
+	JobLo int `json:"job_lo"`
+	JobHi int `json:"job_hi"`
+	// TotalRuns is the whole campaign's job count.
 	TotalRuns int `json:"total_runs"`
 	// RunBudgetSteps is the per-run watchdog budget the coordinator
 	// folded into its digest; the worker must apply the same value.
 	RunBudgetSteps int64 `json:"run_budget_steps,omitempty"`
 	// DoneJobs lists the unit's job indices the coordinator already
-	// holds (streamed by a previous lease holder). The worker neither
-	// executes nor streams them, so a reassigned unit fast-forwards.
+	// holds (uploaded or streamed by a previous lease holder). The
+	// worker neither executes nor uploads them, so a reassigned unit
+	// fast-forwards.
 	DoneJobs []int `json:"done_jobs,omitempty"`
 }
+
+// Jobs is the number of jobs the unit spans.
+func (u *WorkUnit) Jobs() int { return u.JobHi - u.JobLo }
 
 // LeaseResponse answers a lease request.
 type LeaseResponse struct {
@@ -134,12 +159,19 @@ type LeaseResponse struct {
 	TTLMs   int64     `json:"ttl_ms,omitempty"`
 	RetryMs int64     `json:"retry_ms,omitempty"`
 	Unit    *WorkUnit `json:"unit,omitempty"`
+	// Binary advertises that this coordinator decodes the binary
+	// record-batch frame on /v1/records. A worker facing an older
+	// coordinator (field absent → false) sticks to JSON — content
+	// negotiation without an extra round-trip.
+	Binary bool `json:"binary,omitempty"`
 }
 
-// RecordBatch streams completed runs back to the coordinator. Batches
-// may overlap previous deliveries (worker restart, reassigned lease):
-// records are content-keyed by job index, so duplicates are verified
-// idempotent and conflicting content is rejected.
+// RecordBatch uploads completed runs to the coordinator — the bulk
+// upload after a digest-only completion answered NeedRecords, or a
+// v1-style mid-run stream. Batches may overlap previous deliveries
+// (worker restart, reassigned lease): records are content-keyed by
+// job index, so duplicates are verified idempotent and conflicting
+// content is rejected.
 type RecordBatch struct {
 	LeaseID string          `json:"lease_id"`
 	Records []runner.Record `json:"records"`
@@ -151,13 +183,18 @@ type BatchResponse struct {
 	Duplicates int `json:"duplicates"`
 	// UnitDone is true once every job of the unit is journaled (the
 	// coordinator settles the unit itself — a worker dying between its
-	// last flush and its complete call costs nothing).
+	// last upload and its complete call costs nothing).
 	UnitDone bool `json:"unit_done"`
 }
 
 // HeartbeatRequest renews a lease while the worker is simulating.
 type HeartbeatRequest struct {
 	LeaseID string `json:"lease_id"`
+	// Done reports the worker's local progress (records journaled so
+	// far for this unit). Purely observational — /status, /metrics and
+	// ETA estimates — since the records themselves stay on the worker
+	// until the unit completes.
+	Done int `json:"done,omitempty"`
 }
 
 // HeartbeatResponse confirms the renewal.
@@ -165,17 +202,51 @@ type HeartbeatResponse struct {
 	TTLMs int64 `json:"ttl_ms"`
 }
 
-// CompleteRequest reports a unit finished from the worker's side.
+// CompleteRequest reports a unit finished from the worker's side. A
+// v2 worker fills the digest-only completion fields: the coordinator
+// settles the unit without any record transfer when it already holds
+// the records (reassignment races, resume), and answers NeedRecords
+// to pull the full set otherwise. A bare {LeaseID} is the v1 form:
+// valid only once the unit's records are fully journaled
+// coordinator-side (mid-run streaming), rejected with a revoked lease
+// otherwise.
 type CompleteRequest struct {
 	LeaseID string `json:"lease_id"`
+	// Runs is how many records the worker holds locally for the unit.
+	Runs int `json:"runs,omitempty"`
+	// Digest is runner.RecordSetDigest over those records. Empty when
+	// the worker's set is partial (the unit carried DoneJobs, so the
+	// full set is split between worker and coordinator) — the
+	// coordinator then relies on per-record content keying alone.
+	Digest string `json:"digest,omitempty"`
+	// WallMs is the unit's wall-clock execution time — the
+	// coordinator's cost model divides it by Runs to size future
+	// units.
+	WallMs int64 `json:"wall_ms,omitempty"`
+	// Outcome and prune counters, aggregated worker-side so the
+	// coordinator's dashboards stay live without the records.
+	Outcomes  map[string]int `json:"outcomes,omitempty"`
+	Pruned    int            `json:"pruned,omitempty"`
+	Memoized  int            `json:"memoized,omitempty"`
+	Converged int            `json:"converged,omitempty"`
+	// Uploaded marks the retry after a NeedRecords round-trip. It also
+	// changes the request body, and with it the idempotency key — the
+	// pre-upload completion's stored NeedRecords reply must not replay
+	// for the post-upload completion.
+	Uploaded bool `json:"uploaded,omitempty"`
 }
 
 // CompleteResponse acknowledges completion.
 type CompleteResponse struct {
-	// CampaignDone is true when every unit of the campaign is
-	// journaled — the worker's next lease request would answer
-	// StatusDone.
+	// CampaignDone is true when the whole job space is journaled — the
+	// worker's next lease request would answer StatusDone.
 	CampaignDone bool `json:"campaign_done"`
+	// NeedRecords asks the worker to upload the unit's full record set
+	// (via /v1/records) and then complete again: the lazy pull. Set
+	// when the coordinator is missing records for the unit, when the
+	// offered digest does not match the coordinator's own, and always
+	// under Config.Pull.
+	NeedRecords bool `json:"need_records,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx reply. Code, when

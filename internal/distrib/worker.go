@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"propane/internal/backoff"
+	"propane/internal/campaign"
 	"propane/internal/chaos"
 	"propane/internal/runner"
 )
@@ -24,9 +25,9 @@ import (
 type WorkerOptions struct {
 	// Name identifies the worker to the coordinator. It must be
 	// unique within the fleet and stable across this worker's
-	// restarts (a restarted worker with the same name and Dir replays
-	// its local journal and re-streams anything the coordinator never
-	// received). Empty selects hostname-pid.
+	// restarts (a restarted worker with the same name and Dir resumes
+	// its unit from the local journal instead of re-simulating). Empty
+	// selects hostname-pid.
 	Name string
 	// Dir is the worker's scratch root: each work unit runs in its
 	// own subdirectory with the full local journal/checkpoint
@@ -38,19 +39,26 @@ type WorkerOptions struct {
 	// PollInterval paces lease retries when the coordinator is
 	// unreachable, and is the fallback pause after a StatusWait reply
 	// carrying no RetryMs hint. A reachable coordinator long-polls
-	// lease requests itself and hints a short retry, so this interval
-	// rarely governs. <= 0 selects 1 s.
+	// lease requests itself and hints an immediate retry, so this
+	// interval only governs while the coordinator is down. <= 0
+	// selects 1 s.
 	PollInterval time.Duration
-	// BatchSize is how many records accumulate before a flush to the
-	// coordinator (each flush renews the lease). <= 0 selects 64.
+	// BatchSize is the record-upload chunk size: a completed unit's
+	// record set uploads in chunks of this many records (each chunk
+	// renews the lease). <= 0 selects 64.
 	BatchSize int
 	// MaxErrors bounds consecutive failed coordinator round-trips
-	// before the worker gives up. While a leased unit is executing
-	// the worker never gives up — an unreachable coordinator flips it
-	// into degraded mode (records spool locally and replay on
-	// reconnect); MaxErrors governs the lease loop and the final
-	// drain. <= 0 selects 10.
+	// before the worker gives up. While a unit is uploading the worker
+	// is more patient — an unreachable coordinator flips it into
+	// degraded mode with the full MaxErrors ladder per chunk before it
+	// abandons the lease (the local journal retains the work). <= 0
+	// selects 10.
 	MaxErrors int
+	// Encoding selects the /v1/records body encoding: "" negotiates
+	// (binary frame when the coordinator advertises it, JSON
+	// otherwise), "json" forces per-record JSON — for version-skew
+	// drills and debugging with readable wire traffic.
+	Encoding string
 	// Chaos, when non-nil and enabled, wraps this worker's HTTP
 	// client in a fault-injecting chaos.Transport. The worker derives
 	// its own seed from Spec.Seed and its name, so one campaign-level
@@ -88,6 +96,9 @@ func (o *WorkerOptions) normalise() error {
 	}
 	if o.MaxErrors <= 0 {
 		o.MaxErrors = 10
+	}
+	if o.Encoding != "" && o.Encoding != "json" {
+		return fmt.Errorf("distrib: unknown record encoding %q (want \"\" or \"json\")", o.Encoding)
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -140,6 +151,10 @@ type worker struct {
 	ctx    context.Context
 	client *http.Client
 	policy backoff.Policy
+	// jsonOnly flips permanently when a binary upload is refused —
+	// the coordinator predates the frame despite advertising it (or a
+	// middlebox strips the content type); JSON always works.
+	jsonOnly bool
 	// describeCache memoises runner.DescribeInstance per work-unit
 	// identity — the golden runs behind it are the expensive part.
 	describeCache map[string]runner.PlanInfo
@@ -170,24 +185,20 @@ func newWorker(ctx context.Context, coordinatorURL string, opts WorkerOptions) *
 	}
 }
 
-// post sends one JSON request and decodes the JSON reply. The body
-// carries its SHA-256 in HeaderBodyDigest so the coordinator can
+// send posts one pre-encoded body and decodes the JSON reply. The
+// body carries its SHA-256 in HeaderBodyDigest so the coordinator can
 // reject wire-damaged deliveries, and — for the mutating endpoints —
 // the same digest as HeaderIdempotencyKey so duplicated deliveries
 // replay instead of re-executing. Non-2xx replies come back as
 // *httpStatusError.
-func (w *worker) post(path string, req, resp any) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return fmt.Errorf("distrib: encoding %s request: %w", path, err)
-	}
+func (w *worker) send(path, contentType string, body []byte, resp any) error {
 	sum := sha256.Sum256(body)
 	digest := hex.EncodeToString(sum[:])
 	hreq, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("distrib: building %s request: %w", path, err)
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Content-Type", contentType)
 	hreq.Header.Set(HeaderBodyDigest, digest)
 	if path == PathRecords || path == PathComplete {
 		hreq.Header.Set(HeaderIdempotencyKey, digest)
@@ -214,12 +225,21 @@ func (w *worker) post(path string, req, resp any) error {
 	return nil
 }
 
-// postRetry retries transient failures — network errors, 5xx,
+// post sends one JSON request.
+func (w *worker) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("distrib: encoding %s request: %w", path, err)
+	}
+	return w.send(path, ContentTypeJSON, body, resp)
+}
+
+// sendRetry retries transient failures — network errors, 5xx,
 // wire-damage 4xx — under the shared full-jitter backoff policy,
 // bounded to the given number of attempts (<= 0 selects MaxErrors).
 // Non-retryable statuses return immediately, and a cancelled context
 // aborts the wait mid-backoff.
-func (w *worker) postRetry(path string, req, resp any, attempts int) error {
+func (w *worker) sendRetry(path, contentType string, body []byte, resp any, attempts int) error {
 	pol := w.policy
 	if attempts > 0 {
 		pol.Attempts = attempts
@@ -228,7 +248,16 @@ func (w *worker) postRetry(path string, req, resp any, attempts int) error {
 		w.opts.Logf("distrib: worker %s: %s attempt %d failed (%v), retrying in %v",
 			w.opts.Name, path, attempt+1, err, delay)
 	}
-	return pol.Do(w.ctx, retryableError, func() error { return w.post(path, req, resp) })
+	return pol.Do(w.ctx, retryableError, func() error { return w.send(path, contentType, body, resp) })
+}
+
+// postRetry is sendRetry for a JSON request.
+func (w *worker) postRetry(path string, req, resp any, attempts int) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("distrib: encoding %s request: %w", path, err)
+	}
+	return w.sendRetry(path, ContentTypeJSON, body, resp, attempts)
 }
 
 // sleep pauses for d unless the context ends first, reporting whether
@@ -259,10 +288,10 @@ func RunWorker(coordinatorURL string, opts WorkerOptions) error {
 // the worker fails fatally: coordinator unreachable past MaxErrors
 // consecutive lease attempts, config-digest mismatch (version skew),
 // or a local execution error. A lost lease is not fatal — the worker
-// abandons the unit and asks for new work. A coordinator that
-// becomes unreachable while a unit is executing is not fatal either:
-// the worker degrades gracefully, spooling records durably and
-// replaying them when the coordinator returns.
+// abandons the unit and asks for new work. A coordinator that becomes
+// unreachable while a unit executes is not fatal either: the records
+// live in the worker's local journal, execution continues, and the
+// upload phase degrades gracefully until the coordinator returns.
 func RunWorkerContext(ctx context.Context, coordinatorURL string, opts WorkerOptions) error {
 	if err := opts.normalise(); err != nil {
 		return err
@@ -295,9 +324,10 @@ func RunWorkerContext(ctx context.Context, coordinatorURL string, opts WorkerOpt
 			return nil
 		case StatusWait:
 			// The coordinator already parked this request in its
-			// long-poll; trust its hint — it is deliberately short so
-			// the worker re-parks promptly instead of sleeping through
-			// a unit becoming available.
+			// long-poll; trust its hint — it is deliberately immediate
+			// so the worker bounces straight back into another
+			// long-poll instead of sleeping through a unit becoming
+			// available.
 			wait := time.Duration(lr.RetryMs) * time.Millisecond
 			if wait <= 0 {
 				wait = opts.PollInterval
@@ -338,8 +368,10 @@ func (w *worker) describe(u *WorkUnit) (runner.PlanInfo, error) {
 // scratchDir is the unit's local artifact directory. The worker name
 // is part of the path so two fleet members sharing a filesystem (or
 // one process hosting a loopback fleet) never append the same local
-// journal; the unit identity is part of the path so a restarted
-// worker resumes exactly its own prior work.
+// journal; the job range is part of the path so a restarted worker
+// resumes exactly its own prior work (carve events replay from the
+// coordinator's assignment journal, so ranges are stable across
+// coordinator restarts too).
 func (w *worker) scratchDir(u *WorkUnit) string {
 	digest8 := u.ConfigDigest
 	if len(digest8) > 8 {
@@ -347,24 +379,62 @@ func (w *worker) scratchDir(u *WorkUnit) string {
 	}
 	return filepath.Join(w.opts.Dir, w.opts.Name,
 		fmt.Sprintf("%s-%s-%s", u.Instance, u.Tier, digest8),
-		fmt.Sprintf("unit-%dof%d", u.Shard+1, u.Shards))
+		fmt.Sprintf("unit-%d-%d", u.JobLo, u.JobHi))
 }
 
-// degradedAttempts bounds one delivery try while the coordinator is
-// already known-unreachable: probe once per flush, spool on failure,
-// keep simulating.
-const (
-	degradedAttempts = 1
-	liveAttempts     = 3
-)
+// liveAttempts is the per-chunk retry budget while the coordinator is
+// believed reachable; a chunk that exhausts it flips the upload into
+// degraded mode, which escalates to the full MaxErrors ladder (the
+// work is done and journaled — patience is cheap, re-execution is
+// not).
+const liveAttempts = 3
+
+// unitOutcome aggregates a record set for the digest-only completion.
+func unitOutcome(recs []runner.Record) (outcomes map[string]int, pruned, memoized, converged int) {
+	outcomes = make(map[string]int, 4)
+	for _, rec := range recs {
+		outcomes[outcomeKey(rec)]++
+		switch rec.Pruned {
+		case campaign.PrunedNoOp, campaign.PrunedUnfired:
+			pruned++
+		case campaign.PrunedMemoized:
+			memoized++
+		case campaign.PrunedConverged:
+			converged++
+		}
+	}
+	return outcomes, pruned, memoized, converged
+}
+
+// encodeChunk builds one /v1/records body in the negotiated encoding.
+// The returned release func recycles the pooled buffer backing a
+// binary frame (nil-safe, no-op for JSON).
+func (w *worker) encodeChunk(leaseID string, recs []runner.Record, binary bool) (body []byte, contentType string, release func(), err error) {
+	batch := RecordBatch{LeaseID: leaseID, Records: recs}
+	if binary {
+		buf := acquireBuffer()
+		if err := encodeRecordBatch(buf, batch); err != nil {
+			releaseBuffer(buf)
+			return nil, "", nil, err
+		}
+		return buf.Bytes(), ContentTypeBinary, func() { releaseBuffer(buf) }, nil
+	}
+	data, err := json.Marshal(batch)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("distrib: encoding record batch: %w", err)
+	}
+	return data, ContentTypeJSON, func() {}, nil
+}
 
 // runUnit executes one leased work unit through the local supervised
-// runner, streaming records back and heartbeating until the unit is
-// done or the lease is lost. An unreachable coordinator degrades the
-// unit instead of aborting it: records spool durably under the
-// unit's scratch directory, execution continues, and the spool
-// replays (idempotently — the coordinator content-keys every record)
-// once a delivery succeeds.
+// runner — journaled, checkpointed and resumable in the unit's
+// scratch directory — heartbeating progress while it simulates, and
+// finishes with a digest-only completion. Only when the coordinator
+// answers NeedRecords (the steady state: it holds nothing for a
+// freshly executed unit) does the record set upload, in one bulk pass
+// of BatchSize chunks. The coordinator is therefore entirely off the
+// hot path while runs execute: no mid-run streaming, no per-record
+// coordinator journaling, just cheap heartbeats.
 func (w *worker) runUnit(lr LeaseResponse) error {
 	u := lr.Unit
 	info, err := w.describe(u)
@@ -384,110 +454,23 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 		return err
 	}
 
-	w.opts.Logf("distrib: worker %s: running unit %d/%d (%s, %d jobs pre-done)",
-		w.opts.Name, u.Shard+1, u.Shards, lr.LeaseID, len(u.DoneJobs))
+	w.opts.Logf("distrib: worker %s: running unit %d [%d,%d) (%s, %d jobs pre-done)",
+		w.opts.Name, u.Unit, u.JobLo, u.JobHi, lr.LeaseID, len(u.DoneJobs))
 	excluded := make(map[int]bool, len(u.DoneJobs))
 	for _, job := range u.DoneJobs {
 		excluded[job] = true
 	}
 
-	scratch := w.scratchDir(u)
-	// A leftover spool from a previous incarnation is discarded: the
-	// local journal under scratch replays every record through
-	// OnRecord anyway, so the spool only ever needs to carry this
-	// incarnation's undelivered batches.
-	sp, err := openSpool(filepath.Join(scratch, "spool.jsonl"))
-	if err != nil {
-		return err
-	}
-	defer sp.close()
-
 	// lost flips once the coordinator disowns the lease; the Abort
-	// hook then drains the local campaign without error. degraded
-	// remembers that the last delivery failed, so flushes stop
-	// burning retry ladders and go straight to one probe + spool.
+	// hook then drains the local campaign without error, and the
+	// upload phase stops. progress feeds the heartbeat's Done field.
 	var lost atomic.Bool
-	degraded := false
-	batch := make([]runner.Record, 0, w.opts.BatchSize)
+	var progress atomic.Int64
+	recs := make([]runner.Record, 0, u.Jobs()-len(u.DoneJobs))
 
-	deliver := func(recs []runner.Record, attempts int) error {
-		var br BatchResponse
-		return w.postRetry(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: recs}, &br, attempts)
-	}
-	// flush pushes the spool, then the live batch. final demands
-	// delivery (full retry budget, error surfaced); otherwise a
-	// failed delivery spools the batch and execution continues.
-	flush := func(final bool) error {
-		if lost.Load() || (len(batch) == 0 && sp.len() == 0) {
-			return nil
-		}
-		attempts := liveAttempts
-		if final {
-			attempts = w.opts.MaxErrors // the unit is done: be patient
-		} else if degraded {
-			attempts = degradedAttempts
-		}
-		if sp.len() > 0 {
-			err := sp.drain(w.opts.BatchSize, func(recs []runner.Record) error {
-				return deliver(recs, attempts)
-			})
-			if err != nil {
-				if leaseLost(err) {
-					lost.Store(true)
-					return nil
-				}
-				if fatalStatus(err) || w.ctx.Err() != nil {
-					return err
-				}
-				degraded = true
-				if final {
-					return err
-				}
-				// Coordinator still down; the spool keeps its
-				// records and the live batch joins it below.
-			} else if degraded {
-				degraded = false
-				w.opts.Logf("distrib: worker %s: coordinator reachable again — spool drained", w.opts.Name)
-			}
-		}
-		if len(batch) == 0 {
-			return nil
-		}
-		if !degraded || final {
-			err := deliver(batch, attempts)
-			if err == nil {
-				if degraded {
-					degraded = false
-					w.opts.Logf("distrib: worker %s: coordinator reachable again", w.opts.Name)
-				}
-				batch = batch[:0]
-				return nil
-			}
-			if leaseLost(err) {
-				lost.Store(true)
-				return nil
-			}
-			if fatalStatus(err) || w.ctx.Err() != nil {
-				return err
-			}
-			if final {
-				return err
-			}
-			if !degraded {
-				w.opts.Logf("distrib: worker %s: coordinator unreachable (%v) — degrading: records spool to %s and execution continues",
-					w.opts.Name, err, sp.path)
-			}
-			degraded = true
-		}
-		if err := sp.append(batch); err != nil {
-			return err
-		}
-		batch = batch[:0]
-		return nil
-	}
-
-	// Heartbeat at a third of the TTL while the campaign runs, so a
-	// long simulation between record flushes keeps the lease alive.
+	// Heartbeat at a third of the TTL for the whole lease — execution
+	// and upload — so a long simulation (or a slow upload of a big
+	// unit) keeps the lease alive.
 	ttl := time.Duration(lr.TTLMs) * time.Millisecond
 	hbEvery := ttl / 3
 	if hbEvery <= 0 {
@@ -507,85 +490,203 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 				return
 			case <-t.C:
 				var hr HeartbeatResponse
-				if err := w.post(PathHeartbeat, HeartbeatRequest{LeaseID: lr.LeaseID}, &hr); err != nil {
+				req := HeartbeatRequest{LeaseID: lr.LeaseID, Done: int(progress.Load())}
+				if err := w.post(PathHeartbeat, req, &hr); err != nil {
 					if leaseLost(err) || fatalStatus(err) {
 						lost.Store(true)
 						return
 					}
-					// Transient: the next tick, or the next record
-					// flush, renews the lease.
+					// Transient: the next tick renews the lease.
 				}
 			}
 		}
 	}()
+	defer func() {
+		select {
+		case <-stopHB:
+		default:
+			close(stopHB)
+		}
+		<-hbDone
+	}()
 
+	start := time.Now()
 	_, runErr := runner.Run(cfg, runner.Options{
 		Name:           u.Instance,
 		Tier:           runner.Tier(u.Tier),
-		Dir:            scratch,
-		Shard:          u.Shard,
-		Shards:         u.Shards,
+		Dir:            w.scratchDir(u),
 		Resume:         true,
 		Workers:        w.opts.Workers,
 		RunBudgetSteps: u.RunBudgetSteps,
 		LogInterval:    w.opts.LogInterval,
 		Logf:           w.opts.Logf,
-		ExcludeJobs:    func(job int) bool { return excluded[job] },
-		Abort:          func() bool { return lost.Load() || w.ctx.Err() != nil },
+		// The unit scratch is an intermediate artifact; the final
+		// report renders once, from the coordinator's assembly.
+		SkipReport: true,
+		// The unit is the contiguous job range; jobs the coordinator
+		// already holds are excluded so a reassigned unit
+		// fast-forwards.
+		ExcludeJobs: func(job int) bool {
+			return job < u.JobLo || job >= u.JobHi || excluded[job]
+		},
+		Abort: func() bool { return lost.Load() || w.ctx.Err() != nil },
 		// OnRecord runs on the serial observer path: replayed
-		// delivery re-streams records a previous incarnation of this
-		// worker journaled locally but never flushed (the coordinator
-		// deduplicates by content).
+		// delivery re-collects records a previous incarnation of this
+		// worker journaled locally, so a restarted worker still
+		// uploads its full set.
 		OnRecord: func(rec runner.Record, replayed bool) error {
-			if lost.Load() {
-				return nil
-			}
-			batch = append(batch, rec)
-			if len(batch) >= w.opts.BatchSize {
-				return flush(false)
-			}
+			recs = append(recs, rec)
+			progress.Add(1)
 			return nil
 		},
 	})
-	close(stopHB)
-	<-hbDone
+	wallMs := time.Since(start).Milliseconds()
 	if runErr != nil {
 		return runErr
 	}
 	if err := w.ctx.Err(); err != nil {
 		return err
 	}
-	if err := flush(true); err != nil {
-		if lost.Load() {
-			return nil
-		}
-		w.opts.Logf("distrib: worker %s: final drain for unit %d/%d failed (%v) — abandoning lease; local journal retains the work",
-			w.opts.Name, u.Shard+1, u.Shards, err)
-		return nil
-	}
 	if lost.Load() {
-		w.opts.Logf("distrib: worker %s: lease %s lost — abandoning unit %d/%d",
-			w.opts.Name, lr.LeaseID, u.Shard+1, u.Shards)
+		w.opts.Logf("distrib: worker %s: lease %s lost — abandoning unit %d [%d,%d); the local journal retains the work",
+			w.opts.Name, lr.LeaseID, u.Unit, u.JobLo, u.JobHi)
 		return nil
 	}
-	sp.remove()
-	var cr CompleteResponse
-	if err := w.postRetry(PathComplete, CompleteRequest{LeaseID: lr.LeaseID}, &cr, 0); err != nil {
-		if leaseLost(err) {
-			// The coordinator revoked the lease (or expired it during
-			// the final flush): someone else finishes the gap.
-			w.opts.Logf("distrib: worker %s: complete for %s rejected — unit reassigned", w.opts.Name, lr.LeaseID)
-			return nil
-		}
-		if fatalStatus(err) || w.ctx.Err() != nil {
+
+	// Digest-only completion. The digest only describes a complete
+	// set: with DoneJobs the unit's records are split between worker
+	// and coordinator, and per-record content keying covers the
+	// upload instead.
+	outcomes, pruned, memoized, converged := unitOutcome(recs)
+	creq := CompleteRequest{
+		LeaseID:   lr.LeaseID,
+		Runs:      len(recs),
+		WallMs:    wallMs,
+		Outcomes:  outcomes,
+		Pruned:    pruned,
+		Memoized:  memoized,
+		Converged: converged,
+	}
+	if len(u.DoneJobs) == 0 {
+		creq.Digest = runner.RecordSetDigest(recs)
+	}
+	cr, abandon, err := w.complete(lr, creq)
+	if err != nil || abandon {
+		return err
+	}
+	if cr.NeedRecords {
+		if abandon, err := w.uploadRecords(lr, recs, &lost); err != nil || abandon {
 			return err
 		}
-		// Unreachable on the final ack: the coordinator settles the
-		// unit itself on its last record, so this costs nothing.
-		w.opts.Logf("distrib: worker %s: complete for %s undeliverable (%v) — coordinator settles the unit from its journal",
-			w.opts.Name, lr.LeaseID, err)
-		return nil
+		creq.Uploaded = true
+		cr, abandon, err = w.complete(lr, creq)
+		if err != nil || abandon {
+			return err
+		}
+		if cr.NeedRecords {
+			// The coordinator still wants records after a full upload —
+			// nothing more this worker can add. Abandon; the lease
+			// expires and the gap reassigns.
+			w.opts.Logf("distrib: worker %s: coordinator still needs records for unit %d after upload — abandoning lease",
+				w.opts.Name, u.Unit)
+			return nil
+		}
 	}
-	w.opts.Logf("distrib: worker %s: unit %d/%d complete", w.opts.Name, u.Shard+1, u.Shards)
+	w.opts.Logf("distrib: worker %s: unit %d [%d,%d) complete (%d runs, %d ms)",
+		w.opts.Name, u.Unit, u.JobLo, u.JobHi, len(recs), wallMs)
 	return nil
+}
+
+// complete posts one completion request. abandon reports a
+// non-fatal dead end (lease lost, coordinator unreachable past the
+// retry budget): the worker drops the unit and asks for new work,
+// with the local journal retaining everything it did.
+func (w *worker) complete(lr LeaseResponse, creq CompleteRequest) (cr CompleteResponse, abandon bool, err error) {
+	if err := w.postRetry(PathComplete, creq, &cr, 0); err != nil {
+		if leaseLost(err) {
+			w.opts.Logf("distrib: worker %s: complete for %s rejected — unit reassigned", w.opts.Name, lr.LeaseID)
+			return cr, true, nil
+		}
+		if fatalStatus(err) || w.ctx.Err() != nil {
+			return cr, false, err
+		}
+		w.opts.Logf("distrib: worker %s: complete for %s undeliverable (%v) — abandoning lease; the local journal retains the work",
+			w.opts.Name, lr.LeaseID, err)
+		return cr, true, nil
+	}
+	return cr, false, nil
+}
+
+// uploadRecords bulk-uploads a completed unit's record set in
+// BatchSize chunks, in the negotiated encoding. An unreachable
+// coordinator degrades the upload instead of failing it: the chunk
+// retries under the full MaxErrors ladder, and only two consecutive
+// exhausted ladders abandon the lease (abandon=true) — the local
+// journal retains the records, so a later lease of the same range
+// fast-forwards straight back here.
+func (w *worker) uploadRecords(lr LeaseResponse, recs []runner.Record, lost *atomic.Bool) (abandon bool, err error) {
+	binary := lr.Binary && w.opts.Encoding != "json" && !w.jsonOnly
+	degraded := false
+	exhausted := 0
+	for off := 0; off < len(recs); {
+		if lost.Load() {
+			w.opts.Logf("distrib: worker %s: lease %s lost mid-upload — abandoning; the local journal retains the work",
+				w.opts.Name, lr.LeaseID)
+			return true, nil
+		}
+		end := off + w.opts.BatchSize
+		if end > len(recs) {
+			end = len(recs)
+		}
+		body, contentType, release, err := w.encodeChunk(lr.LeaseID, recs[off:end], binary)
+		if err != nil {
+			return false, err
+		}
+		attempts := liveAttempts
+		if degraded {
+			attempts = w.opts.MaxErrors
+		}
+		var br BatchResponse
+		sendErr := w.sendRetry(PathRecords, contentType, body, &br, attempts)
+		release()
+		if sendErr == nil {
+			if degraded {
+				degraded = false
+				w.opts.Logf("distrib: worker %s: coordinator reachable again — upload resumed", w.opts.Name)
+			}
+			exhausted = 0
+			off = end
+			continue
+		}
+		if leaseLost(sendErr) {
+			w.opts.Logf("distrib: worker %s: lease %s lost mid-upload — abandoning; the local journal retains the work",
+				w.opts.Name, lr.LeaseID)
+			return true, nil
+		}
+		if binary && fatalStatus(sendErr) {
+			// The coordinator refuses the binary frame (version skew,
+			// or a middlebox mangled the content type): fall back to
+			// JSON permanently and retry this chunk.
+			w.opts.Logf("distrib: worker %s: binary record frame refused (%v) — falling back to JSON",
+				w.opts.Name, sendErr)
+			w.jsonOnly = true
+			binary = false
+			continue
+		}
+		if fatalStatus(sendErr) || w.ctx.Err() != nil {
+			return false, sendErr
+		}
+		if !degraded {
+			w.opts.Logf("distrib: worker %s: coordinator unreachable (%v) — degrading: upload pauses on the local journal and retries patiently",
+				w.opts.Name, sendErr)
+			degraded = true
+		}
+		exhausted++
+		if exhausted >= 2 {
+			w.opts.Logf("distrib: worker %s: upload for %s undeliverable after %d retry ladders — abandoning lease; the local journal retains the work",
+				w.opts.Name, lr.LeaseID, exhausted)
+			return true, nil
+		}
+	}
+	return false, nil
 }

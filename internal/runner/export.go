@@ -1,7 +1,11 @@
 package runner
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"sort"
 
 	"propane/internal/campaign"
 )
@@ -89,6 +93,37 @@ func DescribeInstance(name string, tier Tier, opts Options) (PlanInfo, error) {
 	return Describe(cfg, opts)
 }
 
+// RecordSetDigest computes a canonical SHA-256 over a set of records:
+// sorted by job index, serialized with the Pruned label cleared —
+// exactly the fields RecordsEqual compares. Two processes holding
+// record sets that would merge without conflict produce the same
+// digest, so a distributed worker can prove its locally journaled
+// unit matches what the coordinator would have received without
+// shipping a single record (digest-only completion). The input slice
+// is not modified.
+func RecordSetDigest(recs []Record) string {
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return recs[order[a]].Job < recs[order[b]].Job })
+	h := sha256.New()
+	for _, i := range order {
+		rec := recs[i]
+		rec.Pruned = "" // excluded from equality, so excluded here
+		line, err := json.Marshal(rec)
+		if err != nil {
+			// A Record is plain data; Marshal cannot fail on one. Keep
+			// the signature error-free and make any future regression
+			// loud instead of silent.
+			panic(fmt.Sprintf("runner: encoding record for digest: %v", err))
+		}
+		h.Write(line)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // JournalHeader is the exported view of a journal file's header line.
 type JournalHeader struct {
 	Version      int
@@ -161,6 +196,10 @@ func (j *ShardJournal) Path() string { return j.path }
 
 // Append journals one record.
 func (j *ShardJournal) Append(rec Record) error { return j.w.Append(rec) }
+
+// AppendBatch journals a whole batch of records with one write —
+// the coordinator's bulk-ingest path for worker-uploaded units.
+func (j *ShardJournal) AppendBatch(recs []Record) error { return j.w.AppendBatch(recs) }
 
 // Sync flushes appended records to stable storage.
 func (j *ShardJournal) Sync() error {

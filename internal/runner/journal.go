@@ -292,6 +292,38 @@ func (w *journalWriter) Append(rec Record) error {
 	return nil
 }
 
+// AppendBatch journals a batch of records with a single Write call —
+// the bulk-ingest path of the distributed coordinator, where one
+// worker uploads a whole completed unit at once. The one-Write
+// contract means a crash tears at most the final line of the batch,
+// exactly like Append's per-record guarantee.
+func (w *journalWriter) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(recs) * 192)
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("runner: encoding journal record: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("runner: appending journal batch: %w", err)
+	}
+	w.pending += len(recs)
+	if w.pending >= syncEvery {
+		w.pending = 0
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("runner: syncing journal: %w", err)
+		}
+	}
+	return nil
+}
+
 // Close syncs and closes the journal.
 func (w *journalWriter) Close() error {
 	if err := w.f.Sync(); err != nil {

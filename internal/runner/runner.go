@@ -108,6 +108,12 @@ type Options struct {
 	// executed records carry bit-identical outcomes, so journals
 	// written with different prune settings interoperate.
 	Prune campaign.PruneMode
+	// SkipReport suppresses rendering report.md even for an unsharded
+	// run. The distributed worker sets it: a work unit's scratch
+	// directory is an intermediate artifact whose records upload to the
+	// coordinator, and rendering a full analysis report per unit would
+	// charge every unit the cost of the final assembly.
+	SkipReport bool
 }
 
 // Defaults for the zero values of the supervision knobs.
@@ -482,7 +488,7 @@ func finalise(res *campaign.Result, l layout, trk *tracker, ddp *deduper, opts O
 	}); err != nil {
 		return nil, err
 	}
-	if opts.Shards == 1 {
+	if opts.Shards == 1 && !opts.SkipReport {
 		md, err := report.Markdown(res, report.MarkdownOptions{
 			Title:   fmt.Sprintf("Campaign %s/%s", opts.Name, opts.Tier),
 			Latency: true, Uniform: true,

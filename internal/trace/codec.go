@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -132,30 +131,57 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return tr, nil
 }
 
-func writeUint16(w io.Writer, v uint16) (int, error) {
-	var buf [2]byte
-	binary.LittleEndian.PutUint16(buf[:], v)
-	return w.Write(buf[:])
-}
+// The integer helpers take the concrete buffered writer/reader and
+// move bytes one at a time: handing a stack buffer to an io.Writer
+// interface makes it escape, and writeUint16 runs once per trace
+// sample — on the hot path of every golden-digest pass, that was one
+// heap allocation per sample.
 
-func writeUint32(w io.Writer, v uint32) (int, error) {
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], v)
-	return w.Write(buf[:])
-}
-
-func readUint16(r io.Reader) (uint16, error) {
-	var buf [2]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+func writeUint16(w *bufio.Writer, v uint16) (int, error) {
+	if err := w.WriteByte(byte(v)); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint16(buf[:]), nil
+	if err := w.WriteByte(byte(v >> 8)); err != nil {
+		return 1, err
+	}
+	return 2, nil
 }
 
-func readUint32(r io.Reader) (uint32, error) {
-	var buf [4]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+func writeUint32(w *bufio.Writer, v uint32) (int, error) {
+	for i := 0; i < 4; i++ {
+		if err := w.WriteByte(byte(v >> (8 * i))); err != nil {
+			return i, err
+		}
+	}
+	return 4, nil
+}
+
+func readUint16(r *bufio.Reader) (uint16, error) {
+	b0, err := r.ReadByte()
+	if err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint32(buf[:]), nil
+	b1, err := r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	return uint16(b0) | uint16(b1)<<8, nil
+}
+
+func readUint32(r *bufio.Reader) (uint32, error) {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, nil
 }
