@@ -10,7 +10,9 @@
 package propane_test
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -30,7 +32,9 @@ import (
 	"propane/internal/physics"
 	"propane/internal/report"
 	"propane/internal/runner"
+	"propane/internal/service"
 	"propane/internal/sim"
+	"propane/internal/store"
 	"propane/internal/synth"
 	"propane/internal/target"
 	"propane/internal/trace"
@@ -885,5 +889,95 @@ func BenchmarkSynthCompile(b *testing.B) {
 		if _, err := synth.Compile(spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchService drives the multi-tenant service path end to end per
+// iteration: boot a service over a fresh directory, run a shared
+// 3-worker in-process fleet against its HTTP API, submit `campaigns`
+// quick-tier campaigns from distinct tenants, and wait for every one
+// to assemble. With warm=true the workers' persistent memo store is
+// pre-populated by an untimed campaign first, so the timed iterations
+// measure the cross-campaign memo economy (the cold/warm delta is
+// what the store buys).
+func benchService(b *testing.B, campaigns int, warm bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		st, err := store.Open(filepath.Join(dir, "store"), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := service.Open(service.Options{Dir: filepath.Join(dir, "svc"), Units: 4, Store: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := svc.Server()
+		go srv.Serve(l)
+		url := "http://" + l.Addr().String()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				_ = distrib.RunWorkerContext(ctx, url, distrib.WorkerOptions{
+					Name: fmt.Sprintf("bench-w%d", w), Dir: filepath.Join(dir, "scratch"),
+					Workers: 1, Memo: st, PollInterval: 10 * time.Millisecond,
+				})
+			}(w)
+		}
+		submitAndWait := func(n int) {
+			ids := make([]string, 0, n)
+			for c := 0; c < n; c++ {
+				info, serr := svc.Submit(fmt.Sprintf("tenant-%d", c), service.SubmitRequest{Instance: "reduced", Tier: "quick"})
+				if serr != nil {
+					b.Fatal(serr)
+				}
+				ids = append(ids, info.ID)
+			}
+			for _, id := range ids {
+				for {
+					ci, ok := svc.Campaign(id)
+					if ok && ci.State == service.StateDone {
+						break
+					}
+					if ok && ci.State == service.StateFailed {
+						b.Fatalf("campaign %s failed: %s", id, ci.Error)
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+		}
+		if warm {
+			submitAndWait(1)
+		}
+		b.StartTimer()
+		submitAndWait(campaigns)
+		b.StopTimer()
+		cancel()
+		wg.Wait()
+		srv.Close()
+		svc.Close()
+		st.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkServiceMultiCampaign measures campaign-as-a-service
+// throughput: N concurrent quick-tier campaigns from distinct tenants
+// over one shared 3-worker fleet, cold (empty memo store) and warm
+// (store pre-populated by an identical campaign, so the fleet serves
+// runs from the persistent memo instead of re-executing).
+func BenchmarkServiceMultiCampaign(b *testing.B) {
+	for _, n := range []int{1, 2} {
+		b.Run(fmt.Sprintf("campaigns=%d/store=cold", n), func(b *testing.B) { benchService(b, n, false) })
+		b.Run(fmt.Sprintf("campaigns=%d/store=warm", n), func(b *testing.B) { benchService(b, n, true) })
 	}
 }

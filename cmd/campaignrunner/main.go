@@ -66,6 +66,7 @@ import (
 	"propane/internal/distrib"
 	"propane/internal/profiling"
 	"propane/internal/runner"
+	"propane/internal/store"
 	"propane/internal/synth"
 )
 
@@ -97,6 +98,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	workerURL := fs.String("worker", "", "join a distributed coordinator's fleet at this URL (see propaned); -dir becomes the local scratch root")
 	workerName := fs.String("worker-name", "", "fleet identity for -worker mode (default hostname-pid; keep it stable across restarts to resume local work)")
 	chaosSpec := fs.String("chaos", "", "inject seeded faults into this worker's coordinator RPCs, e.g. seed=7,rate=0.2 (see internal/chaos; -worker mode only)")
+	storeDir := fs.String("store-dir", "", "persistent memo store: identical injection runs across campaigns are served from this directory instead of re-executing (-worker mode only)")
 	jsonRecords := fs.Bool("json-records", false, "upload records as JSON even when the coordinator offers the binary batch framing (-worker mode only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the campaign finishes")
@@ -168,12 +170,22 @@ func run(args []string, out io.Writer) (retErr error) {
 		if *jsonRecords {
 			encoding = "json"
 		}
+		var memo runner.MemoStore
+		if *storeDir != "" {
+			st, serr := store.Open(*storeDir, store.Options{Logf: logf})
+			if serr != nil {
+				return serr
+			}
+			defer st.Close()
+			memo = st
+		}
 		werr := distrib.RunWorkerContext(ctx, *workerURL, distrib.WorkerOptions{
 			Name:        *workerName,
 			Dir:         *dir,
 			Workers:     *workers,
 			Chaos:       cs,
 			Encoding:    encoding,
+			Memo:        memo,
 			LogInterval: *progress,
 			Logf:        logf,
 		})
@@ -187,6 +199,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *jsonRecords {
 		return fmt.Errorf("-json-records only applies to -worker mode")
+	}
+	if *storeDir != "" {
+		return fmt.Errorf("-store-dir only applies to -worker mode")
 	}
 	if *instance == "" {
 		return fmt.Errorf("no -instance given (use -list to see the registry)")

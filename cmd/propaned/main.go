@@ -33,18 +33,55 @@
 // seeded drops, duplicated deliveries, truncations, corruptions, 5xx
 // and delays on every RPC, against which the campaign must still
 // assemble bit-identically — the fabric's own SWIFI smoke test.
+//
+// # Service mode
+//
+// With -serve, propaned becomes a long-lived multi-tenant campaign
+// service instead of a single-campaign coordinator:
+//
+//	propaned -serve -dir /var/propane -listen :8080
+//	propaned -serve -dir /var/propane -resume
+//	propaned -serve -dir D -instance reduced -loopback 3
+//
+// Tenants submit campaigns over HTTP (POST /v1/campaigns with an
+// instance name or an inline topology document, identified by an
+// X-Propane-Tenant header), stream progress from GET
+// /v1/campaigns/{id}/events, and fetch the assembled report from
+// /v1/campaigns/{id}/report. Admission control enforces per-tenant
+// quotas (-quota-queued, -quota-active, -quota-jobs) and global queue
+// depth thresholds, answering 429 with a Retry-After hint when a
+// submission must back off. One shared worker fleet serves every
+// active campaign: leases carry a campaign ID and are granted
+// weighted-fair across tenants. Completed reports and the workers'
+// cross-campaign memo entries live in a content-addressed store under
+// -store-dir, garbage-collected every -gc-interval. The queue,
+// assignments and store index are journaled: -serve -resume after a
+// kill recovers every queued and in-flight campaign bit-identically.
+//
+// In service mode -instance is a convenience wrapper: the campaign is
+// submitted in-process and its events tailed until done (add
+// -loopback N for a self-contained in-process fleet); without
+// -instance the service runs until interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
 
 	"propane/internal/chaos"
 	"propane/internal/distrib"
 	"propane/internal/runner"
+	"propane/internal/service"
+	"propane/internal/store"
 )
 
 func main() {
@@ -62,17 +99,23 @@ func run(args []string, out io.Writer) error {
 	units := fs.Int("units", 0, "initial carve granularity: the first work units are sized as if the campaign split this many ways (0 = default 8); later units are cost-sized on demand")
 	listen := fs.String("listen", "127.0.0.1:8080", "address to serve the coordinator API on")
 	lease := fs.Duration("lease", 0, "lease TTL: a worker silent this long is presumed dead and its unit reassigned (0 = default 30s)")
-	resume := fs.Bool("resume", false, "restore coordinator state from the journals under -dir")
+	resume := fs.Bool("resume", false, "restore state from the journals under -dir (the coordinator's, or in -serve mode the whole service's queue and in-flight campaigns)")
 	pull := fs.Bool("pull", false, "always pull full record sets from workers instead of accepting digest-only completion")
 	loopback := fs.Int("loopback", 0, "run this many in-process workers on an ephemeral listener instead of serving a network fleet")
 	workers := fs.Int("workers", 0, "local campaign parallelism per loopback worker (<= 0 means GOMAXPROCS)")
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget, applied fleet-wide via the config digest (0 = instance default)")
 	chaosSpec := fs.String("chaos", "", "inject seeded faults into the loopback workers' RPCs, e.g. seed=7,rate=0.2 (see internal/chaos; -loopback mode only)")
+	serve := fs.Bool("serve", false, "run as a long-lived multi-tenant campaign service (POST /v1/campaigns) instead of coordinating one campaign")
+	storeDir := fs.String("store-dir", "", "content-addressed result store directory for -serve mode (default <dir>/store)")
+	gcInterval := fs.Duration("gc-interval", 15*time.Minute, "store garbage-collection interval in -serve mode (0 disables)")
+	quotaQueued := fs.Int("quota-queued", 0, "per-tenant cap on queued campaigns in -serve mode (0 = default 8)")
+	quotaActive := fs.Int("quota-active", 0, "per-tenant cap on concurrently active campaigns in -serve mode (0 = default 2)")
+	quotaJobs := fs.Int("quota-jobs", 0, "per-tenant cap on total injection jobs in flight in -serve mode (0 = default 500000)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *instance == "" {
-		return fmt.Errorf("no -instance given (use campaignrunner -list to see the registry)")
+	if *instance == "" && !*serve {
+		return fmt.Errorf("no -instance given (use campaignrunner -list to see the registry, or -serve for service mode)")
 	}
 	var cs *chaos.Spec
 	if *chaosSpec != "" {
@@ -87,6 +130,16 @@ func run(args []string, out io.Writer) error {
 	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
+	if *serve {
+		return runServe(out, logf, serveConfig{
+			dir: *dir, storeDir: *storeDir, listen: *listen,
+			instance: *instance, tier: *tier, runBudget: *runBudget,
+			units: *units, lease: *lease, resume: *resume, pull: *pull,
+			loopback: *loopback, workers: *workers, chaos: cs,
+			gcInterval:  *gcInterval,
+			quotaQueued: *quotaQueued, quotaActive: *quotaActive, quotaJobs: *quotaJobs,
+		})
+	}
 	cc := distrib.Config{
 		Instance:       *instance,
 		Tier:           runner.Tier(*tier),
@@ -136,5 +189,135 @@ func run(args []string, out io.Writer) error {
 			m.Crashes, m.Hangs, m.Quarantined)
 	}
 	fmt.Fprintf(out, "artifacts in %s\n", rr.Dir)
+	return nil
+}
+
+type serveConfig struct {
+	dir, storeDir, listen    string
+	instance, tier           string
+	runBudget                int64
+	units                    int
+	lease                    time.Duration
+	resume, pull             bool
+	loopback, workers        int
+	chaos                    *chaos.Spec
+	gcInterval               time.Duration
+	quotaQueued, quotaActive int
+	quotaJobs                int
+}
+
+// runServe hosts the multi-tenant campaign service: store, admission
+// queue, shared-fleet scheduler and HTTP API. With an instance it
+// doubles as a submit-and-tail client for its own service; without
+// one it serves until interrupted.
+func runServe(out io.Writer, logf func(string, ...any), sc serveConfig) error {
+	if sc.dir == "" {
+		return fmt.Errorf("-serve needs -dir as the service root")
+	}
+	if sc.storeDir == "" {
+		sc.storeDir = filepath.Join(sc.dir, "store")
+	}
+	st, err := store.Open(sc.storeDir, store.Options{Logf: logf})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	svc, err := service.Open(service.Options{
+		Dir:        sc.dir,
+		Store:      st,
+		Quotas:     service.Quotas{MaxQueued: sc.quotaQueued, MaxActive: sc.quotaActive, MaxJobs: sc.quotaJobs},
+		Units:      sc.units,
+		LeaseTTL:   sc.lease,
+		Pull:       sc.pull,
+		Resume:     sc.resume,
+		GCInterval: sc.gcInterval,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	l, err := net.Listen("tcp", sc.listen)
+	if err != nil {
+		return err
+	}
+	srv := svc.Server()
+	go srv.Serve(l)
+	defer srv.Close()
+	url := "http://" + l.Addr().String()
+	logf("propaned: serving campaigns on %s (submit: curl -XPOST %s/v1/campaigns -H 'X-Propane-Tenant: you' -d '{\"instance\":\"reduced\",\"tier\":\"quick\"}')", url, url)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// An in-process fleet makes the service self-contained; workers
+	// share the service's store as their cross-campaign memo backend.
+	if sc.loopback > 0 {
+		var wg sync.WaitGroup
+		for i := 0; i < sc.loopback; i++ {
+			name := fmt.Sprintf("loopback-w%d", i+1)
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				wo := distrib.WorkerOptions{
+					Name: name, Dir: filepath.Join(sc.dir, "worker-scratch"),
+					Workers: sc.workers, Chaos: sc.chaos, Memo: st, Logf: logf,
+				}
+				if werr := distrib.RunWorkerContext(ctx, url, wo); werr != nil && ctx.Err() == nil {
+					logf("propaned: worker %s exited: %v", name, werr)
+				}
+			}(name)
+		}
+		defer func() { stop(); wg.Wait() }()
+	}
+
+	if sc.instance == "" {
+		<-ctx.Done()
+		logf("propaned: interrupted; draining")
+		return nil
+	}
+
+	// Submit-and-tail: the legacy single-campaign UX on top of the
+	// service path.
+	info, err := svc.Submit("", service.SubmitRequest{
+		Instance: sc.instance, Tier: sc.tier, RunBudgetSteps: sc.runBudget,
+	})
+	if err != nil {
+		return err
+	}
+	logf("propaned: submitted %s (%s/%s, %d jobs); tailing", info.ID, info.Instance, info.Tier, info.Jobs)
+	last := info.State
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("interrupted while campaign %s was %s", info.ID, last)
+		case <-time.After(200 * time.Millisecond):
+		}
+		ci, ok := svc.Campaign(info.ID)
+		if !ok {
+			return fmt.Errorf("campaign %s vanished", info.ID)
+		}
+		if ci.State != last {
+			logf("propaned: campaign %s is %s", ci.ID, ci.State)
+			last = ci.State
+		}
+		if ci.State == service.StateFailed {
+			return fmt.Errorf("campaign %s failed: %s", ci.ID, ci.Error)
+		}
+		if ci.State == service.StateDone {
+			break
+		}
+	}
+	rr, ok := svc.Result(info.ID)
+	if !ok {
+		return fmt.Errorf("campaign %s finished without a result", info.ID)
+	}
+	m := rr.Metrics
+	fmt.Fprintf(out, "campaign %s/%s assembled: %d runs, %d traps unfired\n",
+		m.Instance, m.Tier, m.ReplayedRuns+m.ExecutedRuns, m.Unfired)
+	fmt.Fprintf(out, "%d system failures in %d equivalence classes\n", m.SystemFailures, m.UniqueFailures)
+	fmt.Fprintf(out, "artifacts in %s; report ref campaign/%s/report.md in %s\n", rr.Dir, info.ID, sc.storeDir)
 	return nil
 }

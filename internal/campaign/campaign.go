@@ -77,6 +77,15 @@ type Config struct {
 	// a checkpoint instant. Results are bit-identical either way;
 	// synthesized records carry RunRecord.Pruned.
 	Prune PruneMode
+	// Memo, when non-nil, plugs a second-level memo store behind the
+	// in-process result cache: memoizable experiments missing the local
+	// cache are looked up there before executing, and executed results
+	// are offered back. A persistent backend lets identical experiments
+	// be reused across campaigns and processes — the caller must scope
+	// the backend to one campaign config digest (see
+	// runner.Options.Memo). Only consulted when pruning is enabled;
+	// hits are labeled PrunedMemoStore.
+	Memo MemoBackend
 	// OnlyModule, when non-empty, restricts injections to the inputs
 	// of one module (useful for focused studies).
 	OnlyModule string
@@ -870,7 +879,7 @@ func injectionRun(cfg Config, sys *model.System, golden *trace.Trace, caseIdx in
 			return runOutcome{}, err
 		}
 	}
-	var mk *memoKey
+	var mk *MemoKey
 	if pr != nil {
 		out, pruned, key, err := pr.classify(sys, caseIdx, inj, snap)
 		if err != nil {
@@ -1226,6 +1235,9 @@ func (agg *aggregator) countPrune(out runOutcome) {
 	case PrunedMemoized:
 		st.Memoized++
 		sc.Memoized++
+	case PrunedMemoStore:
+		st.Store++
+		sc.Store++
 	case PrunedConverged:
 		st.Converged++
 		sc.Converged++

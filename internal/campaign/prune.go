@@ -76,16 +76,60 @@ const (
 	// PrunedMemoized: the outcome was served from the result cache of
 	// an identical earlier experiment.
 	PrunedMemoized = "memo"
+	// PrunedMemoStore: the outcome was served from a persistent memo
+	// backend (Config.Memo) — an identical experiment executed by an
+	// earlier campaign, possibly in another process. Distinct from
+	// PrunedMemoized so fleets can count cross-campaign reuse; like
+	// every pruned label it is excluded from record equality and the
+	// record-set digest, so mixed hot/cold journals interoperate.
+	PrunedMemoStore = "memo-store"
 	// PrunedConverged: the run executed, but stopped early at a
 	// checkpoint instant where its state had returned to the golden
 	// run's.
 	PrunedConverged = "converged"
 )
 
+// MemoKey identifies one transient experiment up to determinism — the
+// exported form of the memo cache key, for persistent backends. The
+// digest alone does not pin the target's construction parameters or
+// dynamics, so a backend must additionally scope keys by the campaign
+// config digest (see runner.Options.Memo); within one scope the key
+// is sound across processes and campaigns.
+type MemoKey struct {
+	Case     int        `json:"case"`
+	Digest   string     `json:"digest"`
+	Module   string     `json:"module"`
+	Signal   string     `json:"signal"`
+	FireTick sim.Millis `json:"fire_tick"`
+	Value    uint16     `json:"value"`
+	Budget   int64      `json:"budget,omitempty"`
+}
+
+// MemoEntry carries everything needed to synthesize a record
+// bit-identical to the executed one.
+type MemoEntry struct {
+	Outcome Outcome               `json:"outcome"`
+	Detail  string                `json:"detail,omitempty"`
+	FiredAt sim.Millis            `json:"fired_at"`
+	Diffs   map[string]trace.Diff `json:"diffs,omitempty"`
+}
+
+// MemoBackend is a second-level, typically persistent memo store
+// consulted when the in-process result cache misses. Implementations
+// must be safe for concurrent use and must not retain or mutate the
+// Diffs map after PutMemo returns (clone or serialize it). A backend
+// that errors internally should report a miss — the run then simply
+// executes, so a wiped or corrupt store degrades to full execution.
+type MemoBackend interface {
+	GetMemo(MemoKey) (MemoEntry, bool)
+	PutMemo(MemoKey, MemoEntry)
+}
+
 // PruneSignalCounts breaks the pruning counters down for one injection
-// location ("signal@module").
+// location ("signal@module"). Store counts memo hits served from the
+// persistent backend (Config.Memo) rather than the in-process cache.
 type PruneSignalCounts struct {
-	NoOp, Unfired, Memoized, Converged, Executed int
+	NoOp, Unfired, Memoized, Store, Converged, Executed int
 }
 
 // PruneStats counts, over all settled non-quarantined injection jobs,
@@ -93,7 +137,7 @@ type PruneSignalCounts struct {
 // outcomes in every estimate denominator — the counters document how
 // the estimates were computed, they do not change them.
 type PruneStats struct {
-	NoOp, Unfired, Memoized, Converged, Executed int
+	NoOp, Unfired, Memoized, Store, Converged, Executed int
 	// PerSignal keys the same counters by injection location,
 	// "signal@module".
 	PerSignal map[string]PruneSignalCounts
@@ -101,7 +145,7 @@ type PruneStats struct {
 
 // Total returns the number of runs settled without a full execution.
 func (ps PruneStats) Total() int {
-	return ps.NoOp + ps.Unfired + ps.Memoized + ps.Converged
+	return ps.NoOp + ps.Unfired + ps.Memoized + ps.Store + ps.Converged
 }
 
 // pruningEnabled decides whether this campaign prunes. Unlike
@@ -238,30 +282,13 @@ func (l *readLog) distill(times []sim.Millis, faultDuration sim.Millis) casePred
 	return cp
 }
 
-// memoKey identifies one transient experiment up to determinism: the
-// test case (construction parameters are not part of the state
-// digest), the digested pre-injection state, the port, the tick of
-// the firing read, the corrupted value the trap writes there, and the
-// step budget (it decides hang classification). The firing read's
-// position inside its tick needs no key component: it is always the
-// first matching read of tick fireTick, whatever the arm time was.
-type memoKey struct {
-	caseIdx        int
-	digest         string
-	module, signal string
-	fireTick       sim.Millis
-	value          uint16
-	budget         int64
-}
-
-// memoEntry carries everything needed to synthesize a record
-// bit-identical to the executed one.
-type memoEntry struct {
-	outcome Outcome
-	detail  string
-	firedAt sim.Millis
-	diffs   map[string]trace.Diff
-}
+// The MemoKey components: the test case (construction parameters are
+// not part of the state digest), the digested pre-injection state,
+// the port, the tick of the firing read, the corrupted value the trap
+// writes there, and the step budget (it decides hang classification).
+// The firing read's position inside its tick needs no key component:
+// it is always the first matching read of tick FireTick, whatever the
+// arm time was.
 
 // defaultMemoBound bounds the result cache (entries, LRU-recycled).
 const defaultMemoBound = 4096
@@ -272,37 +299,37 @@ const defaultMemoBound = 4096
 type memoCache struct {
 	mu    sync.Mutex
 	bound int
-	items map[memoKey]*list.Element
+	items map[MemoKey]*list.Element
 	order *list.List // front = most recently used
 }
 
 type memoItem struct {
-	key   memoKey
-	entry memoEntry
+	key   MemoKey
+	entry MemoEntry
 }
 
 func newMemoCache(bound int) *memoCache {
 	if bound <= 0 {
 		bound = defaultMemoBound
 	}
-	return &memoCache{bound: bound, items: make(map[memoKey]*list.Element), order: list.New()}
+	return &memoCache{bound: bound, items: make(map[MemoKey]*list.Element), order: list.New()}
 }
 
-func (mc *memoCache) get(k memoKey) (memoEntry, bool) {
+func (mc *memoCache) get(k MemoKey) (MemoEntry, bool) {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	el, ok := mc.items[k]
 	if !ok {
-		return memoEntry{}, false
+		return MemoEntry{}, false
 	}
 	mc.order.MoveToFront(el)
 	e := el.Value.(*memoItem).entry
-	e.diffs = cloneDiffs(e.diffs)
+	e.Diffs = cloneDiffs(e.Diffs)
 	return e, true
 }
 
-func (mc *memoCache) put(k memoKey, e memoEntry) {
-	e.diffs = cloneDiffs(e.diffs)
+func (mc *memoCache) put(k MemoKey, e MemoEntry) {
+	e.Diffs = cloneDiffs(e.Diffs)
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	if el, ok := mc.items[k]; ok {
@@ -344,9 +371,10 @@ type digestKey struct {
 // pruner classifies injection jobs before execution and serves /
 // collects memoized results. Shared across the campaign's workers.
 type pruner struct {
-	cfg   Config
-	preds []casePredictions // per test case
-	memo  *memoCache
+	cfg     Config
+	preds   []casePredictions // per test case
+	memo    *memoCache
+	backend MemoBackend // optional L2, consulted on L1 misses
 
 	mu      sync.Mutex
 	digests map[digestKey]string
@@ -357,6 +385,7 @@ func newPruner(cfg Config, preds []casePredictions) *pruner {
 		cfg:     cfg,
 		preds:   preds,
 		memo:    newMemoCache(cfg.memoBound),
+		backend: cfg.Memo,
 		digests: make(map[digestKey]string),
 	}
 }
@@ -389,7 +418,7 @@ func (p *pruner) digestFor(caseIdx int, at sim.Millis, snap *sim.Snapshot) strin
 // synthesized outcome when the job is pruned; otherwise, for
 // memoizable jobs, it returns the key under which the executed result
 // should be stored (see store).
-func (p *pruner) classify(sys *model.System, caseIdx int, inj inject.Injection, snap *sim.Snapshot) (runOutcome, bool, *memoKey, error) {
+func (p *pruner) classify(sys *model.System, caseIdx int, inj inject.Injection, snap *sim.Snapshot) (runOutcome, bool, *MemoKey, error) {
 	base := runOutcome{injection: inj, caseIdx: caseIdx, failureAt: -1}
 	pk := portKey{module: inj.Module, signal: inj.Signal}
 	if p.cfg.FaultDurationMs > 0 {
@@ -433,51 +462,71 @@ func (p *pruner) classify(sys *model.System, caseIdx int, inj inject.Injection, 
 		base.pruned = PrunedNoOp
 		return base, true, nil, nil
 	}
-	mk := &memoKey{
-		caseIdx:  caseIdx,
-		digest:   p.digestFor(caseIdx, inj.At, snap),
-		module:   inj.Module,
-		signal:   inj.Signal,
-		fireTick: pred.fireTick,
-		value:    corrupted,
-		budget:   p.cfg.Budget.Steps,
+	mk := &MemoKey{
+		Case:     caseIdx,
+		Digest:   p.digestFor(caseIdx, inj.At, snap),
+		Module:   inj.Module,
+		Signal:   inj.Signal,
+		FireTick: pred.fireTick,
+		Value:    corrupted,
+		Budget:   p.cfg.Budget.Steps,
 	}
 	if e, ok := p.memo.get(*mk); ok {
-		out := base
-		out.fired = true
-		out.firedAt = e.firedAt
-		out.diffs = e.diffs // cloned by get
-		out.outcome = e.outcome
-		out.detail = e.detail
-		out.pruned = PrunedMemoized
-		if e.outcome == OutcomeCrash || e.outcome == OutcomeHang {
-			// Executed crash/hang records skip the output epilogue
-			// (outputFirst nil, no system failure, failureAt -1); the
-			// synthesized record must match them field for field.
-			return out, true, nil, nil
+		return p.serveMemo(sys, base, e, PrunedMemoized)
+	}
+	if p.backend != nil {
+		if e, ok := p.backend.GetMemo(*mk); ok {
+			// Promote to the in-process cache so repeats within this
+			// campaign are served locally (and counted as "memo").
+			p.memo.put(*mk, e)
+			e.Diffs = cloneDiffs(e.Diffs)
+			return p.serveMemo(sys, base, e, PrunedMemoStore)
 		}
-		if err := finishOutcome(sys, &out); err != nil {
-			return runOutcome{}, false, nil, err
-		}
-		return out, true, nil, nil
 	}
 	return runOutcome{}, false, mk, nil
+}
+
+// serveMemo synthesizes the outcome of a memoized experiment. e.Diffs
+// must already be a private clone — the returned outcome aliases it.
+func (p *pruner) serveMemo(sys *model.System, base runOutcome, e MemoEntry, label string) (runOutcome, bool, *MemoKey, error) {
+	out := base
+	out.fired = true
+	out.firedAt = e.FiredAt
+	out.diffs = e.Diffs
+	out.outcome = e.Outcome
+	out.detail = e.Detail
+	out.pruned = label
+	if e.Outcome == OutcomeCrash || e.Outcome == OutcomeHang {
+		// Executed crash/hang records skip the output epilogue
+		// (outputFirst nil, no system failure, failureAt -1); the
+		// synthesized record must match them field for field.
+		return out, true, nil, nil
+	}
+	if err := finishOutcome(sys, &out); err != nil {
+		return runOutcome{}, false, nil, err
+	}
+	return out, true, nil, nil
 }
 
 // store caches one executed result under the key classify handed out.
 // The fired sanity check guards the prediction: if the trap did not
 // fire exactly as predicted the result is not cached (and the
 // prediction machinery has a bug the equivalence suite will catch).
-func (p *pruner) store(mk *memoKey, out runOutcome) {
-	if mk == nil || !out.fired || out.firedAt != mk.fireTick || out.outcome == OutcomeQuarantined {
+func (p *pruner) store(mk *MemoKey, out runOutcome) {
+	if mk == nil || !out.fired || out.firedAt != mk.FireTick || out.outcome == OutcomeQuarantined {
 		return
 	}
-	p.memo.put(*mk, memoEntry{
-		outcome: out.outcome,
-		detail:  out.detail,
-		firedAt: out.firedAt,
-		diffs:   out.diffs,
-	})
+	e := MemoEntry{
+		Outcome: out.outcome,
+		Detail:  out.detail,
+		FiredAt: out.firedAt,
+		Diffs:   out.diffs,
+	}
+	p.memo.put(*mk, e) // clones diffs
+	if p.backend != nil {
+		e.Diffs = cloneDiffs(e.Diffs)
+		p.backend.PutMemo(*mk, e)
+	}
 }
 
 // snapshotsEqual reports whether two snapshots capture identical

@@ -153,12 +153,12 @@ func TestPruneAutoFallsBackUnderInstrument(t *testing.T) {
 // recency), and served diff maps are never aliased to stored ones.
 func TestMemoCacheEviction(t *testing.T) {
 	mc := newMemoCache(2)
-	key := func(i int) memoKey { return memoKey{caseIdx: i, module: "m", signal: "s"} }
-	entry := func(i int) memoEntry {
-		return memoEntry{
-			outcome: OutcomeDeviation,
-			firedAt: 10,
-			diffs:   map[string]trace.Diff{"sig": {Signal: "sig", First: sim.Millis(i), Last: 5}},
+	key := func(i int) MemoKey { return MemoKey{Case: i, Module: "m", Signal: "s"} }
+	entry := func(i int) MemoEntry {
+		return MemoEntry{
+			Outcome: OutcomeDeviation,
+			FiredAt: 10,
+			Diffs:   map[string]trace.Diff{"sig": {Signal: "sig", First: sim.Millis(i), Last: 5}},
 		}
 	}
 
@@ -183,10 +183,10 @@ func TestMemoCacheEviction(t *testing.T) {
 
 	// Clone-on-serve: corrupting a served map must not reach the cache.
 	served, _ := mc.get(key(3))
-	served.diffs["sig"] = trace.Diff{Signal: "sig", First: -99}
+	served.Diffs["sig"] = trace.Diff{Signal: "sig", First: -99}
 	again, _ := mc.get(key(3))
-	if again.diffs["sig"].First != 3 {
-		t.Errorf("cache entry corrupted through a served map: %+v", again.diffs["sig"])
+	if again.Diffs["sig"].First != 3 {
+		t.Errorf("cache entry corrupted through a served map: %+v", again.Diffs["sig"])
 	}
 
 	// Storing an existing key updates in place without growing.
@@ -194,7 +194,7 @@ func TestMemoCacheEviction(t *testing.T) {
 	if mc.len() != 2 {
 		t.Fatalf("update grew the cache to %d entries", mc.len())
 	}
-	if e, _ := mc.get(key(3)); e.diffs["sig"].First != 4 {
-		t.Errorf("update did not replace the entry: %+v", e.diffs["sig"])
+	if e, _ := mc.get(key(3)); e.Diffs["sig"].First != 4 {
+		t.Errorf("update did not replace the entry: %+v", e.Diffs["sig"])
 	}
 }

@@ -69,6 +69,26 @@ type Config struct {
 	Crash *chaos.Crashpoints
 	// Logf receives lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
+	// Campaign identifies this coordinator's campaign when a service
+	// multiplexes several over one worker fleet (internal/service). It
+	// is carried in LeaseResponse.Campaign (workers echo it as
+	// HeaderCampaign for routing) and prefixes lease IDs, so two
+	// campaigns can never mint colliding leases. Empty for a
+	// single-campaign coordinator.
+	Campaign string
+	// Document is the declarative topology source behind Instance when
+	// the instance was registered from an API-submitted document rather
+	// than compiled in. It rides along in every WorkUnit so workers
+	// that have never seen the document can compile and register it
+	// themselves.
+	Document string
+	// OnWake, when non-nil, is invoked whenever parked lease requests
+	// are released — a unit returned to the pending pool, or the
+	// campaign completed. It is called with the coordinator's lock
+	// held: it must not call back into the coordinator (typically it
+	// just signals a channel). The service layer uses it to release
+	// its own fleet-wide lease long-poll.
+	OnWake func()
 }
 
 // Coordinator crash-point labels (see chaos.Crashpoints). Each marks
@@ -219,6 +239,7 @@ type Coordinator struct {
 	// the received records' pruned labels.
 	prunedRuns    int
 	memoizedRuns  int
+	storeMemoRuns int
 	convergedRuns int
 
 	// crashed flips when an armed crash point fires: every subsequent
@@ -536,6 +557,9 @@ func (c *Coordinator) maybeCompleteLocked() {
 func (c *Coordinator) wakeLocked() {
 	close(c.wake)
 	c.wake = make(chan struct{})
+	if c.cfg.OnWake != nil {
+		c.cfg.OnWake()
+	}
 }
 
 // deadLocked answers 503/CodeCrashed when a crash point has fired.
@@ -706,6 +730,9 @@ func (c *Coordinator) countPruneLocked(rec runner.Record) {
 		c.prunedRuns++
 	case campaign.PrunedMemoized:
 		c.memoizedRuns++
+	case campaign.PrunedMemoStore:
+		c.memoizedRuns++
+		c.storeMemoRuns++
 	case campaign.PrunedConverged:
 		c.convergedRuns++
 	}
@@ -756,7 +783,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 		if c.complete {
 			c.mu.Unlock()
-			writeJSON(w, LeaseResponse{Status: StatusDone, Binary: true})
+			writeJSON(w, LeaseResponse{Status: StatusDone, Binary: true, Campaign: c.cfg.Campaign})
 			return
 		}
 		for _, u := range c.units {
@@ -790,7 +817,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		if wait <= 0 {
 			c.mu.Unlock()
-			writeJSON(w, LeaseResponse{Status: StatusWait, RetryMs: leaseRetryMs, Binary: true})
+			writeJSON(w, LeaseResponse{Status: StatusWait, RetryMs: leaseRetryMs, Binary: true, Campaign: c.cfg.Campaign})
 			return
 		}
 		wake := c.wake
@@ -807,21 +834,34 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		c.mu.Lock()
 	}
 	defer c.mu.Unlock()
+	writeJSON(w, c.grantLocked(pick, req.Worker, now))
+}
 
+// grantLocked leases pick to worker and builds the unit response —
+// the single grant path shared by handleLease and TryLease, so lease
+// IDs, journaling and the crash point behave identically however the
+// unit was dispatched. When Config.Campaign is set the lease ID is
+// prefixed with it: two coordinators multiplexed behind one service
+// can never mint colliding leases.
+func (c *Coordinator) grantLocked(pick *unit, worker string, now time.Time) LeaseResponse {
 	c.hitCrashLocked(CrashPreLeaseGrant)
 	c.leaseSeq++
+	prefix := ""
+	if c.cfg.Campaign != "" {
+		prefix = c.cfg.Campaign + "-"
+	}
 	pick.state = unitLeased
-	pick.leaseID = fmt.Sprintf("L%04d-u%d", c.leaseSeq, pick.id)
-	pick.worker = req.Worker
+	pick.leaseID = fmt.Sprintf("%sL%04d-u%d", prefix, c.leaseSeq, pick.id)
+	pick.worker = worker
 	pick.expires = now.Add(c.cfg.LeaseTTL)
 	pick.attempts++
 	pick.reported = 0
 	c.byLease[pick.leaseID] = pick
-	ws := c.workers[req.Worker]
+	ws := c.workers[worker]
 	ws.unit = pick.id
-	c.logAssignLocked(assignEvent{Type: "assign", Unit: pick.id, Worker: req.Worker, Lease: pick.leaseID})
+	c.logAssignLocked(assignEvent{Type: "assign", Unit: pick.id, Worker: worker, Lease: pick.leaseID})
 	c.cfg.Logf("distrib: leased unit %d [%d,%d) to %s (%s, attempt %d, %d/%d runs pre-journaled)",
-		pick.id, pick.lo, pick.hi, req.Worker, pick.leaseID, pick.attempts, pick.done, pick.jobs())
+		pick.id, pick.lo, pick.hi, worker, pick.leaseID, pick.attempts, pick.done, pick.jobs())
 
 	doneJobs := make([]int, 0, pick.done)
 	for job := pick.lo; job < pick.hi; job++ {
@@ -830,11 +870,12 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sort.Ints(doneJobs)
-	writeJSON(w, LeaseResponse{
-		Status:  StatusUnit,
-		LeaseID: pick.leaseID,
-		TTLMs:   c.cfg.LeaseTTL.Milliseconds(),
-		Binary:  true,
+	return LeaseResponse{
+		Status:   StatusUnit,
+		LeaseID:  pick.leaseID,
+		TTLMs:    c.cfg.LeaseTTL.Milliseconds(),
+		Binary:   true,
+		Campaign: c.cfg.Campaign,
 		Unit: &WorkUnit{
 			Instance:       c.cfg.Instance,
 			Tier:           string(c.cfg.Tier),
@@ -845,8 +886,58 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			TotalRuns:      c.info.TotalRuns,
 			RunBudgetSteps: c.cfg.RunBudgetSteps,
 			DoneJobs:       doneJobs,
+			Document:       c.cfg.Document,
 		},
-	})
+	}
+}
+
+// TryLease is the non-blocking form of the lease endpoint, for a
+// service multiplexing several coordinators over one worker fleet: it
+// either grants a unit immediately or reports that none is grantable
+// right now — campaign complete (watch Done for that), coordinator
+// crashed at a chaos point, frontier exhausted with every unit leased
+// out. The caller parks fleet-wide across campaigns using NextExpiry
+// and Config.OnWake instead of this coordinator's own long-poll.
+func (c *Coordinator) TryLease(worker string) (LeaseResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.complete {
+		return LeaseResponse{}, false
+	}
+	now := time.Now()
+	c.sweepLocked(now)
+	c.touchWorkerLocked(worker, now)
+	var pick *unit
+	for _, u := range c.units {
+		if u.state == unitPending {
+			pick = u
+			break
+		}
+	}
+	for pick == nil {
+		u := c.carveLocked()
+		if u == nil {
+			break
+		}
+		if u.state == unitDone {
+			c.maybeCompleteLocked()
+			continue // fully restored range; carve the next one
+		}
+		pick = u
+	}
+	if pick == nil {
+		return LeaseResponse{}, false
+	}
+	return c.grantLocked(pick, worker, now), true
+}
+
+// NextExpiry returns the earliest live-lease expiry, if any — the
+// service's fleet-wide park wakes then to re-try a lease a worker may
+// have abandoned.
+func (c *Coordinator) NextExpiry() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextExpiryLocked()
 }
 
 // leaseLocked resolves a live lease, sweeping expiries first.
@@ -1190,8 +1281,12 @@ type Metrics struct {
 	// Fleet-wide equivalence-pruning counters (from the records'
 	// pruned labels): proven without simulating, served from a
 	// worker's memo cache, and stopped early on golden reconvergence.
-	PrunedRuns    int     `json:"pruned_runs,omitempty"`
-	MemoizedRuns  int     `json:"memoized_runs,omitempty"`
+	PrunedRuns   int `json:"pruned_runs,omitempty"`
+	MemoizedRuns int `json:"memoized_runs,omitempty"`
+	// StoreMemoRuns is the subset of MemoizedRuns served from a
+	// persistent memo store — results executed by an earlier
+	// campaign, possibly in another process or for another tenant.
+	StoreMemoRuns int     `json:"store_memo_runs,omitempty"`
 	ConvergedRuns int     `json:"converged_runs,omitempty"`
 	RunsPerSecond float64 `json:"runs_per_second"`
 	ETASeconds    float64 `json:"eta_seconds"`
@@ -1294,6 +1389,7 @@ func (c *Coordinator) Metrics() Metrics {
 		MsPerRun:       c.msPerJob,
 		PrunedRuns:     c.prunedRuns,
 		MemoizedRuns:   c.memoizedRuns,
+		StoreMemoRuns:  c.storeMemoRuns,
 		ConvergedRuns:  c.convergedRuns,
 		Complete:       c.complete,
 		Workers:        c.workersLocked(now),

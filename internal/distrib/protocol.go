@@ -82,6 +82,18 @@ const (
 	// HeaderIdempotentReplay marks a response served from the
 	// idempotency store.
 	HeaderIdempotentReplay = "X-Propane-Idempotent-Replay"
+	// HeaderCampaign routes a unit-scoped request (/v1/records,
+	// /v1/heartbeat, /v1/complete) to the owning campaign when one
+	// endpoint multiplexes several (internal/service). The worker
+	// echoes LeaseResponse.Campaign verbatim; routing reads only this
+	// header, so the body — and with it the digest and idempotency
+	// keys — is untouched. Absent against a single-campaign
+	// coordinator (propaned -instance), which ignores it.
+	HeaderCampaign = "X-Propane-Campaign"
+	// HeaderTenant names the submitting tenant on the service's
+	// campaign API (admission control quotas are per tenant). Absent
+	// means the "default" tenant.
+	HeaderTenant = "X-Propane-Tenant"
 )
 
 // Machine-readable error codes carried in errorResponse.Code.
@@ -147,6 +159,14 @@ type WorkUnit struct {
 	// worker neither executes nor uploads them, so a reassigned unit
 	// fast-forwards.
 	DoneJobs []int `json:"done_jobs,omitempty"`
+	// Document carries the declarative topology source when Instance
+	// is not a built-in registry entry but an API-submitted document
+	// (internal/service): a worker that cannot resolve Instance locally
+	// compiles and registers the document under that name before
+	// executing. The config-digest check then guards the result exactly
+	// as for built-ins — a worker whose compilation diverges refuses
+	// the unit.
+	Document string `json:"document,omitempty"`
 }
 
 // Jobs is the number of jobs the unit spans.
@@ -164,6 +184,13 @@ type LeaseResponse struct {
 	// coordinator (field absent → false) sticks to JSON — content
 	// negotiation without an extra round-trip.
 	Binary bool `json:"binary,omitempty"`
+	// Campaign identifies the campaign this lease belongs to when the
+	// coordinator side multiplexes several over one fleet
+	// (internal/service). The worker echoes it in HeaderCampaign on
+	// every unit-scoped request. Empty from a single-campaign
+	// coordinator — v2 workers and coordinators interoperate in both
+	// directions.
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // RecordBatch uploads completed runs to the coordinator — the bulk
@@ -225,10 +252,13 @@ type CompleteRequest struct {
 	WallMs int64 `json:"wall_ms,omitempty"`
 	// Outcome and prune counters, aggregated worker-side so the
 	// coordinator's dashboards stay live without the records.
-	Outcomes  map[string]int `json:"outcomes,omitempty"`
-	Pruned    int            `json:"pruned,omitempty"`
-	Memoized  int            `json:"memoized,omitempty"`
-	Converged int            `json:"converged,omitempty"`
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	Pruned   int            `json:"pruned,omitempty"`
+	Memoized int            `json:"memoized,omitempty"`
+	// StoreMemo is the subset of Memoized served from a persistent
+	// memo store (cross-campaign reuse); also counted in Memoized.
+	StoreMemo int `json:"store_memo,omitempty"`
+	Converged int `json:"converged,omitempty"`
 	// Uploaded marks the retry after a NeedRecords round-trip. It also
 	// changes the request body, and with it the idempotency key — the
 	// pre-upload completion's stored NeedRecords reply must not replay

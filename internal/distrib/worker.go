@@ -68,6 +68,13 @@ type WorkerOptions struct {
 	// LogInterval throttles local campaign progress lines (0
 	// disables them).
 	LogInterval time.Duration
+	// Memo, when non-nil, backs each unit's pruner with a persistent
+	// memo store (internal/store satisfies this): injection runs whose
+	// outcome an earlier campaign already established are served from
+	// the store instead of simulated. Keys are scoped by the unit's
+	// config digest, so only bit-identical campaign configurations
+	// share entries.
+	Memo runner.MemoStore
 	// Logf receives lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
 
@@ -155,6 +162,12 @@ type worker struct {
 	// the coordinator predates the frame despite advertising it (or a
 	// middlebox strips the content type); JSON always works.
 	jsonOnly bool
+	// campaign is the current lease's campaign ID, echoed as
+	// HeaderCampaign on every unit-scoped request so a multiplexing
+	// service can route it. Written only between units (runUnit joins
+	// its heartbeat goroutine before returning), so the concurrent
+	// reads in that goroutine are safe.
+	campaign string
 	// describeCache memoises runner.DescribeInstance per work-unit
 	// identity — the golden runs behind it are the expensive part.
 	describeCache map[string]runner.PlanInfo
@@ -202,6 +215,9 @@ func (w *worker) send(path, contentType string, body []byte, resp any) error {
 	hreq.Header.Set(HeaderBodyDigest, digest)
 	if path == PathRecords || path == PathComplete {
 		hreq.Header.Set(HeaderIdempotencyKey, digest)
+	}
+	if w.campaign != "" && path != PathLease {
+		hreq.Header.Set(HeaderCampaign, w.campaign)
 	}
 	r, err := w.client.Do(hreq)
 	if err != nil {
@@ -349,11 +365,24 @@ func RunWorkerContext(ctx context.Context, coordinatorURL string, opts WorkerOpt
 }
 
 // describe resolves and digests the unit's campaign through this
-// worker's own registry, memoised per identity.
+// worker's own registry, memoised per identity. A unit naming an
+// instance this worker has never heard of but carrying its topology
+// document compiles and registers the document first — the config
+// digest check downstream still guards against a divergent
+// compilation.
 func (w *worker) describe(u *WorkUnit) (runner.PlanInfo, error) {
 	key := fmt.Sprintf("%s|%s|%d", u.Instance, u.Tier, u.RunBudgetSteps)
 	if info, ok := w.describeCache[key]; ok {
 		return info, nil
+	}
+	if _, err := runner.Lookup(u.Instance); err != nil && u.Document != "" {
+		def, derr := runner.LoadSynthBytes([]byte(u.Document), u.Instance)
+		if derr != nil {
+			return runner.PlanInfo{}, fmt.Errorf("distrib: compiling unit document for %s: %w", u.Instance, derr)
+		}
+		// A registration race with a sibling worker goroutine loses
+		// benignly: the winner registered byte-identical content.
+		_ = runner.Register(def)
 	}
 	info, err := runner.DescribeInstance(u.Instance, runner.Tier(u.Tier), runner.Options{
 		RunBudgetSteps: u.RunBudgetSteps,
@@ -390,7 +419,7 @@ func (w *worker) scratchDir(u *WorkUnit) string {
 const liveAttempts = 3
 
 // unitOutcome aggregates a record set for the digest-only completion.
-func unitOutcome(recs []runner.Record) (outcomes map[string]int, pruned, memoized, converged int) {
+func unitOutcome(recs []runner.Record) (outcomes map[string]int, pruned, memoized, storeMemo, converged int) {
 	outcomes = make(map[string]int, 4)
 	for _, rec := range recs {
 		outcomes[outcomeKey(rec)]++
@@ -399,11 +428,14 @@ func unitOutcome(recs []runner.Record) (outcomes map[string]int, pruned, memoize
 			pruned++
 		case campaign.PrunedMemoized:
 			memoized++
+		case campaign.PrunedMemoStore:
+			memoized++
+			storeMemo++
 		case campaign.PrunedConverged:
 			converged++
 		}
 	}
-	return outcomes, pruned, memoized, converged
+	return outcomes, pruned, memoized, storeMemo, converged
 }
 
 // encodeChunk builds one /v1/records body in the negotiated encoding.
@@ -454,6 +486,8 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 		return err
 	}
 
+	w.campaign = lr.Campaign
+	defer func() { w.campaign = "" }()
 	w.opts.Logf("distrib: worker %s: running unit %d [%d,%d) (%s, %d jobs pre-done)",
 		w.opts.Name, u.Unit, u.JobLo, u.JobHi, lr.LeaseID, len(u.DoneJobs))
 	excluded := make(map[int]bool, len(u.DoneJobs))
@@ -519,6 +553,7 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 		Workers:        w.opts.Workers,
 		RunBudgetSteps: u.RunBudgetSteps,
 		LogInterval:    w.opts.LogInterval,
+		Memo:           w.opts.Memo,
 		Logf:           w.opts.Logf,
 		// The unit scratch is an intermediate artifact; the final
 		// report renders once, from the coordinator's assembly.
@@ -557,7 +592,7 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 	// set: with DoneJobs the unit's records are split between worker
 	// and coordinator, and per-record content keying covers the
 	// upload instead.
-	outcomes, pruned, memoized, converged := unitOutcome(recs)
+	outcomes, pruned, memoized, storeMemo, converged := unitOutcome(recs)
 	creq := CompleteRequest{
 		LeaseID:   lr.LeaseID,
 		Runs:      len(recs),
@@ -565,6 +600,7 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 		Outcomes:  outcomes,
 		Pruned:    pruned,
 		Memoized:  memoized,
+		StoreMemo: storeMemo,
 		Converged: converged,
 	}
 	if len(u.DoneJobs) == 0 {

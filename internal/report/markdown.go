@@ -49,10 +49,10 @@ func Markdown(res *campaign.Result, opts MarkdownOptions) (string, error) {
 		b.WriteString("```\n\n")
 	}
 	if total := res.Pruning.Total(); total > 0 {
-		fmt.Fprintf(&b, "### Pruning effectiveness\n\nEquivalence pruning resolved %d of %d runs without full simulation: %d no-op corruptions, %d provably unfired traps, %d memoized repeats, %d early reconvergences (%d executed in full). Pruned runs carry complete outcomes and stay in every n_inj denominator — the estimates below are unaffected.\n\n```\n",
-			total-res.Pruning.Executed, total, res.Pruning.NoOp, res.Pruning.Unfired,
-			res.Pruning.Memoized, res.Pruning.Converged, res.Pruning.Executed)
-		pt := &textTable{header: []string{"signal", "noop", "unfired", "memoized", "converged", "executed"}}
+		fmt.Fprintf(&b, "### Pruning effectiveness\n\nEquivalence pruning resolved %d of %d runs without full simulation: %d no-op corruptions, %d provably unfired traps, %d memoized repeats (%d served by the persistent store), %d early reconvergences (%d executed in full). Pruned runs carry complete outcomes and stay in every n_inj denominator — the estimates below are unaffected.\n\n```\n",
+			total, total+res.Pruning.Executed, res.Pruning.NoOp, res.Pruning.Unfired,
+			res.Pruning.Memoized+res.Pruning.Store, res.Pruning.Store, res.Pruning.Converged, res.Pruning.Executed)
+		pt := &textTable{header: []string{"signal", "noop", "unfired", "memoized", "store", "converged", "executed"}}
 		signals := make([]string, 0, len(res.Pruning.PerSignal))
 		for sig := range res.Pruning.PerSignal {
 			signals = append(signals, sig)
@@ -61,7 +61,8 @@ func Markdown(res *campaign.Result, opts MarkdownOptions) (string, error) {
 		for _, sig := range signals {
 			c := res.Pruning.PerSignal[sig]
 			pt.add(sig, fmt.Sprintf("%d", c.NoOp), fmt.Sprintf("%d", c.Unfired),
-				fmt.Sprintf("%d", c.Memoized), fmt.Sprintf("%d", c.Converged), fmt.Sprintf("%d", c.Executed))
+				fmt.Sprintf("%d", c.Memoized), fmt.Sprintf("%d", c.Store),
+				fmt.Sprintf("%d", c.Converged), fmt.Sprintf("%d", c.Executed))
 		}
 		b.WriteString(pt.String())
 		b.WriteString("```\n\n")

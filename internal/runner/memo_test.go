@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"os"
+	"testing"
+
+	"propane/internal/report"
+	"propane/internal/store"
+)
+
+// TestMemoStoreReuseAcrossRuns proves the persistent-store memo path
+// end to end at the runner layer: a second run of the same instance
+// into a FRESH working directory is served from the store the first
+// run populated (StoreMemoRuns > 0) and assembles a bit-identical
+// matrix; wiping the store between runs degrades transparently back
+// to full execution with, again, an identical matrix.
+func TestMemoStoreReuseAcrossRuns(t *testing.T) {
+	storeDir := t.TempDir()
+	st, err := store.Open(storeDir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(memo MemoStore) *RunResult {
+		t.Helper()
+		rr, err := RunInstance("reduced", TierQuick, Options{Dir: t.TempDir(), Memo: memo, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+
+	first := run(st)
+	if first.Metrics.StoreMemoRuns != 0 {
+		t.Fatalf("first run against an empty store claims %d store memo hits", first.Metrics.StoreMemoRuns)
+	}
+	wantCSV := report.MatrixCSV(first.Result.Matrix)
+
+	second := run(st)
+	if second.Metrics.StoreMemoRuns == 0 {
+		t.Fatal("second run shows no store memo hits — persistent memo not reused")
+	}
+	if got := report.MatrixCSV(second.Result.Matrix); got != wantCSV {
+		t.Error("store-memoized run produced a different permeability matrix")
+	}
+	if second.Result.Runs != first.Result.Runs || second.Result.Unfired != first.Result.Unfired {
+		t.Errorf("counts diverged: first (%d, %d), second (%d, %d)",
+			first.Result.Runs, first.Result.Unfired, second.Result.Runs, second.Result.Unfired)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wipe the store. A fresh (empty) store at the same path must not
+	// change the result — only the hit counter.
+	if err := os.RemoveAll(storeDir); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(storeDir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	third := run(st2)
+	if third.Metrics.StoreMemoRuns != 0 {
+		t.Fatalf("run against a wiped store claims %d store memo hits", third.Metrics.StoreMemoRuns)
+	}
+	if got := report.MatrixCSV(third.Result.Matrix); got != wantCSV {
+		t.Error("wiped-store run produced a different permeability matrix")
+	}
+}

@@ -56,6 +56,11 @@ type Metrics struct {
 	PrunedRuns    int `json:"pruned_runs,omitempty"`
 	MemoizedRuns  int `json:"memoized_runs,omitempty"`
 	ConvergedRuns int `json:"converged_runs,omitempty"`
+	// StoreMemoRuns counts the subset of memoized runs served from a
+	// persistent memo store (Options.Memo) — results executed by an
+	// earlier campaign, possibly in another process. Also included in
+	// MemoizedRuns.
+	StoreMemoRuns int `json:"store_memo_runs,omitempty"`
 	// Throughput and worker economics. WorkerUtilization is
 	// busy-time / (elapsed × workers); per-run busy time is measured
 	// up to the serial observer, so queueing behind the observer can
@@ -112,6 +117,9 @@ func (t *tracker) absorb(rec campaign.RunRecord, dur time.Duration, replayed boo
 		t.m.PrunedRuns++
 	case campaign.PrunedMemoized:
 		t.m.MemoizedRuns++
+	case campaign.PrunedMemoStore:
+		t.m.MemoizedRuns++
+		t.m.StoreMemoRuns++
 	case campaign.PrunedConverged:
 		t.m.ConvergedRuns++
 	}

@@ -114,6 +114,41 @@ type Options struct {
 	// coordinator, and rendering a full analysis report per unit would
 	// charge every unit the cost of the final assembly.
 	SkipReport bool
+	// Memo, when non-nil, plugs a persistent memo store behind the
+	// campaign's in-process result cache, so identical experiments are
+	// reused across campaigns and process restarts. The runner scopes
+	// every key by the campaign's config digest before it reaches the
+	// store — the digest pins plan, golden behaviour and budget, so
+	// within one scope the memo keys are sound across processes. It is
+	// excluded from the config digest itself: store-served and executed
+	// records carry bit-identical outcomes (only the journal's pruned
+	// label differs, which record equality ignores).
+	Memo MemoStore
+}
+
+// MemoStore is a digest-scoped persistent memo store (see
+// Options.Memo). internal/store implements it; implementations must
+// be safe for concurrent use, must not retain the entry's Diffs map,
+// and should report misses on internal errors so a degraded store
+// falls back to execution.
+type MemoStore interface {
+	GetMemo(scope string, k campaign.MemoKey) (campaign.MemoEntry, bool)
+	PutMemo(scope string, k campaign.MemoKey, e campaign.MemoEntry)
+}
+
+// scopedMemo adapts a MemoStore into the campaign engine's
+// un-scoped MemoBackend by pinning the scope.
+type scopedMemo struct {
+	store MemoStore
+	scope string
+}
+
+func (s scopedMemo) GetMemo(k campaign.MemoKey) (campaign.MemoEntry, bool) {
+	return s.store.GetMemo(s.scope, k)
+}
+
+func (s scopedMemo) PutMemo(k campaign.MemoKey, e campaign.MemoEntry) {
+	s.store.PutMemo(s.scope, k, e)
 }
 
 // Defaults for the zero values of the supervision knobs.
@@ -290,6 +325,9 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 	}
 	if err := writeSnapshot(l.configPath(), snap, opts.Resume); err != nil {
 		return nil, err
+	}
+	if opts.Memo != nil {
+		cfg.Memo = scopedMemo{store: opts.Memo, scope: snap.Digest}
 	}
 
 	journalPath := l.journalPath(opts.Shard, opts.Shards)

@@ -57,24 +57,41 @@ func LoadSynthFile(path string) (Definition, error) {
 	if err != nil {
 		return Definition{}, fmt.Errorf("runner: reading topology %s: %w", path, err)
 	}
-	spec, err := synth.Parse(data)
+	d, err := LoadSynthBytes(data, "")
 	if err != nil {
 		return Definition{}, fmt.Errorf("runner: %s: %w", path, err)
+	}
+	if d.Description == "" {
+		d.Description = fmt.Sprintf("declarative target compiled from %s", path)
+	}
+	return d, nil
+}
+
+// LoadSynthBytes compiles an in-memory topology document into a
+// registry Definition. A non-empty name overrides the document's own
+// spec name — the campaign service registers API-submitted documents
+// under content-derived names, so two submissions of byte-identical
+// documents resolve to the same instance (and therefore the same
+// config digest and persistent-memo scope) regardless of what the
+// documents call themselves.
+func LoadSynthBytes(data []byte, name string) (Definition, error) {
+	spec, err := synth.Parse(data)
+	if err != nil {
+		return Definition{}, err
 	}
 	compiled, err := synth.Compile(spec)
 	if err != nil {
-		return Definition{}, fmt.Errorf("runner: %s: %w", path, err)
+		return Definition{}, err
 	}
 	if len(spec.Campaign) == 0 {
-		return Definition{}, fmt.Errorf("runner: %s: document declares no campaign tiers", path)
+		return Definition{}, fmt.Errorf("document declares no campaign tiers")
 	}
-	desc := spec.Description
-	if desc == "" {
-		desc = fmt.Sprintf("declarative target compiled from %s", path)
+	if name == "" {
+		name = spec.Name
 	}
 	return Definition{
-		Name:        spec.Name,
-		Description: desc,
+		Name:        name,
+		Description: spec.Description,
 		Config: func(tier Tier) (campaign.Config, error) {
 			return compiled.Config(string(tier))
 		},

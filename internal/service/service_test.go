@@ -1,0 +1,615 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"propane/internal/chaos"
+	"propane/internal/distrib"
+	"propane/internal/report"
+	"propane/internal/runner"
+	"propane/internal/store"
+)
+
+// fingerprint reduces a result to the bit-identity criterion: the
+// permeability matrix CSV and the raw run counts.
+func fingerprint(rr *runner.RunResult) (string, int, int) {
+	return report.MatrixCSV(rr.Result.Matrix), rr.Result.Runs, rr.Result.Unfired
+}
+
+var (
+	baselineOnce    sync.Once
+	baselineMatrix  string
+	baselineRuns    int
+	baselineUnfired int
+	baselineErr     error
+)
+
+// baseline is the single-node reference run every service campaign
+// must reproduce bit-identically.
+func baseline(t *testing.T) (string, int, int) {
+	t.Helper()
+	baselineOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "propane-direct-*")
+		if err != nil {
+			baselineErr = err
+			return
+		}
+		defer os.RemoveAll(dir)
+		rr, err := runner.RunInstance("reduced", runner.TierQuick, runner.Options{Dir: dir})
+		if err != nil {
+			baselineErr = err
+			return
+		}
+		baselineMatrix, baselineRuns, baselineUnfired = fingerprint(rr)
+	})
+	if baselineErr != nil {
+		t.Fatal(baselineErr)
+	}
+	return baselineMatrix, baselineRuns, baselineUnfired
+}
+
+func assertMatchesBaseline(t *testing.T, label string, rr *runner.RunResult) {
+	t.Helper()
+	wantM, wantR, wantU := baseline(t)
+	gotM, gotR, gotU := fingerprint(rr)
+	if gotR != wantR || gotU != wantU {
+		t.Errorf("%s: assembled counts = (%d runs, %d unfired), direct = (%d, %d)", label, gotR, gotU, wantR, wantU)
+	}
+	if gotM != wantM {
+		t.Errorf("%s: assembled permeability matrix differs from the direct run", label)
+	}
+}
+
+// startService opens a service and serves its API on an ephemeral
+// listener, returning the service and its base URL.
+func startService(t *testing.T, opts Options) (*Service, string, func()) {
+	t.Helper()
+	opts.EventInterval = 50 * time.Millisecond
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	svc, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := svc.Server()
+	go srv.Serve(l)
+	stop := func() {
+		_ = srv.Close()
+		_ = svc.Close()
+	}
+	return svc, "http://" + l.Addr().String(), stop
+}
+
+// startFleet points n workers at the service; the returned stop
+// cancels and joins them.
+func startFleet(t *testing.T, url string, n int, wo distrib.WorkerOptions) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		o := wo
+		o.Name = fmt.Sprintf("%s-w%d", wo.Name, i+1)
+		wg.Add(1)
+		go func(o distrib.WorkerOptions) {
+			defer wg.Done()
+			if err := distrib.RunWorkerContext(ctx, url, o); err != nil && ctx.Err() == nil {
+				t.Logf("worker %s exited: %v", o.Name, err)
+			}
+		}(o)
+	}
+	return func() { cancel(); wg.Wait() }
+}
+
+// submitHTTP posts one submission over the real API.
+func submitHTTP(t *testing.T, url, tenant string, req SubmitRequest) (*http.Response, CampaignInfo) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost, url+PathCampaigns, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		hreq.Header.Set(distrib.HeaderTenant, tenant)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info CampaignInfo
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, info
+}
+
+// waitState polls until the campaign reaches a wanted state (or any
+// terminal one), failing on timeout.
+func waitState(t *testing.T, svc *Service, id, want string, timeout time.Duration) CampaignInfo {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		info, ok := svc.Campaign(id)
+		if ok && info.State == want {
+			return info
+		}
+		if ok && terminal(info.State) && info.State != want {
+			t.Fatalf("campaign %s reached %q (error %q) while waiting for %q", id, info.State, info.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %q waiting for %q", id, info.State, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTwoTenantsSharedFleet is the tentpole guarantee: two campaigns
+// from different tenants multiplexed over ONE worker fleet both
+// assemble bit-identically to a single-node run, and the fair-share
+// ledger shows both tenants got work through.
+func TestTwoTenantsSharedFleet(t *testing.T) {
+	svc, url, stop := startService(t, Options{
+		Dir:      t.TempDir(),
+		Units:    4,
+		LeaseTTL: 5 * time.Second,
+	})
+	defer stop()
+
+	resp, a := submitHTTP(t, url, "tenant-a", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit a: %d", resp.StatusCode)
+	}
+	resp, b := submitHTTP(t, url, "tenant-b", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit b: %d", resp.StatusCode)
+	}
+
+	fleetStop := startFleet(t, url, 3, distrib.WorkerOptions{
+		Name: "fleet", Dir: t.TempDir(), BatchSize: 16,
+		PollInterval: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	defer fleetStop()
+
+	waitState(t, svc, a.ID, StateDone, 120*time.Second)
+	waitState(t, svc, b.ID, StateDone, 120*time.Second)
+
+	rra, ok := svc.Result(a.ID)
+	if !ok {
+		t.Fatalf("no result for %s", a.ID)
+	}
+	rrb, ok := svc.Result(b.ID)
+	if !ok {
+		t.Fatalf("no result for %s", b.ID)
+	}
+	assertMatchesBaseline(t, a.ID, rra)
+	assertMatchesBaseline(t, b.ID, rrb)
+
+	st := svc.Status()
+	if st.Done != 2 {
+		t.Errorf("status done = %d, want 2", st.Done)
+	}
+	for _, tenant := range []string{"tenant-a", "tenant-b"} {
+		if st.Tenants[tenant].GrantedJobs == 0 {
+			t.Errorf("tenant %s was granted no jobs — fleet not shared", tenant)
+		}
+	}
+
+	// The report endpoint serves the assembled markdown.
+	rresp, err := http.Get(url + PathCampaigns + "/" + a.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %d", rresp.StatusCode)
+	}
+	data := make([]byte, 64)
+	n, _ := rresp.Body.Read(data)
+	if !strings.Contains(string(data[:n]), "#") {
+		t.Errorf("report does not look like markdown: %q", data[:n])
+	}
+}
+
+// TestEventsStream reads the SSE stream end to end: metrics frames
+// while the campaign runs, one done frame carrying the final
+// assembled metrics.
+func TestEventsStream(t *testing.T) {
+	svc, url, stop := startService(t, Options{Dir: t.TempDir(), Units: 2, LeaseTTL: 5 * time.Second})
+	defer stop()
+	resp, a := submitHTTP(t, url, "", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	fleetStop := startFleet(t, url, 2, distrib.WorkerOptions{
+		Name: "sse", Dir: t.TempDir(), PollInterval: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	defer fleetStop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url+PathCampaigns+"/"+a.ID+"/events", nil)
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+
+	var frames int
+	var last Event
+	var lastName string
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			lastName = strings.TrimPrefix(line, "event: ")
+			continue
+		}
+		if strings.HasPrefix(line, "data: ") {
+			frames++
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+				t.Fatalf("frame %d does not parse: %v", frames, err)
+			}
+			if lastName == "done" {
+				break
+			}
+		}
+	}
+	if lastName != "done" {
+		t.Fatalf("stream ended after %d frames without a done event (scan err %v)", frames, sc.Err())
+	}
+	if last.Campaign.State != StateDone {
+		t.Errorf("done frame state = %q", last.Campaign.State)
+	}
+	if last.Final == nil || last.Final.ReplayedRuns+last.Final.ExecutedRuns == 0 {
+		t.Errorf("done frame carries no final metrics: %+v", last.Final)
+	}
+
+	waitState(t, svc, a.ID, StateDone, time.Minute)
+}
+
+// TestAdmissionControl drives the write controller through every
+// rejection: per-tenant queue quota, per-tenant jobs quota, the delay
+// threshold's growing backoff, and the stop threshold — each a 429
+// with Retry-After.
+func TestAdmissionControl(t *testing.T) {
+	svc, url, stop := startService(t, Options{
+		Dir:            t.TempDir(),
+		Quotas:         Quotas{MaxQueued: 1, MaxActive: 1, MaxJobs: 1 << 30},
+		MaxActiveTotal: 1,
+		DelayThreshold: 2,
+		StopThreshold:  3,
+		LeaseTTL:       5 * time.Second,
+	})
+	defer stop()
+
+	// c1 activates (no workers: it just sits active, pinning the
+	// fleet-wide slot), c2 queues behind it.
+	resp, c1 := submitHTTP(t, url, "tenant-a", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("c1: %d", resp.StatusCode)
+	}
+	waitState(t, svc, c1.ID, StateActive, time.Minute)
+	resp, _ = submitHTTP(t, url, "tenant-a", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("c2: %d", resp.StatusCode)
+	}
+
+	// Tenant-a now holds its 1-campaign queue quota.
+	resp, _ = submitHTTP(t, url, "tenant-a", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After")
+	}
+
+	// Another tenant pushes depth to the delay threshold: admission
+	// keeps answering 429, with backoff hints.
+	resp, _ = submitHTTP(t, url, "tenant-b", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("b1: %d", resp.StatusCode)
+	}
+	resp, _ = submitHTTP(t, url, "tenant-c", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("delay-threshold submit: %d, want 429", resp.StatusCode)
+	}
+
+	// Jobs quota: a tenant whose plan would exceed its in-flight job
+	// budget is refused outright.
+	aerr := func() *AdmissionError {
+		_, err := svc.Submit("tenant-tiny", SubmitRequest{Instance: "reduced", Tier: "quick"})
+		var ae *AdmissionError
+		if err == nil {
+			t.Fatal("submit passed a saturated queue")
+		}
+		if ok := errors.As(err, &ae); !ok {
+			t.Fatalf("expected AdmissionError, got %v", err)
+		}
+		return ae
+	}()
+	if aerr.RetryAfter <= 0 {
+		t.Errorf("admission error carries no backoff: %+v", aerr)
+	}
+
+	// Direct jobs-quota check (bypasses the depth thresholds by using
+	// a fresh service).
+	svc2, err := Open(Options{Dir: t.TempDir(), Quotas: Quotas{MaxJobs: 1}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	_, err = svc2.Submit("t", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Code != "tenant_jobs_quota" {
+		t.Fatalf("jobs quota: got %v", err)
+	}
+
+	// Bad submissions are 400s, not 429s.
+	resp, _ = submitHTTP(t, url, "", SubmitRequest{Instance: "no-such-instance"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown instance: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = submitHTTP(t, url, "", SubmitRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty submission: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStoreMemoReuseAcrossCampaigns: a second submission of an
+// identical campaign is served largely from the persistent memo
+// store the first one populated — visible as store_memo_runs in the
+// /events stream — and still assembles bit-identically.
+func TestStoreMemoReuseAcrossCampaigns(t *testing.T) {
+	workerStore, err := store.Open(t.TempDir(), store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workerStore.Close()
+
+	svc, url, stop := startService(t, Options{Dir: t.TempDir(), Units: 2, LeaseTTL: 5 * time.Second})
+	defer stop()
+	fleet1 := startFleet(t, url, 2, distrib.WorkerOptions{
+		Name: "memo1", Dir: t.TempDir(), Memo: workerStore,
+		PollInterval: 50 * time.Millisecond, Logf: t.Logf,
+	})
+
+	resp, first := submitHTTP(t, url, "tenant-a", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first: %d", resp.StatusCode)
+	}
+	waitState(t, svc, first.ID, StateDone, 120*time.Second)
+	fleet1()
+
+	// A BRAND NEW fleet (fresh scratch, so nothing replays from local
+	// unit journals) serves the second, identical campaign: every
+	// reused run must come from the shared persistent store.
+	fleet2 := startFleet(t, url, 2, distrib.WorkerOptions{
+		Name: "memo2", Dir: t.TempDir(), Memo: workerStore,
+		PollInterval: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	defer fleet2()
+
+	resp, second := submitHTTP(t, url, "tenant-b", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second: %d", resp.StatusCode)
+	}
+	waitState(t, svc, second.ID, StateDone, 120*time.Second)
+
+	rr1, _ := svc.Result(first.ID)
+	rr2, _ := svc.Result(second.ID)
+	assertMatchesBaseline(t, first.ID, rr1)
+	assertMatchesBaseline(t, second.ID, rr2)
+
+	// The second campaign's fleet metrics must show persistent-store
+	// memo hits, via the public events endpoint.
+	eresp, err := http.Get(url + PathCampaigns + "/" + second.ID + "/events?once=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	var ev Event
+	sc := bufio.NewScanner(eresp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ev.Metrics == nil || ev.Metrics.StoreMemoRuns == 0 {
+		t.Fatalf("second campaign shows no store memo hits: %+v", ev.Metrics)
+	}
+	if st := workerStore.Stats(); st.Hits == 0 {
+		t.Errorf("worker store recorded no hits: %+v", st)
+	}
+}
+
+// TestSynthDocumentSubmission submits an inline topology document:
+// the service registers it under a content-derived name, ships the
+// document to workers inside each work unit, and the campaign
+// completes. A byte-identical resubmission resolves to the same
+// instance.
+func TestSynthDocumentSubmission(t *testing.T) {
+	doc, err := os.ReadFile("../../examples/synth/arrestor.yaml")
+	if err != nil {
+		t.Skipf("no example document: %v", err)
+	}
+	svc, url, stop := startService(t, Options{Dir: t.TempDir(), Units: 2, LeaseTTL: 5 * time.Second})
+	defer stop()
+	fleetStop := startFleet(t, url, 2, distrib.WorkerOptions{
+		Name: "doc", Dir: t.TempDir(), PollInterval: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	defer fleetStop()
+
+	resp, a := submitHTTP(t, url, "tenant-a", SubmitRequest{Document: string(doc), Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("document submit: %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(a.Instance, "synth-doc-") {
+		t.Fatalf("document registered as %q, want a content-derived synth-doc name", a.Instance)
+	}
+	waitState(t, svc, a.ID, StateDone, 180*time.Second)
+
+	resp, b := submitHTTP(t, url, "tenant-b", SubmitRequest{Document: string(doc), Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d", resp.StatusCode)
+	}
+	if b.Instance != a.Instance {
+		t.Errorf("byte-identical documents resolved to %q and %q", a.Instance, b.Instance)
+	}
+	waitState(t, svc, b.ID, StateDone, 180*time.Second)
+}
+
+// TestCrashResumeSoak is the service-level chaos drill: the service
+// crashes at pre-enqueue-ack with a submission journaled but
+// unacknowledged; the resumed service owns that campaign and runs it;
+// a coordinator crash (pre-lease-grant) strands one campaign
+// mid-flight; a second resume converges everything — every campaign
+// bit-identical — while a worker-side store crash (mid-store-put)
+// degrades the memo path without touching correctness.
+func TestCrashResumeSoak(t *testing.T) {
+	dir := t.TempDir()
+	cps := chaos.NewCrashpoints(nil)
+	scratch := t.TempDir()
+	storeDir := t.TempDir()
+
+	// Incarnation 1: first submission acknowledged, second journaled
+	// but the ack dies at the crash point.
+	cps.Arm(CrashPreEnqueueAck, 2)
+	svc1, url1, stop1 := startService(t, Options{Dir: dir, Units: 4, LeaseTTL: 3 * time.Second, Crash: cps})
+	resp, c1 := submitHTTP(t, url1, "tenant-a", SubmitRequest{Instance: "reduced", Tier: "quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("c1 (%s): %d", c1.ID, resp.StatusCode)
+	}
+	body, _ := json.Marshal(SubmitRequest{Instance: "reduced", Tier: "quick"})
+	hreq, _ := http.NewRequest(http.MethodPost, url1+PathCampaigns, bytes.NewReader(body))
+	hreq.Header.Set(distrib.HeaderTenant, "tenant-b")
+	if bresp, err := http.DefaultClient.Do(hreq); err == nil {
+		bresp.Body.Close()
+		t.Fatalf("second submit was acknowledged (%d) despite the armed crash point", bresp.StatusCode)
+	}
+	if fired := cps.Fired(); len(fired) != 1 || fired[0] != CrashPreEnqueueAck {
+		t.Fatalf("crash point did not fire: %v", fired)
+	}
+	// The dead service answers 503 on campaign endpoints and flags
+	// itself in /status (which stays observable for operators).
+	if gresp, err := http.Get(url1 + PathCampaigns); err == nil {
+		if gresp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("crashed service answered %d on %s", gresp.StatusCode, PathCampaigns)
+		}
+		gresp.Body.Close()
+	}
+	if gresp, err := http.Get(url1 + PathStatus); err == nil {
+		var st Status
+		if jerr := json.NewDecoder(gresp.Body).Decode(&st); jerr != nil || !st.Crashed {
+			t.Fatalf("crashed service /status = %+v (err %v)", st, jerr)
+		}
+		gresp.Body.Close()
+	}
+	_ = svc1 // closed via stop1
+	stop1()
+
+	// Incarnation 2: resume recovers BOTH campaigns (the second was
+	// durable before the ack died). A coordinator crash point strands
+	// whichever campaign grants the 6th lease; a store crash point
+	// degrades the workers' memo persistence mid-campaign.
+	cps.Arm(distrib.CrashPreLeaseGrant, 6)
+	cps.Arm(store.CrashMidStorePut, 10)
+	ws, err := store.Open(storeDir, store.Options{Crash: cps, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, url2, stop2 := startService(t, Options{Dir: dir, Resume: true, Units: 4, LeaseTTL: 3 * time.Second, Crash: cps})
+	if got := len(svc2.Campaigns()); got != 2 {
+		t.Fatalf("resumed service sees %d campaigns, want 2 (unacked submission lost?)", got)
+	}
+	fleet2 := startFleet(t, url2, 3, distrib.WorkerOptions{
+		Name: "soak2", Dir: scratch, Memo: ws,
+		PollInterval: 50 * time.Millisecond, MaxErrors: 4, Logf: t.Logf,
+	})
+
+	// Wait until one campaign finishes, or both stall on the crashed
+	// coordinator; the armed grant crash leaves at most one stranded.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		done := 0
+		for _, ci := range svc2.Campaigns() {
+			if ci.State == StateDone {
+				done++
+			}
+		}
+		crashed := false
+		for _, l := range cps.Fired() {
+			if l == distrib.CrashPreLeaseGrant {
+				crashed = true
+			}
+		}
+		if done == 2 || (done >= 1 && crashed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("soak stalled: campaigns %+v, fired %v", svc2.Campaigns(), cps.Fired())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fleet2()
+	ws.Close()
+	stop2()
+
+	// Incarnation 3: resume again; whatever was stranded re-queues
+	// and a fresh fleet (and a reopened store) finishes it.
+	ws3, err := store.Open(storeDir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws3.Close()
+	svc3, url3, stop3 := startService(t, Options{Dir: dir, Resume: true, Units: 4, LeaseTTL: 3 * time.Second})
+	defer stop3()
+	fleet3 := startFleet(t, url3, 3, distrib.WorkerOptions{
+		Name: "soak3", Dir: scratch, Memo: ws3,
+		PollInterval: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	defer fleet3()
+
+	var ids []string
+	for _, ci := range svc3.Campaigns() {
+		ids = append(ids, ci.ID)
+	}
+	for _, id := range ids {
+		waitState(t, svc3, id, StateDone, 180*time.Second)
+		rr, ok := svc3.Result(id)
+		if !ok {
+			// Completed in incarnation 2; assembled artifacts live on
+			// disk — re-assembly is not retried for already-done
+			// campaigns, which keep their journaled state.
+			continue
+		}
+		assertMatchesBaseline(t, id, rr)
+	}
+	if st := svc3.Status(); st.Done != 2 {
+		t.Errorf("final state: %+v", st)
+	}
+}

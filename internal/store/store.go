@@ -1,0 +1,626 @@
+// Package store is the content-addressed persistent result store
+// behind the multi-tenant campaign service (internal/service). It
+// holds two kinds of state under one directory:
+//
+//   - Memo entries: executed injection-run results keyed by the
+//     campaign engine's memo key (state digest, port, firing tick,
+//     corrupted value, step budget), scoped by campaign config digest.
+//     They implement runner.MemoStore, so identical experiments are
+//     served without simulating — across campaigns, tenants and
+//     process restarts. The simulator is deterministic and the config
+//     digest pins plan, golden behaviour and budget, so within one
+//     scope a memo entry is bit-identical to a fresh execution.
+//   - Blobs: immutable artifacts (assembled reports, metrics)
+//     addressed by their SHA-256 digest under cas/, with named refs
+//     pointing at them. Identical artifacts from identical campaigns
+//     deduplicate to one blob.
+//
+// Durability follows the repository's journal idiom: an append-only
+// memo.jsonl records index deltas; Snapshot compacts the whole index
+// into memo.snapshot.json (temp + fsync + rename, atomic) and
+// truncates the journal. Open loads the snapshot and replays the
+// journal, healing a torn tail, so a store killed mid-write recovers
+// to a consistent prefix. GC evicts least-recently-used memo entries
+// beyond the bound and sweeps cas/ blobs no ref points at.
+//
+// The store degrades, never blocks: any internal error turns a get
+// into a miss and a put into a logged no-op, so a wiped or corrupt
+// store costs re-execution, not correctness.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"propane/internal/campaign"
+	"propane/internal/chaos"
+)
+
+// CrashMidStorePut is the chaos crash-point label fired inside a put,
+// after the blob or journal line is durably staged but before the
+// in-memory index absorbs it — the window where a killed process
+// leaves an orphan for recovery and GC to deal with.
+const CrashMidStorePut = "mid-store-put"
+
+const (
+	snapshotName = "memo.snapshot.json"
+	journalName  = "memo.jsonl"
+	casDirName   = "cas"
+
+	// syncEvery bounds the journal lines between fsyncs, mirroring the
+	// runner journal's batching.
+	syncEvery = 256
+
+	// defaultMaxEntries bounds the memo index; GC evicts LRU beyond it.
+	defaultMaxEntries = 1 << 18
+)
+
+// Options parameterises Open.
+type Options struct {
+	// Logf receives lifecycle and degradation lines (nil discards).
+	Logf func(format string, args ...any)
+	// MaxEntries bounds the memo index (0 = default 262144). GC evicts
+	// least-recently-used entries beyond it.
+	MaxEntries int
+	// BlobGrace is how old an unreferenced cas/ blob must be before GC
+	// removes it, protecting the PutBlob→SetRef window of a live
+	// writer (0 = default 1h; negative sweeps immediately, tests
+	// only).
+	BlobGrace time.Duration
+	// Crash arms chaos crash points (CrashMidStorePut); nil is inert.
+	Crash *chaos.Crashpoints
+}
+
+// Stats is the store's observability snapshot.
+type Stats struct {
+	Entries int   `json:"entries"`
+	Refs    int   `json:"refs"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Puts    int64 `json:"puts"`
+	Evicted int64 `json:"evicted"`
+	// SweptBlobs counts cas/ files removed by GC over this process's
+	// lifetime.
+	SweptBlobs int64 `json:"swept_blobs"`
+}
+
+// memoRec is one in-memory index entry. The entry is kept as raw
+// JSON: decoding on every get hands each caller private maps, so no
+// served entry ever aliases the index.
+type memoRec struct {
+	data []byte
+	last uint64 // access clock, for LRU eviction
+}
+
+// Store is a concurrency-safe persistent result store. The zero value
+// is not usable; call Open.
+type Store struct {
+	dir   string
+	logf  func(string, ...any)
+	crash *chaos.Crashpoints
+
+	mu       sync.Mutex
+	index    map[string]*memoRec
+	refs     map[string]string // name → blob digest
+	journal  *os.File
+	unsynced int
+	clock    uint64
+	bound    int
+	grace    time.Duration
+	stats    Stats
+	crashed  bool // a fired crash point; all ops degrade until reopened
+	degraded bool // journal I/O failed; serve memory, stop persisting
+	closed   bool
+}
+
+// journalLine is one memo.jsonl delta. Op "put" carries a memo entry,
+// "ref" a named blob reference, "del" an eviction.
+type journalLine struct {
+	Op    string          `json:"op"`
+	Key   string          `json:"key,omitempty"`
+	Entry json.RawMessage `json:"entry,omitempty"`
+	Name  string          `json:"name,omitempty"`
+	Dig   string          `json:"digest,omitempty"`
+}
+
+// snapshotFile is the compacted on-disk index.
+type snapshotFile struct {
+	Version int                        `json:"version"`
+	Entries map[string]json.RawMessage `json:"entries"`
+	Refs    map[string]string          `json:"refs,omitempty"`
+}
+
+// Open loads (or initialises) the store under dir: snapshot first,
+// then the journal replayed over it, torn tail healed by truncation.
+func Open(dir string, opts Options) (*Store, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	bound := opts.MaxEntries
+	if bound <= 0 {
+		bound = defaultMaxEntries
+	}
+	grace := opts.BlobGrace
+	if grace == 0 {
+		grace = time.Hour
+	}
+	if err := os.MkdirAll(filepath.Join(dir, casDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:   dir,
+		logf:  logf,
+		crash: opts.Crash,
+		index: make(map[string]*memoRec),
+		refs:  make(map[string]string),
+		bound: bound,
+		grace: grace,
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
+	jf, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	s.journal = jf
+	s.stats.Entries = len(s.index)
+	s.stats.Refs = len(s.refs)
+	return s, nil
+}
+
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		// A torn snapshot cannot happen through the atomic rename; a
+		// corrupt one means external damage. Degrade to empty rather
+		// than refusing service — the store's contract is cache, not
+		// source of truth.
+		s.logf("store: snapshot corrupt (%v) — starting from the journal alone", err)
+		return nil
+	}
+	for k, raw := range snap.Entries {
+		s.clock++
+		s.index[k] = &memoRec{data: raw, last: s.clock}
+	}
+	for name, dig := range snap.Refs {
+		s.refs[name] = dig
+	}
+	return nil
+}
+
+// replayJournal applies memo.jsonl over the snapshot. A torn final
+// line (killed mid-append) is healed by truncating the file there.
+func (s *Store) replayJournal() error {
+	path := filepath.Join(s.dir, journalName)
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening journal: %w", err)
+	}
+	defer f.Close()
+	var valid int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var jl journalLine
+		if err := json.Unmarshal(line, &jl); err != nil {
+			s.logf("store: journal torn at offset %d — truncating the tail", valid)
+			break
+		}
+		valid += int64(len(line)) + 1
+		switch jl.Op {
+		case "put":
+			s.clock++
+			s.index[jl.Key] = &memoRec{data: jl.Entry, last: s.clock}
+		case "del":
+			delete(s.index, jl.Key)
+		case "ref":
+			s.refs[jl.Name] = jl.Dig
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("store: scanning journal: %w", err)
+	}
+	if fi, err := os.Stat(path); err == nil && fi.Size() > valid {
+		if err := os.Truncate(path, valid); err != nil {
+			return fmt.Errorf("store: healing journal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// memoIndexKey collapses (scope, key) into one digest so the index
+// never holds tenant- or campaign-identifying plaintext and lookups
+// stay O(1) regardless of key size.
+func memoIndexKey(scope string, k campaign.MemoKey) string {
+	kj, _ := json.Marshal(k) // struct of scalars; cannot fail
+	h := sha256.New()
+	h.Write([]byte(scope))
+	h.Write([]byte{0})
+	h.Write(kj)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// GetMemo implements runner.MemoStore. Any internal failure reports a
+// miss: the run then executes in full, so degradation is invisible to
+// correctness.
+func (s *Store) GetMemo(scope string, k campaign.MemoKey) (campaign.MemoEntry, bool) {
+	key := memoIndexKey(scope, k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed || s.closed {
+		return campaign.MemoEntry{}, false
+	}
+	rec, ok := s.index[key]
+	if !ok {
+		s.stats.Misses++
+		return campaign.MemoEntry{}, false
+	}
+	var e campaign.MemoEntry
+	if err := json.Unmarshal(rec.data, &e); err != nil {
+		// A damaged entry is dropped, not served.
+		delete(s.index, key)
+		s.stats.Misses++
+		s.logf("store: memo entry %s corrupt (%v) — dropped", key, err)
+		return campaign.MemoEntry{}, false
+	}
+	s.clock++
+	rec.last = s.clock
+	s.stats.Hits++
+	return e, true
+}
+
+// PutMemo implements runner.MemoStore. Failures are logged, never
+// returned: the result is already journaled by the campaign layer,
+// the store only accelerates the next one.
+func (s *Store) PutMemo(scope string, k campaign.MemoKey, e campaign.MemoEntry) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		s.logf("store: encoding memo entry: %v", err)
+		return
+	}
+	key := memoIndexKey(scope, k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed || s.closed {
+		return
+	}
+	if old, ok := s.index[key]; ok && string(old.data) == string(data) {
+		// Idempotent re-put (every worker of a re-run campaign offers
+		// the same results back) — refresh recency, skip the journal.
+		s.clock++
+		old.last = s.clock
+		return
+	}
+	s.appendLocked(journalLine{Op: "put", Key: key, Entry: data})
+	s.hitCrashLocked()
+	s.clock++
+	s.index[key] = &memoRec{data: data, last: s.clock}
+	s.stats.Puts++
+	s.stats.Entries = len(s.index)
+}
+
+// PutBlob stores an immutable artifact under its SHA-256 digest and
+// returns the digest. Storing the same bytes twice is free.
+func (s *Store) PutBlob(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	dig := hex.EncodeToString(sum[:])
+	path := s.blobPath(dig)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed || s.closed {
+		return "", errors.New("store: not serving (crashed or closed)")
+	}
+	if _, err := os.Stat(path); err == nil {
+		return dig, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("store: creating blob shard: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("store: writing blob: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("store: installing blob: %w", err)
+	}
+	// The blob is durable but nothing references it yet — the exact
+	// window mid-store-put simulates dying in; GC's grace period is
+	// what makes the orphan harmless.
+	s.hitCrashLocked()
+	return dig, nil
+}
+
+// GetBlob returns the artifact stored under digest.
+func (s *Store) GetBlob(digest string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("store: invalid blob digest %q", digest)
+	}
+	data, err := os.ReadFile(s.blobPath(digest))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading blob %s: %w", digest, err)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != digest {
+		return nil, fmt.Errorf("store: blob %s fails its own digest — damaged on disk", digest)
+	}
+	return data, nil
+}
+
+// SetRef journals a named reference to a blob, pinning it against GC.
+func (s *Store) SetRef(name, digest string) error {
+	if !validDigest(digest) {
+		return fmt.Errorf("store: invalid blob digest %q", digest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed || s.closed {
+		return errors.New("store: not serving (crashed or closed)")
+	}
+	if s.refs[name] == digest {
+		return nil
+	}
+	s.appendLocked(journalLine{Op: "ref", Name: name, Dig: digest})
+	s.refs[name] = digest
+	s.stats.Refs = len(s.refs)
+	return nil
+}
+
+// Ref resolves a named reference.
+func (s *Store) Ref(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.refs[name]
+	return d, ok
+}
+
+// appendLocked journals one delta, degrading on I/O failure: the
+// in-memory index keeps serving, persistence stops until reopened.
+func (s *Store) appendLocked(jl journalLine) {
+	if s.degraded || s.journal == nil {
+		return
+	}
+	data, err := json.Marshal(jl)
+	if err != nil {
+		s.logf("store: encoding journal line: %v", err)
+		return
+	}
+	if _, err := s.journal.Write(append(data, '\n')); err != nil {
+		s.degraded = true
+		s.logf("store: journal append failed (%v) — degraded to in-memory only", err)
+		return
+	}
+	s.unsynced++
+	if s.unsynced >= syncEvery {
+		if err := s.journal.Sync(); err != nil {
+			s.degraded = true
+			s.logf("store: journal sync failed (%v) — degraded to in-memory only", err)
+			return
+		}
+		s.unsynced = 0
+	}
+}
+
+func (s *Store) hitCrashLocked() {
+	if s.crash != nil && s.crash.Hit(CrashMidStorePut) {
+		s.crashed = true
+		// Everything before this instruction is on disk; nothing after
+		// it happens. The in-memory state is poisoned — Open on the
+		// same directory is the only way forward, exactly like a
+		// killed process.
+		if s.journal != nil {
+			s.journal.Sync()
+		}
+		s.logf("store: chaos crash point %q fired — store dead until reopened", CrashMidStorePut)
+	}
+}
+
+// Snapshot compacts the index into memo.snapshot.json (atomically)
+// and truncates the journal — the checkpoint half of the lifecycle.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	if s.crashed || s.closed {
+		return errors.New("store: not serving (crashed or closed)")
+	}
+	if s.degraded {
+		return errors.New("store: degraded — refusing to snapshot partial state")
+	}
+	snap := snapshotFile{
+		Version: 1,
+		Entries: make(map[string]json.RawMessage, len(s.index)),
+		Refs:    make(map[string]string, len(s.refs)),
+	}
+	for k, rec := range s.index {
+		snap.Entries[k] = rec.data
+	}
+	for name, dig := range s.refs {
+		snap.Refs[name] = dig
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	path := filepath.Join(s.dir, snapshotName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	// The snapshot holds everything; the journal restarts empty. A
+	// kill between rename and truncate replays journal lines already
+	// absorbed into the snapshot — puts and refs are idempotent, so
+	// the replay is harmless.
+	if err := s.journal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating journal: %w", err)
+	}
+	if _, err := s.journal.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: rewinding journal: %w", err)
+	}
+	s.unsynced = 0
+	return nil
+}
+
+// GCStats summarises one collection.
+type GCStats struct {
+	EvictedEntries int `json:"evicted_entries"`
+	SweptBlobs     int `json:"swept_blobs"`
+	Entries        int `json:"entries"`
+}
+
+// GC evicts least-recently-used memo entries beyond the bound, sweeps
+// cas/ blobs no ref points at (older than the grace period), and
+// snapshots the compacted index.
+func (s *Store) GC() (GCStats, error) {
+	s.mu.Lock()
+	var gs GCStats
+	if s.crashed || s.closed {
+		s.mu.Unlock()
+		return gs, errors.New("store: not serving (crashed or closed)")
+	}
+	if over := len(s.index) - s.bound; over > 0 {
+		type cand struct {
+			key  string
+			last uint64
+		}
+		cands := make([]cand, 0, len(s.index))
+		for k, rec := range s.index {
+			cands = append(cands, cand{key: k, last: rec.last})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].last < cands[j].last })
+		for _, c := range cands[:over] {
+			delete(s.index, c.key)
+			s.appendLocked(journalLine{Op: "del", Key: c.key})
+			gs.EvictedEntries++
+		}
+		s.stats.Evicted += int64(gs.EvictedEntries)
+		s.stats.Entries = len(s.index)
+	}
+	referenced := make(map[string]bool, len(s.refs))
+	for _, dig := range s.refs {
+		referenced[dig] = true
+	}
+	grace := s.grace
+	dir := s.dir
+	if err := s.snapshotLocked(); err != nil {
+		s.logf("store: gc snapshot: %v", err)
+	}
+	gs.Entries = len(s.index)
+	s.mu.Unlock()
+
+	// The blob sweep walks the filesystem without the lock: a PutBlob
+	// racing the sweep is protected by the grace period, and refs
+	// journaled after the referenced set was built keep their blobs
+	// only if older than grace — which a just-written blob never is.
+	cutoff := time.Now().Add(-grace)
+	casRoot := filepath.Join(dir, casDirName)
+	swept := 0
+	_ = filepath.WalkDir(casRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		dig := filepath.Base(path)
+		if referenced[dig] {
+			return nil
+		}
+		if fi, err := d.Info(); err != nil || fi.ModTime().After(cutoff) {
+			return nil
+		}
+		if os.Remove(path) == nil {
+			swept++
+		}
+		return nil
+	})
+	gs.SweptBlobs = swept
+	s.mu.Lock()
+	s.stats.SweptBlobs += int64(swept)
+	s.mu.Unlock()
+	return gs, nil
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.index)
+	st.Refs = len(s.refs)
+	return st
+}
+
+// Close syncs and closes the journal. The store stops serving.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.journal == nil {
+		return nil
+	}
+	var err error
+	if !s.degraded {
+		err = s.journal.Sync()
+	}
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Store) blobPath(digest string) string {
+	return filepath.Join(s.dir, casDirName, digest[:2], digest)
+}
+
+func validDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	_, err := hex.DecodeString(d)
+	return err == nil
+}

@@ -1,0 +1,342 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"propane/internal/campaign"
+	"propane/internal/chaos"
+	"propane/internal/sim"
+	"propane/internal/trace"
+)
+
+func testKey(i int) campaign.MemoKey {
+	return campaign.MemoKey{
+		Case:     i,
+		Digest:   "d-abc",
+		Module:   "brake",
+		Signal:   "v_in",
+		FireTick: sim.Millis(40 + i),
+		Value:    uint16(7 + i),
+		Budget:   1000,
+	}
+}
+
+func testEntry(i int) campaign.MemoEntry {
+	return campaign.MemoEntry{
+		Outcome: campaign.OutcomeDeviation,
+		Detail:  "dev",
+		FiredAt: sim.Millis(40 + i),
+		Diffs: map[string]trace.Diff{
+			"out": {Signal: "out", First: sim.Millis(i), Last: sim.Millis(90 + i), Count: 3},
+		},
+	}
+}
+
+func TestMemoRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok := s.GetMemo("scope", testKey(1)); ok {
+		t.Fatal("hit on an empty store")
+	}
+	s.PutMemo("scope", testKey(1), testEntry(1))
+	e, ok := s.GetMemo("scope", testKey(1))
+	if !ok {
+		t.Fatal("miss right after put")
+	}
+	if !reflect.DeepEqual(e, testEntry(1)) {
+		t.Fatalf("entry mutated through the store: %+v", e)
+	}
+	// Scope isolation: the same key under another scope is a miss.
+	if _, ok := s.GetMemo("other", testKey(1)); ok {
+		t.Fatal("scope leak: entry served under a foreign scope")
+	}
+	// Served entries are private clones.
+	e.Diffs["out"] = trace.Diff{Signal: "out", First: -1}
+	again, _ := s.GetMemo("scope", testKey(1))
+	if again.Diffs["out"].First != 1 {
+		t.Fatalf("served diff map aliases the store: %+v", again.Diffs["out"])
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReopenReplaysJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.PutMemo("scope", testKey(i), testEntry(i))
+	}
+	dig, err := s.PutBlob([]byte("report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRef("campaign/c1/report.md", dig); err != nil {
+		t.Fatal(err)
+	}
+	// No Snapshot, no Close sync path: reopen must replay the journal.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 10; i++ {
+		e, ok := s2.GetMemo("scope", testKey(i))
+		if !ok {
+			t.Fatalf("entry %d lost across reopen", i)
+		}
+		if !reflect.DeepEqual(e, testEntry(i)) {
+			t.Fatalf("entry %d damaged across reopen: %+v", i, e)
+		}
+	}
+	if d, ok := s2.Ref("campaign/c1/report.md"); !ok || d != dig {
+		t.Fatalf("ref lost across reopen: %q %v", d, ok)
+	}
+	if data, err := s2.GetBlob(dig); err != nil || string(data) != "report" {
+		t.Fatalf("blob lost across reopen: %q %v", data, err)
+	}
+}
+
+func TestSnapshotCompactsJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.PutMemo("scope", testKey(i), testEntry(i))
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("journal holds %d bytes after snapshot, want 0", fi.Size())
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 50; i++ {
+		if _, ok := s2.GetMemo("scope", testKey(i)); !ok {
+			t.Fatalf("entry %d lost across snapshot+reopen", i)
+		}
+	}
+}
+
+func TestTornJournalTailHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.PutMemo("scope", testKey(i), testEntry(i))
+	}
+	s.Close()
+	// Simulate a kill mid-append: chop the journal mid-line.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("torn tail not healed: %v", err)
+	}
+	defer s2.Close()
+	for i := 0; i < 4; i++ {
+		if _, ok := s2.GetMemo("scope", testKey(i)); !ok {
+			t.Fatalf("intact entry %d lost to healing", i)
+		}
+	}
+	if _, ok := s2.GetMemo("scope", testKey(4)); ok {
+		t.Fatal("torn entry served")
+	}
+	// The healed store must accept new writes.
+	s2.PutMemo("scope", testKey(4), testEntry(4))
+	if _, ok := s2.GetMemo("scope", testKey(4)); !ok {
+		t.Fatal("healed store rejects writes")
+	}
+}
+
+func TestGCEvictsLRUAndSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxEntries: 4, BlobGrace: -time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		s.PutMemo("scope", testKey(i), testEntry(i))
+	}
+	// Refresh 0..1 so 2..5 are the LRU victims.
+	s.GetMemo("scope", testKey(0))
+	s.GetMemo("scope", testKey(1))
+
+	kept, _ := s.PutBlob([]byte("kept"))
+	orphan, _ := s.PutBlob([]byte("orphan"))
+	if err := s.SetRef("keep", kept); err != nil {
+		t.Fatal(err)
+	}
+
+	gs, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.EvictedEntries != 4 || gs.Entries != 4 {
+		t.Fatalf("gc stats: %+v", gs)
+	}
+	if gs.SweptBlobs != 1 {
+		t.Fatalf("swept %d blobs, want the 1 orphan", gs.SweptBlobs)
+	}
+	for _, i := range []int{0, 1, 6, 7} {
+		if _, ok := s.GetMemo("scope", testKey(i)); !ok {
+			t.Errorf("recently used entry %d evicted", i)
+		}
+	}
+	for _, i := range []int{2, 3, 4, 5} {
+		if _, ok := s.GetMemo("scope", testKey(i)); ok {
+			t.Errorf("LRU entry %d survived", i)
+		}
+	}
+	if _, err := s.GetBlob(kept); err != nil {
+		t.Errorf("referenced blob swept: %v", err)
+	}
+	if _, err := s.GetBlob(orphan); err == nil {
+		t.Error("orphan blob survived the sweep")
+	}
+}
+
+func TestCrashpointMidStorePut(t *testing.T) {
+	dir := t.TempDir()
+	cps := chaos.NewCrashpoints(nil)
+	cps.Arm(CrashMidStorePut, 3)
+	s, err := Open(dir, Options{Crash: cps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s.PutMemo("scope", testKey(i), testEntry(i))
+	}
+	if got := cps.Fired(); len(got) != 1 || got[0] != CrashMidStorePut {
+		t.Fatalf("crash point did not fire: %v", got)
+	}
+	// Dead store: every op degrades.
+	if _, ok := s.GetMemo("scope", testKey(0)); ok {
+		t.Fatal("crashed store still serving")
+	}
+	if _, err := s.PutBlob([]byte("x")); err == nil {
+		t.Fatal("crashed store accepted a blob")
+	}
+	s.Close()
+
+	// Reopen recovers the durable prefix: entries journaled before the
+	// crash (the crash fires mid-put #3, after its journal append).
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 3; i++ {
+		if _, ok := s2.GetMemo("scope", testKey(i)); !ok {
+			t.Fatalf("pre-crash entry %d lost", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if _, ok := s2.GetMemo("scope", testKey(i)); ok {
+			t.Fatalf("post-crash entry %d survived a dead store", i)
+		}
+	}
+}
+
+func TestWipedStoreDegrades(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.PutMemo("scope", testKey(1), testEntry(1))
+	// Wipe the directory under the live store: persistence dies, the
+	// in-memory index keeps serving, and nothing errors at the caller.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < syncEvery+8; i++ {
+		s.PutMemo("scope", testKey(100+i), testEntry(i))
+	}
+	if _, ok := s.GetMemo("scope", testKey(1)); !ok {
+		t.Fatal("in-memory entry lost on wipe")
+	}
+	// A fresh store over the wiped directory starts empty — misses
+	// everywhere, callers fall back to execution.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetMemo("scope", testKey(1)); ok {
+		t.Fatal("wiped store served a ghost entry")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := testKey(i % 32)
+				if i%3 == 0 {
+					s.PutMemo("scope", k, testEntry(i%32))
+				} else if e, ok := s.GetMemo("scope", k); ok {
+					if e.FiredAt != testEntry(i%32).FiredAt {
+						t.Errorf("worker %d: damaged entry %+v", w, e)
+						return
+					}
+				}
+				if i%50 == 0 {
+					if _, err := s.GC(); err != nil {
+						t.Errorf("worker %d: gc: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -21,8 +21,11 @@
 # Pass 1 includes the DSL-vs-handwritten arrestor pair
 # (BenchmarkArrestorCampaignHandwritten vs BenchmarkArrestorCampaignDSL,
 # identical 52-run campaigns; the delta is the declarative target's
-# generic dispatch overhead) and BenchmarkSynthCompile (the document
-# parse+compile pipeline alone).
+# generic dispatch overhead), BenchmarkSynthCompile (the document
+# parse+compile pipeline alone), and BenchmarkServiceMultiCampaign
+# (1 and 2 concurrent campaigns through the multi-tenant service over
+# a shared 3-worker fleet, cold vs warm persistent memo store — the
+# cold/warm delta is what the cross-campaign store buys).
 #
 # The JSON schema is one object:
 #   {"tag": ..., "go": ..., "goos": ..., "goarch": ..., "cpu": ...,
