@@ -493,6 +493,31 @@ func BenchmarkPaperScaleCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignAdaptive is the adaptive counterpart of
+// BenchmarkPaperScaleCampaign: the same paper-scale instance under
+// sequential CI-driven sampling (ε = 0.05). The ns/op ratio between
+// the two is the headline saving of the adaptive scheduler; the
+// scheduled-runs metric records how many of the ~52 000 fixed-matrix
+// runs the stopping rule actually asked for.
+func BenchmarkCampaignAdaptive(b *testing.B) {
+	if os.Getenv("PROPANE_PAPER_BENCH") == "" {
+		b.Skip("set PROPANE_PAPER_BENCH=1 to run the adaptive paper-scale campaign")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := campaign.PaperConfig()
+		cfg.Adaptive = campaign.AdaptiveForce
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Adaptive == nil {
+			b.Fatal("adaptive campaign returned no AdaptiveStats")
+		}
+		b.ReportMetric(float64(res.Adaptive.Scheduled), "scheduled-runs")
+	}
+}
+
 // BenchmarkAblationFaultDuration regenerates the transient-vs-
 // persistent study: one campaign with 200-ms persistent faults.
 func BenchmarkAblationFaultDuration(b *testing.B) {
@@ -701,6 +726,12 @@ func BenchmarkSupervisedInjectionRun(b *testing.B) {
 // per-unit fixed work — golden passes, scratch setup — along with the
 // fleet and muddied exactly that comparison.)
 func benchDistributed(b *testing.B, instance string, tier runner.Tier, workers int) {
+	benchDistributedMode(b, instance, tier, workers, campaign.AdaptiveOff)
+}
+
+// benchDistributedMode is benchDistributed with an explicit adaptive
+// mode, shared by the fixed-matrix and sequential-sampling variants.
+func benchDistributedMode(b *testing.B, instance string, tier runner.Tier, workers int, mode campaign.AdaptiveMode) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -714,6 +745,7 @@ func benchDistributed(b *testing.B, instance string, tier runner.Tier, workers i
 			Tier:     tier,
 			Dir:      dir,
 			Units:    4,
+			Adaptive: mode,
 		}, workers, distrib.WorkerOptions{Workers: 1})
 		b.StopTimer()
 		rmErr := os.RemoveAll(dir)
@@ -810,6 +842,75 @@ func BenchmarkDistributedPaperCampaign(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			benchDistributed(b, "paper", runner.TierFull, workers)
 		})
+	}
+}
+
+// BenchmarkDistributedPaperCampaignAdaptive runs the paper campaign
+// adaptively through coordinator + N loopback workers: the stopping
+// decisions stay with the coordinator's sequential scheduler, the
+// fleet only executes leased job lists. Compare against
+// BenchmarkCampaignAdaptive (single node) and the fixed-matrix
+// BenchmarkDistributedPaperCampaign.
+func BenchmarkDistributedPaperCampaignAdaptive(b *testing.B) {
+	if os.Getenv("PROPANE_PAPER_BENCH") == "" {
+		b.Skip("set PROPANE_PAPER_BENCH=1 to run the adaptive paper campaign through the distributed path")
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchDistributedMode(b, "paper", runner.TierFull, workers, campaign.AdaptiveForce)
+		})
+	}
+}
+
+// TestAdaptiveDistributedScalingSmoke is the adaptive twin of
+// TestDistributedScalingSmoke: carve-on-demand must parallelize too.
+// On a multi-core runner a 4-worker adaptive fleet must strictly beat
+// a 1-worker one — if it doesn't, the claim frontier is serializing
+// the fleet (e.g. checkpoints opening too little work per lease). On
+// a single CPU the check degrades to overhead parity like the
+// fixed-matrix smoke. Gated behind PROPANE_SCALING_SMOKE=1.
+func TestAdaptiveDistributedScalingSmoke(t *testing.T) {
+	if os.Getenv("PROPANE_SCALING_SMOKE") == "" {
+		t.Skip("set PROPANE_SCALING_SMOKE=1 to run the adaptive distributed scaling smoke test")
+	}
+	best := map[int]time.Duration{}
+	for rep := 0; rep < 3; rep++ {
+		for _, workers := range []int{1, 4} {
+			dir, err := os.MkdirTemp("", "propane-adaptive-scaling-*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			_, err = distrib.Loopback(distrib.Config{
+				Instance: "reduced",
+				Tier:     runner.TierFull,
+				Dir:      dir,
+				Adaptive: campaign.AdaptiveForce,
+			}, workers, distrib.WorkerOptions{Workers: 1})
+			elapsed := time.Since(start)
+			os.RemoveAll(dir)
+			if err != nil {
+				t.Fatalf("workers=%d rep=%d: %v", workers, rep, err)
+			}
+			if cur, ok := best[workers]; !ok || elapsed < cur {
+				best[workers] = elapsed
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		t.Logf("adaptive workers=%d best-of-3 wall clock: %v", workers, best[workers])
+	}
+	if runtime.NumCPU() > 1 {
+		if best[4] >= best[1] {
+			t.Fatalf("adding workers made the adaptive campaign slower: workers=4 best %v >= workers=1 best %v",
+				best[4], best[1])
+		}
+		return
+	}
+	t.Logf("single CPU: no parallel speedup is possible, checking overhead parity only")
+	if best[4] > best[1]*5/4 {
+		t.Fatalf("adaptive distributed overhead grows with fleet size: workers=4 best %v > 1.25 * workers=1 best %v",
+			best[4], best[1])
 	}
 }
 

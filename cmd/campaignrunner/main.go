@@ -93,6 +93,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures (0 = default 3, negative disables)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
 	pruneFlag := fs.String("prune", "auto", "equivalence pruning: auto (short-circuit provably equivalent runs) or off")
+	adaptiveFlag := fs.String("adaptive", "off", "sequential CI-driven sampling: off (full matrix), auto, or force")
+	ciEpsilon := fs.Float64("ci-epsilon", 0, "adaptive stopping half-width ε in (0, 0.5); 0 keeps the 0.05 default")
 	synthFiles := fs.String("synth", "", "comma-separated declarative topology documents to compile and register as instances")
 	fuzzTopologies := fs.Int("fuzz-topologies", 0, "generate and campaign this many random topologies, then exit")
 	workerURL := fs.String("worker", "", "join a distributed coordinator's fleet at this URL (see propaned); -dir becomes the local scratch root")
@@ -149,6 +151,13 @@ func run(args []string, out io.Writer) (retErr error) {
 		prune = campaign.PruneOff
 	default:
 		return fmt.Errorf("unknown -prune mode %q (want auto or off)", *pruneFlag)
+	}
+	adaptive, err := campaign.ParseAdaptiveMode(*adaptiveFlag)
+	if err != nil {
+		return fmt.Errorf("-adaptive: %w", err)
+	}
+	if *ciEpsilon < 0 || *ciEpsilon >= 0.5 {
+		return fmt.Errorf("-ci-epsilon %v outside [0, 0.5)", *ciEpsilon)
 	}
 	if *workerURL != "" {
 		if *dir == "" {
@@ -218,6 +227,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		MaxRetries:      *maxRetries,
 		QuarantineAfter: *quarantineAfter,
 		Prune:           prune,
+		Adaptive:        adaptive,
+		CIEpsilon:       *ciEpsilon,
 	}
 
 	var rr *runner.RunResult

@@ -71,6 +71,8 @@ func run(args []string) (retErr error) {
 	maxRetries := fs.Int("max-retries", 0, "retries for transient journal/artifact I/O failures with -artifacts (0 = default 3, negative disables)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a job after this many consecutive worker crashes (0 = default 3, negative disables → abort)")
 	pruneFlag := fs.String("prune", "auto", "equivalence pruning: auto (short-circuit provably equivalent runs) or off")
+	adaptiveFlag := fs.String("adaptive", "off", "sequential CI-driven sampling: off (full matrix), auto, or force")
+	ciEpsilon := fs.Float64("ci-epsilon", 0, "adaptive stopping half-width ε in (0, 0.5); 0 keeps the 0.05 default")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the campaign finishes")
 	if err := fs.Parse(args); err != nil {
@@ -128,6 +130,19 @@ func run(args []string) (retErr error) {
 		return err
 	}
 	cfg.Prune = prune
+	adaptive, err := campaign.ParseAdaptiveMode(*adaptiveFlag)
+	if err != nil {
+		return fmt.Errorf("-adaptive: %w", err)
+	}
+	if *ciEpsilon < 0 || *ciEpsilon >= 0.5 {
+		return fmt.Errorf("-ci-epsilon %v outside [0, 0.5)", *ciEpsilon)
+	}
+	if adaptive != campaign.AdaptiveOff {
+		cfg.Adaptive = adaptive
+	}
+	if *ciEpsilon > 0 {
+		cfg.CIEpsilon = *ciEpsilon
+	}
 
 	errsPerPoint := len(cfg.Bits) + len(cfg.Models)
 	fmt.Printf("running campaign: %d test cases × %d instants × %d errors per input signal...\n",

@@ -77,6 +77,7 @@ import (
 	"syscall"
 	"time"
 
+	"propane/internal/campaign"
 	"propane/internal/chaos"
 	"propane/internal/distrib"
 	"propane/internal/runner"
@@ -104,6 +105,8 @@ func run(args []string, out io.Writer) error {
 	loopback := fs.Int("loopback", 0, "run this many in-process workers on an ephemeral listener instead of serving a network fleet")
 	workers := fs.Int("workers", 0, "local campaign parallelism per loopback worker (<= 0 means GOMAXPROCS)")
 	runBudget := fs.Int64("run-budget", 0, "per-run step budget, applied fleet-wide via the config digest (0 = instance default)")
+	adaptiveFlag := fs.String("adaptive", "off", "sequential CI-driven sampling, applied fleet-wide via the config digest: off (full matrix), auto, or force")
+	ciEpsilon := fs.Float64("ci-epsilon", 0, "adaptive stopping half-width ε in (0, 0.5); 0 keeps the 0.05 default")
 	chaosSpec := fs.String("chaos", "", "inject seeded faults into the loopback workers' RPCs, e.g. seed=7,rate=0.2 (see internal/chaos; -loopback mode only)")
 	serve := fs.Bool("serve", false, "run as a long-lived multi-tenant campaign service (POST /v1/campaigns) instead of coordinating one campaign")
 	storeDir := fs.String("store-dir", "", "content-addressed result store directory for -serve mode (default <dir>/store)")
@@ -129,11 +132,20 @@ func run(args []string, out io.Writer) error {
 		cs = &spec
 	}
 
+	adaptive, err := campaign.ParseAdaptiveMode(*adaptiveFlag)
+	if err != nil {
+		return fmt.Errorf("-adaptive: %w", err)
+	}
+	if *ciEpsilon < 0 || *ciEpsilon >= 0.5 {
+		return fmt.Errorf("-ci-epsilon %v outside [0, 0.5)", *ciEpsilon)
+	}
+
 	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
 	if *serve {
 		return runServe(out, logf, serveConfig{
 			dir: *dir, storeDir: *storeDir, listen: *listen,
 			instance: *instance, tier: *tier, runBudget: *runBudget,
+			adaptive: adaptive.String(), ciEpsilon: *ciEpsilon,
 			units: *units, lease: *lease, resume: *resume, pull: *pull,
 			loopback: *loopback, workers: *workers, chaos: cs,
 			gcInterval:  *gcInterval,
@@ -149,11 +161,12 @@ func run(args []string, out io.Writer) error {
 		Resume:         *resume,
 		Pull:           *pull,
 		RunBudgetSteps: *runBudget,
+		Adaptive:       adaptive,
+		CIEpsilon:      *ciEpsilon,
 		Logf:           logf,
 	}
 
 	var rr *runner.RunResult
-	var err error
 	if *loopback > 0 {
 		rr, err = distrib.Loopback(cc, *loopback, distrib.WorkerOptions{
 			Workers: *workers,
@@ -196,6 +209,8 @@ type serveConfig struct {
 	dir, storeDir, listen    string
 	instance, tier           string
 	runBudget                int64
+	adaptive                 string
+	ciEpsilon                float64
 	units                    int
 	lease                    time.Duration
 	resume, pull             bool
@@ -283,6 +298,7 @@ func runServe(out io.Writer, logf func(string, ...any), sc serveConfig) error {
 	// service path.
 	info, err := svc.Submit("", service.SubmitRequest{
 		Instance: sc.instance, Tier: sc.tier, RunBudgetSteps: sc.runBudget,
+		Adaptive: sc.adaptive, CIEpsilon: sc.ciEpsilon,
 	})
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 
 	"propane/internal/arrestor"
 	"propane/internal/core"
+	"propane/internal/estimate"
 	"propane/internal/inject"
 	"propane/internal/model"
 	"propane/internal/physics"
@@ -86,6 +87,20 @@ type Config struct {
 	// runner.Options.Memo). Only consulted when pruning is enabled;
 	// hits are labeled PrunedMemoStore.
 	Memo MemoBackend
+	// Adaptive selects sequential, confidence-interval-driven sampling
+	// of the injection space instead of the fixed bits × instants ×
+	// cases enumeration (see AdaptiveMode and adaptive.go). The default
+	// AdaptiveOff executes the full matrix, bit-identical to campaigns
+	// recorded before adaptive mode existed. Adaptive campaigns ignore
+	// Skip — the scheduler owns the job set; resume is driven by Replay,
+	// whose records mark their samples settled before dispatch starts.
+	Adaptive AdaptiveMode
+	// CIEpsilon is the adaptive stopping half-width ε: sampling at a
+	// location stops once every pair's conservative confidence interval
+	// (and the location's system-propagation interval) has half-width
+	// ≤ ε. 0 selects the 0.05 default. Only consulted when adaptive
+	// sampling is in effect.
+	CIEpsilon float64
 	// OnlyModule, when non-empty, restricts injections to the inputs
 	// of one module (useful for focused studies).
 	OnlyModule string
@@ -272,6 +287,10 @@ type RunRecord struct {
 	// outcome itself is bit-identical either way, so the label is
 	// documentation, never part of record identity.
 	Pruned string
+	// Round is the adaptive sampling batch this run settled in
+	// (1-based; 0 for full-matrix campaigns). Like Pruned it documents
+	// how the run was scheduled and is never part of record identity.
+	Round int
 }
 
 // PaperConfig returns the paper's full campaign: 25 test cases, 16
@@ -365,6 +384,14 @@ func (c Config) Validate() error {
 	case PruneAuto, PruneOff, PruneForce:
 	default:
 		return invalidf("campaign: unknown prune mode %d", c.Prune)
+	}
+	switch c.Adaptive {
+	case AdaptiveOff, AdaptiveAuto, AdaptiveForce:
+	default:
+		return invalidf("campaign: unknown adaptive mode %d", c.Adaptive)
+	}
+	if c.CIEpsilon < 0 || c.CIEpsilon >= 0.5 {
+		return invalidf("campaign: CI epsilon %v outside [0, 0.5)", c.CIEpsilon)
 	}
 	if c.DirectWindowMs < 0 {
 		return invalidf("campaign: negative direct window")
@@ -470,6 +497,14 @@ type Result struct {
 	// (executed vs pruned/memoized). It never affects the estimates —
 	// pruned runs keep their synthesized outcomes in every denominator.
 	Pruning PruneStats
+	// Predictions is the analytical permeability forecast
+	// (internal/estimate) computed from the topology and the golden
+	// runs' signal activity — the prediction the report cross-validates
+	// against the measured estimates. Always populated by Run.
+	Predictions *estimate.Prediction
+	// Adaptive documents the sequential sampler's spending; nil for
+	// full-matrix campaigns.
+	Adaptive *AdaptiveStats
 }
 
 // QuarantinedJob describes one poison job: an injection job abandoned
@@ -551,23 +586,32 @@ func Run(cfg Config) (*Result, error) {
 		inj     inject.Injection
 		caseIdx int
 	}
+	// The analytical forecast is cheap (pure topology arithmetic plus
+	// one pass over the golden traces) and always attached to the
+	// result; adaptive campaigns additionally use it to importance-order
+	// their sampling.
+	pred := estimate.Predict(sys, estimate.Options{Activity: goldenActivity(goldens)})
+	adaptive := cfg.adaptiveEnabled()
 	// Materialise the job list up front (applying Skip) so that, when
 	// checkpointing is active, jobs can be grouped by (test case,
 	// injection instant): every group shares one cached snapshot, so
 	// the grouping turns the cache's lazy build passes into long runs
 	// of hits. Aggregation is order-independent and journal records
 	// identify jobs by content, so the ordering is free to choose.
+	// Adaptive campaigns skip the list: the scheduler owns dispatch.
 	var jobList []job
-	for _, inj := range plan {
-		for ci := range cfg.TestCases {
-			if cfg.Skip != nil && cfg.Skip(inj, ci) {
-				continue
+	if !adaptive {
+		for _, inj := range plan {
+			for ci := range cfg.TestCases {
+				if cfg.Skip != nil && cfg.Skip(inj, ci) {
+					continue
+				}
+				jobList = append(jobList, job{inj: inj, caseIdx: ci})
 			}
-			jobList = append(jobList, job{inj: inj, caseIdx: ci})
 		}
 	}
 	var ckpts *checkpointCache
-	if len(jobList) > 0 && cfg.checkpointsEnabled() {
+	if (adaptive || len(jobList) > 0) && cfg.checkpointsEnabled() {
 		ckpts = newCheckpointCache(cfg)
 		sort.SliceStable(jobList, func(i, j int) bool {
 			if jobList[i].caseIdx != jobList[j].caseIdx {
@@ -577,8 +621,27 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 	var pr *pruner
-	if len(jobList) > 0 && preds != nil {
+	if (adaptive || len(jobList) > 0) && preds != nil && cfg.pruningEnabled() {
 		pr = newPruner(cfg, preds)
+	}
+	var sched *adaptiveScheduler
+	if adaptive {
+		sched, err = newAdaptiveScheduler(cfg, plan, preds, pred)
+		if err != nil {
+			return nil, err
+		}
+		// Seed the scheduler with the replayed records before dispatch
+		// starts: their samples are settled, so resume never re-executes
+		// them and every stopping decision replays bit-identically.
+		for _, rec := range cfg.Replay {
+			out, err := recordOutcome(sys, rec)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sched.observe(out); err != nil {
+				return nil, fmt.Errorf("campaign: replaying into adaptive schedule: %w", err)
+			}
+		}
 	}
 
 	jobs := make(chan job)
@@ -612,6 +675,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 	go func() {
 		defer close(jobs)
+		if sched != nil {
+			for {
+				if cfg.Abort != nil && cfg.Abort() {
+					return
+				}
+				sj, ok := sched.next(done)
+				if !ok {
+					return
+				}
+				select {
+				case jobs <- job{inj: plan[sj.planIdx], caseIdx: sj.caseIdx}:
+				case <-done:
+					return
+				}
+			}
+		}
 		for _, j := range jobList {
 			if cfg.Abort != nil && cfg.Abort() {
 				return
@@ -629,6 +708,11 @@ func Run(cfg Config) (*Result, error) {
 	}()
 
 	totalRuns := len(plan) * len(cfg.TestCases)
+	if sched != nil {
+		// The fireable population bounds an adaptive campaign from
+		// above; the stopping rule usually closes far earlier.
+		totalRuns = sched.population
+	}
 	res := newResult(sys, cfg.DirectWindowMs, int(cfg.HorizonMs))
 	for _, rec := range cfg.Replay {
 		if err := res.absorbRecord(sys, rec); err != nil {
@@ -637,6 +721,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	for out := range outcomes {
+		round := 0
+		if sched != nil {
+			r, oerr := sched.observe(out)
+			if oerr != nil {
+				fail(oerr)
+			} else {
+				round = r
+			}
+		}
 		res.absorb(sys, out)
 		if cfg.Progress != nil {
 			cfg.Progress(res.Runs, totalRuns)
@@ -655,6 +748,7 @@ func Run(cfg Config) (*Result, error) {
 				Detail:        out.detail,
 				Attempts:      out.attempts,
 				Pruned:        out.pruned,
+				Round:         round,
 			})
 		}
 	}
@@ -663,6 +757,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if err := res.finalise(sys); err != nil {
 		return nil, err
+	}
+	res.Predictions = pred
+	if sched != nil {
+		st := sched.stats()
+		res.Adaptive = &st
 	}
 	return res.Result, nil
 }
@@ -714,7 +813,7 @@ func workerCount(configured int) int {
 // distills it into the per-case firing predictions; the returned
 // predictions are nil otherwise.
 func goldenRuns(cfg Config) ([]*trace.Trace, []casePredictions, error) {
-	capture := cfg.pruningEnabled()
+	capture := cfg.pruningEnabled() || cfg.adaptiveEnabled()
 	goldens := make([]*trace.Trace, len(cfg.TestCases))
 	var preds []casePredictions
 	if capture {
@@ -1085,6 +1184,19 @@ func newResult(sys *model.System, directWindow sim.Millis, horizonLen int) *aggr
 // non-deviating entry counts as "no deviation", exactly as in a live
 // run.
 func (agg *aggregator) absorbRecord(sys *model.System, rec RunRecord) error {
+	out, err := recordOutcome(sys, rec)
+	if err != nil {
+		return err
+	}
+	agg.absorb(sys, out)
+	return nil
+}
+
+// recordOutcome reconstructs a run's aggregate contribution from its
+// record — the inverse of the RunRecord construction in Run, shared by
+// replay aggregation and the adaptive scheduler so both fold journaled
+// and live runs through identical logic.
+func recordOutcome(sys *model.System, rec RunRecord) (runOutcome, error) {
 	out := runOutcome{
 		injection:   rec.Injection,
 		caseIdx:     rec.CaseIndex,
@@ -1115,7 +1227,7 @@ func (agg *aggregator) absorbRecord(sys *model.System, rec RunRecord) error {
 	if rec.Fired && out.outcome != OutcomeQuarantined {
 		mod, err := sys.Module(rec.Injection.Module)
 		if err != nil {
-			return fmt.Errorf("campaign: replaying %v: %w", rec.Injection, err)
+			return runOutcome{}, fmt.Errorf("campaign: replaying %v: %w", rec.Injection, err)
 		}
 		for _, o := range mod.Outputs {
 			if d, ok := rec.Diffs[o.Signal]; ok && d.Differs() {
@@ -1123,8 +1235,7 @@ func (agg *aggregator) absorbRecord(sys *model.System, rec RunRecord) error {
 			}
 		}
 	}
-	agg.absorb(sys, out)
-	return nil
+	return out, nil
 }
 
 func (agg *aggregator) absorb(sys *model.System, out runOutcome) {

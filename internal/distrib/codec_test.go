@@ -105,11 +105,11 @@ func TestDecodeHostileFrames(t *testing.T) {
 	// A payload-level attack: valid gzip around a hostile payload
 	// demanding a giant string table.
 	hostile := acquireBuffer()
-	hostile.Write([]byte{0x00})                                  // lease id: empty
-	hostile.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})    // string count: huge
-	var frame bytes.Buffer                                       //
-	frame.Write(frameMagic)                                      //
-	zw := acquireGzipWriter(&frame)                              //
+	hostile.Write([]byte{0x00})                               // lease id: empty
+	hostile.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // string count: huge
+	var frame bytes.Buffer                                    //
+	frame.Write(frameMagic)                                   //
+	zw := acquireGzipWriter(&frame)                           //
 	if _, err := zw.Write(hostile.Bytes()); err != nil {
 		t.Fatal(err)
 	}

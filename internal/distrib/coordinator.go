@@ -37,8 +37,11 @@ type Config struct {
 	// completed (no cost measurements yet), work units are carved as
 	// ranges of ceil(TotalRuns/Units) jobs. Once per-run cost is
 	// measured, later units shrink to fit the lease TTL, so Units is a
-	// floor on the unit count, not a fixed decomposition. <= 0 selects
-	// 8.
+	// floor on the unit count, not a fixed decomposition. <= 0 sizes
+	// the count from the plan itself — one unit per 2*minCarveJobs
+	// jobs, capped at 8 — so a small campaign is never shattered into
+	// units whose per-unit fixed costs (scratch setup, golden-run
+	// replay) exceed their useful work.
 	Units int
 	// LeaseTTL bounds how long a silent worker keeps a unit. Uploads
 	// and heartbeats renew the lease; a worker silent for a full TTL is
@@ -58,6 +61,16 @@ type Config struct {
 	// of the config digest, so workers apply the value carried in
 	// their work unit.
 	RunBudgetSteps int64
+	// Adaptive selects sequential (CI-driven) sampling for the fleet:
+	// the coordinator owns the campaign.AdaptivePlanner and claims work
+	// units from its importance-ordered frontier instead of carving
+	// contiguous ranges. Like RunBudgetSteps it is part of the config
+	// digest, and every WorkUnit carries the resolved mode so workers
+	// digest identically.
+	Adaptive campaign.AdaptiveMode
+	// CIEpsilon is the adaptive stopping half-width (0 selects the
+	// campaign default).
+	CIEpsilon float64
 	// Crash, when non-nil, arms deterministic crash points at the
 	// labeled protocol sites (CrashPreLeaseGrant, CrashMidBatchAppend,
 	// CrashPreCompleteAck). A fired site aborts its in-flight request
@@ -142,8 +155,8 @@ func (c *Config) normalise() error {
 	if c.Tier == "" {
 		c.Tier = runner.TierQuick
 	}
-	if c.Units <= 0 {
-		c.Units = defaultUnits
+	if c.Units < 0 {
+		c.Units = 0 // auto: sized from the plan in NewCoordinator
 	}
 	if c.LeaseTTL <= 0 {
 		c.LeaseTTL = defaultLeaseTTL
@@ -177,20 +190,51 @@ func (s unitState) String() string {
 	return fmt.Sprintf("unitState(%d)", int(s))
 }
 
-// unit is one carved job-range work unit.
+// unit is one carved work unit: a contiguous job range for full-matrix
+// campaigns, an explicit job list claimed from the adaptive planner's
+// frontier otherwise (lo/hi then bound the list for logging).
 type unit struct {
 	id       int
 	lo, hi   int // job range [lo, hi)
+	jobList  []int
+	jobSet   map[int]bool
 	state    unitState
 	leaseID  string
 	worker   string
 	expires  time.Time
 	attempts int // times leased
-	done     int // jobs of the range present in the record set
+	done     int // jobs of the unit present in the record set
 	reported int // worker-reported local progress (heartbeats)
 }
 
-func (u *unit) jobs() int { return u.hi - u.lo }
+func (u *unit) jobs() int {
+	if u.jobList != nil {
+		return len(u.jobList)
+	}
+	return u.hi - u.lo
+}
+
+// has reports whether job belongs to the unit.
+func (u *unit) has(job int) bool {
+	if u.jobList != nil {
+		return u.jobSet[job]
+	}
+	return job >= u.lo && job < u.hi
+}
+
+// eachJob visits the unit's job indices (claim order for lists,
+// ascending for ranges — callers needing a canonical order sort).
+func (u *unit) eachJob(fn func(job int)) {
+	if u.jobList != nil {
+		for _, job := range u.jobList {
+			fn(job)
+		}
+		return
+	}
+	for job := u.lo; job < u.hi; job++ {
+		fn(job)
+	}
+}
 
 // workerState is the coordinator's view of one fleet member.
 type workerState struct {
@@ -209,6 +253,11 @@ type Coordinator struct {
 	cfg      Config
 	campaign campaign.Config
 	info     runner.PlanInfo
+	// planner owns the sequential sampling schedule for adaptive
+	// campaigns (nil otherwise): units are claimed from its frontier,
+	// accepted records feed Observe, and completion is planner.Done()
+	// instead of full job-space coverage. Guarded by mu.
+	planner *campaign.AdaptivePlanner
 
 	mu      sync.Mutex
 	units   []*unit
@@ -306,6 +355,8 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	info, err := runner.DescribeInstance(cfg.Instance, cfg.Tier, runner.Options{
 		Dir:            cfg.Dir,
 		RunBudgetSteps: cfg.RunBudgetSteps,
+		Adaptive:       cfg.Adaptive,
+		CIEpsilon:      cfg.CIEpsilon,
 	})
 	if err != nil {
 		return nil, err
@@ -317,6 +368,26 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	ccfg, err := def.Config(cfg.Tier)
 	if err != nil {
 		return nil, err
+	}
+	if info.Adaptive {
+		// Pin the resolved adaptive state from the described plan, so
+		// the planner below and every worker agree with the digest.
+		ccfg.Adaptive = campaign.AdaptiveForce
+		ccfg.CIEpsilon = info.CIEpsilon
+	}
+	if cfg.Units <= 0 {
+		// Auto-size the initial carve from the plan: one unit per
+		// 2*minCarveJobs jobs, capped at the classic default. A quick
+		// campaign of a hundred-odd jobs gets ~3 units instead of 8 —
+		// per-unit fixed costs (scratch setup, golden-run replay) made
+		// a 4-worker fleet slower than one worker on such plans.
+		cfg.Units = info.TotalRuns / (2 * minCarveJobs)
+		if cfg.Units > defaultUnits {
+			cfg.Units = defaultUnits
+		}
+		if cfg.Units < 1 {
+			cfg.Units = 1
+		}
 	}
 	if cfg.Units > info.TotalRuns {
 		cfg.Units = info.TotalRuns // no empty units
@@ -344,6 +415,35 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		c.Close()
 		return nil, err
 	}
+	if info.Adaptive {
+		// The planner is a pure function of the config: a resumed
+		// coordinator rebuilds the identical schedule and replays the
+		// journaled records through it, reproducing every stopping
+		// decision bit-identically. Carve events are not replayed for
+		// adaptive campaigns (see openAssignmentLog) — fresh units are
+		// claimed from wherever the replayed schedule's frontier sits.
+		planner, err := campaign.NewAdaptivePlanner(c.campaign)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("distrib: building adaptive schedule: %w", err)
+		}
+		jobs := make([]int, 0, len(c.seen))
+		for job := range c.seen {
+			jobs = append(jobs, job)
+		}
+		sort.Ints(jobs)
+		for _, job := range jobs {
+			rr, err := c.seen[job].RunRecord()
+			if err == nil {
+				err = planner.Observe(rr)
+			}
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("distrib: replaying journal into adaptive schedule: %w", err)
+			}
+		}
+		c.planner = planner
+	}
 	for _, u := range c.units {
 		u.done = c.coveredLocked(u)
 		if u.done == u.jobs() {
@@ -354,9 +454,15 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// initialCarve is the pre-cost-model unit size.
+// initialCarve is the pre-cost-model unit size. Adaptive campaigns
+// size against the fireable population (the realistic upper bound on
+// executed jobs), not the full matrix the planner prunes.
 func (c *Coordinator) initialCarve() int {
-	size := (c.info.TotalRuns + c.cfg.Units - 1) / c.cfg.Units
+	total := c.info.TotalRuns
+	if c.planner != nil {
+		total = c.planner.Population()
+	}
+	size := (total + c.cfg.Units - 1) / c.cfg.Units
 	if size < 1 {
 		size = 1
 	}
@@ -366,11 +472,11 @@ func (c *Coordinator) initialCarve() int {
 // coveredLocked counts the unit's jobs present in the record set.
 func (c *Coordinator) coveredLocked(u *unit) int {
 	n := 0
-	for job := u.lo; job < u.hi; job++ {
+	u.eachJob(func(job int) {
 		if _, ok := c.seen[job]; ok {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -465,7 +571,13 @@ func (c *Coordinator) openAssignmentLog() error {
 			case "carve":
 				// Carves replay in order; a gap or overlap means a lost
 				// append, and the remaining job space re-carves fresh
-				// behind whatever replayed cleanly.
+				// behind whatever replayed cleanly. Adaptive campaigns
+				// skip the replay entirely: their units are claimed from
+				// the planner's frontier, which a resumed coordinator
+				// re-derives from the record journals instead.
+				if c.info.Adaptive {
+					continue
+				}
 				if ev.Unit == len(c.units) && ev.Lo == c.nextJob && ev.Hi > ev.Lo && ev.Hi <= c.info.TotalRuns {
 					c.units = append(c.units, &unit{id: ev.Unit, lo: ev.Lo, hi: ev.Hi})
 					c.nextJob = ev.Hi
@@ -530,9 +642,18 @@ func (c *Coordinator) Info() runner.PlanInfo { return c.info }
 func (c *Coordinator) Done() <-chan struct{} { return c.done }
 
 // maybeCompleteLocked closes the done channel when the record set
-// covers the whole job space.
+// covers the whole job space — or, for adaptive campaigns, when the
+// planner's schedule is complete (every location's stopping rule
+// satisfied, which implies every claimed sample has settled).
 func (c *Coordinator) maybeCompleteLocked() {
-	if c.complete || len(c.seen) != c.info.TotalRuns {
+	if c.complete {
+		return
+	}
+	if c.planner != nil {
+		if !c.planner.Done() {
+			return
+		}
+	} else if len(c.seen) != c.info.TotalRuns {
 		return
 	}
 	c.complete = true
@@ -546,8 +667,8 @@ func (c *Coordinator) maybeCompleteLocked() {
 	if c.assign != nil {
 		_ = c.assign.Sync()
 	}
-	c.cfg.Logf("distrib: campaign %s/%s complete — all %d runs journaled in %d units",
-		c.cfg.Instance, c.cfg.Tier, c.info.TotalRuns, len(c.units))
+	c.cfg.Logf("distrib: campaign %s/%s complete — %d runs journaled in %d units",
+		c.cfg.Instance, c.cfg.Tier, len(c.seen), len(c.units))
 	c.wakeLocked() // parked lease requests answer StatusDone immediately
 	close(c.done)
 }
@@ -675,8 +796,34 @@ func (c *Coordinator) carveSizeLocked() int {
 
 // carveLocked cuts the next unit from the unassigned frontier,
 // fast-forwarded past records already in the set. Returns nil when
-// the frontier is exhausted.
+// the frontier is exhausted — for adaptive campaigns "exhausted" is a
+// statement about the planner's current checkpoints, not the job
+// space: settling in-flight records can double a location's
+// checkpoint and open new claims, so accepting a batch wakes parked
+// lease requests to re-try the carve.
 func (c *Coordinator) carveLocked() *unit {
+	if c.planner != nil {
+		jobs := c.planner.Claim(c.carveSizeLocked())
+		if len(jobs) == 0 {
+			return nil
+		}
+		u := &unit{id: len(c.units), jobList: jobs, jobSet: make(map[int]bool, len(jobs))}
+		u.lo, u.hi = jobs[0], jobs[0]+1
+		for _, job := range jobs {
+			u.jobSet[job] = true
+			if job < u.lo {
+				u.lo = job
+			}
+			if job >= u.hi {
+				u.hi = job + 1
+			}
+		}
+		c.units = append(c.units, u)
+		// No carve event: the planner re-derives the schedule from the
+		// record journals on resume, and a claimed-but-unsettled job
+		// belongs to the frontier again in the resumed process.
+		return u
+	}
 	if c.nextJob >= c.info.TotalRuns {
 		return nil
 	}
@@ -864,11 +1011,11 @@ func (c *Coordinator) grantLocked(pick *unit, worker string, now time.Time) Leas
 		pick.id, pick.lo, pick.hi, worker, pick.leaseID, pick.attempts, pick.done, pick.jobs())
 
 	doneJobs := make([]int, 0, pick.done)
-	for job := pick.lo; job < pick.hi; job++ {
+	pick.eachJob(func(job int) {
 		if _, ok := c.seen[job]; ok {
 			doneJobs = append(doneJobs, job)
 		}
-	}
+	})
 	sort.Ints(doneJobs)
 	return LeaseResponse{
 		Status:   StatusUnit,
@@ -883,8 +1030,11 @@ func (c *Coordinator) grantLocked(pick *unit, worker string, now time.Time) Leas
 			Unit:           pick.id,
 			JobLo:          pick.lo,
 			JobHi:          pick.hi,
+			JobList:        pick.jobList,
 			TotalRuns:      c.info.TotalRuns,
 			RunBudgetSteps: c.cfg.RunBudgetSteps,
+			Adaptive:       c.info.Adaptive,
+			CIEpsilon:      c.info.CIEpsilon,
 			DoneJobs:       doneJobs,
 			Document:       c.cfg.Document,
 		},
@@ -1003,10 +1153,20 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 	fresh := make([]runner.Record, 0, len(batch.Records))
 	inBatch := make(map[int]runner.Record, len(batch.Records))
 	for _, rec := range batch.Records {
-		if rec.Job < u.lo || rec.Job >= u.hi {
-			httpError(w, http.StatusBadRequest, "record rejected: job %d outside unit %d's range [%d,%d)",
+		if !u.has(rec.Job) {
+			httpError(w, http.StatusBadRequest, "record rejected: job %d outside unit %d (range [%d,%d))",
 				rec.Job, u.id, u.lo, u.hi)
 			return
+		}
+		if c.planner != nil {
+			// The adaptive schedule folds every accepted record into its
+			// stopping decisions; a record it cannot parse must be
+			// rejected before anything journals, or the owning
+			// location's settled prefix would wedge forever.
+			if _, err := rec.RunRecord(); err != nil {
+				httpError(w, http.StatusBadRequest, "record rejected: %v", err)
+				return
+			}
 		}
 		prev, dup := c.seen[rec.Job]
 		if !dup {
@@ -1027,6 +1187,7 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 	if len(fresh) > 0 {
 		if c.journal == nil {
 			j, err := runner.OpenShardJournal(c.cfg.Dir, runner.JournalHeader{
+				Version:      runner.JournalVersionFor(c.planner != nil),
 				Instance:     c.cfg.Instance,
 				Tier:         string(c.cfg.Tier),
 				Shard:        0,
@@ -1068,12 +1229,21 @@ func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
 	if u.state == unitLeased && u.done == u.jobs() {
 		c.settleLocked(u)
 	}
+	if c.planner != nil && resp.Accepted > 0 && !c.complete {
+		// Settled samples may have doubled a location's checkpoint:
+		// claims that were empty a moment ago can be live now, so parked
+		// lease requests must re-try the carve.
+		c.wakeLocked()
+	}
 	resp.UnitDone = u.state == unitDone
 	writeJSON(w, resp)
 }
 
 // acceptLocked folds one freshly journaled record into the in-memory
-// state.
+// state — and, for adaptive campaigns, into the planner, where it
+// advances the owning location's settled prefix and may trigger a
+// checkpoint evaluation (stop, or double the checkpoint and open new
+// claims).
 func (c *Coordinator) acceptLocked(u *unit, ws *workerState, rec runner.Record) {
 	c.seen[rec.Job] = rec
 	c.received++
@@ -1081,6 +1251,18 @@ func (c *Coordinator) acceptLocked(u *unit, ws *workerState, rec runner.Record) 
 	c.countPruneLocked(rec)
 	ws.records++
 	ws.outcomes[outcomeKey(rec)]++
+	if c.planner != nil {
+		// The job passed the unit-membership gate, the unit's list came
+		// from Claim, and duplicates were filtered — Observe can only
+		// fail on a coordinator logic error, which must be loud.
+		rr, err := rec.RunRecord()
+		if err == nil {
+			err = c.planner.Observe(rr)
+		}
+		if err != nil {
+			c.cfg.Logf("distrib: BUG: accepted record rejected by adaptive schedule: %v", err)
+		}
+	}
 }
 
 // handleHeartbeat renews a lease and records the worker's local
@@ -1210,9 +1392,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 // no-transfer settle path).
 func (c *Coordinator) recordSetDigestLocked(u *unit) string {
 	recs := make([]runner.Record, 0, u.jobs())
-	for job := u.lo; job < u.hi; job++ {
+	u.eachJob(func(job int) {
 		recs = append(recs, c.seen[job])
-	}
+	})
 	return runner.RecordSetDigest(recs)
 }
 
@@ -1248,17 +1430,24 @@ type Status struct {
 	Tier         string `json:"tier"`
 	ConfigDigest string `json:"config_digest"`
 	// Units counts the units carved so far; UncarvedJobs is the
-	// remaining frontier.
-	Units        int            `json:"units"`
-	UncarvedJobs int            `json:"uncarved_jobs"`
-	Pending      int            `json:"pending"`
-	Leased       int            `json:"leased"`
-	Done         int            `json:"done"`
-	TotalRuns    int            `json:"total_runs"`
-	DoneRuns     int            `json:"done_runs"`
-	Complete     bool           `json:"complete"`
-	UnitsDetail  []UnitStatus   `json:"units_detail"`
-	Workers      []WorkerStatus `json:"workers"`
+	// remaining frontier (0 for adaptive campaigns, whose frontier is
+	// discovered checkpoint by checkpoint — see ScheduledRuns).
+	Units        int  `json:"units"`
+	UncarvedJobs int  `json:"uncarved_jobs"`
+	Pending      int  `json:"pending"`
+	Leased       int  `json:"leased"`
+	Done         int  `json:"done"`
+	TotalRuns    int  `json:"total_runs"`
+	DoneRuns     int  `json:"done_runs"`
+	Complete     bool `json:"complete"`
+	// Adaptive campaigns: PopulationRuns is the fireable sample count
+	// (the upper bound on executed jobs), ScheduledRuns the samples the
+	// stopping rule has asked for so far.
+	Adaptive       bool           `json:"adaptive,omitempty"`
+	PopulationRuns int            `json:"population_runs,omitempty"`
+	ScheduledRuns  int            `json:"scheduled_runs,omitempty"`
+	UnitsDetail    []UnitStatus   `json:"units_detail"`
+	Workers        []WorkerStatus `json:"workers"`
 }
 
 // Metrics is the /metrics JSON document: fleet throughput and
@@ -1296,9 +1485,14 @@ type Metrics struct {
 	LiveWorkers   int     `json:"live_workers"`
 	// FleetUtilization is the fraction of live workers currently
 	// holding a lease.
-	FleetUtilization float64        `json:"fleet_utilization"`
-	Complete         bool           `json:"complete"`
-	Workers          []WorkerStatus `json:"workers"`
+	FleetUtilization float64 `json:"fleet_utilization"`
+	// Adaptive campaigns: the fireable population and the samples the
+	// stopping rule has asked for so far (see Status).
+	Adaptive       bool           `json:"adaptive,omitempty"`
+	PopulationRuns int            `json:"population_runs,omitempty"`
+	ScheduledRuns  int            `json:"scheduled_runs,omitempty"`
+	Complete       bool           `json:"complete"`
+	Workers        []WorkerStatus `json:"workers"`
 }
 
 // workerLiveWindow is how long after its last contact a worker still
@@ -1347,6 +1541,13 @@ func (c *Coordinator) Status() Status {
 		Complete:     c.complete,
 		Workers:      c.workersLocked(now),
 	}
+	if c.planner != nil {
+		st := c.planner.Stats()
+		s.Adaptive = true
+		s.UncarvedJobs = 0
+		s.PopulationRuns = st.Population
+		s.ScheduledRuns = st.Scheduled
+	}
 	for _, u := range c.units {
 		switch u.state {
 		case unitPending:
@@ -1394,6 +1595,12 @@ func (c *Coordinator) Metrics() Metrics {
 		Complete:       c.complete,
 		Workers:        c.workersLocked(now),
 	}
+	if c.planner != nil {
+		st := c.planner.Stats()
+		m.Adaptive = true
+		m.PopulationRuns = st.Population
+		m.ScheduledRuns = st.Scheduled
+	}
 	for _, u := range c.units {
 		switch u.state {
 		case unitPending:
@@ -1415,7 +1622,13 @@ func (c *Coordinator) Metrics() Metrics {
 	if m.ElapsedSeconds > 0 {
 		m.RunsPerSecond = float64(m.ReceivedRuns) / m.ElapsedSeconds
 	}
-	if remaining := m.TotalRuns - m.DoneRuns; remaining > 0 && m.RunsPerSecond > 0 {
+	remaining := m.TotalRuns - m.DoneRuns
+	if c.planner != nil {
+		// The adaptive frontier is discovered checkpoint by checkpoint;
+		// the in-flight claims are the only honest remaining-work figure.
+		remaining = c.planner.Outstanding()
+	}
+	if remaining > 0 && m.RunsPerSecond > 0 {
 		m.ETASeconds = float64(remaining) / m.RunsPerSecond
 	}
 	if m.LiveWorkers > 0 {
@@ -1587,13 +1800,18 @@ func (c *Coordinator) Assemble() (*runner.RunResult, error) {
 		c.journal = nil
 	}
 	c.mu.Unlock()
-	return runner.Assemble(c.campaign, runner.Options{
+	opts := runner.Options{
 		Name:           c.cfg.Instance,
 		Tier:           c.cfg.Tier,
 		Dir:            c.cfg.Dir,
 		RunBudgetSteps: c.cfg.RunBudgetSteps,
 		Logf:           c.cfg.Logf,
-	})
+	}
+	if c.info.Adaptive {
+		opts.Adaptive = campaign.AdaptiveForce
+		opts.CIEpsilon = c.info.CIEpsilon
+	}
+	return runner.Assemble(c.campaign, opts)
 }
 
 // Serve runs the coordinator's HTTP API on l until the campaign

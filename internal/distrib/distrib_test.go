@@ -132,33 +132,41 @@ func runPartialWorker(t *testing.T, url, scratch string, maxStream int) (streame
 	if err != nil {
 		t.Fatal(err)
 	}
+	member := func(job int) bool { return job >= u.JobLo && job < u.JobHi }
+	if u.JobList != nil {
+		set := make(map[int]bool, len(u.JobList))
+		for _, job := range u.JobList {
+			set[job] = true
+		}
+		member = func(job int) bool { return set[job] }
+	}
 	var stop atomic.Bool
 	count := 0
-	_, err = runner.Run(cfg, runner.Options{
-		Name:        u.Instance,
-		Tier:        runner.Tier(u.Tier),
-		Dir:         w.scratchDir(u),
-		Resume:      true,
-		Workers:     1,
-		SkipReport:  true,
-		ExcludeJobs: func(job int) bool { return job < u.JobLo || job >= u.JobHi },
-		Abort:       func() bool { return stop.Load() },
-		OnRecord: func(rec runner.Record, replayed bool) error {
-			if count >= maxStream {
-				stop.Store(true)
-				return nil
-			}
-			var br BatchResponse
-			if err := w.post(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: []runner.Record{rec}}, &br); err != nil {
-				return err
-			}
-			count++
-			if count >= maxStream {
-				stop.Store(true)
-			}
+	ro := w.unitOptions(u)
+	ro.Name = u.Instance
+	ro.Tier = runner.Tier(u.Tier)
+	ro.Dir = w.scratchDir(u)
+	ro.Resume = true
+	ro.Workers = 1
+	ro.SkipReport = true
+	ro.ExcludeJobs = func(job int) bool { return !member(job) }
+	ro.Abort = func() bool { return stop.Load() }
+	ro.OnRecord = func(rec runner.Record, replayed bool) error {
+		if count >= maxStream {
+			stop.Store(true)
 			return nil
-		},
-	})
+		}
+		var br BatchResponse
+		if err := w.post(PathRecords, RecordBatch{LeaseID: lr.LeaseID, Records: []runner.Record{rec}}, &br); err != nil {
+			return err
+		}
+		count++
+		if count >= maxStream {
+			stop.Store(true)
+		}
+		return nil
+	}
+	_, err = runner.Run(cfg, ro)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -149,8 +149,21 @@ type WorkUnit struct {
 	// exclusive.
 	JobLo int `json:"job_lo"`
 	JobHi int `json:"job_hi"`
+	// JobList enumerates the unit's job indices explicitly when the
+	// campaign samples adaptively: units are then claimed from the
+	// sequential scheduler's importance-ordered frontier, not carved as
+	// contiguous ranges, so membership is the list (JobLo/JobHi still
+	// bound it for logging). Nil for full-matrix campaigns.
+	JobList []int `json:"job_list,omitempty"`
 	// TotalRuns is the whole campaign's job count.
 	TotalRuns int `json:"total_runs"`
+	// Adaptive and CIEpsilon mirror the coordinator's resolved adaptive
+	// sampling options. The worker folds them into its own
+	// DescribeInstance call so both sides digest the same snapshot —
+	// the campaign.AdaptiveMode and stopping half-width are part of the
+	// config digest exactly when they decide the job set.
+	Adaptive  bool    `json:"adaptive,omitempty"`
+	CIEpsilon float64 `json:"ci_epsilon,omitempty"`
 	// RunBudgetSteps is the per-run watchdog budget the coordinator
 	// folded into its digest; the worker must apply the same value.
 	RunBudgetSteps int64 `json:"run_budget_steps,omitempty"`
@@ -170,7 +183,12 @@ type WorkUnit struct {
 }
 
 // Jobs is the number of jobs the unit spans.
-func (u *WorkUnit) Jobs() int { return u.JobHi - u.JobLo }
+func (u *WorkUnit) Jobs() int {
+	if u.JobList != nil {
+		return len(u.JobList)
+	}
+	return u.JobHi - u.JobLo
+}
 
 // LeaseResponse answers a lease request.
 type LeaseResponse struct {

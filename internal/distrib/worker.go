@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -371,7 +372,7 @@ func RunWorkerContext(ctx context.Context, coordinatorURL string, opts WorkerOpt
 // digest check downstream still guards against a divergent
 // compilation.
 func (w *worker) describe(u *WorkUnit) (runner.PlanInfo, error) {
-	key := fmt.Sprintf("%s|%s|%d", u.Instance, u.Tier, u.RunBudgetSteps)
+	key := fmt.Sprintf("%s|%s|%d|%t|%g", u.Instance, u.Tier, u.RunBudgetSteps, u.Adaptive, u.CIEpsilon)
 	if info, ok := w.describeCache[key]; ok {
 		return info, nil
 	}
@@ -384,14 +385,24 @@ func (w *worker) describe(u *WorkUnit) (runner.PlanInfo, error) {
 		// benignly: the winner registered byte-identical content.
 		_ = runner.Register(def)
 	}
-	info, err := runner.DescribeInstance(u.Instance, runner.Tier(u.Tier), runner.Options{
-		RunBudgetSteps: u.RunBudgetSteps,
-	})
+	info, err := runner.DescribeInstance(u.Instance, runner.Tier(u.Tier), w.unitOptions(u))
 	if err != nil {
 		return runner.PlanInfo{}, err
 	}
 	w.describeCache[key] = info
 	return info, nil
+}
+
+// unitOptions maps the digest-relevant fields a work unit carries onto
+// runner options, so the worker's describe and execution paths agree
+// with the coordinator's digest by construction.
+func (w *worker) unitOptions(u *WorkUnit) runner.Options {
+	opts := runner.Options{RunBudgetSteps: u.RunBudgetSteps}
+	if u.Adaptive {
+		opts.Adaptive = campaign.AdaptiveForce
+		opts.CIEpsilon = u.CIEpsilon
+	}
+	return opts
 }
 
 // scratchDir is the unit's local artifact directory. The worker name
@@ -400,15 +411,36 @@ func (w *worker) describe(u *WorkUnit) (runner.PlanInfo, error) {
 // journal; the job range is part of the path so a restarted worker
 // resumes exactly its own prior work (carve events replay from the
 // coordinator's assignment journal, so ranges are stable across
-// coordinator restarts too).
+// coordinator restarts too). Adaptive units carry an explicit job
+// list instead of a range, and lists are not pinned across
+// coordinator restarts — the path keys on the list's content digest,
+// so a re-leased identical list resumes and a different list gets a
+// fresh directory.
 func (w *worker) scratchDir(u *WorkUnit) string {
 	digest8 := u.ConfigDigest
 	if len(digest8) > 8 {
 		digest8 = digest8[:8]
 	}
+	unitDir := fmt.Sprintf("unit-%d-%d", u.JobLo, u.JobHi)
+	if u.JobList != nil {
+		unitDir = "unit-" + jobListDigest(u.JobList)
+	}
 	return filepath.Join(w.opts.Dir, w.opts.Name,
 		fmt.Sprintf("%s-%s-%s", u.Instance, u.Tier, digest8),
-		fmt.Sprintf("unit-%d-%d", u.JobLo, u.JobHi))
+		unitDir)
+}
+
+// jobListDigest content-addresses a unit's job list (order ignored —
+// the list is a set; claim order is a dispatch detail).
+func jobListDigest(jobs []int) string {
+	sorted := make([]int, len(jobs))
+	copy(sorted, jobs)
+	sort.Ints(sorted)
+	h := sha256.New()
+	for _, job := range sorted {
+		fmt.Fprintf(h, "%d\n", job)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // liveAttempts is the per-chunk retry budget while the coordinator is
@@ -488,11 +520,21 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 
 	w.campaign = lr.Campaign
 	defer func() { w.campaign = "" }()
-	w.opts.Logf("distrib: worker %s: running unit %d [%d,%d) (%s, %d jobs pre-done)",
-		w.opts.Name, u.Unit, u.JobLo, u.JobHi, lr.LeaseID, len(u.DoneJobs))
+	w.opts.Logf("distrib: worker %s: running unit %d [%d,%d) (%s, %d of %d jobs pre-done)",
+		w.opts.Name, u.Unit, u.JobLo, u.JobHi, lr.LeaseID, len(u.DoneJobs), u.Jobs())
 	excluded := make(map[int]bool, len(u.DoneJobs))
 	for _, job := range u.DoneJobs {
 		excluded[job] = true
+	}
+	// member decides unit membership: the explicit job list for
+	// adaptive units, the contiguous range otherwise.
+	member := func(job int) bool { return job >= u.JobLo && job < u.JobHi }
+	if u.JobList != nil {
+		set := make(map[int]bool, len(u.JobList))
+		for _, job := range u.JobList {
+			set[job] = true
+		}
+		member = func(job int) bool { return set[job] }
 	}
 
 	// lost flips once the coordinator disowns the lease; the Abort
@@ -545,36 +587,37 @@ func (w *worker) runUnit(lr LeaseResponse) error {
 	}()
 
 	start := time.Now()
-	_, runErr := runner.Run(cfg, runner.Options{
-		Name:           u.Instance,
-		Tier:           runner.Tier(u.Tier),
-		Dir:            w.scratchDir(u),
-		Resume:         true,
-		Workers:        w.opts.Workers,
-		RunBudgetSteps: u.RunBudgetSteps,
-		LogInterval:    w.opts.LogInterval,
-		Memo:           w.opts.Memo,
-		Logf:           w.opts.Logf,
-		// The unit scratch is an intermediate artifact; the final
-		// report renders once, from the coordinator's assembly.
-		SkipReport: true,
-		// The unit is the contiguous job range; jobs the coordinator
-		// already holds are excluded so a reassigned unit
-		// fast-forwards.
-		ExcludeJobs: func(job int) bool {
-			return job < u.JobLo || job >= u.JobHi || excluded[job]
-		},
-		Abort: func() bool { return lost.Load() || w.ctx.Err() != nil },
-		// OnRecord runs on the serial observer path: replayed
-		// delivery re-collects records a previous incarnation of this
-		// worker journaled locally, so a restarted worker still
-		// uploads its full set.
-		OnRecord: func(rec runner.Record, replayed bool) error {
-			recs = append(recs, rec)
-			progress.Add(1)
-			return nil
-		},
-	})
+	runOpts := w.unitOptions(u)
+	runOpts.Name = u.Instance
+	runOpts.Tier = runner.Tier(u.Tier)
+	runOpts.Dir = w.scratchDir(u)
+	runOpts.Resume = true
+	runOpts.Workers = w.opts.Workers
+	runOpts.LogInterval = w.opts.LogInterval
+	runOpts.Memo = w.opts.Memo
+	runOpts.Logf = w.opts.Logf
+	// The unit scratch is an intermediate artifact; the final report
+	// renders once, from the coordinator's assembly.
+	runOpts.SkipReport = true
+	// The unit is a fixed job set; jobs the coordinator already holds
+	// are excluded so a reassigned unit fast-forwards. (For adaptive
+	// units the coordinator made the scheduling decisions — the worker
+	// executes the assigned set verbatim; runner.Run keeps the adaptive
+	// digest but skips its own scheduler when ExcludeJobs is set.)
+	runOpts.ExcludeJobs = func(job int) bool {
+		return !member(job) || excluded[job]
+	}
+	runOpts.Abort = func() bool { return lost.Load() || w.ctx.Err() != nil }
+	// OnRecord runs on the serial observer path: replayed delivery
+	// re-collects records a previous incarnation of this worker
+	// journaled locally, so a restarted worker still uploads its full
+	// set.
+	runOpts.OnRecord = func(rec runner.Record, replayed bool) error {
+		recs = append(recs, rec)
+		progress.Add(1)
+		return nil
+	}
+	_, runErr := runner.Run(cfg, runOpts)
 	wallMs := time.Since(start).Milliseconds()
 	if runErr != nil {
 		return runErr

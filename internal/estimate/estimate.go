@@ -1,0 +1,297 @@
+// Package estimate predicts error permeability analytically, before a
+// single fault is injected. It is the "predict first, then sample"
+// half of the adaptive campaign (internal/campaign, AdaptiveMode):
+// cheap structural predictions over the module topology — optionally
+// sharpened with golden-run signal activity and block-library priors —
+// give every (module, input, output) pair a predicted permeability and
+// an impact bound, which the sequential sampling scheduler uses to
+// importance-order its work and which the report cross-validates
+// against the measured, CI-bounded estimates.
+//
+// The estimator follows the propagation-probability style of analysis
+// (cf. Asadi & Tahoori's SER estimation and Bönninghoff & Schirmeier's
+// maximum-error-impact bounds, PAPERS.md): per-module propagation
+// probabilities are assigned from local structure, then composed along
+// the topology into end-to-end impact by a monotone fixpoint. The
+// predictions are heuristics — the campaign treats them strictly as
+// priors for ordering and reporting, never as grounds to skip
+// measurement of a live pair.
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"propane/internal/core"
+	"propane/internal/model"
+)
+
+// Options tunes a prediction.
+type Options struct {
+	// Activity supplies, per signal name, the fraction of golden-run
+	// ticks on which the signal's value changed (in [0,1]). A signal
+	// that barely moves masks incoming errors (its producer mostly
+	// latches state), so output activity scales the structural prior
+	// down. When nil, the structural prior is used unscaled.
+	Activity map[string]float64
+	// Priors overrides the per-module base permeability prior, keyed
+	// by module name — e.g. derived from the synth block library via
+	// KindPrior for generated targets. Values must lie in [0,1].
+	Priors map[string]float64
+}
+
+// PairPrediction is the analytical forecast for one input/output pair.
+type PairPrediction struct {
+	Pair         core.Pair
+	InputSignal  string
+	OutputSignal string
+	// Predicted is the forecast permeability P^M_{i,k} in [0,1].
+	Predicted float64
+	// ImpactBound is the forecast probability that an error injected
+	// on this pair's input reaches any system output via this output —
+	// Predicted composed with the downstream impact of the output
+	// signal. Pairs whose bound is ~0 sit on dead-end paths.
+	ImpactBound float64
+}
+
+// Prediction holds the analytical forecast for a whole system.
+type Prediction struct {
+	sys    *model.System
+	pairs  []PairPrediction
+	byPair map[core.Pair]PairPrediction
+	impact map[string]float64
+}
+
+// Predict computes the analytical permeability forecast for a system.
+// It never fails: the prediction is total over the topology's pairs,
+// in the same order core.Matrix.Pairs reports them.
+func Predict(sys *model.System, opts Options) *Prediction {
+	p := &Prediction{
+		sys:    sys,
+		byPair: make(map[core.Pair]PairPrediction),
+		impact: make(map[string]float64),
+	}
+	for _, mod := range sys.Modules() {
+		for _, in := range mod.Inputs {
+			for _, out := range mod.Outputs {
+				pp := PairPrediction{
+					Pair:         core.Pair{Module: mod.Name, In: in.Index, Out: out.Index},
+					InputSignal:  in.Signal,
+					OutputSignal: out.Signal,
+					Predicted:    pairPrior(mod, out.Signal, opts),
+				}
+				p.pairs = append(p.pairs, pp)
+				p.byPair[pp.Pair] = pp
+			}
+		}
+	}
+	p.propagateImpact()
+	for i := range p.pairs {
+		pp := &p.pairs[i]
+		pp.ImpactBound = pp.Predicted * p.impact[pp.OutputSignal]
+		p.byPair[pp.Pair] = *pp
+	}
+	return p
+}
+
+// pairPrior assigns the local (single-module) permeability prior for a
+// pair: a fan-in masking term — each additional input halves the
+// chance that this particular input dominates the output — scaled by
+// the output signal's golden-run activity when available. A latched,
+// rarely recomputed output re-emits stale state most ticks, masking
+// corrupted inputs; a busy output recomputes from its inputs and lets
+// errors through.
+func pairPrior(mod *model.Module, outSignal string, opts Options) float64 {
+	prior, ok := opts.Priors[mod.Name]
+	if !ok {
+		prior = 1 / math.Pow(2, float64(mod.NumInputs()-1))
+	}
+	if opts.Activity != nil {
+		if act, ok := opts.Activity[outSignal]; ok {
+			// Floor the activity factor: even a static-looking output
+			// can deviate once corrupted, so activity sharpens the
+			// ordering without zeroing any prediction.
+			prior *= activityFloor + (1-activityFloor)*clamp01(act)
+		}
+	}
+	return clamp01(prior)
+}
+
+// activityFloor bounds how far golden-run inactivity may scale a
+// structural prior down (see pairPrior).
+const activityFloor = 0.1
+
+// propagateImpact computes, per signal, the predicted probability that
+// an error on the signal reaches any system output, by monotone
+// fixpoint over the topology: system outputs have impact 1; any other
+// signal's error survives if at least one consuming pair lets it
+// through to an output signal whose own error survives. Starting from
+// zero and iterating keeps every intermediate value a lower bound;
+// the iteration count covers any acyclic depth and converges
+// geometrically on the feedback loops the paper's targets contain.
+func (p *Prediction) propagateImpact() {
+	signals := p.sys.Signals()
+	for _, s := range signals {
+		if p.sys.IsSystemOutput(s) {
+			p.impact[s] = 1
+		}
+	}
+	iterations := 2*len(p.sys.Modules()) + 8
+	for it := 0; it < iterations; it++ {
+		for _, s := range signals {
+			if p.sys.IsSystemOutput(s) {
+				continue
+			}
+			miss := 1.0
+			for _, rx := range p.sys.Receivers(s) {
+				mod, err := p.sys.Module(rx.Module)
+				if err != nil {
+					continue
+				}
+				through := 1.0
+				for _, out := range mod.Outputs {
+					pp := p.byPair[core.Pair{Module: mod.Name, In: rx.Index, Out: out.Index}]
+					through *= 1 - pp.Predicted*p.impact[out.Signal]
+				}
+				miss *= through
+			}
+			p.impact[s] = 1 - miss
+		}
+	}
+}
+
+// Pairs returns every pair's prediction in topology order (module
+// insertion order, then input, then output index) — the same order
+// core.Matrix.Pairs uses, so reports can zip the two.
+func (p *Prediction) Pairs() []PairPrediction {
+	out := make([]PairPrediction, len(p.pairs))
+	copy(out, p.pairs)
+	return out
+}
+
+// Pair returns the prediction for one pair.
+func (p *Prediction) Pair(pair core.Pair) (PairPrediction, bool) {
+	pp, ok := p.byPair[pair]
+	return pp, ok
+}
+
+// SignalImpact returns the predicted probability that an error on the
+// named signal reaches any system output (1 for system outputs, 0 for
+// signals the prediction does not know).
+func (p *Prediction) SignalImpact(signal string) float64 {
+	return p.impact[signal]
+}
+
+// LocationScore returns the importance prior of one injection location
+// (module input): the largest predicted permeability over the
+// location's pairs, weighted by downstream impact. The sequential
+// scheduler multiplies it with remaining uncertainty to pick which
+// location's samples to run next; it has no effect on which samples
+// are run in total.
+func (p *Prediction) LocationScore(module, inSignal string) float64 {
+	mod, err := p.sys.Module(module)
+	if err != nil {
+		return 0
+	}
+	in := mod.InputIndex(inSignal)
+	if in == 0 {
+		return 0
+	}
+	score := 0.0
+	for _, out := range mod.Outputs {
+		pp := p.byPair[core.Pair{Module: module, In: in, Out: out.Index}]
+		if v := math.Max(pp.Predicted, pp.ImpactBound); v > score {
+			score = v
+		}
+	}
+	return score
+}
+
+// Matrix renders the predictions as a core permeability matrix, so the
+// predicted module measures (Table 2 style: relative permeability per
+// module) can be computed with the exact code that processes measured
+// matrices, and orderings can be compared.
+func (p *Prediction) Matrix() (*core.Matrix, error) {
+	m := core.NewMatrix(p.sys)
+	for _, pp := range p.pairs {
+		if err := m.Set(pp.Pair.Module, pp.Pair.In, pp.Pair.Out, pp.Predicted); err != nil {
+			return nil, fmt.Errorf("estimate: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// ModuleScores returns the predicted relative permeability P^M per
+// module — the quantity whose measured ordering is the paper's Table 2
+// headline. Comparing the predicted against the measured ordering
+// (stats.KendallTau) is the cross-validation the report prints.
+func (p *Prediction) ModuleScores() (map[string]float64, error) {
+	m, err := p.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	scores := make(map[string]float64)
+	for _, name := range p.sys.ModuleNames() {
+		rel, err := m.RelativePermeability(name)
+		if err != nil {
+			return nil, err
+		}
+		scores[name] = rel
+	}
+	return scores, nil
+}
+
+// kindPriors is the block-library calibration table: per transfer
+// function, the base probability that a corrupted input read surfaces
+// on an output. Pure arithmetic blocks transmit nearly everything;
+// saturating, latching and voting blocks mask. Values are coarse by
+// design — they feed orderings, not estimates.
+var kindPriors = map[string]float64{
+	"passthrough":    1.0,
+	"feed":           1.0,
+	"gain":           0.95,
+	"offset":         0.95,
+	"sum":            0.9,
+	"integrate":      0.9,
+	"delay":          0.9,
+	"lookup":         0.7,
+	"pulse_counter":  0.6,
+	"pi_regulator":   0.6,
+	"slew_limiter":   0.5,
+	"saturate":       0.5,
+	"checkpoint_law": 0.4,
+	"median3":        0.3,
+	"clock":          0.1,
+	"mine":           0.9,
+	"tarpit":         0.9,
+}
+
+// KindPrior returns the block-library permeability prior for a
+// transfer-function kind (see internal/synth's block library), and
+// whether the kind is known. Callers building Options.Priors for
+// generated targets map each module's block kind through this table.
+func KindPrior(kind string) (float64, bool) {
+	v, ok := kindPriors[kind]
+	return v, ok
+}
+
+// Kinds returns the calibrated block kinds, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(kindPriors))
+	for k := range kindPriors {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package estimate
+
+import (
+	"testing"
+
+	"propane/internal/arrestor"
+	"propane/internal/core"
+)
+
+func TestPredictTotalOverPaperSystem(t *testing.T) {
+	sys := arrestor.Topology()
+	p := Predict(sys, Options{})
+	if got, want := len(p.Pairs()), sys.TotalPairs(); got != want {
+		t.Fatalf("prediction covers %d pairs, system has %d", got, want)
+	}
+	for _, pp := range p.Pairs() {
+		if pp.Predicted < 0 || pp.Predicted > 1 {
+			t.Errorf("%v predicted %v outside [0,1]", pp.Pair, pp.Predicted)
+		}
+		if pp.ImpactBound < 0 || pp.ImpactBound > pp.Predicted {
+			t.Errorf("%v impact bound %v outside [0, predicted=%v]", pp.Pair, pp.ImpactBound, pp.Predicted)
+		}
+		got, ok := p.Pair(pp.Pair)
+		if !ok || got != pp {
+			t.Errorf("Pair(%v) does not round-trip", pp.Pair)
+		}
+	}
+}
+
+func TestPredictSystemOutputImpact(t *testing.T) {
+	sys := arrestor.Topology()
+	p := Predict(sys, Options{})
+	for _, out := range sys.SystemOutputs() {
+		if got := p.SignalImpact(out); got != 1 {
+			t.Errorf("system output %s has impact %v, want 1", out, got)
+		}
+	}
+	if got := p.SignalImpact("no-such-signal"); got != 0 {
+		t.Errorf("unknown signal has impact %v, want 0", got)
+	}
+}
+
+// TestPredictFanInMasking pins the structural prior: with no activity
+// or library priors, a pair in a wide module must predict no more
+// than the same pair in a narrow one — each extra input halves the
+// chance this one dominates the output.
+func TestPredictFanInMasking(t *testing.T) {
+	sys := arrestor.Topology()
+	p := Predict(sys, Options{})
+	for _, mod := range sys.Modules() {
+		pp, ok := p.Pair(core.Pair{Module: mod.Name, In: 1, Out: 1})
+		if !ok {
+			t.Fatalf("no prediction for %s (1,1)", mod.Name)
+		}
+		want := 1.0
+		for i := 1; i < mod.NumInputs(); i++ {
+			want /= 2
+		}
+		if pp.Predicted != want {
+			t.Errorf("%s (%d inputs): predicted %v, want structural prior %v",
+				mod.Name, mod.NumInputs(), pp.Predicted, want)
+		}
+	}
+}
+
+// TestPredictActivityScaling: a dead output signal scales its pairs'
+// predictions down but never to zero (the activity floor), and a
+// fully active signal leaves the structural prior untouched.
+func TestPredictActivityScaling(t *testing.T) {
+	sys := arrestor.Topology()
+	base := Predict(sys, Options{})
+	pair := base.Pairs()[0]
+
+	dead := Predict(sys, Options{Activity: map[string]float64{pair.OutputSignal: 0}})
+	deadPP, _ := dead.Pair(pair.Pair)
+	if deadPP.Predicted >= pair.Predicted {
+		t.Errorf("dead output did not scale prediction down: %v >= %v", deadPP.Predicted, pair.Predicted)
+	}
+	if deadPP.Predicted <= 0 {
+		t.Errorf("activity floor violated: dead output zeroed the prediction")
+	}
+
+	busy := Predict(sys, Options{Activity: map[string]float64{pair.OutputSignal: 1}})
+	busyPP, _ := busy.Pair(pair.Pair)
+	if busyPP.Predicted != pair.Predicted {
+		t.Errorf("fully active output changed the prediction: %v != %v", busyPP.Predicted, pair.Predicted)
+	}
+}
+
+func TestPredictModuleScoresAndMatrix(t *testing.T) {
+	sys := arrestor.Topology()
+	p := Predict(sys, Options{})
+	m, err := p.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != sys.TotalPairs() {
+		t.Fatalf("prediction matrix has %d pairs, want %d", m.Len(), sys.TotalPairs())
+	}
+	scores, err := p.ModuleScores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sys.ModuleNames() {
+		s, ok := scores[name]
+		if !ok {
+			t.Errorf("no score for module %s", name)
+		}
+		if s < 0 || s > 1 {
+			t.Errorf("module %s score %v outside [0,1]", name, s)
+		}
+	}
+}
+
+func TestKindPriors(t *testing.T) {
+	for _, kind := range Kinds() {
+		v, ok := KindPrior(kind)
+		if !ok {
+			t.Fatalf("Kinds lists %q but KindPrior does not know it", kind)
+		}
+		if v < 0 || v > 1 {
+			t.Errorf("kind %q prior %v outside [0,1]", kind, v)
+		}
+	}
+	if _, ok := KindPrior("no-such-kind"); ok {
+		t.Error("KindPrior claims to know an unknown kind")
+	}
+}

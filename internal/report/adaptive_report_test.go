@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"propane/internal/arrestor"
+	"propane/internal/campaign"
+	"propane/internal/physics"
+	"propane/internal/sim"
+)
+
+func TestPredictionTable(t *testing.T) {
+	out, err := PredictionTable(campaignResult(t))
+	if err != nil {
+		t.Fatalf("PredictionTable: %v", err)
+	}
+	for _, want := range []string{
+		"Analytical prediction vs measured estimate", "predicted", "estimate", "95% CI", "agree",
+		"Module ranking by relative permeability", "CLOCK", "V_REG",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PredictionTable missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "P^"); got < 25 {
+		t.Errorf("PredictionTable has %d pair mentions, want >= 25 rows", got)
+	}
+}
+
+func TestAdaptiveSectionEmptyForFixedMatrix(t *testing.T) {
+	if s := AdaptiveSection(campaignResult(t)); s != "" {
+		t.Errorf("fixed-matrix campaign renders an adaptive section:\n%s", s)
+	}
+}
+
+// TestMarkdownAdaptive runs a small adaptive campaign end to end and
+// checks the report documents both the sampler's spending and the
+// per-pair prediction cross-check.
+func TestMarkdownAdaptive(t *testing.T) {
+	cases, err := physics.Grid(1, 1, 11000, 11000, 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run(campaign.Config{
+		Arrestor:       arrestor.DefaultConfig(),
+		TestCases:      cases,
+		Times:          []sim.Millis{2000},
+		Bits:           []uint{3, 12},
+		HorizonMs:      6000,
+		DirectWindowMs: 500,
+		Adaptive:       campaign.AdaptiveForce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adaptive == nil {
+		t.Fatal("adaptive campaign carries no AdaptiveStats")
+	}
+	if s := AdaptiveSection(res); !strings.Contains(s, "Sequential sampling") {
+		t.Errorf("AdaptiveSection = %q, want the sampler summary", s)
+	}
+	md, err := Markdown(res, MarkdownOptions{})
+	if err != nil {
+		t.Fatalf("Markdown: %v", err)
+	}
+	for _, want := range []string{"### Adaptive sampling", "Analytical prediction cross-check"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("adaptive markdown report missing %q", want)
+		}
+	}
+}

@@ -72,6 +72,10 @@ func Markdown(res *campaign.Result, opts MarkdownOptions) (string, error) {
 		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n", heading, body)
 	}
 
+	if adaptive := AdaptiveSection(res); adaptive != "" {
+		fmt.Fprintf(&b, "### Adaptive sampling\n\n%s\n", adaptive)
+	}
+
 	section("Table 1 — error permeability per pair", Table1(res))
 	t2, err := Table2(res.Matrix)
 	if err != nil {
@@ -105,6 +109,14 @@ func Markdown(res *campaign.Result, opts MarkdownOptions) (string, error) {
 		return "", err
 	}
 	section("FMECA complement", fmeca)
+
+	if res.Predictions != nil {
+		pt, err := PredictionTable(res)
+		if err != nil {
+			return "", err
+		}
+		section("Analytical prediction cross-check", pt)
+	}
 
 	if opts.Latency {
 		section("Propagation latency and classification", LatencyTable(res))

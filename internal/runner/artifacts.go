@@ -71,11 +71,19 @@ type snapshot struct {
 	// digest. The wall-clock backstop is deliberately excluded — it is
 	// non-deterministic and must never change a journaled outcome on a
 	// healthy run. omitempty keeps pre-supervision digests valid.
-	RunBudgetSteps int64    `json:"run_budget_steps,omitempty"`
-	PlanSize       int      `json:"plan_size"`
-	TotalRuns      int      `json:"total_runs"`
-	GoldenDigests  []string `json:"golden_digests"`
-	Digest         string   `json:"digest,omitempty"`
+	RunBudgetSteps int64 `json:"run_budget_steps,omitempty"`
+	// Adaptive and CIEpsilon pin adaptive sequential sampling
+	// (campaign.AdaptiveMode): they decide which jobs execute at all,
+	// so two processes must agree on them to share a journal. Both are
+	// omitted for full-matrix campaigns, keeping pre-adaptive digests
+	// valid, and record the RESOLVED state — an AdaptiveAuto config
+	// that declines digests identically to AdaptiveOff.
+	Adaptive      bool     `json:"adaptive,omitempty"`
+	CIEpsilon     float64  `json:"ci_epsilon,omitempty"`
+	PlanSize      int      `json:"plan_size"`
+	TotalRuns     int      `json:"total_runs"`
+	GoldenDigests []string `json:"golden_digests"`
+	Digest        string   `json:"digest,omitempty"`
 }
 
 // newSnapshot freezes a campaign configuration. goldens may be nil
@@ -96,6 +104,10 @@ func newSnapshot(name string, tier Tier, cfg campaign.Config, planSize int, gold
 		PlanSize:        planSize,
 		TotalRuns:       planSize * len(cfg.TestCases),
 		GoldenDigests:   goldenDigests,
+	}
+	if cfg.AdaptiveEnabled() {
+		s.Adaptive = true
+		s.CIEpsilon = cfg.ResolvedCIEpsilon()
 	}
 	switch {
 	case cfg.Custom != nil:

@@ -35,6 +35,13 @@ type PlanInfo struct {
 	PlanSize  int
 	Cases     int
 	TotalRuns int
+	// Adaptive and CIEpsilon report the resolved adaptive sampling
+	// mode pinned in the digest (false/0 for full-matrix campaigns).
+	// When Adaptive is set, TotalRuns bounds the job space but the
+	// executed subset is discovered at run time by the sequential
+	// scheduler.
+	Adaptive  bool
+	CIEpsilon float64
 }
 
 // Describe computes the digestable identity of a campaign exactly as
@@ -52,6 +59,7 @@ func Describe(cfg campaign.Config, opts Options) (PlanInfo, error) {
 		return PlanInfo{}, err
 	}
 	opts.applySupervision(&cfg)
+	opts.applyAdaptive(&cfg)
 	if err := cfg.Validate(); err != nil {
 		return PlanInfo{}, err
 	}
@@ -74,6 +82,8 @@ func Describe(cfg campaign.Config, opts Options) (PlanInfo, error) {
 		PlanSize:  len(plan),
 		Cases:     len(cfg.TestCases),
 		TotalRuns: snap.TotalRuns,
+		Adaptive:  snap.Adaptive,
+		CIEpsilon: snap.CIEpsilon,
 	}, nil
 }
 
@@ -94,8 +104,8 @@ func DescribeInstance(name string, tier Tier, opts Options) (PlanInfo, error) {
 }
 
 // RecordSetDigest computes a canonical SHA-256 over a set of records:
-// sorted by job index, serialized with the Pruned label cleared —
-// exactly the fields RecordsEqual compares. Two processes holding
+// sorted by job index, serialized with the Pruned and Round labels
+// cleared — exactly the fields RecordsEqual compares. Two processes holding
 // record sets that would merge without conflict produce the same
 // digest, so a distributed worker can prove its locally journaled
 // unit matches what the coordinator would have received without
@@ -111,6 +121,7 @@ func RecordSetDigest(recs []Record) string {
 	for _, i := range order {
 		rec := recs[i]
 		rec.Pruned = "" // excluded from equality, so excluded here
+		rec.Round = 0   // likewise: a schedule label, not an outcome
 		line, err := json.Marshal(rec)
 		if err != nil {
 			// A Record is plain data; Marshal cannot fail on one. Keep
@@ -123,6 +134,13 @@ func RecordSetDigest(recs []Record) string {
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// JournalVersionFor returns the journal header version a campaign
+// stamps: version 4 when adaptive sampling decides the job set,
+// version 3 otherwise. External orchestrators opening shard journals
+// for an adaptive campaign pass it as JournalHeader.Version so their
+// files match what Run itself would write.
+func JournalVersionFor(adaptive bool) int { return journalVersionFor(adaptive) }
 
 // JournalHeader is the exported view of a journal file's header line.
 type JournalHeader struct {

@@ -29,6 +29,23 @@ import (
 // diffs on replay; records without a pruned label count as executed).
 const journalVersion = 3
 
+// journalVersionAdaptive labels journals written by adaptive
+// campaigns (campaign.AdaptiveMode), whose records carry the
+// additive round label. Non-adaptive campaigns keep stamping
+// journalVersion, so an AdaptiveOff run's journal stays byte-
+// identical to earlier builds'. Loading accepts either.
+const journalVersionAdaptive = 4
+
+// journalVersionFor returns the header version a campaign stamps on
+// its journals: version 4 when adaptive sampling decides the job set,
+// version 3 otherwise.
+func journalVersionFor(adaptive bool) int {
+	if adaptive {
+		return journalVersionAdaptive
+	}
+	return journalVersion
+}
+
 // Sentinel errors for journal and assembly integrity failures, so
 // orchestration layers (and operators' scripts) can distinguish "the
 // journals describe a different campaign" from ordinary I/O trouble.
@@ -42,6 +59,11 @@ var (
 	// the simulation, and merging them would silently produce a bad
 	// matrix.
 	ErrConflictingRecords = errors.New("conflicting journal records")
+	// ErrScheduleIncomplete reports an assembly over journals whose
+	// records do not close the adaptive sampling schedule: the
+	// confidence intervals the records imply still demand more
+	// samples, so the campaign must be resumed, not assembled.
+	ErrScheduleIncomplete = errors.New("adaptive schedule incomplete")
 )
 
 // RecordsEqual reports whether two journaled records describe the
@@ -51,7 +73,11 @@ var (
 // rather than corrupting. Pruned is deliberately NOT compared: a
 // pruned and an executed record of the same job carry bit-identical
 // outcomes by construction, and overlapping journals from processes
-// with different prune settings must stay idempotent.
+// with different prune settings must stay idempotent. Round is
+// excluded for the same reason: it labels when the adaptive scheduler
+// dispatched the run, not what the run observed — a distributed
+// worker executing a coordinator-carved unit journals round 0 for the
+// exact outcome the coordinator's schedule labels with a round.
 func RecordsEqual(a, b Record) bool {
 	if a.Type != b.Type || a.Job != b.Job ||
 		a.Module != b.Module || a.Signal != b.Signal ||
@@ -126,6 +152,11 @@ type Record struct {
 	// campaign.Pruned* constants); empty for executed runs. Excluded
 	// from RecordsEqual — see there.
 	Pruned string `json:"pruned,omitempty"`
+	// Round is the 1-based adaptive sampling round that scheduled the
+	// run (campaign.RunRecord.Round); 0 for full-matrix campaigns and
+	// for externally assigned job lists. Excluded from RecordsEqual —
+	// see there.
+	Round int `json:"round,omitempty"`
 }
 
 // newRecord converts a live campaign observation into its journaled
@@ -151,6 +182,7 @@ func newRecord(job int, rec campaign.RunRecord) (Record, error) {
 		Detail:        rec.Detail,
 		Attempts:      rec.Attempts,
 		Pruned:        rec.Pruned,
+		Round:         rec.Round,
 	}
 	for sig, d := range rec.Diffs {
 		if !d.Differs() {
@@ -187,6 +219,7 @@ func (r Record) RunRecord() (campaign.RunRecord, error) {
 		Detail:        r.Detail,
 		Attempts:      r.Attempts,
 		Pruned:        r.Pruned,
+		Round:         r.Round,
 	}
 	if len(r.Diffs) > 0 {
 		rec.Diffs = make(map[string]trace.Diff, len(r.Diffs))
@@ -373,8 +406,8 @@ func loadJournal(path string) (hdr header, recs []Record, validLen int64, err er
 				}
 				return header{}, nil, 0, fmt.Errorf("runner: journal %s has no valid header", path)
 			}
-			if hdr.Version < 1 || hdr.Version > journalVersion {
-				return header{}, nil, 0, fmt.Errorf("runner: journal %s is version %d, want 1..%d", path, hdr.Version, journalVersion)
+			if hdr.Version < 1 || hdr.Version > journalVersionAdaptive {
+				return header{}, nil, 0, fmt.Errorf("runner: journal %s is version %d, want 1..%d", path, hdr.Version, journalVersionAdaptive)
 			}
 			pos = lineEnd
 			validLen = int64(lineEnd)

@@ -108,6 +108,19 @@ type Options struct {
 	// executed records carry bit-identical outcomes, so journals
 	// written with different prune settings interoperate.
 	Prune campaign.PruneMode
+	// Adaptive overrides the config's adaptive sequential-sampling
+	// mode when not AdaptiveOff (the zero value leaves the config's
+	// own mode in force). Unlike Prune it IS part of the config
+	// digest: an adaptive campaign executes a different job set, so
+	// journals written under different adaptive settings must never
+	// mix. AdaptiveAuto is resolved to a definite mode before the
+	// config is digested (see applyAdaptive), so the digest pins the
+	// decision.
+	Adaptive campaign.AdaptiveMode
+	// CIEpsilon overrides the config's adaptive stopping half-width
+	// when positive (campaign.Config.CIEpsilon). Part of the config
+	// digest, like Adaptive, and meaningless without it.
+	CIEpsilon float64
 	// SkipReport suppresses rendering report.md even for an unsharded
 	// run. The distributed worker sets it: a work unit's scratch
 	// directory is an intermediate artifact whose records upload to the
@@ -194,6 +207,28 @@ func (o *Options) applySupervision(cfg *campaign.Config) {
 	if cfg.OnJobError == nil {
 		if after := o.quarantineAfter(); after > 0 {
 			cfg.OnJobError = campaign.QuarantinePolicy(after, o.Logf)
+		}
+	}
+}
+
+// applyAdaptive folds the adaptive overrides into the configuration
+// and resolves AdaptiveAuto to a definite mode. Resolution must
+// happen before the config is digested or planned — the adaptive job
+// set depends on it — and before the runner's timing wrapper installs
+// its Instrument hook, which would otherwise flip an Auto decision
+// between digest time and execution time.
+func (o *Options) applyAdaptive(cfg *campaign.Config) {
+	if o.Adaptive != campaign.AdaptiveOff {
+		cfg.Adaptive = o.Adaptive
+	}
+	if o.CIEpsilon > 0 {
+		cfg.CIEpsilon = o.CIEpsilon
+	}
+	if cfg.Adaptive == campaign.AdaptiveAuto {
+		if cfg.AdaptiveEnabled() {
+			cfg.Adaptive = campaign.AdaptiveForce
+		} else {
+			cfg.Adaptive = campaign.AdaptiveOff
 		}
 	}
 }
@@ -296,11 +331,16 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 	if opts.Prune != campaign.PruneAuto {
 		cfg.Prune = opts.Prune
 	}
+	opts.applyAdaptive(&cfg)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.Workers > 0 {
 		cfg.Workers = opts.Workers
+	}
+	adaptive := cfg.AdaptiveEnabled()
+	if adaptive && opts.Shards > 1 {
+		return nil, fmt.Errorf("runner: adaptive campaigns cannot be statically sharded — the job set is discovered at run time; use one shard or the distributed coordinator")
 	}
 
 	plan, err := cfg.Plan()
@@ -328,6 +368,15 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 	}
 	if opts.Memo != nil {
 		cfg.Memo = scopedMemo{store: opts.Memo, scope: snap.Digest}
+	}
+	// A process handed an explicit job set (a distributed worker
+	// running a coordinator-carved unit, signalled by ExcludeJobs)
+	// executes it as a fixed matrix slice: the coordinator owns the
+	// adaptive schedule and decided these jobs already. The snapshot
+	// above keeps the adaptive fields, so the worker's journal still
+	// binds to the adaptive campaign's digest.
+	if adaptive && opts.ExcludeJobs != nil {
+		cfg.Adaptive = campaign.AdaptiveOff
 	}
 
 	journalPath := l.journalPath(opts.Shard, opts.Shards)
@@ -373,7 +422,7 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 	}
 
 	jw, err := openJournal(journalPath, header{
-		Type: "header", Version: journalVersion,
+		Type: "header", Version: journalVersionFor(adaptive),
 		Instance: opts.Name, Tier: string(opts.Tier),
 		Shard: opts.Shard, Shards: opts.Shards,
 		ConfigDigest: snap.Digest,
@@ -383,7 +432,10 @@ func Run(cfg campaign.Config, opts Options) (*RunResult, error) {
 	}
 	defer jw.Close()
 
-	// This shard's share of the job space (minus excluded jobs).
+	// This shard's share of the job space (minus excluded jobs). For
+	// an adaptive campaign this is an upper bound — the scheduler
+	// discovers the executed subset at run time and typically stops
+	// far short of it, so the tracker's ETA is conservative.
 	planned := 0
 	for job := 0; job < snap.TotalRuns; job++ {
 		if job%opts.Shards != opts.Shard {
@@ -558,9 +610,10 @@ func Assemble(cfg campaign.Config, opts Options) (*RunResult, error) {
 	if err := opts.normalise(); err != nil {
 		return nil, err
 	}
-	// Apply the same supervision overrides as Run so the config digest
-	// matches the shard journals being assembled.
+	// Apply the same supervision and adaptive overrides as Run so the
+	// config digest matches the shard journals being assembled.
 	opts.applySupervision(&cfg)
+	opts.applyAdaptive(&cfg)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -638,7 +691,28 @@ func Assemble(cfg campaign.Config, opts Options) (*RunResult, error) {
 			replay = append(replay, rec)
 		}
 	}
-	if len(seen) != snap.TotalRuns {
+	if cfg.AdaptiveEnabled() {
+		// An adaptive campaign's job set is decided by its sequential
+		// scheduler, not by the matrix size, so "every job present" is
+		// the wrong completeness test. Instead, rebuild the schedule —
+		// it is a deterministic function of the config — feed it every
+		// journaled record, and require that it declares itself done:
+		// every confidence interval closed (or its population
+		// exhausted) with no scheduled sample outstanding.
+		planner, err := campaign.NewAdaptivePlanner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range replay {
+			if err := planner.Observe(rec); err != nil {
+				return nil, fmt.Errorf("runner: assembling adaptive campaign: %w", err)
+			}
+		}
+		if !planner.Done() {
+			return nil, fmt.Errorf("runner: journals cover %d settled runs but %d scheduled jobs are outstanding; resume the campaign first: %w",
+				planner.Settled(), planner.Outstanding(), ErrScheduleIncomplete)
+		}
+	} else if len(seen) != snap.TotalRuns {
 		return nil, fmt.Errorf("runner: journals cover %d of %d runs — %d missing; run the remaining shards (or resume the killed ones) first",
 			len(seen), snap.TotalRuns, snap.TotalRuns-len(seen))
 	}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"propane/internal/campaign"
 	"propane/internal/chaos"
 	"propane/internal/distrib"
 	"propane/internal/runner"
@@ -175,6 +176,11 @@ type SubmitRequest struct {
 	// RunBudgetSteps arms the per-run watchdog fleet-wide (0 keeps
 	// the instance default).
 	RunBudgetSteps int64 `json:"run_budget_steps,omitempty"`
+	// Adaptive selects sequential CI-driven sampling: "off" (or
+	// absent), "auto", "force". CIEpsilon is the stopping half-width ε
+	// (0 keeps the 0.05 default).
+	Adaptive  string  `json:"adaptive,omitempty"`
+	CIEpsilon float64 `json:"ci_epsilon,omitempty"`
 }
 
 // CampaignInfo is one campaign's public state.
@@ -186,12 +192,14 @@ type CampaignInfo struct {
 	State    string `json:"state"`
 	// Jobs is the campaign's total injection-run count (plan×cases) —
 	// the unit of the tenant jobs quota and of fair-share accounting.
-	Jobs           int    `json:"jobs"`
-	RunBudgetSteps int64  `json:"run_budget_steps,omitempty"`
-	SubmittedMs    int64  `json:"submitted_ms,omitempty"`
-	StartedMs      int64  `json:"started_ms,omitempty"`
-	DoneMs         int64  `json:"done_ms,omitempty"`
-	Error          string `json:"error,omitempty"`
+	Jobs           int     `json:"jobs"`
+	RunBudgetSteps int64   `json:"run_budget_steps,omitempty"`
+	Adaptive       string  `json:"adaptive,omitempty"`
+	CIEpsilon      float64 `json:"ci_epsilon,omitempty"`
+	SubmittedMs    int64   `json:"submitted_ms,omitempty"`
+	StartedMs      int64   `json:"started_ms,omitempty"`
+	DoneMs         int64   `json:"done_ms,omitempty"`
+	Error          string  `json:"error,omitempty"`
 }
 
 // AdmissionError is a 429 with backoff guidance — the write
@@ -208,12 +216,14 @@ func (e *AdmissionError) Error() string {
 
 // journalEvent is one line of service.jsonl.
 type journalEvent struct {
-	Op        string `json:"op"` // submit | activate | done | fail
-	ID        string `json:"id"`
-	Tenant    string `json:"tenant,omitempty"`
-	Instance  string `json:"instance,omitempty"`
-	Tier      string `json:"tier,omitempty"`
-	RunBudget int64  `json:"run_budget,omitempty"`
+	Op        string  `json:"op"` // submit | activate | done | fail
+	ID        string  `json:"id"`
+	Tenant    string  `json:"tenant,omitempty"`
+	Instance  string  `json:"instance,omitempty"`
+	Tier      string  `json:"tier,omitempty"`
+	RunBudget int64   `json:"run_budget,omitempty"`
+	Adaptive  string  `json:"adaptive,omitempty"`
+	CIEpsilon float64 `json:"ci_epsilon,omitempty"`
 	// Doc is the saved topology document's path relative to Dir —
 	// the journal stays relocatable.
 	Doc    string `json:"doc,omitempty"`
@@ -331,6 +341,8 @@ func (s *Service) replayJournal() error {
 				State:          StateQueued,
 				Jobs:           ev.Jobs,
 				RunBudgetSteps: ev.RunBudget,
+				Adaptive:       ev.Adaptive,
+				CIEpsilon:      ev.CIEpsilon,
 				SubmittedMs:    ev.TimeMs,
 			}}
 			if ev.Doc != "" {
@@ -462,6 +474,17 @@ func resolveSubmit(req *SubmitRequest) (jobs int, err error) {
 	if req.Tier == "" {
 		req.Tier = string(runner.TierQuick)
 	}
+	mode, err := campaign.ParseAdaptiveMode(req.Adaptive)
+	if err != nil {
+		return 0, err
+	}
+	req.Adaptive = mode.String()
+	if req.Adaptive == "off" {
+		req.Adaptive = "" // canonical: absent means the fixed matrix
+	}
+	if req.CIEpsilon < 0 || req.CIEpsilon >= 0.5 {
+		return 0, fmt.Errorf("ci_epsilon %v outside [0, 0.5)", req.CIEpsilon)
+	}
 	if req.Document != "" {
 		req.Instance = "synth-doc-" + sha12([]byte(req.Document))
 		if _, lerr := runner.Lookup(req.Instance); lerr != nil {
@@ -520,6 +543,8 @@ func (s *Service) Submit(tenant string, req SubmitRequest) (CampaignInfo, error)
 		State:          StateQueued,
 		Jobs:           jobs,
 		RunBudgetSteps: req.RunBudgetSteps,
+		Adaptive:       req.Adaptive,
+		CIEpsilon:      req.CIEpsilon,
 		SubmittedMs:    time.Now().UnixMilli(),
 	}}
 	ev := journalEvent{
@@ -529,6 +554,8 @@ func (s *Service) Submit(tenant string, req SubmitRequest) (CampaignInfo, error)
 		Instance:  req.Instance,
 		Tier:      req.Tier,
 		RunBudget: req.RunBudgetSteps,
+		Adaptive:  req.Adaptive,
+		CIEpsilon: req.CIEpsilon,
 		Jobs:      jobs,
 	}
 	if req.Document != "" {
@@ -708,6 +735,13 @@ func (s *Service) activate(cs *campaignState) {
 			_ = runner.Register(def)
 		}
 	}
+	// Adaptive re-parses from the journaled string; it was validated
+	// at submission, so a failure here means a hand-edited journal.
+	mode, err := campaign.ParseAdaptiveMode(cs.Adaptive)
+	if err != nil {
+		fail(err)
+		return
+	}
 	coord, err := distrib.NewCoordinator(distrib.Config{
 		Instance:       cs.Instance,
 		Tier:           runner.Tier(cs.Tier),
@@ -717,6 +751,8 @@ func (s *Service) activate(cs *campaignState) {
 		Resume:         cs.resumeCoord,
 		Pull:           s.opts.Pull,
 		RunBudgetSteps: cs.RunBudgetSteps,
+		Adaptive:       mode,
+		CIEpsilon:      cs.CIEpsilon,
 		Crash:          s.opts.Crash,
 		Campaign:       cs.ID,
 		Document:       cs.document,

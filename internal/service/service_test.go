@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"propane/internal/campaign"
 	"propane/internal/chaos"
 	"propane/internal/distrib"
 	"propane/internal/report"
@@ -611,5 +612,65 @@ func TestCrashResumeSoak(t *testing.T) {
 	}
 	if st := svc3.Status(); st.Done != 2 {
 		t.Errorf("final state: %+v", st)
+	}
+}
+
+// TestAdaptiveSubmission submits an adaptive campaign over the API:
+// the adaptive spec survives the journal, reaches the coordinator,
+// and the assembled result is bit-identical to a single-node adaptive
+// run. A bad mode is the submitter's error (400), not a queue entry.
+func TestAdaptiveSubmission(t *testing.T) {
+	svc, url, stop := startService(t, Options{
+		Dir:      t.TempDir(),
+		LeaseTTL: 5 * time.Second,
+	})
+	defer stop()
+
+	resp, _ := submitHTTP(t, url, "tenant-a", SubmitRequest{Instance: "reduced", Tier: "quick", Adaptive: "sometimes"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad adaptive mode: %d, want 400", resp.StatusCode)
+	}
+
+	resp, a := submitHTTP(t, url, "tenant-a", SubmitRequest{Instance: "reduced", Tier: "quick", Adaptive: "force"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if a.Adaptive != "force" {
+		t.Errorf("campaign info advertises adaptive %q, want force", a.Adaptive)
+	}
+
+	fleetStop := startFleet(t, url, 2, distrib.WorkerOptions{
+		Name: "afleet", Dir: t.TempDir(), BatchSize: 8,
+		PollInterval: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	defer fleetStop()
+	waitState(t, svc, a.ID, StateDone, 120*time.Second)
+
+	rr, ok := svc.Result(a.ID)
+	if !ok {
+		t.Fatalf("no result for %s", a.ID)
+	}
+	if rr.Result.Adaptive == nil {
+		t.Fatal("service adaptive campaign carries no AdaptiveStats")
+	}
+
+	dir, err := os.MkdirTemp("", "propane-adaptive-svc-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	direct, err := runner.RunInstance("reduced", runner.TierQuick, runner.Options{
+		Dir: dir, Adaptive: campaign.AdaptiveForce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM, wantR, wantU := fingerprint(direct)
+	gotM, gotR, gotU := fingerprint(rr)
+	if gotR != wantR || gotU != wantU {
+		t.Errorf("adaptive counts = (%d runs, %d unfired), single-node = (%d, %d)", gotR, gotU, wantR, wantU)
+	}
+	if gotM != wantM {
+		t.Error("service adaptive matrix differs from the single-node adaptive run")
 	}
 }

@@ -1,0 +1,211 @@
+// Sequential estimation support: exact (Clopper-Pearson) binomial
+// intervals, the inverse normal CDF needed for multiple-testing
+// corrected z values, and the conservative stopping interval used by
+// the adaptive campaign scheduler (internal/campaign, adaptive mode).
+//
+// The adaptive scheduler stops sampling a (module, signal) pair when
+// its permeability estimate is pinned to a chosen precision ε. Because
+// many pairs are tested simultaneously, the per-pair confidence level
+// is Bonferroni-corrected: at family level α and m pairs each pair is
+// estimated at level 1-α/m, so the probability that *any* reported
+// interval misses its true permeability stays below α regardless of
+// how many pairs the campaign tracks. The stopping interval itself is
+// the union of the Wilson score interval and the Clopper-Pearson
+// exact interval — Wilson is tight in the middle of [0,1], CP is
+// trustworthy at the degenerate edges where permeabilities live, and
+// taking the wider of the two at every boundary makes the stopping
+// rule conservative with respect to both.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// InvNorm returns the inverse of the standard normal CDF: the z value
+// with P(Z <= z) = p. It is used to derive Bonferroni-corrected
+// critical values (z = InvNorm(1 - α/(2m)) for m simultaneous
+// two-sided intervals at family level α).
+func InvNorm(p float64) (float64, error) {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, errors.New("stats: InvNorm needs p in (0,1)")
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1), nil
+}
+
+// BonferroniZ returns the two-sided critical z value for one of m
+// simultaneous intervals at family confidence level 1-alpha:
+// InvNorm(1 - alpha/(2m)). With alpha=0.05 and m=25 (the paper's
+// pair count) this is ~3.09 instead of the marginal 1.96.
+func BonferroniZ(alpha float64, m int) (float64, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, errors.New("stats: alpha must be in (0,1)")
+	}
+	if m < 1 {
+		return 0, errors.New("stats: need at least one comparison")
+	}
+	return InvNorm(1 - alpha/(2*float64(m)))
+}
+
+// ClopperPearsonInterval returns the exact (Clopper-Pearson) two-sided
+// confidence interval for a binomial proportion with successes out of
+// trials at confidence level 1-alpha. Unlike Wilson it guarantees
+// coverage >= nominal for every true p and every n, at the cost of
+// being wider; the campaign's stopping rule uses both.
+func ClopperPearsonInterval(successes, trials int, alpha float64) (Interval, error) {
+	if trials <= 0 {
+		return Interval{}, errors.New("stats: trials must be positive")
+	}
+	if successes < 0 || successes > trials {
+		return Interval{}, errors.New("stats: successes out of range")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return Interval{}, errors.New("stats: alpha must be in (0,1)")
+	}
+	k, n := float64(successes), float64(trials)
+	iv := Interval{Low: 0, High: 1}
+	// Lower bound: the p with P(X >= k | p) = alpha/2, i.e. the
+	// alpha/2 quantile of Beta(k, n-k+1); 0 when k = 0.
+	if successes > 0 {
+		iv.Low = betaQuantile(alpha/2, k, n-k+1)
+	}
+	// Upper bound: the p with P(X <= k | p) = alpha/2, i.e. the
+	// 1-alpha/2 quantile of Beta(k+1, n-k); 1 when k = n.
+	if successes < trials {
+		iv.High = betaQuantile(1-alpha/2, k+1, n-k)
+	}
+	return iv, nil
+}
+
+// HalfWidth returns half the interval's span — the "±" the interval
+// asserts around its midpoint. The sequential stopping rule compares
+// this against ε.
+func (iv Interval) HalfWidth() float64 {
+	return (iv.High - iv.Low) / 2
+}
+
+// Union returns the smallest interval containing both iv and other.
+func (iv Interval) Union(other Interval) Interval {
+	out := iv
+	if other.Low < out.Low {
+		out.Low = other.Low
+	}
+	if other.High > out.High {
+		out.High = other.High
+	}
+	return out
+}
+
+// StoppingInterval returns the conservative interval the sequential
+// scheduler uses: the union of the Wilson score interval and the
+// Clopper-Pearson exact interval, both at per-pair confidence level
+// 1-alpha (callers pass an already-corrected alpha, e.g. family
+// alpha / m). Sampling for a pair may stop once
+// StoppingInterval(...).HalfWidth() <= ε.
+func StoppingInterval(successes, trials int, alpha float64) (Interval, error) {
+	z, err := InvNorm(1 - alpha/2)
+	if err != nil {
+		return Interval{}, err
+	}
+	w, err := WilsonInterval(successes, trials, z)
+	if err != nil {
+		return Interval{}, err
+	}
+	cp, err := ClopperPearsonInterval(successes, trials, alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	return w.Union(cp), nil
+}
+
+// betaQuantile inverts the regularized incomplete beta function
+// I_x(a, b) = p by bisection. I_x is monotone increasing in x, so 200
+// halvings pin the quantile far below any tolerance the campaign
+// cares about. a, b >= 1 in both Clopper-Pearson uses, so there are
+// no integrable singularities to dodge.
+func betaQuantile(p, a, b float64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if regIncBeta(a, b, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-15 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) via the standard continued-fraction expansion (evaluated
+// with the modified Lentz method), switching to the symmetric form
+// I_x(a,b) = 1 - I_{1-x}(b,a) where the fraction converges faster.
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lg1, _ := math.Lgamma(a + b)
+	lg2, _ := math.Lgamma(a)
+	lg3, _ := math.Lgamma(b)
+	front := math.Exp(lg1 - lg2 - lg3 + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaContinuedFraction(a, b, x) / a
+	}
+	return 1 - front*betaContinuedFraction(b, a, 1-x)/b
+}
+
+// betaContinuedFraction evaluates the continued fraction for the
+// incomplete beta function by the modified Lentz method.
+func betaContinuedFraction(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm, m2 := float64(m), float64(2*m)
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

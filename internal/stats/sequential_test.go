@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvNorm(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.95996},
+		{0.995, 2.57583},
+		{0.999, 3.09023},
+		{0.025, -1.95996},
+	}
+	for _, tt := range tests {
+		got, err := InvNorm(tt.p)
+		if err != nil {
+			t.Fatalf("InvNorm(%v): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-4 {
+			t.Errorf("InvNorm(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := InvNorm(bad); err == nil {
+			t.Errorf("InvNorm(%v) succeeded", bad)
+		}
+	}
+}
+
+func TestBonferroniZ(t *testing.T) {
+	// Marginal: m=1 at alpha=0.05 is the familiar 1.96.
+	z, err := BonferroniZ(0.05, 1)
+	if err != nil || math.Abs(z-1.95996) > 1e-4 {
+		t.Errorf("BonferroniZ(0.05, 1) = %v, %v; want ~1.96", z, err)
+	}
+	// The paper's 25 simultaneous pairs: 1 - 0.05/50 = 0.999 quantile.
+	z25, err := BonferroniZ(0.05, 25)
+	if err != nil || math.Abs(z25-3.09023) > 1e-4 {
+		t.Errorf("BonferroniZ(0.05, 25) = %v, %v; want ~3.090", z25, err)
+	}
+	if z25 <= z {
+		t.Error("correction for more comparisons must widen z")
+	}
+	if _, err := BonferroniZ(0, 5); err == nil {
+		t.Error("BonferroniZ(alpha=0) succeeded")
+	}
+	if _, err := BonferroniZ(0.05, 0); err == nil {
+		t.Error("BonferroniZ(m=0) succeeded")
+	}
+}
+
+func TestClopperPearsonKnownValues(t *testing.T) {
+	// Canonical textbook value: 8/10 at 95% is approx [0.444, 0.975].
+	iv, err := ClopperPearsonInterval(8, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Low-0.4439) > 0.002 || math.Abs(iv.High-0.9748) > 0.002 {
+		t.Errorf("CP(8/10) = %+v, want ~[0.444, 0.975]", iv)
+	}
+	// The "rule of three": 0/n at 95% has upper bound 1-(α/2)^(1/n),
+	// approx 3/n for large n.
+	zero, err := ClopperPearsonInterval(0, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(0.025, 1.0/100)
+	if zero.Low != 0 || math.Abs(zero.High-want) > 1e-6 {
+		t.Errorf("CP(0/100) = %+v, want [0, %v]", zero, want)
+	}
+	if _, err := ClopperPearsonInterval(1, 0, 0.05); err == nil {
+		t.Error("CP with zero trials succeeded")
+	}
+	if _, err := ClopperPearsonInterval(5, 4, 0.05); err == nil {
+		t.Error("CP with successes > trials succeeded")
+	}
+	if _, err := ClopperPearsonInterval(2, 4, 0); err == nil {
+		t.Error("CP with alpha=0 succeeded")
+	}
+}
+
+// TestClopperPearsonDegenerate: the edge cases the campaign hits
+// constantly — pairs with permeability exactly 0 or exactly 1.
+func TestClopperPearsonDegenerate(t *testing.T) {
+	for _, n := range []int{1, 5, 50, 4000} {
+		zero, err := ClopperPearsonInterval(0, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zero.Low != 0 {
+			t.Errorf("CP(0/%d).Low = %v, want exactly 0", n, zero.Low)
+		}
+		if zero.High <= 0 || zero.High > 1 {
+			t.Errorf("CP(0/%d).High = %v out of (0,1]", n, zero.High)
+		}
+		full, err := ClopperPearsonInterval(n, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.High != 1 {
+			t.Errorf("CP(%d/%d).High = %v, want exactly 1", n, n, full.High)
+		}
+		if full.Low >= 1 || full.Low < 0 {
+			t.Errorf("CP(%d/%d).Low = %v out of [0,1)", n, n, full.Low)
+		}
+		// Degeneracy is symmetric: CP(0/n) mirrors CP(n/n).
+		if math.Abs((1-full.Low)-zero.High) > 1e-9 {
+			t.Errorf("CP(0/%d)/CP(%d/%d) not symmetric: %v vs %v",
+				n, n, n, zero.High, 1-full.Low)
+		}
+	}
+}
+
+// TestClopperPearsonContainsEstimate: the exact interval always
+// contains the point estimate and stays inside [0,1].
+func TestClopperPearsonContainsEstimate(t *testing.T) {
+	prop := func(s, n uint8) bool {
+		trials := int(n%60) + 1
+		successes := int(s) % (trials + 1)
+		iv, err := ClopperPearsonInterval(successes, trials, 0.05)
+		if err != nil {
+			return false
+		}
+		p := float64(successes) / float64(trials)
+		return iv.Low-1e-12 <= p && p <= iv.High+1e-12 &&
+			iv.Low >= 0 && iv.High <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntervalCoverage simulates Bernoulli streams and checks that
+// both interval families achieve (at least close to) nominal
+// coverage. Clopper-Pearson is exact, so its empirical coverage must
+// be >= nominal up to simulation noise; Wilson is approximate and is
+// allowed a small deficit.
+func TestIntervalCoverage(t *testing.T) {
+	const (
+		reps  = 400
+		alpha = 0.05
+	)
+	rng := rand.New(rand.NewSource(20010701)) // DSN 2001 publication week
+	for _, p := range []float64{0.02, 0.1, 0.35, 0.5, 0.8, 0.97} {
+		for _, n := range []int{25, 100, 400} {
+			wilsonHits, cpHits := 0, 0
+			for r := 0; r < reps; r++ {
+				successes := 0
+				for i := 0; i < n; i++ {
+					if rng.Float64() < p {
+						successes++
+					}
+				}
+				w, err := WilsonInterval(successes, n, 1.959964)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w.Low <= p && p <= w.High {
+					wilsonHits++
+				}
+				cp, err := ClopperPearsonInterval(successes, n, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cp.Low <= p && p <= cp.High {
+					cpHits++
+				}
+			}
+			// Simulation noise over 400 reps at 95% nominal:
+			// sd ~ 1.1%, so 92% is a ~3 sd floor for the exact CP
+			// interval. Wilson's true coverage oscillates around
+			// nominal and genuinely dips below 95% at some (p, n),
+			// so its floor is looser — the conservative stopping
+			// rule unions it with CP precisely for this reason.
+			if cov := float64(cpHits) / reps; cov < 0.92 {
+				t.Errorf("CP coverage at p=%v n=%d: %v < 0.92", p, n, cov)
+			}
+			if cov := float64(wilsonHits) / reps; cov < 0.88 {
+				t.Errorf("Wilson coverage at p=%v n=%d: %v < 0.88", p, n, cov)
+			}
+		}
+	}
+}
+
+// TestIntervalMonotonicNarrowing: at a fixed observed proportion, both
+// interval families narrow monotonically as the sample grows — the
+// property the sequential stopping rule relies on to terminate.
+func TestIntervalMonotonicNarrowing(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		prevWilson, prevCP := math.Inf(1), math.Inf(1)
+		for _, n := range []int{8, 16, 32, 64, 128, 256, 1024, 4096} {
+			k := int(math.Round(frac * float64(n)))
+			w, err := WilsonInterval(k, n, 3.09)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := ClopperPearsonInterval(k, n, 0.002)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hw := w.HalfWidth(); hw >= prevWilson {
+				t.Errorf("Wilson half-width not narrowing at frac=%v n=%d: %v >= %v",
+					frac, n, hw, prevWilson)
+			} else {
+				prevWilson = hw
+			}
+			if hw := cp.HalfWidth(); hw >= prevCP {
+				t.Errorf("CP half-width not narrowing at frac=%v n=%d: %v >= %v",
+					frac, n, hw, prevCP)
+			} else {
+				prevCP = hw
+			}
+		}
+		if prevWilson > 0.05 || prevCP > 0.05 {
+			t.Errorf("frac=%v: 4096 samples leave half-widths %v/%v > ε=0.05",
+				frac, prevWilson, prevCP)
+		}
+	}
+}
+
+// TestStoppingInterval: the stopping interval is the union of Wilson
+// and Clopper-Pearson, hence conservative with respect to both, and
+// it closes below ε=0.05 within the sample counts the adaptive
+// campaign budgets for.
+func TestStoppingInterval(t *testing.T) {
+	alpha := 0.05 / 25 // the paper's Bonferroni share per pair
+	for _, tc := range []struct{ k, n int }{
+		{0, 300}, {300, 300}, {7, 900}, {500, 1000}, {999, 1000},
+	} {
+		iv, err := StoppingInterval(tc.k, tc.n, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, _ := InvNorm(1 - alpha/2)
+		w, _ := WilsonInterval(tc.k, tc.n, z)
+		cp, _ := ClopperPearsonInterval(tc.k, tc.n, alpha)
+		if iv.Low > w.Low || iv.Low > cp.Low || iv.High < w.High || iv.High < cp.High {
+			t.Errorf("stopping interval %+v for %d/%d does not contain Wilson %+v and CP %+v",
+				iv, tc.k, tc.n, w, cp)
+		}
+	}
+	// A degenerate pair (0 errors) closes after a few hundred fired
+	// samples even at the corrected level — the core of the adaptive
+	// speedup for the many all-zero pairs.
+	iv, err := StoppingInterval(0, 300, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.HalfWidth() > 0.05 {
+		t.Errorf("degenerate pair still open after 300 samples: half-width %v", iv.HalfWidth())
+	}
+	// A worst-case p=0.5 pair needs more, but still closes within the
+	// full fixed-matrix budget of 4000.
+	iv, err = StoppingInterval(2000, 4000, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.HalfWidth() > 0.05 {
+		t.Errorf("worst-case pair open after 4000 samples: half-width %v", iv.HalfWidth())
+	}
+	if _, err := StoppingInterval(1, 0, alpha); err == nil {
+		t.Error("StoppingInterval with zero trials succeeded")
+	}
+}
+
+func TestIntervalUnion(t *testing.T) {
+	a := Interval{Low: 0.2, High: 0.6}
+	b := Interval{Low: 0.1, High: 0.5}
+	got := a.Union(b)
+	if got.Low != 0.1 || got.High != 0.6 {
+		t.Errorf("Union = %+v, want [0.1, 0.6]", got)
+	}
+	if hw := got.HalfWidth(); math.Abs(hw-0.25) > 1e-12 {
+		t.Errorf("HalfWidth = %v, want 0.25", hw)
+	}
+}

@@ -254,6 +254,12 @@ func (c *Compiled) Config(tier string) (campaign.Config, error) {
 	for i, t := range ts.TimesMs {
 		times[i] = sim.Millis(t)
 	}
+	// Validate already vetted the spelling; a failure here means the
+	// spec bypassed Parse.
+	mode, err := campaign.ParseAdaptiveMode(ts.Adaptive)
+	if err != nil {
+		return campaign.Config{}, fmt.Errorf("synth: tier %q: %w", tier, err)
+	}
 	return campaign.Config{
 		Custom:         c.Target,
 		TestCases:      cases,
@@ -262,5 +268,7 @@ func (c *Compiled) Config(tier string) (campaign.Config, error) {
 		HorizonMs:      sim.Millis(ts.HorizonMs),
 		DirectWindowMs: sim.Millis(ts.DirectWindowMs),
 		Budget:         sim.Budget{Steps: ts.BudgetSteps},
+		Adaptive:       mode,
+		CIEpsilon:      ts.CIEpsilon,
 	}, nil
 }

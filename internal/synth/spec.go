@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"propane/internal/campaign"
 	"propane/internal/synth/workload"
 )
 
@@ -115,6 +116,11 @@ type TierSpec struct {
 	// BudgetSteps bounds kernel work per run (hang detection); zero
 	// means unbounded.
 	BudgetSteps int64 `json:"budget_steps,omitempty"`
+	// Adaptive selects sequential CI-driven sampling for this tier:
+	// "off" (or absent), "auto", "force". CIEpsilon is the stopping
+	// half-width ε (0 keeps the 0.05 default).
+	Adaptive  string  `json:"adaptive,omitempty"`
+	CIEpsilon float64 `json:"ci_epsilon,omitempty"`
 }
 
 // Parse decodes a topology document. Documents starting with '{' are
@@ -349,6 +355,12 @@ func (s *Spec) Validate() error {
 		}
 		if ts.BudgetSteps < 0 {
 			fail("synth: campaign tier %q: negative budget_steps", tier)
+		}
+		if _, err := campaign.ParseAdaptiveMode(ts.Adaptive); err != nil {
+			fail("synth: campaign tier %q: adaptive must be off, auto or force (got %q)", tier, ts.Adaptive)
+		}
+		if ts.CIEpsilon < 0 || ts.CIEpsilon >= 0.5 {
+			fail("synth: campaign tier %q: ci_epsilon %v outside [0, 0.5)", tier, ts.CIEpsilon)
 		}
 	}
 

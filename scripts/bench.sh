@@ -15,8 +15,13 @@
 #      yardstick of the checkpoint fast-forward work;
 #   3. BenchmarkDistributedPaperCampaign (coordinator + 1/2/4
 #      loopback workers over real HTTP), one iteration each — the
-#      scale-out yardstick against pass 2's single-node number.
-# Passes 2 and 3 are skipped when PROPANE_SKIP_PAPER_BENCH=1.
+#      scale-out yardstick against pass 2's single-node number;
+#   4. the adaptive pair: BenchmarkCampaignAdaptive (paper campaign
+#      under sequential CI-driven sampling; the ratio against pass 2
+#      is the adaptive scheduler's headline saving) and
+#      BenchmarkDistributedPaperCampaignAdaptive (the same through
+#      coordinator + 1/4 loopback workers with carve-on-demand).
+# Passes 2-4 are skipped when PROPANE_SKIP_PAPER_BENCH=1.
 #
 # Pass 1 includes the DSL-vs-handwritten arrestor pair
 # (BenchmarkArrestorCampaignHandwritten vs BenchmarkArrestorCampaignDSL,
@@ -61,7 +66,12 @@ if [ "${PROPANE_SKIP_PAPER_BENCH:-0}" != "1" ]; then
         -benchmem -benchtime=1x -timeout 60m "$@" . | tee -a "$RAW" >&2
 
     echo "bench.sh: distributed paper campaign, 1/2/4 loopback workers (-benchtime=1x)..." >&2
-    PROPANE_PAPER_BENCH=1 go test -run '^$' -bench 'BenchmarkDistributedPaperCampaign' \
+    PROPANE_PAPER_BENCH=1 go test -run '^$' -bench 'BenchmarkDistributedPaperCampaign$' \
+        -benchmem -benchtime=1x -timeout 60m "$@" . | tee -a "$RAW" >&2
+
+    echo "bench.sh: adaptive paper campaign, single node + 1/4 loopback workers (-benchtime=1x)..." >&2
+    PROPANE_PAPER_BENCH=1 go test -run '^$' \
+        -bench 'BenchmarkCampaignAdaptive$|BenchmarkDistributedPaperCampaignAdaptive' \
         -benchmem -benchtime=1x -timeout 60m "$@" . | tee -a "$RAW" >&2
 fi
 
